@@ -1,0 +1,65 @@
+//! Criterion bench: Algorithm 1's runtime scaling.
+//!
+//! The paper claims `O(Ne log Ne + Ne·Ns)` (Section IV-C). This bench
+//! sweeps executor count `Ne` (with chain-shaped traffic) and slot count
+//! `Ns` so the reported times can be checked against that shape.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tstorm_cluster::ClusterSpec;
+use tstorm_sched::{ExecutorInfo, SchedParams, Scheduler, SchedulingInput, TStormScheduler, TrafficMatrix};
+use tstorm_types::{ComponentId, ExecutorId, Mhz, TopologyId};
+
+/// A chain of `ne` executors over `nodes`×`slots_per_node` slots.
+fn chain_input(ne: u32, nodes: u32, slots_per_node: u32) -> SchedulingInput {
+    let cluster =
+        ClusterSpec::homogeneous(nodes, slots_per_node, Mhz::new(8000.0)).expect("valid");
+    let executors: Vec<ExecutorInfo> = (0..ne)
+        .map(|i| {
+            ExecutorInfo::new(
+                ExecutorId::new(i),
+                TopologyId::new(0),
+                ComponentId::new(i % 8),
+                Mhz::new(20.0),
+            )
+        })
+        .collect();
+    let mut traffic = TrafficMatrix::new();
+    for i in 0..ne.saturating_sub(1) {
+        traffic.set(ExecutorId::new(i), ExecutorId::new(i + 1), 100.0 + f64::from(i));
+    }
+    SchedulingInput::new(
+        cluster,
+        executors,
+        traffic,
+        SchedParams::default().with_gamma(2.0),
+    )
+}
+
+fn bench_ne_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alg1/ne_scaling");
+    for ne in [45u32, 90, 180, 360, 720] {
+        let input = chain_input(ne, 10, 4);
+        group.bench_with_input(BenchmarkId::from_parameter(ne), &input, |b, input| {
+            let mut sched = TStormScheduler::new();
+            b.iter(|| black_box(sched.schedule(black_box(input)).expect("feasible")));
+        });
+    }
+    group.finish();
+}
+
+fn bench_ns_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alg1/ns_scaling");
+    for nodes in [10u32, 20, 40, 80] {
+        let input = chain_input(200, nodes, 4);
+        let ns = nodes * 4;
+        group.bench_with_input(BenchmarkId::from_parameter(ns), &input, |b, input| {
+            let mut sched = TStormScheduler::new();
+            b.iter(|| black_box(sched.schedule(black_box(input)).expect("feasible")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ne_scaling, bench_ns_scaling);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Criterion bench: shortened versions of every figure experiment.
+//!
+//! Each bench runs the same code path as the corresponding `fig*` binary
+//! at sharply reduced virtual duration, so `cargo bench` regenerates (a
+//! fast version of) every figure and tracks simulator throughput
+//! regressions. Durations are chosen so one iteration stays around a
+//! second; full-length reproductions live in the binaries
+//! (`cargo run --release -p tstorm-bench --bin fig5` etc.).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tstorm_bench::experiments;
+use tstorm_core::SystemMode;
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("fig2_traffic_impact_30s", |b| {
+        b.iter(|| black_box(experiments::fig2(30, 42)));
+    });
+    group.finish();
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("fig3_overload_25s", |b| {
+        b.iter(|| black_box(experiments::fig3(25, 42)));
+    });
+    group.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("fig5_throughput_storm_45s", |b| {
+        b.iter(|| black_box(experiments::fig5(SystemMode::StormDefault, 1.0, 45, 42)));
+    });
+    group.bench_function("fig5_throughput_tstorm_45s", |b| {
+        b.iter(|| black_box(experiments::fig5(SystemMode::TStorm, 1.7, 45, 42)));
+    });
+    group.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("fig6_wordcount_storm_45s", |b| {
+        b.iter(|| black_box(experiments::fig6(SystemMode::StormDefault, 1.0, 45, 42)));
+    });
+    group.bench_function("fig6_wordcount_tstorm_45s", |b| {
+        b.iter(|| black_box(experiments::fig6(SystemMode::TStorm, 1.8, 45, 42)));
+    });
+    group.finish();
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("fig8_logstream_storm_45s", |b| {
+        b.iter(|| black_box(experiments::fig8(SystemMode::StormDefault, 1.0, 45, 42)));
+    });
+    group.bench_function("fig8_logstream_tstorm_45s", |b| {
+        b.iter(|| black_box(experiments::fig8(SystemMode::TStorm, 1.7, 45, 42)));
+    });
+    group.finish();
+}
+
+fn bench_fig9_fig10(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("fig9_overload_recovery_wc_90s", |b| {
+        b.iter(|| black_box(experiments::fig9(90, 42)));
+    });
+    group.bench_function("fig10_overload_recovery_ls_90s", |b| {
+        b.iter(|| black_box(experiments::fig10(90, 42)));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig2,
+    bench_fig3,
+    bench_fig5,
+    bench_fig6,
+    bench_fig8,
+    bench_fig9_fig10
+);
+criterion_main!(benches);

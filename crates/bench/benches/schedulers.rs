@@ -1,0 +1,99 @@
+//! Criterion bench: scheduling-algorithm runtime head-to-head on a
+//! paper-sized problem (the Throughput Test's 45 executors over the
+//! 10-node / 40-slot testbed, with realistic shuffle-diffuse traffic).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tstorm_cluster::ClusterSpec;
+use tstorm_sched::{
+    AnielloOfflineScheduler, AnielloOnlineScheduler, ExecutorInfo, LocalSearchScheduler,
+    RoundRobinScheduler, SchedParams, Scheduler, SchedulingInput, TStormScheduler, TrafficMatrix,
+};
+use tstorm_types::{ComponentId, ExecutorId, Mhz, TopologyId};
+
+/// Throughput-Test-shaped input: 5 spouts -> 15 identities -> 15
+/// counters -> 10 ackers, with diffuse shuffle traffic between stages.
+fn throughput_like_input() -> SchedulingInput {
+    let cluster = ClusterSpec::homogeneous(10, 4, Mhz::new(8000.0)).expect("valid");
+    let stage = |base: u32, count: u32| -> Vec<ExecutorId> {
+        (0..count).map(|i| ExecutorId::new(base + i)).collect()
+    };
+    let spouts = stage(0, 5);
+    let identities = stage(5, 15);
+    let counters = stage(20, 15);
+    let ackers = stage(35, 10);
+
+    let mut executors = Vec::new();
+    for (comp, ids) in [(0u32, &spouts), (1, &identities), (2, &counters), (3, &ackers)] {
+        for id in ids {
+            executors.push(ExecutorInfo::new(
+                *id,
+                TopologyId::new(0),
+                ComponentId::new(comp),
+                Mhz::new(50.0),
+            ));
+        }
+    }
+
+    let mut traffic = TrafficMatrix::new();
+    let connect = |traffic: &mut TrafficMatrix, from: &[ExecutorId], to: &[ExecutorId], total: f64| {
+        let per = total / (from.len() * to.len()) as f64;
+        for f in from {
+            for t in to {
+                traffic.set(*f, *t, per);
+            }
+        }
+    };
+    connect(&mut traffic, &spouts, &identities, 1000.0);
+    connect(&mut traffic, &identities, &counters, 1000.0);
+    connect(&mut traffic, &spouts, &ackers, 1000.0);
+    connect(&mut traffic, &identities, &ackers, 1000.0);
+    connect(&mut traffic, &counters, &ackers, 1000.0);
+
+    SchedulingInput::new(
+        cluster,
+        executors,
+        traffic,
+        SchedParams::default()
+            .with_gamma(1.7)
+            .with_workers(TopologyId::new(0), 40),
+    )
+    .with_component_edges(vec![
+        (TopologyId::new(0), ComponentId::new(0), ComponentId::new(1)),
+        (TopologyId::new(0), ComponentId::new(1), ComponentId::new(2)),
+    ])
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let input = throughput_like_input();
+    let mut group = c.benchmark_group("schedulers/throughput_45x40");
+
+    group.bench_function("t-storm", |b| {
+        let mut s = TStormScheduler::new();
+        b.iter(|| black_box(s.schedule(black_box(&input)).expect("feasible")));
+    });
+    group.bench_function("storm-default", |b| {
+        let mut s = RoundRobinScheduler::storm_default();
+        b.iter(|| black_box(s.schedule(black_box(&input)).expect("feasible")));
+    });
+    group.bench_function("t-storm-initial", |b| {
+        let mut s = RoundRobinScheduler::tstorm_initial();
+        b.iter(|| black_box(s.schedule(black_box(&input)).expect("feasible")));
+    });
+    group.bench_function("aniello-online", |b| {
+        let mut s = AnielloOnlineScheduler::new();
+        b.iter(|| black_box(s.schedule(black_box(&input)).expect("feasible")));
+    });
+    group.bench_function("aniello-offline", |b| {
+        let mut s = AnielloOfflineScheduler::new();
+        b.iter(|| black_box(s.schedule(black_box(&input)).expect("feasible")));
+    });
+    group.bench_function("t-storm-ls", |b| {
+        let mut s = LocalSearchScheduler::new();
+        b.iter(|| black_box(s.schedule(black_box(&input)).expect("feasible")));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers);
+criterion_main!(benches);

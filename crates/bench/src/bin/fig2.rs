@@ -1,0 +1,33 @@
+//! Fig. 2 — impact of inter-process and inter-node traffic: the chain
+//! topology under the n1w1 / n5w5 / n5w10 placements.
+//!
+//! Usage: `fig2 [duration_secs] [seed]` (defaults: 500, 42 — the paper
+//! ran this experiment for 500 s).
+
+use tstorm_bench::experiments::{fig2, render_outcome};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let duration: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(500);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(42);
+
+    println!("Fig. 2 reproduction: chain topology, three placements, {duration}s\n");
+    let outcomes = fig2(duration, seed);
+    for o in &outcomes {
+        println!("{}", render_outcome(o));
+    }
+    println!("Expected shape (paper): n1w1 fastest; n5w5 ~35% slower; n5w10 ~67% slower.");
+    let mean = |i: usize| {
+        outcomes[i]
+            .report
+            .proc_time_ms
+            .overall_mean()
+            .unwrap_or(f64::NAN)
+    };
+    let (a, b, c) = (mean(0), mean(1), mean(2));
+    println!(
+        "Measured: n1w1 {a:.3} ms | n5w5 {b:.3} ms (+{:.0}%) | n5w10 {c:.3} ms (+{:.0}%)",
+        (b - a) / a * 100.0,
+        (c - a) / a * 100.0
+    );
+}

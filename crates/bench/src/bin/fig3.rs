@@ -1,0 +1,22 @@
+//! Fig. 3 — impact of overloading a worker node: 5 spout executors feed
+//! 1 bolt executor per stage on a single node; queues grow, processing
+//! time skyrockets, tuples fail.
+//!
+//! Usage: `fig3 [duration_secs] [seed]` (defaults: 180, 42 — the paper
+//! plots 180 s).
+
+use tstorm_bench::experiments::{fig3, render_outcome};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let duration: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(180);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(42);
+
+    println!("Fig. 3 reproduction: overloaded single node, {duration}s\n");
+    let outcome = fig3(duration, seed);
+    println!("{}", render_outcome(&outcome));
+    println!("(a) average processing time rises without bound; (b) failed-tuple count:");
+    for (t, n) in outcome.report.failed.cumulative() {
+        println!("  {:>5}s  {:>8} failed (cumulative)", t.as_secs(), n);
+    }
+}

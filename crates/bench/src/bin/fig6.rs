@@ -1,0 +1,34 @@
+//! Fig. 6 — Word Count (stream version): Storm vs T-Storm at
+//! γ ∈ {1, 1.8, 2.2} (10, 7 and 5 worker nodes in the paper).
+//!
+//! Usage: `fig6 [duration_secs] [seed]` (defaults: 1000, 42).
+
+use tstorm_bench::experiments::{fig6, render_outcome};
+use tstorm_core::SystemMode;
+use tstorm_metrics::ComparisonRow;
+use tstorm_types::SimTime;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let duration: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(1000);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(42);
+    let stable = SimTime::from_secs(duration / 2);
+
+    println!("Fig. 6 reproduction: Word Count, {duration}s\n");
+    let storm = fig6(SystemMode::StormDefault, 1.0, duration, seed);
+    println!("{}", render_outcome(&storm));
+
+    let mut rows = Vec::new();
+    for gamma in [1.0, 1.8, 2.2] {
+        let tstorm = fig6(SystemMode::TStorm, gamma, duration, seed);
+        println!("{}", render_outcome(&tstorm));
+        rows.extend(ComparisonRow::from_reports(
+            format!("Fig.6 gamma={gamma}"),
+            &storm.report,
+            &tstorm.report,
+            stable,
+        ));
+    }
+    println!("{}", ComparisonRow::render_table(&rows));
+    println!("Paper: 49% / 42% / 35% speedup at gamma 1 / 1.8 / 2.2 (10 / 7 / 5 nodes).");
+}

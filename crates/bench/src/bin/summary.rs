@@ -1,0 +1,31 @@
+//! Section V headline numbers: Storm vs T-Storm on all three topologies
+//! at consolidating γ values — the paper's "over 84% and 27% speedup on
+//! lightly and heavily loaded topologies with 30% fewer worker nodes".
+//!
+//! Usage: `summary [duration_secs] [seed]` (defaults: 1000, 42).
+
+use tstorm_bench::experiments::headline;
+use tstorm_metrics::ComparisonRow;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let duration: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(1000);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(42);
+
+    println!("Headline comparison over {duration}s (stable half counted):\n");
+    let rows = headline(duration, seed);
+    println!("{}", ComparisonRow::render_table(&rows));
+    let avg_node_saving: f64 = rows
+        .iter()
+        .filter(|r| r.baseline_nodes > 0)
+        .map(|r| 1.0 - f64::from(r.candidate_nodes) / f64::from(r.baseline_nodes))
+        .sum::<f64>()
+        / rows.len().max(1) as f64;
+    println!(
+        "Average worker-node reduction: {:.0}% (the operational-cost lever of Section I).",
+        avg_node_saving * 100.0
+    );
+    println!(
+        "Paper abstract: >84% speedup (light) and 27% (heavy) with 30% fewer worker nodes."
+    );
+}

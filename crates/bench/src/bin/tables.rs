@@ -1,0 +1,8 @@
+//! Table II — the common experimental settings, rendered from the live
+//! configuration defaults.
+
+use tstorm_bench::experiments::table2;
+
+fn main() {
+    println!("{}", table2());
+}

@@ -1,0 +1,410 @@
+//! Runners for every experiment in Section V of the paper.
+
+use tstorm_cluster::{Assignment, ClusterSpec};
+use tstorm_core::{SystemMode, TStormConfig, TStormSystem};
+use tstorm_metrics::{ComparisonRow, RunReport};
+use tstorm_sim::{SimConfig, Simulation};
+use tstorm_types::{Mhz, SimTime, SlotId};
+use tstorm_workloads::chain::{self, ChainParams};
+use tstorm_workloads::logstream::{self, LogStreamParams, LogStreamState};
+use tstorm_workloads::throughput::{self, ThroughputParams};
+use tstorm_workloads::wordcount::{self, WordCountParams, WordCountState};
+
+/// The paper's per-experiment running time (Table II): 1000 s.
+pub const PAPER_RUN_SECS: u64 = 1000;
+
+/// Word Count input rate (lines/s): two readers paced at 5 ms sustain up
+/// to 400 lines/s, so 300 keeps the topology busy without saturating the
+/// source.
+pub const WORDCOUNT_LINES_PER_SEC: f64 = 300.0;
+
+/// Log Stream input rate (lines/s): five spouts sustain up to 1000.
+pub const LOGSTREAM_LINES_PER_SEC: f64 = 800.0;
+
+/// Everything one experiment run produces.
+#[derive(Debug, Clone)]
+pub struct ExperimentOutcome {
+    /// Human-readable label (`"Storm"`, `"T-Storm (gamma=1.7)"`, …).
+    pub label: String,
+    /// The metrics report (1-minute series, failures, node usage).
+    pub report: RunReport,
+    /// Overload detections that triggered the fast path.
+    pub overload_events: u32,
+    /// Supervisor re-assignment rollouts.
+    pub reassignments: u32,
+    /// Tuples that timed out.
+    pub failed: u64,
+    /// Fully-acked tuples.
+    pub completed: u64,
+}
+
+impl ExperimentOutcome {
+    fn from_system(label: impl Into<String>, system: &TStormSystem) -> Self {
+        let label = label.into();
+        Self {
+            report: system.report(&label),
+            overload_events: system.overload_events(),
+            reassignments: system.simulation().reassignments(),
+            failed: system.simulation().failed(),
+            completed: system.simulation().completed(),
+            label,
+        }
+    }
+
+    fn from_sim(label: impl Into<String>, sim: &Simulation) -> Self {
+        let label = label.into();
+        Self {
+            report: sim.report(&label),
+            overload_events: 0,
+            reassignments: sim.reassignments(),
+            failed: sim.failed(),
+            completed: sim.completed(),
+            label,
+        }
+    }
+}
+
+/// The paper's testbed shape: 10 blade servers (dual 2.0 GHz Xeons ≈
+/// 8000 MHz schedulable), 4 slots each, 1 Gbps network.
+#[must_use]
+pub fn cluster10() -> ClusterSpec {
+    ClusterSpec::homogeneous(10, 4, Mhz::new(8000.0)).expect("valid cluster")
+}
+
+/// Table II configuration for a given system/γ/seed.
+#[must_use]
+pub fn paper_config(mode: SystemMode, gamma: f64, seed: u64) -> TStormConfig {
+    // Defaults already match Table II (α=0.5, monitor 20 s, fetch 10 s,
+    // generation 300 s); only mode/γ/seed vary per experiment.
+    TStormConfig::default()
+        .with_mode(mode)
+        .with_gamma(gamma)
+        .with_seed(seed)
+}
+
+fn mode_label(mode: SystemMode, gamma: f64) -> String {
+    match mode {
+        SystemMode::StormDefault => "Storm".to_owned(),
+        SystemMode::TStorm => format!("T-Storm (gamma={gamma})"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fig. 2 — impact of inter-process and inter-node traffic
+// ---------------------------------------------------------------------
+
+/// Fig. 2: the chain topology under three manual placements —
+/// `n1w1` (one node, one worker), `n5w5` (five nodes, one worker each),
+/// `n5w10` (five nodes, two workers each). Returns one outcome per
+/// placement, in that order.
+#[must_use]
+pub fn fig2(duration_secs: u64, seed: u64) -> Vec<ExperimentOutcome> {
+    let params = ChainParams::fig2();
+    let placements: [(&str, Vec<u32>); 3] = [
+        ("n1w1", vec![0]),
+        ("n5w5", vec![0, 2, 4, 6, 8]),
+        ("n5w10", vec![0, 1, 2, 3, 4, 5, 6, 7, 8, 9]),
+    ];
+    placements
+        .into_iter()
+        .map(|(label, slots)| {
+            // Their testbed for this experiment: 5 blades.
+            let cluster = ClusterSpec::homogeneous(5, 2, Mhz::new(8000.0)).expect("valid");
+            let mut sim = Simulation::new(cluster, SimConfig::default().with_seed(seed));
+            let topo = chain::topology(&params).expect("valid");
+            let mut factory = chain::factory(&params, seed);
+            sim.submit_topology(&topo, &mut factory);
+            let assignment: Assignment = sim
+                .executor_descriptors()
+                .into_iter()
+                .enumerate()
+                .map(|(i, d)| (d.id, SlotId::new(slots[i % slots.len()])))
+                .collect();
+            sim.apply_assignment(&assignment);
+            sim.run_until(SimTime::from_secs(duration_secs));
+            ExperimentOutcome::from_sim(label, &sim)
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Fig. 3 — impact of overloading a worker node
+// ---------------------------------------------------------------------
+
+/// Fig. 3: the chain topology with 5 spout executors and 1 executor per
+/// bolt, all packed onto a single worker node — incoming tuples outpace
+/// the bolt executors, queues grow, processing time skyrockets and
+/// tuples start to fail.
+#[must_use]
+pub fn fig3(duration_secs: u64, seed: u64) -> ExperimentOutcome {
+    let params = ChainParams {
+        // Larger tuples than Fig. 2 push each single bolt executor's
+        // service time past the tuple arrival interval even at full core
+        // speed, so the backlog grows fast enough for queueing delay to
+        // cross the 30 s timeout within the experiment, as in the paper.
+        tuple_bytes: 48 * 1024,
+        ..ChainParams::fig3_overload()
+    };
+    let cluster = ClusterSpec::homogeneous(1, 2, Mhz::new(8000.0)).expect("valid");
+    let mut sim = Simulation::new(cluster, SimConfig::default().with_seed(seed));
+    let topo = chain::topology(&params).expect("valid");
+    let mut factory = chain::factory(&params, seed);
+    sim.submit_topology(&topo, &mut factory);
+    let assignment: Assignment = sim
+        .executor_descriptors()
+        .into_iter()
+        .map(|d| (d.id, SlotId::new(0)))
+        .collect();
+    sim.apply_assignment(&assignment);
+    sim.run_until(SimTime::from_secs(duration_secs));
+    ExperimentOutcome::from_sim("overloaded n1w1", &sim)
+}
+
+// ---------------------------------------------------------------------
+// Figs. 5, 6, 8 — the three applications, Storm vs T-Storm, γ sweeps
+// ---------------------------------------------------------------------
+
+/// Fig. 5: the Throughput Test topology (10 nodes, 40 workers, 45
+/// executors) under the given system and consolidation factor.
+#[must_use]
+pub fn fig5(mode: SystemMode, gamma: f64, duration_secs: u64, seed: u64) -> ExperimentOutcome {
+    let params = ThroughputParams::paper();
+    let topo = throughput::topology(&params).expect("valid");
+    let mut system =
+        TStormSystem::new(cluster10(), paper_config(mode, gamma, seed)).expect("valid config");
+    let mut factory = throughput::factory(&params, seed);
+    system.submit(&topo, &mut factory).expect("submits");
+    system.start().expect("starts");
+    system
+        .run_until(SimTime::from_secs(duration_secs))
+        .expect("runs");
+    ExperimentOutcome::from_system(mode_label(mode, gamma), &system)
+}
+
+/// Fig. 6: the Word Count topology (10 nodes, 20 workers, 20 executors)
+/// fed from the corpus queue.
+#[must_use]
+pub fn fig6(mode: SystemMode, gamma: f64, duration_secs: u64, seed: u64) -> ExperimentOutcome {
+    let params = WordCountParams::paper();
+    let topo = wordcount::topology(&params).expect("valid");
+    let state = WordCountState::new();
+    state.attach_corpus_producer(SimTime::ZERO, WORDCOUNT_LINES_PER_SEC);
+    let mut system =
+        TStormSystem::new(cluster10(), paper_config(mode, gamma, seed)).expect("valid config");
+    let mut factory = wordcount::factory(&state);
+    system.submit(&topo, &mut factory).expect("submits");
+    system.start().expect("starts");
+    system
+        .run_until(SimTime::from_secs(duration_secs))
+        .expect("runs");
+    ExperimentOutcome::from_system(mode_label(mode, gamma), &system)
+}
+
+/// Fig. 8: the Log Stream Processing topology (10 nodes, 20 workers, 28
+/// executors) fed LogStash-style IIS log lines.
+#[must_use]
+pub fn fig8(mode: SystemMode, gamma: f64, duration_secs: u64, seed: u64) -> ExperimentOutcome {
+    let params = LogStreamParams::paper();
+    let topo = logstream::topology(&params).expect("valid");
+    let state = LogStreamState::new();
+    state.attach_log_producer(SimTime::ZERO, LOGSTREAM_LINES_PER_SEC, seed ^ 0xa5a5);
+    let mut system =
+        TStormSystem::new(cluster10(), paper_config(mode, gamma, seed)).expect("valid config");
+    let mut factory = logstream::factory(&state);
+    system.submit(&topo, &mut factory).expect("submits");
+    system.start().expect("starts");
+    system
+        .run_until(SimTime::from_secs(duration_secs))
+        .expect("runs");
+    ExperimentOutcome::from_system(mode_label(mode, gamma), &system)
+}
+
+// ---------------------------------------------------------------------
+// Figs. 9, 10 — overload detection and recovery
+// ---------------------------------------------------------------------
+
+/// Fig. 9: Word Count squeezed into one worker on one node, overloaded
+/// with two concurrent corpus streams; T-Storm detects the overload and
+/// re-schedules onto more nodes.
+#[must_use]
+pub fn fig9(duration_secs: u64, seed: u64) -> ExperimentOutcome {
+    let params = WordCountParams::overload();
+    let topo = wordcount::topology(&params).expect("valid");
+    let state = WordCountState::new();
+    // "We overloaded the topology by pushing two concurrent streams of
+    // word files into the topology." Two 200 line/s streams saturate the
+    // single node's cores (the readers cap out at 400 lines/s).
+    state.attach_corpus_producer(SimTime::ZERO, 200.0);
+    state.attach_corpus_producer(SimTime::ZERO, 200.0);
+    let mut config = paper_config(SystemMode::TStorm, 2.0, seed);
+    config.capacity_fraction = 0.8;
+    let mut system = TStormSystem::new(cluster10(), config).expect("valid config");
+    let mut factory = wordcount::factory(&state);
+    system.submit(&topo, &mut factory).expect("submits");
+    system.start().expect("starts");
+    system
+        .run_until(SimTime::from_secs(duration_secs))
+        .expect("runs");
+    ExperimentOutcome::from_system("T-Storm overload recovery (Word Count)", &system)
+}
+
+/// Fig. 10: Log Stream Processing squeezed into one worker on one node,
+/// overloaded with two concurrent IIS log streams.
+#[must_use]
+pub fn fig10(duration_secs: u64, seed: u64) -> ExperimentOutcome {
+    let params = LogStreamParams::overload();
+    let topo = logstream::topology(&params).expect("valid");
+    let state = LogStreamState::new();
+    // "Feeding 2 streams of IIS log files into the same Redis queue."
+    state.attach_log_producer(SimTime::ZERO, LOGSTREAM_LINES_PER_SEC / 2.0, seed ^ 0x11);
+    state.attach_log_producer(SimTime::ZERO, LOGSTREAM_LINES_PER_SEC / 2.0, seed ^ 0x22);
+    // γ = 1.4 caps nodes at ⌈1.4·28/10⌉ = 4 executors, spreading recovery
+    // over ~8 nodes as in the paper's Fig. 10.
+    let mut config = paper_config(SystemMode::TStorm, 1.4, seed);
+    config.capacity_fraction = 0.8;
+    let mut system = TStormSystem::new(cluster10(), config).expect("valid config");
+    let mut factory = logstream::factory(&state);
+    system.submit(&topo, &mut factory).expect("submits");
+    system.start().expect("starts");
+    system
+        .run_until(SimTime::from_secs(duration_secs))
+        .expect("runs");
+    ExperimentOutcome::from_system("T-Storm overload recovery (Log Stream)", &system)
+}
+
+// ---------------------------------------------------------------------
+// Tables and headline numbers
+// ---------------------------------------------------------------------
+
+/// Table II: the common experimental settings, rendered from the actual
+/// configuration defaults (so drift between docs and code is impossible).
+#[must_use]
+pub fn table2() -> String {
+    let c = TStormConfig::default();
+    let cluster = cluster10();
+    format!(
+        "TABLE II: COMMON EXPERIMENTAL SETTINGS\n\
+         {:<42} {}\n{:<42} {}\n{:<42} {}\n{:<42} {}\n{:<42} {}\n{:<42} {}\n",
+        "Estimation coefficient (alpha)",
+        c.alpha,
+        "Load monitoring and estimation period",
+        format_args!("{}s", c.monitor_period.as_secs()),
+        "Number of available worker nodes",
+        cluster.num_nodes(),
+        "Running time of each experiment",
+        format_args!("{PAPER_RUN_SECS}s"),
+        "Schedule fetching period",
+        format_args!("{}s", c.fetch_period.as_secs()),
+        "Schedule generation period",
+        format_args!("{}s", c.generation_period.as_secs()),
+    )
+}
+
+/// The paper's headline comparison (Section V / abstract): Storm vs
+/// T-Storm on all three topologies at the consolidating γ values,
+/// counting windows after stabilisation.
+#[must_use]
+pub fn headline(duration_secs: u64, seed: u64) -> Vec<ComparisonRow> {
+    let stable = SimTime::from_secs((duration_secs / 2).max(1));
+    let mut rows = Vec::new();
+    let storm = fig5(SystemMode::StormDefault, 1.0, duration_secs, seed);
+    let tstorm = fig5(SystemMode::TStorm, 1.7, duration_secs, seed);
+    rows.extend(ComparisonRow::from_reports(
+        "Throughput Test (gamma=1.7)",
+        &storm.report,
+        &tstorm.report,
+        stable,
+    ));
+    let storm = fig6(SystemMode::StormDefault, 1.0, duration_secs, seed);
+    let tstorm = fig6(SystemMode::TStorm, 1.8, duration_secs, seed);
+    rows.extend(ComparisonRow::from_reports(
+        "Word Count (gamma=1.8)",
+        &storm.report,
+        &tstorm.report,
+        stable,
+    ));
+    let storm = fig8(SystemMode::StormDefault, 1.0, duration_secs, seed);
+    let tstorm = fig8(SystemMode::TStorm, 1.7, duration_secs, seed);
+    rows.extend(ComparisonRow::from_reports(
+        "Log Stream (gamma=1.7)",
+        &storm.report,
+        &tstorm.report,
+        stable,
+    ));
+    rows
+}
+
+/// Renders one outcome in the shape used by all figure binaries: the
+/// 1-minute series, a sparkline of it, and the summary line.
+#[must_use]
+pub fn render_outcome(outcome: &ExperimentOutcome) -> String {
+    let mut out = outcome.report.render_table();
+    let spark = tstorm_metrics::sparkline(&outcome.report.proc_points());
+    if !spark.is_empty() {
+        out.push_str(&format!("series: [{spark}]\n"));
+    }
+    if let (Some(p50), Some(p99)) = (
+        outcome.report.latency_quantile(0.5),
+        outcome.report.latency_quantile(0.99),
+    ) {
+        out.push_str(&format!("p50={p50:.3}ms p99={p99:.3}ms\n"));
+    }
+    out.push_str(&format!(
+        "reassignments={} overload_events={} failed={} completed={}\n",
+        outcome.reassignments, outcome.overload_events, outcome.failed, outcome.completed
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Short-duration smoke versions of each experiment; the full-length
+    // reproductions live in the fig* binaries.
+
+    #[test]
+    fn fig2_ordering_holds() {
+        let outcomes = fig2(120, 3);
+        assert_eq!(outcomes.len(), 3);
+        let mean = |o: &ExperimentOutcome| {
+            o.report.proc_time_ms.overall_mean().expect("has data")
+        };
+        let (a, b, c) = (mean(&outcomes[0]), mean(&outcomes[1]), mean(&outcomes[2]));
+        assert!(a < b, "n1w1 {a:.3} should beat n5w5 {b:.3}");
+        assert!(b < c, "n5w5 {b:.3} should beat n5w10 {c:.3}");
+    }
+
+    #[test]
+    fn fig3_overload_fails_tuples() {
+        let outcome = fig3(150, 3);
+        // Tuples fail in volume (Fig. 3b)...
+        assert!(outcome.failed > 50, "failed {}", outcome.failed);
+        // ...the few completions queue for multiple seconds (Fig. 3a)...
+        let peak = outcome
+            .report
+            .proc_points()
+            .iter()
+            .filter(|p| p.count > 0)
+            .map(|p| p.mean)
+            .fold(0.0, f64::max);
+        assert!(peak > 2_000.0, "peak latency {peak:.1} ms too low for overload");
+        // ...and most of the stream never completes at all.
+        assert!(
+            outcome.completed < outcome.report.emitted / 2,
+            "completed {} of {} emitted",
+            outcome.completed,
+            outcome.report.emitted
+        );
+    }
+
+    #[test]
+    fn table2_renders_paper_values() {
+        let t = table2();
+        assert!(t.contains("0.5"));
+        assert!(t.contains("20s"));
+        assert!(t.contains("10"));
+        assert!(t.contains("300s"));
+        assert!(t.contains("1000s"));
+    }
+}

@@ -1,0 +1,30 @@
+//! Experiment harness reproducing Section V of the T-Storm paper.
+//!
+//! Every table and figure of the evaluation has a runner here and a
+//! binary under `src/bin/` that prints the corresponding series/rows
+//! (see DESIGN.md's per-experiment index):
+//!
+//! | Experiment | Runner | Binary |
+//! |---|---|---|
+//! | Fig. 2 (traffic impact) | [`experiments::fig2`] | `fig2` |
+//! | Fig. 3 (overload impact) | [`experiments::fig3`] | `fig3` |
+//! | Fig. 5 (Throughput Test) | [`experiments::fig5`] | `fig5` |
+//! | Fig. 6 (Word Count) | [`experiments::fig6`] | `fig6` |
+//! | Fig. 8 (Log Stream) | [`experiments::fig8`] | `fig8` |
+//! | Fig. 9 (overload recovery, WC) | [`experiments::fig9`] | `fig9` |
+//! | Fig. 10 (overload recovery, LS) | [`experiments::fig10`] | `fig10` |
+//! | Table II (settings) | [`experiments::table2`] | `tables` |
+//! | §V headline numbers | [`experiments::headline`] | `summary` |
+//! | Scheduler baselines (§III/§VI) | — | `baselines` |
+//! | Multi-topology scheduling (§IV-C's "M topologies") | — | `multi` |
+//!
+//! Criterion benches (`benches/`) cover Algorithm 1's `O(Ne log Ne +
+//! Ne·Ns)` scaling, scheduler-vs-scheduler runtime, and shortened
+//! versions of the figure experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+pub use experiments::{ExperimentOutcome, PAPER_RUN_SECS};

@@ -1,0 +1,253 @@
+//! Dependency-free command-line parsing.
+
+use crate::scenario::Topology;
+use std::fmt;
+use tstorm_core::SystemMode;
+
+/// Everything `tstorm run`/`compare` accept.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOptions {
+    /// Workload to run.
+    pub topology: Topology,
+    /// System under test (`run` only; `compare` runs both).
+    pub mode: SystemMode,
+    /// Scheduler name for the schedule generator.
+    pub scheduler: String,
+    /// Consolidation factor γ.
+    pub gamma: f64,
+    /// Worker nodes in the simulated cluster.
+    pub nodes: u32,
+    /// Slots per node.
+    pub slots: u32,
+    /// Virtual run duration in seconds.
+    pub duration_secs: u64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Input rate in lines/s for the queue-fed workloads (ignored by
+    /// throughput/chain, which are spout-paced).
+    pub rate: f64,
+    /// Write the 1-minute series as CSV to this path.
+    pub csv: Option<String>,
+    /// Suppress the per-window table (summary only).
+    pub quiet: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        Self {
+            topology: Topology::Throughput,
+            mode: SystemMode::TStorm,
+            scheduler: "t-storm".to_owned(),
+            gamma: 1.7,
+            nodes: 10,
+            slots: 4,
+            duration_secs: 600,
+            seed: 42,
+            rate: 300.0,
+            csv: None,
+            quiet: false,
+        }
+    }
+}
+
+/// A parsed invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Run one workload under one system.
+    Run(RunOptions),
+    /// Run Storm and T-Storm back to back and compare.
+    Compare(RunOptions),
+    /// List registered schedulers.
+    Schedulers,
+    /// Print Table II.
+    Table2,
+    /// Print usage.
+    Help,
+}
+
+/// A human-readable parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Usage text.
+pub const USAGE: &str = "\
+tstorm — T-Storm (ICDCS 2014) reproduction CLI
+
+USAGE:
+    tstorm run     [OPTIONS]   run one workload under one system
+    tstorm compare [OPTIONS]   run Storm and T-Storm and compare
+    tstorm schedulers          list scheduling algorithms
+    tstorm table2              print the Table II settings
+    tstorm help                this text
+
+OPTIONS (run/compare):
+    --topology  throughput|wordcount|logstream|chain   [throughput]
+    --system    storm|t-storm                          [t-storm]  (run only)
+    --scheduler NAME   schedule-generator algorithm    [t-storm]
+    --gamma     F      consolidation factor            [1.7]
+    --nodes     N      worker nodes                    [10]
+    --slots     N      slots per node                  [4]
+    --duration  SECS   virtual run time                [600]
+    --seed      N      RNG seed                        [42]
+    --rate      F      input lines/s (queue workloads) [300]
+    --csv       PATH   write 1-minute series as CSV
+    --quiet            summary only
+";
+
+/// Parses a full argument list (excluding argv[0]).
+///
+/// # Errors
+///
+/// Returns [`ParseError`] describing the first invalid flag or value.
+pub fn parse<I, S>(args: I) -> Result<Command, ParseError>
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let mut it = args.into_iter();
+    let Some(cmd) = it.next() else {
+        return Ok(Command::Help);
+    };
+    match cmd.as_ref() {
+        "run" => Ok(Command::Run(parse_options(it)?)),
+        "compare" => Ok(Command::Compare(parse_options(it)?)),
+        "schedulers" => Ok(Command::Schedulers),
+        "table2" => Ok(Command::Table2),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(ParseError(format!(
+            "unknown command `{other}` (try `tstorm help`)"
+        ))),
+    }
+}
+
+fn parse_options<I, S>(mut it: I) -> Result<RunOptions, ParseError>
+where
+    I: Iterator<Item = S>,
+    S: AsRef<str>,
+{
+    let mut opts = RunOptions::default();
+    while let Some(flag) = it.next() {
+        let flag = flag.as_ref();
+        let mut value = |name: &str| -> Result<String, ParseError> {
+            it.next()
+                .map(|v| v.as_ref().to_owned())
+                .ok_or_else(|| ParseError(format!("{name} requires a value")))
+        };
+        match flag {
+            "--topology" => {
+                opts.topology = match value(flag)?.as_str() {
+                    "throughput" => Topology::Throughput,
+                    "wordcount" => Topology::WordCount,
+                    "logstream" => Topology::LogStream,
+                    "chain" => Topology::Chain,
+                    other => {
+                        return Err(ParseError(format!("unknown topology `{other}`")))
+                    }
+                }
+            }
+            "--system" => {
+                opts.mode = match value(flag)?.as_str() {
+                    "storm" => SystemMode::StormDefault,
+                    "t-storm" | "tstorm" => SystemMode::TStorm,
+                    other => return Err(ParseError(format!("unknown system `{other}`"))),
+                }
+            }
+            "--scheduler" => opts.scheduler = value(flag)?,
+            "--gamma" => opts.gamma = parse_num(flag, &value(flag)?)?,
+            "--rate" => opts.rate = parse_num(flag, &value(flag)?)?,
+            "--nodes" => opts.nodes = parse_int(flag, &value(flag)?)?,
+            "--slots" => opts.slots = parse_int(flag, &value(flag)?)?,
+            "--duration" => opts.duration_secs = u64::from(parse_int(flag, &value(flag)?)?),
+            "--seed" => opts.seed = u64::from(parse_int(flag, &value(flag)?)?),
+            "--csv" => opts.csv = Some(value(flag)?),
+            "--quiet" => opts.quiet = true,
+            other => return Err(ParseError(format!("unknown flag `{other}`"))),
+        }
+    }
+    if opts.nodes == 0 || opts.slots == 0 {
+        return Err(ParseError("--nodes/--slots must be positive".to_owned()));
+    }
+    if opts.duration_secs == 0 {
+        return Err(ParseError("--duration must be positive".to_owned()));
+    }
+    Ok(opts)
+}
+
+fn parse_num(flag: &str, v: &str) -> Result<f64, ParseError> {
+    v.parse()
+        .map_err(|_| ParseError(format!("{flag}: `{v}` is not a number")))
+}
+
+fn parse_int(flag: &str, v: &str) -> Result<u32, ParseError> {
+    v.parse()
+        .map_err(|_| ParseError(format!("{flag}: `{v}` is not an integer")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<&str> {
+        s.split_whitespace().collect()
+    }
+
+    #[test]
+    fn parses_run_with_defaults() {
+        let cmd = parse(args("run")).expect("parses");
+        assert_eq!(cmd, Command::Run(RunOptions::default()));
+    }
+
+    #[test]
+    fn parses_full_run() {
+        let cmd = parse(args(
+            "run --topology wordcount --system storm --gamma 2.2 --nodes 5 \
+             --slots 2 --duration 120 --seed 7 --rate 150 --csv out.csv --quiet",
+        ))
+        .expect("parses");
+        let Command::Run(o) = cmd else {
+            panic!("expected run");
+        };
+        assert_eq!(o.topology, Topology::WordCount);
+        assert_eq!(o.mode, SystemMode::StormDefault);
+        assert_eq!(o.gamma, 2.2);
+        assert_eq!(o.nodes, 5);
+        assert_eq!(o.slots, 2);
+        assert_eq!(o.duration_secs, 120);
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.rate, 150.0);
+        assert_eq!(o.csv.as_deref(), Some("out.csv"));
+        assert!(o.quiet);
+    }
+
+    #[test]
+    fn parses_other_commands() {
+        assert_eq!(parse(args("schedulers")).unwrap(), Command::Schedulers);
+        assert_eq!(parse(args("table2")).unwrap(), Command::Table2);
+        assert_eq!(parse(args("help")).unwrap(), Command::Help);
+        assert_eq!(parse(Vec::<&str>::new()).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn rejects_unknown_things() {
+        assert!(parse(args("frobnicate")).is_err());
+        assert!(parse(args("run --what 3")).is_err());
+        assert!(parse(args("run --topology nope")).is_err());
+        assert!(parse(args("run --system nope")).is_err());
+        assert!(parse(args("run --gamma banana")).is_err());
+        assert!(parse(args("run --gamma")).is_err());
+    }
+
+    #[test]
+    fn rejects_degenerate_values() {
+        assert!(parse(args("run --nodes 0")).is_err());
+        assert!(parse(args("run --duration 0")).is_err());
+    }
+}

@@ -1,0 +1,214 @@
+//! Scenario construction and execution for the CLI.
+
+use crate::args::RunOptions;
+use tstorm_cluster::ClusterSpec;
+use tstorm_core::{TStormConfig, TStormSystem};
+use tstorm_metrics::RunReport;
+use tstorm_types::{Mhz, Result, SimTime};
+use tstorm_workloads::chain::{self, ChainParams};
+use tstorm_workloads::logstream::{self, LogStreamParams, LogStreamState};
+use tstorm_workloads::throughput::{self, ThroughputParams};
+use tstorm_workloads::wordcount::{self, WordCountParams, WordCountState};
+
+/// The selectable workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// The Throughput Test topology (paper Fig. 5).
+    Throughput,
+    /// Word Count, stream version (paper Fig. 6).
+    WordCount,
+    /// Log Stream Processing (paper Fig. 8).
+    LogStream,
+    /// The Section III chain micro-topology.
+    Chain,
+}
+
+impl Topology {
+    /// Stable lowercase name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Topology::Throughput => "throughput",
+            Topology::WordCount => "wordcount",
+            Topology::LogStream => "logstream",
+            Topology::Chain => "chain",
+        }
+    }
+}
+
+/// What one scenario run produced.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// The metrics report.
+    pub report: RunReport,
+    /// Schedules generated / rollouts / overloads / failures.
+    pub generations: u32,
+    /// Supervisor rollouts.
+    pub reassignments: u32,
+    /// Overload fast-path activations.
+    pub overload_events: u32,
+    /// Timed-out tuples.
+    pub failed: u64,
+    /// Completed tuples.
+    pub completed: u64,
+    /// Control-plane decision log.
+    pub timeline: Vec<tstorm_core::ControlEvent>,
+}
+
+/// Builds and runs one scenario per the options.
+///
+/// # Errors
+///
+/// Propagates configuration, topology and scheduling errors.
+pub fn run_scenario(opts: &RunOptions) -> Result<ScenarioOutcome> {
+    let cluster = ClusterSpec::homogeneous(opts.nodes, opts.slots, Mhz::new(8000.0))?;
+    let config = TStormConfig::default()
+        .with_mode(opts.mode)
+        .with_gamma(opts.gamma)
+        .with_seed(opts.seed)
+        .with_scheduler(&opts.scheduler);
+    let mut system = TStormSystem::new(cluster, config)?;
+
+    match opts.topology {
+        Topology::Throughput => {
+            let p = ThroughputParams::paper();
+            let topo = throughput::topology(&p)?;
+            let mut f = throughput::factory(&p, opts.seed);
+            system.submit(&topo, &mut f)?;
+        }
+        Topology::Chain => {
+            let p = ChainParams::fig2();
+            let topo = chain::topology(&p)?;
+            let mut f = chain::factory(&p, opts.seed);
+            system.submit(&topo, &mut f)?;
+        }
+        Topology::WordCount => {
+            let p = WordCountParams::paper();
+            let topo = wordcount::topology(&p)?;
+            let state = WordCountState::new();
+            state.attach_corpus_producer(SimTime::ZERO, opts.rate);
+            let mut f = wordcount::factory(&state);
+            system.submit(&topo, &mut f)?;
+        }
+        Topology::LogStream => {
+            let p = LogStreamParams::paper();
+            let topo = logstream::topology(&p)?;
+            let state = LogStreamState::new();
+            state.attach_log_producer(SimTime::ZERO, opts.rate, opts.seed ^ 0xa5a5);
+            let mut f = logstream::factory(&state);
+            system.submit(&topo, &mut f)?;
+        }
+    }
+
+    system.start()?;
+    system.run_until(SimTime::from_secs(opts.duration_secs))?;
+
+    let label = format!(
+        "{} / {} (gamma={})",
+        opts.topology.name(),
+        system.scheduler_name(),
+        opts.gamma
+    );
+    Ok(ScenarioOutcome {
+        report: system.report(&label),
+        generations: system.generations(),
+        reassignments: system.simulation().reassignments(),
+        overload_events: system.overload_events(),
+        failed: system.simulation().failed(),
+        completed: system.simulation().completed(),
+        timeline: system.timeline().to_vec(),
+    })
+}
+
+impl ScenarioOutcome {
+    /// One-paragraph summary: stable-half mean, percentiles, nodes,
+    /// control-plane activity.
+    #[must_use]
+    pub fn summary(&self, duration_secs: u64) -> String {
+        let stable = SimTime::from_secs(duration_secs / 2);
+        // Short runs have no full window after the stable point; fall
+        // back to the whole-run mean.
+        let mean = self
+            .report
+            .mean_proc_time_after(stable)
+            .or_else(|| self.report.proc_time_ms.overall_mean())
+            .map_or("n/a".to_owned(), |m| format!("{m:.3} ms"));
+        let p50 = self
+            .report
+            .latency_quantile(0.5)
+            .map_or("n/a".to_owned(), |m| format!("{m:.3} ms"));
+        let p99 = self
+            .report
+            .latency_quantile(0.99)
+            .map_or("n/a".to_owned(), |m| format!("{m:.3} ms"));
+        format!(
+            "avg(stable half) {mean} | p50 {p50} | p99 {p99} | nodes {:?} | \
+             completed {} | failed {} | generations {} | rollouts {} | overloads {}",
+            self.report.final_nodes_used().unwrap_or(0),
+            self.completed,
+            self.failed,
+            self.generations,
+            self.reassignments,
+            self.overload_events,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::RunOptions;
+    use tstorm_core::SystemMode;
+
+    fn quick(topology: Topology) -> RunOptions {
+        RunOptions {
+            topology,
+            duration_secs: 60,
+            rate: 100.0,
+            ..RunOptions::default()
+        }
+    }
+
+    #[test]
+    fn runs_every_topology() {
+        for topo in [
+            Topology::Throughput,
+            Topology::Chain,
+            Topology::WordCount,
+            Topology::LogStream,
+        ] {
+            let outcome = run_scenario(&quick(topo)).expect("runs");
+            assert!(outcome.completed > 100, "{topo:?}: {}", outcome.completed);
+            let summary = outcome.summary(60);
+            assert!(summary.contains("p99"), "{summary}");
+            assert!(!summary.contains("n/a"), "{summary}");
+        }
+    }
+
+    #[test]
+    fn storm_mode_runs() {
+        let opts = RunOptions {
+            mode: SystemMode::StormDefault,
+            ..quick(Topology::Throughput)
+        };
+        let outcome = run_scenario(&opts).expect("runs");
+        assert_eq!(outcome.generations, 0);
+    }
+
+    #[test]
+    fn unknown_scheduler_is_an_error() {
+        let opts = RunOptions {
+            scheduler: "nope".to_owned(),
+            ..quick(Topology::Throughput)
+        };
+        assert!(run_scenario(&opts).is_err());
+    }
+
+    #[test]
+    fn topology_names_are_stable() {
+        assert_eq!(Topology::Throughput.name(), "throughput");
+        assert_eq!(Topology::WordCount.name(), "wordcount");
+        assert_eq!(Topology::LogStream.name(), "logstream");
+        assert_eq!(Topology::Chain.name(), "chain");
+    }
+}

@@ -1,0 +1,36 @@
+//! The physical layer of the Storm model: worker nodes, slots, and
+//! executor-to-slot assignments.
+//!
+//! A Storm cluster is a master (Nimbus) plus `K` worker nodes; each node is
+//! configured with a number of *slots* (ports), each of which can host one
+//! *worker* process (Fig. 1 of the paper). A schedule is an assignment
+//! `X = <x_ij>` of executors to slots (Table I). This crate models that
+//! physical structure and the assignment algebra every scheduler needs:
+//! lookup `ω(j)` (the node owning slot `j`), per-slot/per-node aggregation,
+//! constraint validation, and diffing two assignments to find which
+//! workers a supervisor must restart.
+//!
+//! # Example
+//!
+//! ```
+//! use tstorm_cluster::{ClusterSpec, Assignment};
+//! use tstorm_types::{ExecutorId, Mhz, SlotId};
+//!
+//! // The paper's testbed: 10 nodes, dual 2.0 GHz Xeons, 4 slots each.
+//! let cluster = ClusterSpec::homogeneous(10, 4, Mhz::new(4000.0))?;
+//! assert_eq!(cluster.num_slots(), 40);
+//!
+//! let mut a = Assignment::new();
+//! a.assign(ExecutorId::new(0), SlotId::new(0));
+//! assert_eq!(a.slot_of(ExecutorId::new(0)), Some(SlotId::new(0)));
+//! # Ok::<(), tstorm_types::TStormError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod assignment;
+pub mod spec;
+
+pub use assignment::{Assignment, AssignmentDiff, ExecutorCtx};
+pub use spec::{ClusterSpec, NodeSpec, SlotInfo};

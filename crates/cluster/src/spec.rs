@@ -1,0 +1,240 @@
+//! Cluster topology: nodes and their slots.
+
+use serde::{Deserialize, Serialize};
+use tstorm_types::{Mhz, NodeId, Result, SlotId, TStormError};
+
+/// One worker node: CPU capacity `C_k` and a number of slots.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// The node's id (`k`).
+    pub id: NodeId,
+    /// Total CPU capacity in MHz (the paper's `C_k`); e.g. two 2.0 GHz
+    /// dual-core Xeons ≈ 8000 MHz, but the evaluation cluster's "dual
+    /// 2.0 GHz Xeon CPUs" is modelled as 4000 MHz of schedulable capacity.
+    pub capacity: Mhz,
+    /// Number of slots configured on this node ("usually ... the number of
+    /// cores on that worker node").
+    pub num_slots: u32,
+}
+
+/// A slot together with its owning node — the resolved `(j, ω(j))` pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlotInfo {
+    /// Global slot id (`j`).
+    pub slot: SlotId,
+    /// Owning node (`ω(j)`).
+    pub node: NodeId,
+    /// Index of this slot among its node's slots.
+    pub local_index: u32,
+}
+
+/// An immutable cluster description: the set of worker nodes and the global
+/// slot table.
+///
+/// Slot ids are dense and ordered node-major: node 0's slots come first,
+/// then node 1's, and so on. This gives `ω(j)` O(1) lookup.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    nodes: Vec<NodeSpec>,
+    slots: Vec<SlotInfo>,
+}
+
+impl ClusterSpec {
+    /// Builds a cluster from explicit node specs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TStormError::InvalidCluster`] if there are no nodes, a
+    /// node has zero slots or zero capacity, or node ids are not the dense
+    /// sequence `0..K` (dense ids keep every per-node table an array).
+    pub fn new(nodes: Vec<NodeSpec>) -> Result<Self> {
+        if nodes.is_empty() {
+            return Err(TStormError::invalid_cluster("no worker nodes"));
+        }
+        for (i, n) in nodes.iter().enumerate() {
+            if n.id.as_usize() != i {
+                return Err(TStormError::invalid_cluster(format!(
+                    "node ids must be dense and ordered; found {} at position {i}",
+                    n.id
+                )));
+            }
+            if n.num_slots == 0 {
+                return Err(TStormError::invalid_cluster(format!(
+                    "node {} has zero slots",
+                    n.id
+                )));
+            }
+            if n.capacity.get() <= 0.0 {
+                return Err(TStormError::invalid_cluster(format!(
+                    "node {} has zero capacity",
+                    n.id
+                )));
+            }
+        }
+        let mut slots = Vec::new();
+        for n in &nodes {
+            for local in 0..n.num_slots {
+                slots.push(SlotInfo {
+                    slot: SlotId::new(slots.len() as u32),
+                    node: n.id,
+                    local_index: local,
+                });
+            }
+        }
+        Ok(Self { nodes, slots })
+    }
+
+    /// Builds a homogeneous cluster of `num_nodes` nodes with
+    /// `slots_per_node` slots and the given per-node capacity — the shape
+    /// of the paper's 10-blade testbed.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ClusterSpec::new`].
+    pub fn homogeneous(num_nodes: u32, slots_per_node: u32, capacity: Mhz) -> Result<Self> {
+        let nodes = (0..num_nodes)
+            .map(|k| NodeSpec {
+                id: NodeId::new(k),
+                capacity,
+                num_slots: slots_per_node,
+            })
+            .collect();
+        Self::new(nodes)
+    }
+
+    /// All nodes, ordered by id.
+    #[must_use]
+    pub fn nodes(&self) -> &[NodeSpec] {
+        &self.nodes
+    }
+
+    /// Number of worker nodes (`K`).
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The global slot table, ordered by slot id.
+    #[must_use]
+    pub fn slots(&self) -> &[SlotInfo] {
+        &self.slots
+    }
+
+    /// Total number of slots (`Ns`).
+    #[must_use]
+    pub fn num_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Looks up a node by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> &NodeSpec {
+        &self.nodes[id.as_usize()]
+    }
+
+    /// The node owning a slot — the paper's `ω(j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot id is out of range.
+    #[must_use]
+    pub fn node_of(&self, slot: SlotId) -> NodeId {
+        self.slots[slot.as_usize()].node
+    }
+
+    /// Slots belonging to one node, in local order.
+    pub fn slots_of(&self, node: NodeId) -> impl Iterator<Item = &SlotInfo> {
+        self.slots.iter().filter(move |s| s.node == node)
+    }
+
+    /// Total CPU capacity across the cluster.
+    #[must_use]
+    pub fn total_capacity(&self) -> Mhz {
+        self.nodes.iter().map(|n| n.capacity).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_builds_dense_slot_table() {
+        let c = ClusterSpec::homogeneous(3, 4, Mhz::new(4000.0)).expect("valid");
+        assert_eq!(c.num_nodes(), 3);
+        assert_eq!(c.num_slots(), 12);
+        assert_eq!(c.node_of(SlotId::new(0)), NodeId::new(0));
+        assert_eq!(c.node_of(SlotId::new(4)), NodeId::new(1));
+        assert_eq!(c.node_of(SlotId::new(11)), NodeId::new(2));
+        assert_eq!(c.slots_of(NodeId::new(1)).count(), 4);
+        assert_eq!(c.total_capacity().get(), 12_000.0);
+    }
+
+    #[test]
+    fn slot_local_indices_are_per_node() {
+        let c = ClusterSpec::homogeneous(2, 3, Mhz::new(1000.0)).expect("valid");
+        let locals: Vec<u32> = c.slots_of(NodeId::new(1)).map(|s| s.local_index).collect();
+        assert_eq!(locals, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn rejects_empty_cluster() {
+        assert!(ClusterSpec::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_slots() {
+        let err = ClusterSpec::new(vec![NodeSpec {
+            id: NodeId::new(0),
+            capacity: Mhz::new(1000.0),
+            num_slots: 0,
+        }])
+        .unwrap_err();
+        assert!(err.to_string().contains("zero slots"));
+    }
+
+    #[test]
+    fn rejects_zero_capacity() {
+        let err = ClusterSpec::new(vec![NodeSpec {
+            id: NodeId::new(0),
+            capacity: Mhz::ZERO,
+            num_slots: 1,
+        }])
+        .unwrap_err();
+        assert!(err.to_string().contains("zero capacity"));
+    }
+
+    #[test]
+    fn rejects_non_dense_node_ids() {
+        let err = ClusterSpec::new(vec![NodeSpec {
+            id: NodeId::new(5),
+            capacity: Mhz::new(1000.0),
+            num_slots: 1,
+        }])
+        .unwrap_err();
+        assert!(err.to_string().contains("dense"));
+    }
+
+    #[test]
+    fn heterogeneous_clusters_supported() {
+        let c = ClusterSpec::new(vec![
+            NodeSpec {
+                id: NodeId::new(0),
+                capacity: Mhz::new(8000.0),
+                num_slots: 8,
+            },
+            NodeSpec {
+                id: NodeId::new(1),
+                capacity: Mhz::new(2000.0),
+                num_slots: 2,
+            },
+        ])
+        .expect("valid");
+        assert_eq!(c.num_slots(), 10);
+        assert_eq!(c.node(NodeId::new(1)).capacity.get(), 2000.0);
+    }
+}

@@ -1,0 +1,244 @@
+//! System configuration — Table II of the paper, plus mode selection.
+
+use serde::{Deserialize, Serialize};
+use tstorm_sim::{ReassignMode, SimConfig};
+use tstorm_types::{Result, SimTime, TStormError};
+
+/// Which load estimator the monitors use (Section IV-B's extension
+/// point: "other machine learning based estimation/prediction methods
+/// can be easily integrated").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum EstimatorKind {
+    /// The paper's EWMA, `Y ← αY + (1 − α)·Sample`.
+    Ewma,
+    /// Holt's linear (double exponential) smoothing with trend inertia
+    /// `beta` — anticipates load ramps instead of lagging them.
+    HoltLinear {
+        /// Trend smoothing coefficient in `[0, 1]`.
+        beta: f64,
+    },
+}
+
+/// Which system the run models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SystemMode {
+    /// Plain Storm 0.8.2: the default round-robin scheduler runs once at
+    /// submission, there is no load monitoring, and re-assignments (if
+    /// ever submitted externally) kill and restart workers.
+    StormDefault,
+    /// T-Storm: modified initial assignment, load monitoring, periodic
+    /// traffic-aware re-scheduling, overload fast path, and the smooth
+    /// re-assignment protocol.
+    TStorm,
+}
+
+/// Full configuration of a system run. Defaults reproduce Table II.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TStormConfig {
+    /// System under test.
+    pub mode: SystemMode,
+    /// Estimation coefficient α (Table II: 0.5).
+    pub alpha: f64,
+    /// Load estimator family (default: the paper's EWMA).
+    pub estimator: EstimatorKind,
+    /// Load monitoring and estimation period (Table II: 20 s).
+    pub monitor_period: SimTime,
+    /// Schedule fetching period of the custom scheduler (Table II: 10 s).
+    pub fetch_period: SimTime,
+    /// Schedule generation period (Table II: 300 s).
+    pub generation_period: SimTime,
+    /// Consolidation factor γ (Section IV-C).
+    pub gamma: f64,
+    /// Fraction of node capacity the scheduler may fill (Section IV-C
+    /// suggests a fraction below 1 to "prevent overloading from happening
+    /// with high probability").
+    pub capacity_fraction: f64,
+    /// Name of the scheduling algorithm the generator starts with
+    /// (resolved through the hot-swap registry).
+    pub scheduler: String,
+    /// Node CPU threshold for overload detection.
+    pub overload_cpu_threshold: f64,
+    /// Minimum tuple failures per monitoring window to raise overload.
+    pub overload_failure_threshold: u64,
+    /// Whether overload triggers an immediate schedule generation instead
+    /// of waiting for the next 300 s boundary.
+    pub overload_fast_path: bool,
+    /// Publish hysteresis: a periodically generated schedule is only
+    /// published when it reduces estimated inter-node traffic by at least
+    /// this fraction (or frees nodes without hurting traffic). Prevents
+    /// re-assignment churn from small estimate fluctuations; overload
+    /// recovery bypasses it.
+    pub improvement_threshold: f64,
+    /// Minimum gap between overload-triggered generations. While a
+    /// recovery assignment rolls out and the backlog drains, tuples keep
+    /// timing out; without a cooldown the fast path would regenerate (and
+    /// restart the rollout) on every monitoring window.
+    pub overload_cooldown: SimTime,
+    /// Underlying simulator configuration.
+    pub sim: SimConfig,
+}
+
+impl Default for TStormConfig {
+    fn default() -> Self {
+        Self {
+            mode: SystemMode::TStorm,
+            alpha: 0.5,
+            estimator: EstimatorKind::Ewma,
+            monitor_period: SimTime::from_secs(20),
+            fetch_period: SimTime::from_secs(10),
+            generation_period: SimTime::from_secs(300),
+            gamma: 1.0,
+            capacity_fraction: 0.9,
+            scheduler: "t-storm".to_owned(),
+            overload_cpu_threshold: 0.95,
+            overload_failure_threshold: 1,
+            overload_fast_path: true,
+            improvement_threshold: 0.1,
+            overload_cooldown: SimTime::from_secs(60),
+            sim: SimConfig::default(),
+        }
+    }
+}
+
+impl TStormConfig {
+    /// Builder-style mode selection. Selecting
+    /// [`SystemMode::StormDefault`] also switches the simulator to
+    /// Storm's disruptive re-assignment semantics.
+    #[must_use]
+    pub fn with_mode(mut self, mode: SystemMode) -> Self {
+        self.mode = mode;
+        self.sim.reassign.mode = match mode {
+            SystemMode::StormDefault => ReassignMode::Immediate,
+            SystemMode::TStorm => ReassignMode::Smooth,
+        };
+        self
+    }
+
+    /// Builder-style γ override.
+    #[must_use]
+    pub fn with_gamma(mut self, gamma: f64) -> Self {
+        self.gamma = gamma;
+        self
+    }
+
+    /// Builder-style seed override.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.sim.seed = seed;
+        self
+    }
+
+    /// Builder-style scheduler-name override.
+    #[must_use]
+    pub fn with_scheduler(mut self, name: impl Into<String>) -> Self {
+        self.scheduler = name.into();
+        self
+    }
+
+    /// Validates parameter domains.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TStormError::InvalidConfig`] for out-of-domain values.
+    pub fn validate(&self) -> Result<()> {
+        if !(0.0..=1.0).contains(&self.alpha) {
+            return Err(TStormError::invalid_config("alpha", "must be within [0, 1]"));
+        }
+        if let EstimatorKind::HoltLinear { beta } = self.estimator {
+            if !(0.0..=1.0).contains(&beta) {
+                return Err(TStormError::invalid_config(
+                    "estimator.beta",
+                    "must be within [0, 1]",
+                ));
+            }
+        }
+        if self.gamma <= 0.0 || !self.gamma.is_finite() {
+            return Err(TStormError::invalid_config("gamma", "must be positive"));
+        }
+        if !(0.0..1.0).contains(&self.improvement_threshold) {
+            return Err(TStormError::invalid_config(
+                "improvement_threshold",
+                "must be within [0, 1)",
+            ));
+        }
+        if self.capacity_fraction <= 0.0 || self.capacity_fraction > 1.0 {
+            return Err(TStormError::invalid_config(
+                "capacity_fraction",
+                "must be within (0, 1]",
+            ));
+        }
+        if self.monitor_period == SimTime::ZERO
+            || self.fetch_period == SimTime::ZERO
+            || self.generation_period == SimTime::ZERO
+        {
+            return Err(TStormError::invalid_config(
+                "periods",
+                "monitor/fetch/generation periods must be non-zero",
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_ii() {
+        let c = TStormConfig::default();
+        assert_eq!(c.alpha, 0.5);
+        assert_eq!(c.monitor_period, SimTime::from_secs(20));
+        assert_eq!(c.fetch_period, SimTime::from_secs(10));
+        assert_eq!(c.generation_period, SimTime::from_secs(300));
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn storm_mode_uses_immediate_reassignment() {
+        let c = TStormConfig::default().with_mode(SystemMode::StormDefault);
+        assert_eq!(c.sim.reassign.mode, ReassignMode::Immediate);
+        let c2 = c.with_mode(SystemMode::TStorm);
+        assert_eq!(c2.sim.reassign.mode, ReassignMode::Smooth);
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        assert!(TStormConfig::default().with_gamma(0.0).validate().is_err());
+        let c = TStormConfig {
+            alpha: 1.5,
+            ..TStormConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = TStormConfig {
+            capacity_fraction: 0.0,
+            ..TStormConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = TStormConfig {
+            monitor_period: SimTime::ZERO,
+            ..TStormConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn estimator_beta_is_validated() {
+        let mut c = TStormConfig::default();
+        c.estimator = EstimatorKind::HoltLinear { beta: 0.4 };
+        assert!(c.validate().is_ok());
+        c.estimator = EstimatorKind::HoltLinear { beta: 1.5 };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn builders_chain() {
+        let c = TStormConfig::default()
+            .with_gamma(1.7)
+            .with_seed(9)
+            .with_scheduler("aniello-online");
+        assert_eq!(c.gamma, 1.7);
+        assert_eq!(c.sim.seed, 9);
+        assert_eq!(c.scheduler, "aniello-online");
+    }
+}

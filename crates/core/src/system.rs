@@ -1,0 +1,471 @@
+//! The assembled system: simulator + monitors + schedule generator +
+//! custom scheduler, with overload recovery and hot-swapping.
+
+use crate::config::{EstimatorKind, SystemMode, TStormConfig};
+use crate::timeline::ControlEvent;
+use std::collections::BTreeMap;
+use tstorm_cluster::{Assignment, ClusterSpec};
+use tstorm_metrics::RunReport;
+use tstorm_monitor::{HoltLinearEstimator, LoadMonitor, OverloadDetector, WindowSnapshot};
+use tstorm_sched::{
+    AssignmentQuality, ExecutorInfo, RoundRobinScheduler, SchedParams, Scheduler,
+    SchedulerRegistry, SchedulingInput, SwappableScheduler,
+};
+use tstorm_sim::{ExecutorLogic, Simulation, TopologyHandle};
+use tstorm_topology::{ComponentSpec, Topology};
+use tstorm_types::{AssignmentId, ComponentId, Result, SimTime, TStormError, TopologyId};
+
+/// A running T-Storm (or plain Storm) deployment over the simulator.
+///
+/// See the crate docs for the control-loop structure; construct with
+/// [`TStormSystem::new`], add topologies with [`TStormSystem::submit`],
+/// then [`TStormSystem::start`] and [`TStormSystem::run_until`].
+pub struct TStormSystem {
+    cluster: ClusterSpec,
+    config: TStormConfig,
+    sim: Simulation,
+    monitor: LoadMonitor,
+    detector: OverloadDetector,
+    registry: SchedulerRegistry,
+    scheduler: SwappableScheduler,
+    workers_requested: BTreeMap<TopologyId, u32>,
+    component_edges: Vec<(TopologyId, ComponentId, ComponentId)>,
+    /// The schedule store between generator and custom scheduler.
+    published: Option<(AssignmentId, Assignment)>,
+    applied_id: Option<AssignmentId>,
+    next_monitor: SimTime,
+    next_fetch: SimTime,
+    next_generate: SimTime,
+    started: bool,
+    generations: u32,
+    overload_events: u32,
+    last_overload_generate: Option<SimTime>,
+    timeline: Vec<ControlEvent>,
+}
+
+impl std::fmt::Debug for TStormSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TStormSystem")
+            .field("mode", &self.config.mode)
+            .field("now", &self.sim.now())
+            .field("generations", &self.generations)
+            .field("overload_events", &self.overload_events)
+            .finish()
+    }
+}
+
+impl TStormSystem {
+    /// Creates a system over the given cluster.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TStormError::InvalidConfig`] when the configuration is
+    /// out of domain, or [`TStormError::UnknownScheduler`] when
+    /// `config.scheduler` is not registered.
+    pub fn new(cluster: ClusterSpec, config: TStormConfig) -> Result<Self> {
+        config.validate()?;
+        let registry = SchedulerRegistry::with_builtins();
+        let scheduler = SwappableScheduler::new(registry.create(&config.scheduler)?);
+        let detector = OverloadDetector::new(
+            config.overload_cpu_threshold,
+            config.overload_failure_threshold,
+        );
+        let sim = Simulation::new(cluster.clone(), config.sim);
+        let alpha = config.alpha;
+        let monitor = match config.estimator {
+            EstimatorKind::Ewma => LoadMonitor::new(alpha),
+            EstimatorKind::HoltLinear { beta } => LoadMonitor::with_estimator(Box::new(
+                move || Box::new(HoltLinearEstimator::new(alpha, beta)),
+            )),
+        };
+        Ok(Self {
+            monitor,
+            detector,
+            registry,
+            scheduler,
+            workers_requested: BTreeMap::new(),
+            component_edges: Vec::new(),
+            published: None,
+            applied_id: None,
+            next_monitor: config.monitor_period,
+            next_fetch: config.fetch_period,
+            next_generate: config.generation_period,
+            started: false,
+            generations: 0,
+            overload_events: 0,
+            last_overload_generate: None,
+            timeline: Vec::new(),
+            cluster,
+            config,
+            sim,
+        })
+    }
+
+    /// Submits a topology with its logic factory. Storm applications port
+    /// unchanged: the same topology and factory run under either
+    /// [`SystemMode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TStormError::InvalidTopology`] if the topology fails
+    /// re-validation.
+    pub fn submit(
+        &mut self,
+        topology: &Topology,
+        factory: &mut dyn FnMut(&ComponentSpec, u32) -> ExecutorLogic,
+    ) -> Result<TopologyHandle> {
+        topology.validate()?;
+        let handle = self.sim.submit_topology(topology, factory);
+        self.workers_requested
+            .insert(handle.id, topology.num_workers());
+        for edge in topology.edges() {
+            self.component_edges
+                .push((handle.id, edge.from, edge.to));
+        }
+        Ok(handle)
+    }
+
+    /// Computes and applies the initial assignment.
+    ///
+    /// Storm uses its default scheduler. T-Storm uses the modified
+    /// default of Section IV-C — `N*_w = min(Nu, Nw)` workers, at most one
+    /// slot per node per topology — because "the proposed traffic-aware
+    /// scheduling algorithm cannot be applied initially since no runtime
+    /// load information can be provided at that time".
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduler infeasibility.
+    pub fn start(&mut self) -> Result<()> {
+        if self.started {
+            return Ok(());
+        }
+        let mut initial: Box<dyn Scheduler> = match self.config.mode {
+            SystemMode::StormDefault => Box::new(RoundRobinScheduler::storm_default()),
+            SystemMode::TStorm => Box::new(RoundRobinScheduler::tstorm_initial()),
+        };
+        let input = self.scheduling_input();
+        let assignment = initial.schedule(&input)?;
+        self.sim.apply_assignment(&assignment);
+        self.started = true;
+        Ok(())
+    }
+
+    /// Advances the system to the given virtual time, interleaving the
+    /// data plane (simulation) with the control plane (monitor ticks,
+    /// schedule generation, schedule fetches).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TStormError::InvalidConfig`] if called before
+    /// [`TStormSystem::start`]; propagates scheduler errors.
+    pub fn run_until(&mut self, until: SimTime) -> Result<()> {
+        if !self.started {
+            return Err(TStormError::invalid_config(
+                "lifecycle",
+                "run_until called before start()",
+            ));
+        }
+        loop {
+            let mut next = self.next_monitor;
+            if self.config.mode == SystemMode::TStorm {
+                next = next.min(self.next_fetch).min(self.next_generate);
+            }
+            if next > until {
+                self.sim.run_until(until);
+                return Ok(());
+            }
+            self.sim.run_until(next);
+            if self.sim.now() >= self.next_monitor {
+                self.monitor_tick()?;
+                self.next_monitor += self.config.monitor_period;
+            }
+            if self.config.mode == SystemMode::TStorm {
+                if self.sim.now() >= self.next_generate {
+                    self.generate(false)?;
+                    self.next_generate += self.config.generation_period;
+                }
+                if self.sim.now() >= self.next_fetch {
+                    self.fetch();
+                    self.next_fetch += self.config.fetch_period;
+                }
+            }
+        }
+    }
+
+    fn monitor_tick(&mut self) -> Result<()> {
+        let counters = self.sim.drain_counters();
+        let failures = counters.failures;
+        let mut snap = WindowSnapshot::new(self.config.monitor_period);
+        for (exec, cycles) in counters.executor_cycles {
+            snap.record_cpu(exec, cycles);
+        }
+        for ((from, to), tuples) in counters.pair_tuples {
+            snap.record_traffic(from, to, tuples);
+        }
+        self.monitor.ingest(&snap);
+
+        if self.config.mode == SystemMode::TStorm && self.config.overload_fast_path {
+            let cooled_down = self
+                .last_overload_generate
+                .is_none_or(|t| self.sim.now() >= t + self.config.overload_cooldown);
+            if cooled_down {
+                let report = self.detector.inspect(
+                    self.monitor.db(),
+                    &self.cluster,
+                    self.sim.current_assignment(),
+                    failures,
+                );
+                if report.is_overloaded() {
+                    self.overload_events += 1;
+                    self.last_overload_generate = Some(self.sim.now());
+                    self.timeline.push(ControlEvent::OverloadDetected {
+                        at: self.sim.now(),
+                        nodes: report.cpu_overloaded.clone(),
+                        failures: report.recent_failures,
+                    });
+                    self.generate(true)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// One schedule-generator round: read estimates, run the (swappable)
+    /// algorithm, and publish the result if it is a genuine improvement
+    /// (or `force` is set, as during overload recovery).
+    fn generate(&mut self, force: bool) -> Result<()> {
+        if self.monitor.db().windows_ingested() == 0 {
+            return Ok(()); // no runtime information yet
+        }
+        let input = self.scheduling_input();
+        let assignment = self.scheduler.schedule(&input)?;
+        // Publish only real changes; re-applying the current schedule
+        // would needlessly restart workers.
+        if self.sim.current_assignment().diff(&assignment).is_empty() {
+            return Ok(());
+        }
+        if !force && !self.is_improvement(&assignment, &input) {
+            self.timeline.push(ControlEvent::ScheduleSuppressed {
+                at: self.sim.now(),
+                reason: "inter-node traffic improvement below threshold".to_owned(),
+            });
+            return Ok(());
+        }
+        let id = AssignmentId::from_timestamp_micros(self.sim.now().as_micros());
+        let quality = AssignmentQuality::evaluate(&assignment, &input);
+        self.timeline.push(ControlEvent::SchedulePublished {
+            at: self.sim.now(),
+            id,
+            nodes_used: quality.nodes_used,
+            inter_node_traffic: quality.inter_node_traffic,
+        });
+        self.published = Some((id, assignment));
+        self.generations += 1;
+        Ok(())
+    }
+
+    /// Hysteresis: small estimate fluctuations flip the greedy's choices,
+    /// and every published schedule costs a rollout (worker restarts,
+    /// spout halt). A periodic schedule is published only when it cuts
+    /// estimated inter-node traffic by the configured fraction, or frees
+    /// worker nodes without increasing traffic.
+    fn is_improvement(&self, candidate: &Assignment, input: &SchedulingInput) -> bool {
+        let current = AssignmentQuality::evaluate(self.sim.current_assignment(), input);
+        let new = AssignmentQuality::evaluate(candidate, input);
+        let traffic_cut = current.inter_node_traffic
+            - current.inter_node_traffic * self.config.improvement_threshold;
+        if new.inter_node_traffic < traffic_cut {
+            return true;
+        }
+        new.nodes_used < current.nodes_used && new.inter_node_traffic <= current.inter_node_traffic
+    }
+
+    /// One custom-scheduler round: fetch the latest published schedule
+    /// and hand it to Nimbus (the simulator) if it is new.
+    fn fetch(&mut self) {
+        if let Some((id, assignment)) = &self.published {
+            if self.applied_id != Some(*id) {
+                self.sim.submit_assignment(assignment);
+                self.applied_id = Some(*id);
+                self.timeline.push(ControlEvent::ScheduleFetched {
+                    at: self.sim.now(),
+                    id: *id,
+                });
+            }
+        }
+    }
+
+    fn scheduling_input(&self) -> SchedulingInput {
+        let db = self.monitor.db();
+        let executors: Vec<ExecutorInfo> = self
+            .sim
+            .executor_descriptors()
+            .into_iter()
+            .map(|d| ExecutorInfo::new(d.id, d.topology, d.component, db.load_of(d.id)))
+            .collect();
+        let mut params = SchedParams::default()
+            .with_gamma(self.config.gamma)
+            .with_capacity_fraction(self.config.capacity_fraction);
+        for (topo, workers) in &self.workers_requested {
+            params = params.with_workers(*topo, *workers);
+        }
+        SchedulingInput::new(
+            self.cluster.clone(),
+            executors,
+            db.traffic_matrix(),
+            params,
+        )
+        .with_component_edges(self.component_edges.clone())
+    }
+
+    /// Storm's `rebalance` command: changes a topology's requested
+    /// worker count and redistributes every topology with the
+    /// mode-appropriate initial scheduler. T-Storm itself uses this to
+    /// enforce `N*_w = min(Nu, Nw)` at submission (Section IV-C: "we use
+    /// Storm's command rebalance to enforce this setting"); exposing it
+    /// lets operators resize topologies at runtime. The rollout follows
+    /// the configured re-assignment semantics (smooth under T-Storm).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TStormError::InvalidConfig`] for a zero worker count and
+    /// propagates scheduler infeasibility.
+    pub fn rebalance(&mut self, handle: &TopologyHandle, workers: u32) -> Result<()> {
+        if workers == 0 {
+            return Err(TStormError::invalid_config(
+                "workers",
+                "rebalance requires at least one worker",
+            ));
+        }
+        self.workers_requested.insert(handle.id, workers);
+        let mut initial: Box<dyn Scheduler> = match self.config.mode {
+            SystemMode::StormDefault => Box::new(RoundRobinScheduler::storm_default()),
+            SystemMode::TStorm => Box::new(RoundRobinScheduler::tstorm_initial()),
+        };
+        let input = self.scheduling_input();
+        let assignment = initial.schedule(&input)?;
+        let id = AssignmentId::from_timestamp_micros(self.sim.now().as_micros());
+        self.published = Some((id, assignment));
+        self.timeline.push(ControlEvent::Rebalanced {
+            at: self.sim.now(),
+            topology: handle.id,
+            workers,
+        });
+        Ok(())
+    }
+
+    /// Kills a topology (Storm's `kill` command): its executors stop,
+    /// its slots free up, its load/traffic estimates are forgotten, and
+    /// subsequent schedule generations no longer place it.
+    pub fn kill_topology(&mut self, handle: &TopologyHandle) {
+        self.timeline.push(ControlEvent::TopologyKilled {
+            at: self.sim.now(),
+            topology: handle.id,
+        });
+        self.sim.kill_topology(handle.id);
+        self.workers_requested.remove(&handle.id);
+        self.component_edges.retain(|(t, _, _)| *t != handle.id);
+        for exec in &handle.executors {
+            self.monitor.db_mut().forget_executor(*exec);
+        }
+    }
+
+    /// Replaces the scheduling algorithm at runtime — no restart, no
+    /// resubmission (Section IV-C's hot-swapping).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TStormError::UnknownScheduler`] for unregistered names.
+    pub fn swap_scheduler(&mut self, name: &str) -> Result<()> {
+        self.scheduler.swap_from_registry(&self.registry, name)?;
+        self.timeline.push(ControlEvent::SchedulerSwapped {
+            at: self.sim.now(),
+            name: name.to_owned(),
+        });
+        Ok(())
+    }
+
+    /// Registers an additional scheduler factory for hot-swapping.
+    pub fn register_scheduler(
+        &mut self,
+        name: impl Into<String>,
+        factory: impl Fn() -> Box<dyn Scheduler> + Send + Sync + 'static,
+    ) {
+        self.registry.register(name, factory);
+    }
+
+    /// Adjusts the consolidation factor γ on the fly; the next generation
+    /// round uses the new value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TStormError::InvalidConfig`] for non-positive γ.
+    pub fn set_gamma(&mut self, gamma: f64) -> Result<()> {
+        if gamma <= 0.0 || !gamma.is_finite() {
+            return Err(TStormError::invalid_config("gamma", "must be positive"));
+        }
+        self.config.gamma = gamma;
+        self.timeline.push(ControlEvent::GammaChanged {
+            at: self.sim.now(),
+            gamma,
+        });
+        Ok(())
+    }
+
+    /// The current consolidation factor.
+    #[must_use]
+    pub fn gamma(&self) -> f64 {
+        self.config.gamma
+    }
+
+    /// The name of the scheduling algorithm currently installed.
+    #[must_use]
+    pub fn scheduler_name(&self) -> String {
+        self.scheduler.current_name()
+    }
+
+    /// Read access to the simulation (metrics, counters, time).
+    #[must_use]
+    pub fn simulation(&self) -> &Simulation {
+        &self.sim
+    }
+
+    /// Mutable access to the simulation (e.g. to inject assignments in
+    /// tests).
+    #[must_use]
+    pub fn simulation_mut(&mut self) -> &mut Simulation {
+        &mut self.sim
+    }
+
+    /// The monitoring subsystem.
+    #[must_use]
+    pub fn monitor(&self) -> &LoadMonitor {
+        &self.monitor
+    }
+
+    /// Number of schedules the generator published.
+    #[must_use]
+    pub fn generations(&self) -> u32 {
+        self.generations
+    }
+
+    /// Number of overload detections that triggered the fast path.
+    #[must_use]
+    pub fn overload_events(&self) -> u32 {
+        self.overload_events
+    }
+
+    /// The metrics report of this run.
+    #[must_use]
+    pub fn report(&self, label: &str) -> RunReport {
+        self.sim.report(label)
+    }
+
+    /// The control-plane decision timeline (see
+    /// [`crate::timeline::render_timeline`]).
+    #[must_use]
+    pub fn timeline(&self) -> &[ControlEvent] {
+        &self.timeline
+    }
+}

@@ -1,0 +1,205 @@
+//! A structured log of control-plane decisions.
+//!
+//! Operating T-Storm means understanding *why* the scheduler did (or did
+//! not) act: every generation, publication, suppression, fetch, overload
+//! detection, hot swap and parameter change is recorded here with its
+//! virtual timestamp. The examples and the CLI render it; tests assert
+//! on it.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use tstorm_types::{AssignmentId, NodeId, SimTime, TopologyId};
+
+/// One control-plane decision.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ControlEvent {
+    /// The overload detector fired (CPU-saturated nodes and/or failures).
+    OverloadDetected {
+        /// When.
+        at: SimTime,
+        /// CPU-saturated nodes.
+        nodes: Vec<NodeId>,
+        /// Tuple failures in the inspected window.
+        failures: u64,
+    },
+    /// The generator published a new schedule to the store.
+    SchedulePublished {
+        /// When.
+        at: SimTime,
+        /// The schedule's id (its timestamp).
+        id: AssignmentId,
+        /// Worker nodes the schedule uses.
+        nodes_used: usize,
+        /// Estimated inter-node traffic of the schedule (tuples/s).
+        inter_node_traffic: f64,
+    },
+    /// The generator computed a schedule but hysteresis suppressed it.
+    ScheduleSuppressed {
+        /// When.
+        at: SimTime,
+        /// Why it was not published.
+        reason: String,
+    },
+    /// The custom scheduler fetched a published schedule into Nimbus.
+    ScheduleFetched {
+        /// When.
+        at: SimTime,
+        /// Which schedule.
+        id: AssignmentId,
+    },
+    /// The scheduling algorithm was hot-swapped.
+    SchedulerSwapped {
+        /// When.
+        at: SimTime,
+        /// The new algorithm's name.
+        name: String,
+    },
+    /// The consolidation factor γ was adjusted on the fly.
+    GammaChanged {
+        /// When.
+        at: SimTime,
+        /// The new value.
+        gamma: f64,
+    },
+    /// A topology was killed.
+    TopologyKilled {
+        /// When.
+        at: SimTime,
+        /// Which topology.
+        topology: TopologyId,
+    },
+    /// Storm's `rebalance` command: the topology's worker count changed
+    /// and it was redistributed.
+    Rebalanced {
+        /// When.
+        at: SimTime,
+        /// Which topology.
+        topology: TopologyId,
+        /// The new requested worker count.
+        workers: u32,
+    },
+}
+
+impl ControlEvent {
+    /// The event's timestamp.
+    #[must_use]
+    pub fn at(&self) -> SimTime {
+        match self {
+            ControlEvent::OverloadDetected { at, .. }
+            | ControlEvent::SchedulePublished { at, .. }
+            | ControlEvent::ScheduleSuppressed { at, .. }
+            | ControlEvent::ScheduleFetched { at, .. }
+            | ControlEvent::SchedulerSwapped { at, .. }
+            | ControlEvent::GammaChanged { at, .. }
+            | ControlEvent::TopologyKilled { at, .. }
+            | ControlEvent::Rebalanced { at, .. } => *at,
+        }
+    }
+}
+
+impl fmt::Display for ControlEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ControlEvent::OverloadDetected { at, nodes, failures } => write!(
+                f,
+                "[{:>6}s] overload detected: {} saturated node(s), {failures} failure(s)",
+                at.as_secs(),
+                nodes.len()
+            ),
+            ControlEvent::SchedulePublished {
+                at,
+                id,
+                nodes_used,
+                inter_node_traffic,
+            } => write!(
+                f,
+                "[{:>6}s] schedule {id} published: {nodes_used} node(s), \
+                 {inter_node_traffic:.1} tuples/s inter-node",
+                at.as_secs()
+            ),
+            ControlEvent::ScheduleSuppressed { at, reason } => {
+                write!(f, "[{:>6}s] schedule suppressed: {reason}", at.as_secs())
+            }
+            ControlEvent::ScheduleFetched { at, id } => {
+                write!(f, "[{:>6}s] schedule {id} fetched into Nimbus", at.as_secs())
+            }
+            ControlEvent::SchedulerSwapped { at, name } => {
+                write!(f, "[{:>6}s] scheduler hot-swapped to `{name}`", at.as_secs())
+            }
+            ControlEvent::GammaChanged { at, gamma } => {
+                write!(f, "[{:>6}s] gamma set to {gamma}", at.as_secs())
+            }
+            ControlEvent::TopologyKilled { at, topology } => {
+                write!(f, "[{:>6}s] {topology} killed", at.as_secs())
+            }
+            ControlEvent::Rebalanced { at, topology, workers } => write!(
+                f,
+                "[{:>6}s] {topology} rebalanced to {workers} worker(s)",
+                at.as_secs()
+            ),
+        }
+    }
+}
+
+/// Renders a timeline as one line per event.
+#[must_use]
+pub fn render_timeline(events: &[ControlEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&e.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_carry_timestamps() {
+        let e = ControlEvent::GammaChanged {
+            at: SimTime::from_secs(42),
+            gamma: 1.7,
+        };
+        assert_eq!(e.at(), SimTime::from_secs(42));
+    }
+
+    #[test]
+    fn display_is_one_line_each() {
+        let events = vec![
+            ControlEvent::OverloadDetected {
+                at: SimTime::from_secs(100),
+                nodes: vec![NodeId::new(0)],
+                failures: 7,
+            },
+            ControlEvent::SchedulePublished {
+                at: SimTime::from_secs(100),
+                id: AssignmentId::from_timestamp_micros(100_000_000),
+                nodes_used: 5,
+                inter_node_traffic: 123.4,
+            },
+            ControlEvent::ScheduleSuppressed {
+                at: SimTime::from_secs(300),
+                reason: "improvement below threshold".to_owned(),
+            },
+            ControlEvent::ScheduleFetched {
+                at: SimTime::from_secs(110),
+                id: AssignmentId::from_timestamp_micros(100_000_000),
+            },
+            ControlEvent::SchedulerSwapped {
+                at: SimTime::from_secs(150),
+                name: "t-storm-ls".to_owned(),
+            },
+            ControlEvent::TopologyKilled {
+                at: SimTime::from_secs(400),
+                topology: TopologyId::new(1),
+            },
+        ];
+        let text = render_timeline(&events);
+        assert_eq!(text.lines().count(), events.len());
+        assert!(text.contains("overload detected"));
+        assert!(text.contains("suppressed"));
+        assert!(text.contains("t-storm-ls"));
+    }
+}

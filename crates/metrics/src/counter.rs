@@ -1,0 +1,115 @@
+//! Windowed event counters (failed tuples per window, Fig. 3b).
+
+use serde::{Deserialize, Serialize};
+use tstorm_types::SimTime;
+
+/// Counts events per fixed window.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowedCounter {
+    window: SimTime,
+    counts: Vec<u64>,
+}
+
+impl WindowedCounter {
+    /// Creates a counter with the given window length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    #[must_use]
+    pub fn new(window: SimTime) -> Self {
+        assert!(window > SimTime::ZERO, "window must be non-zero");
+        Self {
+            window,
+            counts: Vec::new(),
+        }
+    }
+
+    /// Adds `n` events at the given time.
+    pub fn add(&mut self, at: SimTime, n: u64) {
+        let idx = (at.as_micros() / self.window.as_micros()) as usize;
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += n;
+    }
+
+    /// Adds one event at the given time.
+    pub fn increment(&mut self, at: SimTime) {
+        self.add(at, 1);
+    }
+
+    /// Per-window counts as `(window_start, count)` pairs, dense from
+    /// window zero.
+    #[must_use]
+    pub fn points(&self) -> Vec<(SimTime, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (self.window.mul(i as u64), *c))
+            .collect()
+    }
+
+    /// Total events across all windows.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Cumulative counts as `(window_start, running_total)` pairs —
+    /// Fig. 3(b) plots the failed-tuple count cumulatively.
+    #[must_use]
+    pub fn cumulative(&self) -> Vec<(SimTime, u64)> {
+        let mut acc = 0u64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                acc += c;
+                (self.window.mul(i as u64), acc)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_per_window() {
+        let mut c = WindowedCounter::new(SimTime::from_secs(10));
+        c.increment(SimTime::from_secs(1));
+        c.increment(SimTime::from_secs(9));
+        c.add(SimTime::from_secs(25), 5);
+        let p = c.points();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p[0], (SimTime::ZERO, 2));
+        assert_eq!(p[1], (SimTime::from_secs(10), 0));
+        assert_eq!(p[2], (SimTime::from_secs(20), 5));
+        assert_eq!(c.total(), 7);
+    }
+
+    #[test]
+    fn cumulative_is_running_total() {
+        let mut c = WindowedCounter::new(SimTime::from_secs(10));
+        c.add(SimTime::ZERO, 1);
+        c.add(SimTime::from_secs(10), 2);
+        c.add(SimTime::from_secs(20), 3);
+        let cum: Vec<u64> = c.cumulative().into_iter().map(|(_, n)| n).collect();
+        assert_eq!(cum, vec![1, 3, 6]);
+    }
+
+    #[test]
+    fn empty_counter() {
+        let c = WindowedCounter::new(SimTime::from_secs(10));
+        assert_eq!(c.total(), 0);
+        assert!(c.points().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be non-zero")]
+    fn zero_window_panics() {
+        let _ = WindowedCounter::new(SimTime::ZERO);
+    }
+}

@@ -1,0 +1,186 @@
+//! Log-scale latency histograms for percentile reporting.
+//!
+//! The paper reports only averages; a production release also needs tail
+//! latencies (overload shows up in p99 long before the mean moves). The
+//! histogram uses fixed logarithmic buckets — four per octave, covering
+//! ~1 µs to ~5 minutes in milliseconds — so memory stays constant and
+//! quantile error is bounded at ~±9 %.
+
+use serde::{Deserialize, Serialize};
+
+/// Buckets per octave (factor-of-two range).
+const BUCKETS_PER_OCTAVE: f64 = 4.0;
+/// `log2` of the smallest distinguishable value (2^-10 ms ≈ 1 µs).
+const MIN_LOG2: f64 = -10.0;
+/// Total number of buckets: covers 2^-10 .. 2^18.5 ms (~6 minutes).
+const NUM_BUCKETS: usize = 114;
+
+/// A fixed-memory log-scale histogram of positive values (milliseconds).
+///
+/// # Example
+///
+/// ```
+/// use tstorm_metrics::LogHistogram;
+///
+/// let mut h = LogHistogram::new();
+/// for latency_ms in [1.0, 2.0, 2.5, 3.0, 50.0] {
+///     h.record(latency_ms);
+/// }
+/// let p99 = h.quantile(0.99).expect("has samples");
+/// assert!(p99 > 40.0, "the tail dominates p99: {p99}");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogHistogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; NUM_BUCKETS],
+            total: 0,
+        }
+    }
+
+    fn bucket_of(value: f64) -> usize {
+        if !value.is_finite() || value <= 0.0 {
+            return 0;
+        }
+        let idx = ((value.log2() - MIN_LOG2) * BUCKETS_PER_OCTAVE).floor();
+        idx.clamp(0.0, (NUM_BUCKETS - 1) as f64) as usize
+    }
+
+    /// Representative (geometric-mean) value of a bucket.
+    fn bucket_value(idx: usize) -> f64 {
+        let low = MIN_LOG2 + idx as f64 / BUCKETS_PER_OCTAVE;
+        2f64.powf(low + 0.5 / BUCKETS_PER_OCTAVE)
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: f64) {
+        self.counts[Self::bucket_of(value)] += 1;
+        self.total += 1;
+    }
+
+    /// Number of recorded values.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// The `q`-quantile (`0 < q <= 1`), or `None` if empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `(0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!(q > 0.0 && q <= 1.0, "quantile must be in (0, 1], got {q}");
+        if self.total == 0 {
+            return None;
+        }
+        let rank = (q * self.total as f64).ceil() as u64;
+        let mut seen = 0;
+        for (idx, c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(Self::bucket_value(idx));
+            }
+        }
+        Some(Self::bucket_value(NUM_BUCKETS - 1))
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+
+    /// True if nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_of_uniform_values() {
+        let mut h = LogHistogram::new();
+        for i in 1..=1000 {
+            h.record(f64::from(i)); // 1..1000 ms
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        assert!((400.0..650.0).contains(&p50), "p50 {p50}");
+        assert!((850.0..1200.0).contains(&p99), "p99 {p99}");
+        assert!(p50 < p99);
+        assert_eq!(h.count(), 1000);
+    }
+
+    #[test]
+    fn bucket_error_is_bounded() {
+        // Each bucket spans a factor of 2^(1/4) ≈ 1.19, so the
+        // representative value is within ~±9.1% of any member.
+        for v in [0.01, 0.5, 1.0, 7.3, 123.4, 9999.0] {
+            let mut h = LogHistogram::new();
+            h.record(v);
+            let est = h.quantile(1.0).unwrap();
+            assert!(
+                (est / v - 1.0).abs() < 0.095,
+                "value {v} estimated as {est}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = LogHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn extreme_values_clamp() {
+        let mut h = LogHistogram::new();
+        h.record(0.0);
+        h.record(-5.0);
+        h.record(f64::INFINITY);
+        h.record(1e12);
+        assert_eq!(h.count(), 4);
+        assert!(h.quantile(1.0).is_some());
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        a.record(1.0);
+        b.record(100.0);
+        b.record(100.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        let p99 = a.quantile(0.99).unwrap();
+        assert!(p99 > 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in")]
+    fn invalid_quantile_panics() {
+        let _ = LogHistogram::new().quantile(0.0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Windowed averages of a continuous quantity.
+
+use serde::{Deserialize, Serialize};
+use tstorm_types::SimTime;
+
+/// One reporting window's aggregate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WindowPoint {
+    /// Window start time.
+    pub start: SimTime,
+    /// Mean of values recorded in the window (0.0 if `count == 0`).
+    pub mean: f64,
+    /// Number of values recorded in the window.
+    pub count: u64,
+}
+
+/// Accumulates `(time, value)` samples into fixed windows and reports the
+/// per-window mean — the paper's 1-minute average processing time series.
+///
+/// Windows are dense from time zero to the last recorded sample: windows
+/// with no samples appear with `count == 0` so plots show gaps exactly
+/// where the paper's figures do ("some very large values are not shown on
+/// the figure, which is why there are some gaps").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowedSeries {
+    window: SimTime,
+    sums: Vec<f64>,
+    counts: Vec<u64>,
+}
+
+impl WindowedSeries {
+    /// Creates a series with the given window length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    #[must_use]
+    pub fn new(window: SimTime) -> Self {
+        assert!(window > SimTime::ZERO, "window must be non-zero");
+        Self {
+            window,
+            sums: Vec::new(),
+            counts: Vec::new(),
+        }
+    }
+
+    /// The window length.
+    #[must_use]
+    pub fn window(&self) -> SimTime {
+        self.window
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, at: SimTime, value: f64) {
+        let idx = (at.as_micros() / self.window.as_micros()) as usize;
+        if idx >= self.sums.len() {
+            self.sums.resize(idx + 1, 0.0);
+            self.counts.resize(idx + 1, 0);
+        }
+        self.sums[idx] += value;
+        self.counts[idx] += 1;
+    }
+
+    /// Total number of recorded samples.
+    #[must_use]
+    pub fn total_count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Mean over *all* recorded samples (not window-weighted).
+    #[must_use]
+    pub fn overall_mean(&self) -> Option<f64> {
+        let n = self.total_count();
+        if n == 0 {
+            None
+        } else {
+            Some(self.sums.iter().sum::<f64>() / n as f64)
+        }
+    }
+
+    /// The per-window series, dense from window 0 to the last non-empty
+    /// window.
+    #[must_use]
+    pub fn points(&self) -> Vec<WindowPoint> {
+        self.sums
+            .iter()
+            .zip(&self.counts)
+            .enumerate()
+            .map(|(i, (sum, count))| WindowPoint {
+                start: self.window.mul(i as u64),
+                mean: if *count == 0 { 0.0 } else { sum / *count as f64 },
+                count: *count,
+            })
+            .collect()
+    }
+
+    /// True if nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.total_count() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_land_in_their_windows() {
+        let mut s = WindowedSeries::new(SimTime::from_secs(60));
+        s.record(SimTime::from_secs(0), 2.0);
+        s.record(SimTime::from_secs(59), 4.0);
+        s.record(SimTime::from_secs(60), 10.0);
+        let p = s.points();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p[0].mean, 3.0);
+        assert_eq!(p[0].count, 2);
+        assert_eq!(p[1].mean, 10.0);
+        assert_eq!(p[1].start, SimTime::from_secs(60));
+    }
+
+    #[test]
+    fn empty_windows_are_reported_as_gaps() {
+        let mut s = WindowedSeries::new(SimTime::from_secs(60));
+        s.record(SimTime::from_secs(150), 5.0);
+        let p = s.points();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p[0].count, 0);
+        assert_eq!(p[1].count, 0);
+        assert_eq!(p[2].count, 1);
+    }
+
+    #[test]
+    fn overall_mean_weights_by_sample() {
+        let mut s = WindowedSeries::new(SimTime::from_secs(1));
+        s.record(SimTime::ZERO, 1.0);
+        s.record(SimTime::ZERO, 2.0);
+        s.record(SimTime::ZERO, 3.0);
+        assert_eq!(s.overall_mean(), Some(2.0));
+        assert_eq!(s.total_count(), 3);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn empty_series_has_no_mean() {
+        let s = WindowedSeries::new(SimTime::from_secs(1));
+        assert_eq!(s.overall_mean(), None);
+        assert!(s.is_empty());
+        assert!(s.points().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be non-zero")]
+    fn zero_window_panics() {
+        let _ = WindowedSeries::new(SimTime::ZERO);
+    }
+}

@@ -1,0 +1,197 @@
+//! Piecewise-constant series sampled on change (e.g. nodes in use).
+
+use serde::{Deserialize, Serialize};
+use tstorm_types::SimTime;
+
+/// Records a value each time it changes and answers "what was the value at
+/// time t?" — used for the `#Nodes=…` annotations in Figs. 5–10 and for
+/// tracking the active assignment id over time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StepSeries<T> {
+    steps: Vec<(SimTime, T)>,
+}
+
+impl<T: Clone + PartialEq> StepSeries<T> {
+    /// Creates an empty series.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { steps: Vec::new() }
+    }
+
+    /// Records the value at `at`. Consecutive equal values are coalesced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the last recorded step (time must be
+    /// monotone, as in any event-ordered log).
+    pub fn record(&mut self, at: SimTime, value: T) {
+        if let Some((last_t, last_v)) = self.steps.last() {
+            assert!(
+                at >= *last_t,
+                "StepSeries records must be time-ordered"
+            );
+            if *last_v == value {
+                return;
+            }
+        }
+        self.steps.push((at, value));
+    }
+
+    /// The value in effect at time `t`, i.e. the last step at or before
+    /// `t`. `None` before the first step.
+    #[must_use]
+    pub fn at(&self, t: SimTime) -> Option<&T> {
+        self.steps
+            .iter()
+            .rev()
+            .find(|(st, _)| *st <= t)
+            .map(|(_, v)| v)
+    }
+
+    /// The most recent value.
+    #[must_use]
+    pub fn last(&self) -> Option<&T> {
+        self.steps.last().map(|(_, v)| v)
+    }
+
+    /// All `(time, value)` change points.
+    #[must_use]
+    pub fn steps(&self) -> &[(SimTime, T)] {
+        &self.steps
+    }
+
+    /// True if nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+impl<T: Clone + PartialEq> Default for StepSeries<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_queries() {
+        let mut s = StepSeries::new();
+        s.record(SimTime::from_secs(0), 10u32);
+        s.record(SimTime::from_secs(300), 7);
+        s.record(SimTime::from_secs(600), 2);
+        assert_eq!(s.at(SimTime::from_secs(100)), Some(&10));
+        assert_eq!(s.at(SimTime::from_secs(300)), Some(&7));
+        assert_eq!(s.at(SimTime::from_secs(1000)), Some(&2));
+        assert_eq!(s.last(), Some(&2));
+        assert_eq!(s.steps().len(), 3);
+    }
+
+    #[test]
+    fn coalesces_equal_values() {
+        let mut s = StepSeries::new();
+        s.record(SimTime::from_secs(0), 5u32);
+        s.record(SimTime::from_secs(10), 5);
+        assert_eq!(s.steps().len(), 1);
+    }
+
+    #[test]
+    fn before_first_step_is_none() {
+        let mut s = StepSeries::new();
+        s.record(SimTime::from_secs(100), 1u32);
+        assert_eq!(s.at(SimTime::from_secs(50)), None);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn out_of_order_panics() {
+        let mut s = StepSeries::new();
+        s.record(SimTime::from_secs(100), 1u32);
+        s.record(SimTime::from_secs(50), 2);
+    }
+
+    #[test]
+    fn empty_series() {
+        let s: StepSeries<u32> = StepSeries::default();
+        assert!(s.is_empty());
+        assert_eq!(s.last(), None);
+        assert_eq!(s.at(SimTime::from_secs(1)), None);
+    }
+}
+
+impl StepSeries<u32> {
+    /// Integrates the series over `[from, to)`: the area under the step
+    /// function, e.g. node-seconds of cluster usage — the quantity behind
+    /// the paper's operational-cost motivation ("consolidating worker
+    /// nodes and shutting down idle ones can significantly reduce
+    /// operational costs").
+    ///
+    /// Time before the first step contributes zero.
+    #[must_use]
+    pub fn integral_seconds(&self, from: SimTime, to: SimTime) -> f64 {
+        if to <= from || self.steps.is_empty() {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        for (i, (start, value)) in self.steps.iter().enumerate() {
+            let seg_start = (*start).max(from);
+            let seg_end = self
+                .steps
+                .get(i + 1)
+                .map_or(to, |(next, _)| (*next).min(to));
+            if seg_end > seg_start {
+                total += f64::from(*value) * (seg_end - seg_start).as_secs_f64();
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod integral_tests {
+    use super::*;
+
+    #[test]
+    fn integral_of_constant_series() {
+        let mut s = StepSeries::new();
+        s.record(SimTime::ZERO, 10u32);
+        let area = s.integral_seconds(SimTime::ZERO, SimTime::from_secs(100));
+        assert!((area - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn integral_tracks_consolidation() {
+        // 10 nodes for 300 s, then 7 nodes for 700 s = 3000 + 4900.
+        let mut s = StepSeries::new();
+        s.record(SimTime::ZERO, 10u32);
+        s.record(SimTime::from_secs(300), 7);
+        let area = s.integral_seconds(SimTime::ZERO, SimTime::from_secs(1000));
+        assert!((area - 7900.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn integral_respects_bounds() {
+        let mut s = StepSeries::new();
+        s.record(SimTime::from_secs(50), 4u32);
+        // Before the first step there is no usage.
+        let area = s.integral_seconds(SimTime::ZERO, SimTime::from_secs(100));
+        assert!((area - 200.0).abs() < 1e-9);
+        // Window entirely before the first step.
+        assert_eq!(s.integral_seconds(SimTime::ZERO, SimTime::from_secs(10)), 0.0);
+        // Degenerate window.
+        assert_eq!(
+            s.integral_seconds(SimTime::from_secs(60), SimTime::from_secs(60)),
+            0.0
+        );
+    }
+
+    #[test]
+    fn integral_of_empty_series_is_zero() {
+        let s: StepSeries<u32> = StepSeries::new();
+        assert_eq!(s.integral_seconds(SimTime::ZERO, SimTime::from_secs(10)), 0.0);
+    }
+}

@@ -1,0 +1,189 @@
+//! Pluggable load estimators.
+//!
+//! The paper uses EWMA smoothing and notes that "other machine learning
+//! based (usually more complicated) estimation/prediction methods can be
+//! easily integrated to T-Storm too, which will be our future work"
+//! (Section IV-B). This module delivers that integration point: the
+//! [`Estimator`] trait abstracts over per-parameter estimators, and the
+//! stats database can be built with any [`EstimatorFactory`].
+//!
+//! Two estimators ship:
+//!
+//! * [`EwmaEstimator`] — the paper's `Y ← αY + (1 − α)·Sample`;
+//! * [`HoltLinearEstimator`] — double exponential smoothing with a trend
+//!   term, which anticipates load ramps instead of lagging them: useful
+//!   when workloads grow steadily (e.g. a slowly building backlog).
+
+use crate::ewma::Ewma;
+
+/// One smoothed/predicted scalar parameter (a workload or a traffic
+/// rate).
+pub trait Estimator: Send {
+    /// Applies one observed sample and returns the updated estimate.
+    fn update(&mut self, sample: f64) -> f64;
+
+    /// The current estimate, if any sample has been applied.
+    fn get(&self) -> Option<f64>;
+}
+
+/// Creates fresh estimator instances — one per executor / executor pair.
+pub type EstimatorFactory = Box<dyn Fn() -> Box<dyn Estimator> + Send + Sync>;
+
+/// The paper's EWMA as an [`Estimator`].
+#[derive(Debug, Clone, Copy)]
+pub struct EwmaEstimator(Ewma);
+
+impl EwmaEstimator {
+    /// Creates the estimator with coefficient `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(alpha: f64) -> Self {
+        Self(Ewma::new(alpha))
+    }
+}
+
+impl Estimator for EwmaEstimator {
+    fn update(&mut self, sample: f64) -> f64 {
+        self.0.update(sample)
+    }
+
+    fn get(&self) -> Option<f64> {
+        self.0.get()
+    }
+}
+
+/// Holt's linear (double exponential) smoothing: tracks a level and a
+/// trend, so the estimate projects one step ahead of a ramp.
+///
+/// `level ← α·level' + (1 − α)·sample`, `trend ← β·trend + (1 − β)·Δlevel`,
+/// estimate = `level + trend` (floored at zero — loads and rates are
+/// non-negative).
+#[derive(Debug, Clone, Copy)]
+pub struct HoltLinearEstimator {
+    alpha: f64,
+    beta: f64,
+    level: Option<f64>,
+    trend: f64,
+}
+
+impl HoltLinearEstimator {
+    /// Creates the estimator with smoothing coefficients `alpha`
+    /// (level inertia) and `beta` (trend inertia).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either coefficient is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(alpha: f64, beta: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&alpha) && (0.0..=1.0).contains(&beta),
+            "coefficients must be within [0, 1], got alpha={alpha} beta={beta}"
+        );
+        Self {
+            alpha,
+            beta,
+            level: None,
+            trend: 0.0,
+        }
+    }
+}
+
+impl Estimator for HoltLinearEstimator {
+    fn update(&mut self, sample: f64) -> f64 {
+        match self.level {
+            None => {
+                self.level = Some(sample);
+                sample.max(0.0)
+            }
+            Some(prev) => {
+                let level = self.alpha * (prev + self.trend) + (1.0 - self.alpha) * sample;
+                self.trend = self.beta * self.trend + (1.0 - self.beta) * (level - prev);
+                self.level = Some(level);
+                (level + self.trend).max(0.0)
+            }
+        }
+    }
+
+    fn get(&self) -> Option<f64> {
+        self.level.map(|l| (l + self.trend).max(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ewma_estimator_matches_ewma() {
+        let mut a = EwmaEstimator::new(0.5);
+        let mut b = Ewma::new(0.5);
+        for s in [10.0, 20.0, 5.0, 40.0] {
+            assert_eq!(a.update(s), b.update(s));
+        }
+        assert_eq!(a.get(), b.get());
+    }
+
+    #[test]
+    fn holt_tracks_constant_signal() {
+        let mut h = HoltLinearEstimator::new(0.5, 0.5);
+        for _ in 0..30 {
+            h.update(100.0);
+        }
+        let e = h.get().unwrap();
+        assert!((e - 100.0).abs() < 1.0, "estimate {e}");
+    }
+
+    #[test]
+    fn holt_anticipates_a_ramp_where_ewma_lags() {
+        let mut holt = HoltLinearEstimator::new(0.5, 0.5);
+        let mut ewma = EwmaEstimator::new(0.5);
+        let mut sample = 0.0;
+        for _ in 0..40 {
+            sample += 10.0; // steady ramp
+            holt.update(sample);
+            ewma.update(sample);
+        }
+        let h = holt.get().unwrap();
+        let e = ewma.get().unwrap();
+        assert!(
+            (h - sample).abs() < (e - sample).abs(),
+            "holt {h:.1} should be closer to {sample:.1} than ewma {e:.1}"
+        );
+        assert!(e < sample, "ewma lags a ramp");
+    }
+
+    #[test]
+    fn holt_estimate_never_negative() {
+        let mut h = HoltLinearEstimator::new(0.3, 0.3);
+        for s in [100.0, 50.0, 10.0, 0.0, 0.0, 0.0, 0.0] {
+            assert!(h.update(s) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn first_sample_initialises_both() {
+        let mut h = HoltLinearEstimator::new(0.5, 0.5);
+        assert_eq!(h.get(), None);
+        assert_eq!(h.update(42.0), 42.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "within [0, 1]")]
+    fn holt_rejects_bad_coefficients() {
+        let _ = HoltLinearEstimator::new(1.5, 0.5);
+    }
+
+    #[test]
+    fn factory_produces_independent_instances() {
+        let factory: EstimatorFactory = Box::new(|| Box::new(HoltLinearEstimator::new(0.5, 0.5)));
+        let mut a = factory();
+        let mut b = factory();
+        a.update(10.0);
+        assert_eq!(b.get(), None);
+        b.update(99.0);
+        assert_ne!(a.get(), b.get());
+    }
+}

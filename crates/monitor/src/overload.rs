@@ -1,0 +1,196 @@
+//! Overload detection.
+//!
+//! "Once overloading occurs on a worker node, the schedule generator can
+//! detect it and will then calculate a new schedule … to mitigate
+//! overloading" (Section IV-C). Detection combines two signals:
+//!
+//! * **CPU**: a node's estimated workload reaches `threshold × C_k`;
+//! * **failures**: tuples timed out during the last window — the symptom
+//!   Fig. 3 shows when bolt executors cannot keep up.
+
+use crate::statsdb::StatsDb;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use tstorm_cluster::{Assignment, ClusterSpec};
+use tstorm_types::{Mhz, NodeId};
+
+/// What the detector found in one inspection.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct OverloadReport {
+    /// Nodes whose estimated CPU load reached the threshold.
+    pub cpu_overloaded: Vec<NodeId>,
+    /// Number of tuple failures observed in the inspected window.
+    pub recent_failures: u64,
+}
+
+impl OverloadReport {
+    /// True if any signal fired.
+    #[must_use]
+    pub fn is_overloaded(&self) -> bool {
+        !self.cpu_overloaded.is_empty() || self.recent_failures > 0
+    }
+}
+
+/// Detects overloaded worker nodes from the stats database and the
+/// failure counter.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OverloadDetector {
+    /// Fraction of node capacity treated as overload (default 0.95).
+    pub cpu_threshold: f64,
+    /// Minimum failures per window to raise the failure signal
+    /// (default 1).
+    pub failure_threshold: u64,
+}
+
+impl Default for OverloadDetector {
+    fn default() -> Self {
+        Self {
+            cpu_threshold: 0.95,
+            failure_threshold: 1,
+        }
+    }
+}
+
+impl OverloadDetector {
+    /// Creates a detector with explicit thresholds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu_threshold` is not positive.
+    #[must_use]
+    pub fn new(cpu_threshold: f64, failure_threshold: u64) -> Self {
+        assert!(
+            cpu_threshold > 0.0,
+            "cpu threshold must be positive, got {cpu_threshold}"
+        );
+        Self {
+            cpu_threshold,
+            failure_threshold,
+        }
+    }
+
+    /// Inspects the current estimates under the active assignment.
+    #[must_use]
+    pub fn inspect(
+        &self,
+        db: &StatsDb,
+        cluster: &ClusterSpec,
+        assignment: &Assignment,
+        failures_in_window: u64,
+    ) -> OverloadReport {
+        let loads = db.executor_loads();
+        let mut node_load: HashMap<NodeId, Mhz> = HashMap::new();
+        for (exec, slot) in assignment.iter() {
+            if let Some(load) = loads.get(&exec) {
+                *node_load
+                    .entry(cluster.node_of(slot))
+                    .or_insert(Mhz::ZERO) += *load;
+            }
+        }
+        let mut cpu_overloaded: Vec<NodeId> = node_load
+            .into_iter()
+            .filter(|(node, load)| {
+                load.ratio(cluster.node(*node).capacity) >= self.cpu_threshold
+            })
+            .map(|(node, _)| node)
+            .collect();
+        cpu_overloaded.sort_unstable();
+
+        OverloadReport {
+            cpu_overloaded,
+            recent_failures: if failures_in_window >= self.failure_threshold {
+                failures_in_window
+            } else {
+                0
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::WindowSnapshot;
+    use tstorm_types::{ExecutorId, SimTime, SlotId};
+
+    fn db_with_load(mhz_per_exec: &[(u32, f64)]) -> StatsDb {
+        let mut db = StatsDb::new(0.0); // alpha 0: estimate == sample
+        let mut snap = WindowSnapshot::new(SimTime::from_secs(20));
+        for (e, mhz) in mhz_per_exec {
+            // cycles = MHz * period_micros
+            snap.record_cpu(ExecutorId::new(*e), (*mhz * 20_000_000.0) as u64);
+        }
+        db.ingest(&snap);
+        db
+    }
+
+    fn assignment(pairs: &[(u32, u32)]) -> Assignment {
+        pairs
+            .iter()
+            .map(|(e, s)| (ExecutorId::new(*e), SlotId::new(*s)))
+            .collect()
+    }
+
+    #[test]
+    fn detects_cpu_overload() {
+        let cluster = ClusterSpec::homogeneous(2, 2, Mhz::new(1000.0)).unwrap();
+        let db = db_with_load(&[(0, 700.0), (1, 400.0)]);
+        // Both on node 0 => 1100 MHz > 95% of 1000.
+        let a = assignment(&[(0, 0), (1, 0)]);
+        let det = OverloadDetector::default();
+        let report = det.inspect(&db, &cluster, &a, 0);
+        assert_eq!(report.cpu_overloaded, vec![NodeId::new(0)]);
+        assert!(report.is_overloaded());
+    }
+
+    #[test]
+    fn no_overload_when_spread() {
+        let cluster = ClusterSpec::homogeneous(2, 2, Mhz::new(1000.0)).unwrap();
+        let db = db_with_load(&[(0, 700.0), (1, 400.0)]);
+        let a = assignment(&[(0, 0), (1, 2)]);
+        let det = OverloadDetector::default();
+        let report = det.inspect(&db, &cluster, &a, 0);
+        assert!(report.cpu_overloaded.is_empty());
+        assert!(!report.is_overloaded());
+    }
+
+    #[test]
+    fn failures_raise_signal() {
+        let cluster = ClusterSpec::homogeneous(1, 1, Mhz::new(1000.0)).unwrap();
+        let db = db_with_load(&[]);
+        let a = assignment(&[]);
+        let det = OverloadDetector::default();
+        let report = det.inspect(&db, &cluster, &a, 12);
+        assert_eq!(report.recent_failures, 12);
+        assert!(report.is_overloaded());
+    }
+
+    #[test]
+    fn failure_threshold_filters_noise() {
+        let cluster = ClusterSpec::homogeneous(1, 1, Mhz::new(1000.0)).unwrap();
+        let db = db_with_load(&[]);
+        let a = assignment(&[]);
+        let det = OverloadDetector::new(0.95, 10);
+        assert!(!det.inspect(&db, &cluster, &a, 5).is_overloaded());
+        assert!(det.inspect(&db, &cluster, &a, 10).is_overloaded());
+    }
+
+    #[test]
+    fn custom_cpu_threshold() {
+        let cluster = ClusterSpec::homogeneous(1, 1, Mhz::new(1000.0)).unwrap();
+        let db = db_with_load(&[(0, 600.0)]);
+        let a = assignment(&[(0, 0)]);
+        assert!(!OverloadDetector::new(0.8, 1)
+            .inspect(&db, &cluster, &a, 0)
+            .is_overloaded());
+        assert!(OverloadDetector::new(0.5, 1)
+            .inspect(&db, &cluster, &a, 0)
+            .is_overloaded());
+    }
+
+    #[test]
+    #[should_panic(expected = "cpu threshold must be positive")]
+    fn invalid_threshold_panics() {
+        let _ = OverloadDetector::new(0.0, 1);
+    }
+}

@@ -1,0 +1,101 @@
+//! One monitoring window's raw readings.
+
+use std::collections::BTreeMap;
+use tstorm_types::{ExecutorId, SimTime};
+
+/// The instantaneous readings of one monitoring period — what the per-node
+/// load monitor daemons observe before EWMA smoothing.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WindowSnapshot {
+    period: SimTime,
+    executor_cycles: BTreeMap<ExecutorId, u64>,
+    pair_tuples: BTreeMap<(ExecutorId, ExecutorId), u64>,
+}
+
+impl WindowSnapshot {
+    /// Creates an empty snapshot covering `period` of virtual time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    #[must_use]
+    pub fn new(period: SimTime) -> Self {
+        assert!(period > SimTime::ZERO, "period must be non-zero");
+        Self {
+            period,
+            executor_cycles: BTreeMap::new(),
+            pair_tuples: BTreeMap::new(),
+        }
+    }
+
+    /// The covered period.
+    #[must_use]
+    pub fn period(&self) -> SimTime {
+        self.period
+    }
+
+    /// Accumulates CPU cycles consumed by an executor during the window
+    /// (the JMX `getThreadCpuTime` equivalent).
+    pub fn record_cpu(&mut self, executor: ExecutorId, cycles: u64) {
+        *self.executor_cycles.entry(executor).or_insert(0) += cycles;
+    }
+
+    /// Accumulates tuples sent from one executor to another during the
+    /// window.
+    pub fn record_traffic(&mut self, from: ExecutorId, to: ExecutorId, tuples: u64) {
+        *self.pair_tuples.entry((from, to)).or_insert(0) += tuples;
+    }
+
+    /// Per-executor cycles, in executor order.
+    pub fn cpu_readings(&self) -> impl Iterator<Item = (ExecutorId, u64)> + '_ {
+        self.executor_cycles.iter().map(|(e, c)| (*e, *c))
+    }
+
+    /// Per-pair tuple counts, in key order.
+    pub fn traffic_readings(&self) -> impl Iterator<Item = (ExecutorId, ExecutorId, u64)> + '_ {
+        self.pair_tuples.iter().map(|((f, t), n)| (*f, *t, *n))
+    }
+
+    /// True if the window observed nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.executor_cycles.is_empty() && self.pair_tuples.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(i: u32) -> ExecutorId {
+        ExecutorId::new(i)
+    }
+
+    #[test]
+    fn records_accumulate() {
+        let mut s = WindowSnapshot::new(SimTime::from_secs(20));
+        s.record_cpu(e(0), 100);
+        s.record_cpu(e(0), 50);
+        s.record_traffic(e(0), e(1), 10);
+        s.record_traffic(e(0), e(1), 5);
+        assert_eq!(s.cpu_readings().collect::<Vec<_>>(), vec![(e(0), 150)]);
+        assert_eq!(
+            s.traffic_readings().collect::<Vec<_>>(),
+            vec![(e(0), e(1), 15)]
+        );
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn empty_snapshot() {
+        let s = WindowSnapshot::new(SimTime::from_secs(20));
+        assert!(s.is_empty());
+        assert_eq!(s.period(), SimTime::from_secs(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be non-zero")]
+    fn zero_period_panics() {
+        let _ = WindowSnapshot::new(SimTime::ZERO);
+    }
+}

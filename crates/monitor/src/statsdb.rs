@@ -1,0 +1,244 @@
+//! The estimates database between load monitors and schedule generator.
+//!
+//! In T-Storm the monitors write smoothed estimates into a database and
+//! "the schedule generator periodically reads load information from the
+//! database" — the decoupling that enables hot-swapping and flexible
+//! deployment. [`StatsDb`] is that database.
+
+use crate::estimator::{Estimator, EstimatorFactory, EwmaEstimator};
+use crate::snapshot::WindowSnapshot;
+use std::collections::{BTreeMap, HashMap};
+use tstorm_sched::TrafficMatrix;
+use tstorm_types::{ExecutorId, Mhz};
+
+/// Smoothed workload and traffic estimates for every executor and
+/// executor pair observed so far.
+///
+/// Estimation defaults to the paper's EWMA but accepts any
+/// [`Estimator`] through [`StatsDb::with_estimator`] — the "other
+/// estimation/prediction methods can be easily integrated" extension
+/// point of Section IV-B.
+pub struct StatsDb {
+    factory: EstimatorFactory,
+    workloads: BTreeMap<ExecutorId, Box<dyn Estimator>>,
+    traffic: BTreeMap<(ExecutorId, ExecutorId), Box<dyn Estimator>>,
+    windows_ingested: u64,
+}
+
+impl std::fmt::Debug for StatsDb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StatsDb")
+            .field("workloads", &self.workloads.len())
+            .field("traffic", &self.traffic.len())
+            .field("windows_ingested", &self.windows_ingested)
+            .finish()
+    }
+}
+
+impl StatsDb {
+    /// Creates an empty database smoothing with the paper's EWMA at the
+    /// given estimation coefficient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&alpha),
+            "alpha must be within [0, 1], got {alpha}"
+        );
+        Self::with_estimator(Box::new(move || Box::new(EwmaEstimator::new(alpha))))
+    }
+
+    /// Creates an empty database using a custom estimator per parameter.
+    #[must_use]
+    pub fn with_estimator(factory: EstimatorFactory) -> Self {
+        Self {
+            factory,
+            workloads: BTreeMap::new(),
+            traffic: BTreeMap::new(),
+            windows_ingested: 0,
+        }
+    }
+
+    /// Applies one monitoring window.
+    ///
+    /// Executors/pairs absent from the snapshot but present in the
+    /// database receive a zero sample — an idle executor's estimate decays
+    /// toward zero instead of staying stale, which matters when traffic
+    /// shifts after a re-assignment.
+    pub fn ingest(&mut self, snapshot: &WindowSnapshot) {
+        let period_micros = snapshot.period().as_micros();
+        let mut cpu_seen: HashMap<ExecutorId, bool> = HashMap::new();
+        for (exec, cycles) in snapshot.cpu_readings() {
+            let mhz = Mhz::from_cycles_over(cycles, period_micros);
+            self.workloads
+                .entry(exec)
+                .or_insert_with(|| (self.factory)())
+                .update(mhz.get());
+            cpu_seen.insert(exec, true);
+        }
+        for (exec, ewma) in &mut self.workloads {
+            if !cpu_seen.contains_key(exec) {
+                ewma.update(0.0);
+            }
+        }
+
+        let mut pair_seen: HashMap<(ExecutorId, ExecutorId), bool> = HashMap::new();
+        for (from, to, tuples) in snapshot.traffic_readings() {
+            let rate = tuples as f64 / snapshot.period().as_secs_f64();
+            self.traffic
+                .entry((from, to))
+                .or_insert_with(|| (self.factory)())
+                .update(rate);
+            pair_seen.insert((from, to), true);
+        }
+        for (pair, ewma) in &mut self.traffic {
+            if !pair_seen.contains_key(pair) {
+                ewma.update(0.0);
+            }
+        }
+        self.windows_ingested += 1;
+    }
+
+    /// Estimated workload of every known executor (`l_i`).
+    #[must_use]
+    pub fn executor_loads(&self) -> HashMap<ExecutorId, Mhz> {
+        self.workloads
+            .iter()
+            .filter_map(|(e, est)| est.get().map(|v| (*e, Mhz::new(v.max(0.0)))))
+            .collect()
+    }
+
+    /// Estimated workload of one executor, zero if unknown.
+    #[must_use]
+    pub fn load_of(&self, executor: ExecutorId) -> Mhz {
+        self.workloads
+            .get(&executor)
+            .and_then(|est| est.get())
+            .map_or(Mhz::ZERO, |v| Mhz::new(v.max(0.0)))
+    }
+
+    /// Estimated traffic matrix (`<r_ii'>`, tuples/second). Pairs whose
+    /// estimate has decayed to (near) zero are omitted.
+    #[must_use]
+    pub fn traffic_matrix(&self) -> TrafficMatrix {
+        let mut m = TrafficMatrix::new();
+        for ((from, to), est) in &self.traffic {
+            if let Some(rate) = est.get() {
+                if rate > 1e-9 {
+                    m.set(*from, *to, rate);
+                }
+            }
+        }
+        m
+    }
+
+    /// Removes every estimate touching the given executor (topology
+    /// killed / executor retired).
+    pub fn forget_executor(&mut self, executor: ExecutorId) {
+        self.workloads.remove(&executor);
+        self.traffic
+            .retain(|(f, t), _| *f != executor && *t != executor);
+    }
+
+    /// Number of windows ingested so far — the schedule generator uses
+    /// this to tell "no data yet" from "idle cluster".
+    #[must_use]
+    pub fn windows_ingested(&self) -> u64 {
+        self.windows_ingested
+    }
+
+    /// True if no estimates exist.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.workloads.is_empty() && self.traffic.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tstorm_types::SimTime;
+
+    fn e(i: u32) -> ExecutorId {
+        ExecutorId::new(i)
+    }
+
+    fn snap(cpu: &[(u32, u64)], traffic: &[(u32, u32, u64)]) -> WindowSnapshot {
+        let mut s = WindowSnapshot::new(SimTime::from_secs(20));
+        for (ex, cycles) in cpu {
+            s.record_cpu(e(*ex), *cycles);
+        }
+        for (f, t, n) in traffic {
+            s.record_traffic(e(*f), e(*t), *n);
+        }
+        s
+    }
+
+    #[test]
+    fn cpu_cycles_become_mhz() {
+        let mut db = StatsDb::new(0.5);
+        // 8e9 cycles over 20s = 400 MHz.
+        db.ingest(&snap(&[(0, 8_000_000_000)], &[]));
+        assert!((db.load_of(e(0)).get() - 400.0).abs() < 1e-9);
+        assert_eq!(db.windows_ingested(), 1);
+    }
+
+    #[test]
+    fn tuple_counts_become_rates() {
+        let mut db = StatsDb::new(0.5);
+        db.ingest(&snap(&[], &[(0, 1, 4000)]));
+        let m = db.traffic_matrix();
+        assert!((m.get(e(0), e(1)) - 200.0).abs() < 1e-9); // 4000/20s
+    }
+
+    #[test]
+    fn ewma_smooths_across_windows() {
+        let mut db = StatsDb::new(0.5);
+        db.ingest(&snap(&[(0, 8_000_000_000)], &[])); // 400 MHz
+        db.ingest(&snap(&[(0, 16_000_000_000)], &[])); // sample 800 MHz
+        // Y = 0.5*400 + 0.5*800 = 600.
+        assert!((db.load_of(e(0)).get() - 600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn absent_readings_decay_to_zero() {
+        let mut db = StatsDb::new(0.5);
+        db.ingest(&snap(&[(0, 8_000_000_000)], &[(0, 1, 4000)]));
+        db.ingest(&snap(&[], &[]));
+        assert!((db.load_of(e(0)).get() - 200.0).abs() < 1e-9);
+        db.ingest(&snap(&[], &[]));
+        db.ingest(&snap(&[], &[]));
+        assert!(db.load_of(e(0)).get() < 100.0);
+        // Traffic decays too and eventually drops out of the matrix.
+        for _ in 0..40 {
+            db.ingest(&snap(&[], &[]));
+        }
+        assert!(db.traffic_matrix().is_empty());
+    }
+
+    #[test]
+    fn unknown_executor_has_zero_load() {
+        let db = StatsDb::new(0.5);
+        assert_eq!(db.load_of(e(9)), Mhz::ZERO);
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn forget_executor_removes_estimates() {
+        let mut db = StatsDb::new(0.5);
+        db.ingest(&snap(&[(0, 1000), (1, 1000)], &[(0, 1, 10), (1, 0, 10)]));
+        db.forget_executor(e(0));
+        assert_eq!(db.load_of(e(0)), Mhz::ZERO);
+        assert!(db.executor_loads().contains_key(&e(1)));
+        assert!(db.traffic_matrix().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be within")]
+    fn invalid_alpha_panics() {
+        let _ = StatsDb::new(-0.1);
+    }
+}

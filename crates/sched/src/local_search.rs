@@ -1,0 +1,337 @@
+//! A local-search refinement of Algorithm 1 (ablation / extension).
+//!
+//! Algorithm 1 is a single-pass greedy: once an executor is placed it
+//! never moves, even when later placements make a different slot
+//! strictly better. [`LocalSearchScheduler`] runs Algorithm 1 and then
+//! hill-climbs: it repeatedly relocates single executors to the feasible
+//! slot that most reduces inter-node traffic, until a pass makes no
+//! progress (or the iteration budget is hit). All three T-Storm
+//! constraints are preserved by every move.
+//!
+//! This is the kind of drop-in algorithm upgrade T-Storm's hot-swapping
+//! was designed for — `SchedulerRegistry::with_builtins` registers it as
+//! `"t-storm-ls"`.
+
+use crate::problem::SchedulingInput;
+use crate::tstorm::TStormScheduler;
+use crate::Scheduler;
+use std::collections::HashMap;
+use tstorm_cluster::Assignment;
+use tstorm_types::{ExecutorId, Mhz, NodeId, Result, SlotId, TopologyId};
+
+/// Algorithm 1 followed by single-executor relocation hill-climbing.
+#[derive(Debug, Clone)]
+pub struct LocalSearchScheduler {
+    max_passes: u32,
+    last_improvement: f64,
+}
+
+impl LocalSearchScheduler {
+    /// Creates the scheduler with the default pass budget (8 full passes
+    /// over the executor set — convergence is typically 1–3).
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            max_passes: 8,
+            last_improvement: 0.0,
+        }
+    }
+
+    /// Overrides the pass budget.
+    #[must_use]
+    pub fn with_max_passes(mut self, passes: u32) -> Self {
+        self.max_passes = passes.max(1);
+        self
+    }
+
+    /// Inter-node traffic removed by the refinement in the most recent
+    /// [`Scheduler::schedule`] call (tuples/second).
+    #[must_use]
+    pub fn last_improvement(&self) -> f64 {
+        self.last_improvement
+    }
+}
+
+impl Default for LocalSearchScheduler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Mutable occupancy view over an assignment, supporting feasibility
+/// checks and O(neighbours) move deltas.
+struct Occupancy<'a> {
+    input: &'a SchedulingInput,
+    topo_of: HashMap<ExecutorId, TopologyId>,
+    load_of: HashMap<ExecutorId, Mhz>,
+    slot_execs: HashMap<SlotId, Vec<ExecutorId>>,
+    node_topo_slot: HashMap<(NodeId, TopologyId), SlotId>,
+    node_load: Vec<Mhz>,
+    node_count: Vec<usize>,
+    cap_count: usize,
+}
+
+impl<'a> Occupancy<'a> {
+    fn build(input: &'a SchedulingInput, assignment: &Assignment) -> Self {
+        let k = input.cluster.num_nodes();
+        let mut occ = Self {
+            topo_of: input.executors.iter().map(|e| (e.id, e.topology)).collect(),
+            load_of: input.executors.iter().map(|e| (e.id, e.load)).collect(),
+            slot_execs: HashMap::new(),
+            node_topo_slot: HashMap::new(),
+            node_load: vec![Mhz::ZERO; k],
+            node_count: vec![0; k],
+            cap_count: input.node_executor_cap(),
+            input,
+        };
+        for (exec, slot) in assignment.iter() {
+            occ.insert(exec, slot);
+        }
+        occ
+    }
+
+    fn insert(&mut self, exec: ExecutorId, slot: SlotId) {
+        let node = self.input.cluster.node_of(slot);
+        let topo = self.topo_of[&exec];
+        self.slot_execs.entry(slot).or_default().push(exec);
+        self.node_topo_slot.insert((node, topo), slot);
+        self.node_load[node.as_usize()] += self.load_of[&exec];
+        self.node_count[node.as_usize()] += 1;
+    }
+
+    fn remove(&mut self, exec: ExecutorId, slot: SlotId) {
+        let node = self.input.cluster.node_of(slot);
+        let topo = self.topo_of[&exec];
+        let v = self.slot_execs.get_mut(&slot).expect("occupied slot");
+        v.retain(|e| *e != exec);
+        if v.is_empty() {
+            self.slot_execs.remove(&slot);
+            self.node_topo_slot.remove(&(node, topo));
+        }
+        self.node_load[node.as_usize()] =
+            self.node_load[node.as_usize()] - self.load_of[&exec];
+        self.node_count[node.as_usize()] -= 1;
+    }
+
+    /// The slot `exec` could occupy on `node`, honouring the one-slot-
+    /// per-topology rule; `None` when the node has no compatible slot or
+    /// would violate the capacity/cap constraints.
+    fn feasible_slot(&self, exec: ExecutorId, node: NodeId) -> Option<SlotId> {
+        let k = node.as_usize();
+        if self.node_count[k] >= self.cap_count {
+            return None;
+        }
+        let cap = self.input.cluster.node(node).capacity
+            * self.input.params.capacity_fraction;
+        if self.node_load[k] + self.load_of[&exec] > cap {
+            return None;
+        }
+        let topo = self.topo_of[&exec];
+        if let Some(slot) = self.node_topo_slot.get(&(node, topo)) {
+            return Some(*slot);
+        }
+        self.input
+            .cluster
+            .slots_of(node)
+            .find(|s| !self.slot_execs.contains_key(&s.slot))
+            .map(|s| s.slot)
+    }
+
+    /// Traffic between `exec` and executors currently on `node`
+    /// (excluding itself).
+    fn affinity(&self, exec: ExecutorId, node: NodeId) -> f64 {
+        self.input
+            .traffic
+            .neighbours_of(exec)
+            .into_iter()
+            .filter(|(other, _)| {
+                self.slot_of(*other)
+                    .is_some_and(|s| self.input.cluster.node_of(s) == node)
+            })
+            .map(|(_, rate)| rate)
+            .sum()
+    }
+
+    fn slot_of(&self, exec: ExecutorId) -> Option<SlotId> {
+        self.slot_execs
+            .iter()
+            .find(|(_, v)| v.contains(&exec))
+            .map(|(s, _)| *s)
+    }
+}
+
+impl Scheduler for LocalSearchScheduler {
+    fn name(&self) -> &'static str {
+        "t-storm-ls"
+    }
+
+    fn schedule(&mut self, input: &SchedulingInput) -> Result<Assignment> {
+        let mut assignment = TStormScheduler::new().schedule(input)?;
+        self.last_improvement = 0.0;
+        let mut occ = Occupancy::build(input, &assignment);
+
+        // Executors in descending traffic order, as in Algorithm 1.
+        let mut order: Vec<ExecutorId> = input.executors.iter().map(|e| e.id).collect();
+        order.sort_by(|a, b| {
+            input
+                .traffic
+                .total_of(*b)
+                .partial_cmp(&input.traffic.total_of(*a))
+                .expect("finite traffic")
+                .then(a.cmp(b))
+        });
+
+        for _pass in 0..self.max_passes {
+            let mut improved = false;
+            for exec in &order {
+                let Some(cur_slot) = assignment.slot_of(*exec) else {
+                    continue;
+                };
+                let cur_node = input.cluster.node_of(cur_slot);
+                // Remove first so affinity/feasibility see the world
+                // without this executor.
+                occ.remove(*exec, cur_slot);
+                let here = occ.affinity(*exec, cur_node);
+                let mut best: Option<(f64, NodeId, SlotId)> = None;
+                for node in input.cluster.nodes() {
+                    if node.id == cur_node {
+                        continue;
+                    }
+                    let Some(slot) = occ.feasible_slot(*exec, node.id) else {
+                        continue;
+                    };
+                    let there = occ.affinity(*exec, node.id);
+                    // Gain: traffic that becomes local minus traffic that
+                    // stops being local.
+                    let gain = there - here;
+                    if gain > 1e-9 && best.is_none_or(|(g, _, _)| gain > g) {
+                        best = Some((gain, node.id, slot));
+                    }
+                }
+                match best {
+                    Some((gain, _, slot)) => {
+                        occ.insert(*exec, slot);
+                        assignment.assign(*exec, slot);
+                        self.last_improvement += gain;
+                        improved = true;
+                    }
+                    None => {
+                        // Put it back where it was; re-acquire the same
+                        // slot (feasible by construction).
+                        occ.insert(*exec, cur_slot);
+                    }
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+        Ok(assignment)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{ExecutorInfo, SchedParams, TrafficMatrix};
+    use crate::quality::AssignmentQuality;
+    use tstorm_cluster::ClusterSpec;
+    use tstorm_types::ComponentId;
+
+    fn e(i: u32) -> ExecutorId {
+        ExecutorId::new(i)
+    }
+
+    /// A ring of heavy pairs that single-pass greedy splits when caps
+    /// interleave placements.
+    fn ring_input(n: u32, nodes: u32, gamma: f64) -> SchedulingInput {
+        let cluster = ClusterSpec::homogeneous(nodes, 2, Mhz::new(8000.0)).expect("valid");
+        let executors = (0..n)
+            .map(|i| {
+                ExecutorInfo::new(e(i), TopologyId::new(0), ComponentId::new(0), Mhz::new(10.0))
+            })
+            .collect();
+        let mut traffic = TrafficMatrix::new();
+        for i in 0..n {
+            traffic.set(e(i), e((i + 1) % n), 100.0 + f64::from(i % 3) * 10.0);
+        }
+        SchedulingInput::new(
+            cluster,
+            executors,
+            traffic,
+            SchedParams::default().with_gamma(gamma),
+        )
+    }
+
+    #[test]
+    fn refinement_never_hurts() {
+        for (n, nodes, gamma) in [(8u32, 4u32, 1.0), (12, 3, 1.5), (16, 4, 2.0)] {
+            let input = ring_input(n, nodes, gamma);
+            let greedy = TStormScheduler::new().schedule(&input).expect("feasible");
+            let refined = LocalSearchScheduler::new()
+                .schedule(&input)
+                .expect("feasible");
+            let qg = AssignmentQuality::evaluate(&greedy, &input);
+            let qr = AssignmentQuality::evaluate(&refined, &input);
+            assert!(
+                qr.inter_node_traffic <= qg.inter_node_traffic + 1e-9,
+                "n={n}: refined {} vs greedy {}",
+                qr.inter_node_traffic,
+                qg.inter_node_traffic
+            );
+        }
+    }
+
+    #[test]
+    fn refinement_preserves_constraints() {
+        let input = ring_input(14, 4, 1.2);
+        let mut s = LocalSearchScheduler::new();
+        let a = s.schedule(&input).expect("feasible");
+        assert_eq!(a.len(), 14);
+        let ctx = input.executor_ctx();
+        let v = a.constraint_violations(&input.cluster, &ctx, Some(1.0));
+        assert!(v.is_empty(), "{v:?}");
+        // The per-node cap also holds after refinement.
+        let cap = input.node_executor_cap();
+        for node in input.cluster.nodes() {
+            let count = a
+                .iter()
+                .filter(|(_, s)| input.cluster.node_of(*s) == node.id)
+                .count();
+            assert!(count <= cap, "node {} has {count} > cap {cap}", node.id);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let input = ring_input(10, 3, 1.5);
+        let mut s = LocalSearchScheduler::new();
+        assert_eq!(
+            s.schedule(&input).expect("feasible"),
+            s.schedule(&input).expect("feasible")
+        );
+    }
+
+    #[test]
+    fn reports_improvement_amount() {
+        let input = ring_input(12, 4, 1.0);
+        let mut s = LocalSearchScheduler::new();
+        let refined = s.schedule(&input).expect("feasible");
+        let greedy = TStormScheduler::new().schedule(&input).expect("feasible");
+        let qg = AssignmentQuality::evaluate(&greedy, &input);
+        let qr = AssignmentQuality::evaluate(&refined, &input);
+        let measured_gain = qg.inter_node_traffic - qr.inter_node_traffic;
+        assert!(
+            (s.last_improvement() - measured_gain).abs() < 1e-6,
+            "reported {} vs measured {measured_gain}",
+            s.last_improvement()
+        );
+    }
+
+    #[test]
+    fn pass_budget_is_respected() {
+        let input = ring_input(16, 4, 1.0);
+        let mut s = LocalSearchScheduler::new().with_max_passes(1);
+        assert!(s.schedule(&input).is_ok());
+    }
+}

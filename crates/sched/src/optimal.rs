@@ -1,0 +1,267 @@
+//! Exhaustive optimal scheduling for tiny instances — a validation
+//! oracle, not a production scheduler.
+//!
+//! The paper's scheduling problem (minimise inter-node traffic subject
+//! to the three constraints) is NP-hard in general; Algorithm 1 is a
+//! greedy heuristic. For instances small enough to enumerate, this
+//! module computes the true optimum by branch-and-bound, letting tests
+//! quantify the greedy's optimality gap
+//! (`tests` below and `alg1_vs_optimal` in the workspace property
+//! suite).
+
+use crate::problem::SchedulingInput;
+use crate::quality::AssignmentQuality;
+use std::collections::HashMap;
+use tstorm_cluster::Assignment;
+use tstorm_types::{Mhz, NodeId, SlotId, TopologyId};
+
+/// Practical size limit: enumeration beyond this explodes.
+pub const MAX_EXECUTORS: usize = 10;
+
+/// Computes the minimum-inter-node-traffic assignment satisfying
+/// T-Storm's constraints, or `None` when the instance is infeasible or
+/// larger than [`MAX_EXECUTORS`].
+#[must_use]
+pub fn optimal_assignment(input: &SchedulingInput) -> Option<(Assignment, f64)> {
+    if input.num_executors() > MAX_EXECUTORS {
+        return None;
+    }
+    let mut search = Search {
+        input,
+        cap_count: input.node_executor_cap(),
+        node_load: vec![Mhz::ZERO; input.cluster.num_nodes()],
+        node_count: vec![0; input.cluster.num_nodes()],
+        node_topo_slot: HashMap::new(),
+        slot_used: vec![false; input.cluster.num_slots()],
+        placement: Vec::new(),
+        best: None,
+    };
+    search.recurse(0, 0.0);
+    search.best.map(|(placement, cost)| {
+        let assignment: Assignment = input
+            .executors
+            .iter()
+            .map(|e| e.id)
+            .zip(placement)
+            .collect();
+        (assignment, cost)
+    })
+}
+
+struct Search<'a> {
+    input: &'a SchedulingInput,
+    cap_count: usize,
+    node_load: Vec<Mhz>,
+    node_count: Vec<usize>,
+    node_topo_slot: HashMap<(NodeId, TopologyId), SlotId>,
+    slot_used: Vec<bool>,
+    placement: Vec<SlotId>,
+    best: Option<(Vec<SlotId>, f64)>,
+}
+
+impl Search<'_> {
+    fn recurse(&mut self, idx: usize, cost: f64) {
+        if let Some((_, best_cost)) = &self.best {
+            if cost >= *best_cost {
+                return; // bound
+            }
+        }
+        if idx == self.input.executors.len() {
+            self.best = Some((self.placement.clone(), cost));
+            return;
+        }
+        let info = self.input.executors[idx];
+        for node in self.input.cluster.nodes() {
+            let k = node.id.as_usize();
+            if self.node_count[k] >= self.cap_count {
+                continue;
+            }
+            let cap = node.capacity * self.input.params.capacity_fraction;
+            if self.node_load[k] + info.load > cap {
+                continue;
+            }
+            let (slot, fresh_slot) = match self.node_topo_slot.get(&(node.id, info.topology)) {
+                Some(slot) => (*slot, false),
+                None => {
+                    let Some(free) = self
+                        .input
+                        .cluster
+                        .slots_of(node.id)
+                        .find(|s| !self.slot_used[s.slot.as_usize()])
+                    else {
+                        continue;
+                    };
+                    (free.slot, true)
+                }
+            };
+            // Incremental inter-node traffic against already-placed
+            // executors.
+            let mut delta = 0.0;
+            for (other_idx, other_slot) in self.placement.iter().enumerate() {
+                let other = self.input.executors[other_idx].id;
+                if self.input.cluster.node_of(*other_slot) != node.id {
+                    delta += self.input.traffic.between(info.id, other);
+                }
+            }
+
+            // Apply.
+            self.node_load[k] += info.load;
+            self.node_count[k] += 1;
+            if fresh_slot {
+                self.node_topo_slot.insert((node.id, info.topology), slot);
+                self.slot_used[slot.as_usize()] = true;
+            }
+            self.placement.push(slot);
+
+            self.recurse(idx + 1, cost + delta);
+
+            // Undo.
+            self.placement.pop();
+            if fresh_slot {
+                self.node_topo_slot.remove(&(node.id, info.topology));
+                self.slot_used[slot.as_usize()] = false;
+            }
+            self.node_count[k] -= 1;
+            self.node_load[k] = self.node_load[k] - info.load;
+        }
+    }
+}
+
+/// Convenience: the optimality gap of an assignment vs the enumerated
+/// optimum: `(candidate − optimal, optimal)`. `None` when the instance
+/// cannot be enumerated.
+#[must_use]
+pub fn optimality_gap(assignment: &Assignment, input: &SchedulingInput) -> Option<(f64, f64)> {
+    let (_, opt_cost) = optimal_assignment(input)?;
+    let q = AssignmentQuality::evaluate(assignment, input);
+    Some((q.inter_node_traffic - opt_cost, opt_cost))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::local_search::LocalSearchScheduler;
+    use crate::problem::{ExecutorInfo, SchedParams, TrafficMatrix};
+    use crate::tstorm::TStormScheduler;
+    use crate::Scheduler;
+    use tstorm_cluster::ClusterSpec;
+    use tstorm_types::{ComponentId, ExecutorId};
+
+    fn e(i: u32) -> ExecutorId {
+        ExecutorId::new(i)
+    }
+
+    fn small_input(seed: u64) -> SchedulingInput {
+        use tstorm_types::DetRng;
+        let mut rng = DetRng::seed_from(seed);
+        let cluster = ClusterSpec::homogeneous(3, 2, Mhz::new(4000.0)).expect("valid");
+        let n = 7u32;
+        let executors = (0..n)
+            .map(|i| {
+                ExecutorInfo::new(e(i), TopologyId::new(0), ComponentId::new(0), Mhz::new(100.0))
+            })
+            .collect();
+        let mut traffic = TrafficMatrix::new();
+        for _ in 0..10 {
+            let a = rng.below(n as usize) as u32;
+            let b = rng.below(n as usize) as u32;
+            if a != b {
+                traffic.add(e(a), e(b), rng.range_f64(1.0, 100.0));
+            }
+        }
+        SchedulingInput::new(
+            cluster,
+            executors,
+            traffic,
+            SchedParams::default().with_gamma(1.5),
+        )
+    }
+
+    #[test]
+    fn optimum_satisfies_constraints() {
+        let input = small_input(5);
+        let (assignment, cost) = optimal_assignment(&input).expect("enumerable");
+        assert_eq!(assignment.len(), input.num_executors());
+        let ctx = input.executor_ctx();
+        assert!(assignment
+            .constraint_violations(&input.cluster, &ctx, Some(1.0))
+            .is_empty());
+        let q = AssignmentQuality::evaluate(&assignment, &input);
+        assert!((q.inter_node_traffic - cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn greedy_is_never_better_than_optimal() {
+        for seed in 0..20 {
+            let input = small_input(seed);
+            let (_, opt) = optimal_assignment(&input).expect("enumerable");
+            let greedy = TStormScheduler::new().schedule(&input).expect("feasible");
+            let q = AssignmentQuality::evaluate(&greedy, &input);
+            assert!(
+                q.inter_node_traffic >= opt - 1e-9,
+                "seed {seed}: greedy {} below optimum {opt}",
+                q.inter_node_traffic
+            );
+        }
+    }
+
+    #[test]
+    fn local_search_closes_part_of_the_gap() {
+        let mut greedy_gap = 0.0;
+        let mut ls_gap = 0.0;
+        for seed in 0..30 {
+            let input = small_input(seed);
+            let (_, opt) = optimal_assignment(&input).expect("enumerable");
+            let g = TStormScheduler::new().schedule(&input).expect("feasible");
+            let l = LocalSearchScheduler::new()
+                .schedule(&input)
+                .expect("feasible");
+            greedy_gap += AssignmentQuality::evaluate(&g, &input).inter_node_traffic - opt;
+            ls_gap += AssignmentQuality::evaluate(&l, &input).inter_node_traffic - opt;
+        }
+        assert!(ls_gap <= greedy_gap + 1e-9, "ls {ls_gap} vs greedy {greedy_gap}");
+    }
+
+    #[test]
+    fn oversized_instances_are_refused() {
+        let cluster = ClusterSpec::homogeneous(3, 4, Mhz::new(4000.0)).expect("valid");
+        let executors = (0..(MAX_EXECUTORS as u32 + 1))
+            .map(|i| {
+                ExecutorInfo::new(e(i), TopologyId::new(0), ComponentId::new(0), Mhz::new(1.0))
+            })
+            .collect();
+        let input = SchedulingInput::new(
+            cluster,
+            executors,
+            TrafficMatrix::new(),
+            SchedParams::default().with_gamma(8.0),
+        );
+        assert!(optimal_assignment(&input).is_none());
+    }
+
+    #[test]
+    fn infeasible_instances_return_none() {
+        // Two topologies, one slot.
+        let cluster = ClusterSpec::homogeneous(1, 1, Mhz::new(4000.0)).expect("valid");
+        let executors = vec![
+            ExecutorInfo::new(e(0), TopologyId::new(0), ComponentId::new(0), Mhz::new(1.0)),
+            ExecutorInfo::new(e(1), TopologyId::new(1), ComponentId::new(0), Mhz::new(1.0)),
+        ];
+        let input = SchedulingInput::new(
+            cluster,
+            executors,
+            TrafficMatrix::new(),
+            SchedParams::default().with_gamma(8.0),
+        );
+        assert!(optimal_assignment(&input).is_none());
+    }
+
+    #[test]
+    fn gap_helper_reports_consistent_values() {
+        let input = small_input(3);
+        let greedy = TStormScheduler::new().schedule(&input).expect("feasible");
+        let (gap, opt) = optimality_gap(&greedy, &input).expect("enumerable");
+        assert!(gap >= -1e-9);
+        assert!(opt >= 0.0);
+    }
+}

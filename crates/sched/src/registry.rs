@@ -1,0 +1,283 @@
+//! Hot-swapping of scheduling algorithms.
+//!
+//! T-Storm "allows the current scheduling algorithm to be replaced by a new
+//! one at runtime without shutting down the cluster … the code of a new
+//! scheduling algorithm can be loaded to the schedule generator without
+//! changing or stopping anything in Storm" (Section IV-C). In-process, the
+//! equivalent is:
+//!
+//! * [`SchedulerRegistry`] — a name → factory map ("loading code");
+//! * [`SwappableScheduler`] — a shared, lockable scheduler handle the
+//!   schedule generator calls through; [`SwappableScheduler::swap`] and
+//!   [`SwappableScheduler::swap_from_registry`] replace the algorithm
+//!   between (or even during) scheduling rounds without touching the rest
+//!   of the system.
+
+use crate::aniello::{AnielloOfflineScheduler, AnielloOnlineScheduler};
+use crate::local_search::LocalSearchScheduler;
+use crate::problem::SchedulingInput;
+use crate::roundrobin::RoundRobinScheduler;
+use crate::tstorm::TStormScheduler;
+use crate::Scheduler;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use tstorm_cluster::Assignment;
+use tstorm_types::{Result, TStormError};
+
+type Factory = Box<dyn Fn() -> Box<dyn Scheduler> + Send + Sync>;
+
+/// A registry of scheduler factories, keyed by name.
+pub struct SchedulerRegistry {
+    factories: BTreeMap<String, Factory>,
+}
+
+impl std::fmt::Debug for SchedulerRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SchedulerRegistry")
+            .field("names", &self.names())
+            .finish()
+    }
+}
+
+impl SchedulerRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            factories: BTreeMap::new(),
+        }
+    }
+
+    /// Creates a registry with all built-in schedulers registered:
+    /// `"storm-default"`, `"t-storm-initial"`, `"t-storm"`,
+    /// `"t-storm-ls"`, `"aniello-online"`, `"aniello-offline"`.
+    #[must_use]
+    pub fn with_builtins() -> Self {
+        let mut r = Self::new();
+        r.register("storm-default", || {
+            Box::new(RoundRobinScheduler::storm_default())
+        });
+        r.register("t-storm-initial", || {
+            Box::new(RoundRobinScheduler::tstorm_initial())
+        });
+        r.register("t-storm", || Box::new(TStormScheduler::new()));
+        r.register("t-storm-ls", || Box::new(LocalSearchScheduler::new()));
+        r.register("aniello-online", || Box::new(AnielloOnlineScheduler::new()));
+        r.register("aniello-offline", || {
+            Box::new(AnielloOfflineScheduler::new())
+        });
+        r
+    }
+
+    /// Registers (or replaces) a factory under a name.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        factory: impl Fn() -> Box<dyn Scheduler> + Send + Sync + 'static,
+    ) {
+        self.factories.insert(name.into(), Box::new(factory));
+    }
+
+    /// Instantiates a scheduler by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TStormError::UnknownScheduler`] for unregistered names.
+    pub fn create(&self, name: &str) -> Result<Box<dyn Scheduler>> {
+        self.factories
+            .get(name)
+            .map(|f| f())
+            .ok_or_else(|| TStormError::UnknownScheduler {
+                name: name.to_owned(),
+            })
+    }
+
+    /// Registered names, sorted.
+    #[must_use]
+    pub fn names(&self) -> Vec<&str> {
+        self.factories.keys().map(String::as_str).collect()
+    }
+}
+
+impl Default for SchedulerRegistry {
+    fn default() -> Self {
+        Self::with_builtins()
+    }
+}
+
+/// A shared scheduler handle whose algorithm can be replaced at runtime.
+///
+/// Clones share the same underlying scheduler; swapping through any clone
+/// affects all of them — exactly the deployment shape of T-Storm's
+/// schedule generator, where an operator swaps the algorithm while the
+/// generator keeps running.
+#[derive(Clone)]
+pub struct SwappableScheduler {
+    inner: Arc<Mutex<Box<dyn Scheduler>>>,
+    current: Arc<Mutex<String>>,
+}
+
+impl std::fmt::Debug for SwappableScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SwappableScheduler")
+            .field("current", &*self.current.lock())
+            .finish()
+    }
+}
+
+impl SwappableScheduler {
+    /// Wraps an initial scheduler.
+    #[must_use]
+    pub fn new(scheduler: Box<dyn Scheduler>) -> Self {
+        let name = scheduler.name().to_owned();
+        Self {
+            inner: Arc::new(Mutex::new(scheduler)),
+            current: Arc::new(Mutex::new(name)),
+        }
+    }
+
+    /// Replaces the algorithm.
+    pub fn swap(&self, scheduler: Box<dyn Scheduler>) {
+        *self.current.lock() = scheduler.name().to_owned();
+        *self.inner.lock() = scheduler;
+    }
+
+    /// Replaces the algorithm with one created from a registry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TStormError::UnknownScheduler`] for unregistered names.
+    pub fn swap_from_registry(&self, registry: &SchedulerRegistry, name: &str) -> Result<()> {
+        let scheduler = registry.create(name)?;
+        self.swap(scheduler);
+        Ok(())
+    }
+
+    /// The name of the algorithm currently installed.
+    #[must_use]
+    pub fn current_name(&self) -> String {
+        self.current.lock().clone()
+    }
+
+    /// Runs the installed algorithm on an input.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the installed scheduler's error.
+    pub fn schedule(&self, input: &SchedulingInput) -> Result<Assignment> {
+        self.inner.lock().schedule(input)
+    }
+}
+
+impl Scheduler for SwappableScheduler {
+    fn name(&self) -> &'static str {
+        "swappable"
+    }
+
+    fn schedule(&mut self, input: &SchedulingInput) -> Result<Assignment> {
+        SwappableScheduler::schedule(self, input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{ExecutorInfo, SchedParams, TrafficMatrix};
+    use tstorm_cluster::ClusterSpec;
+    use tstorm_types::{ComponentId, ExecutorId, Mhz, TopologyId};
+
+    fn input() -> SchedulingInput {
+        let cluster = ClusterSpec::homogeneous(2, 2, Mhz::new(4000.0)).unwrap();
+        let executors = (0..4)
+            .map(|i| {
+                ExecutorInfo::new(
+                    ExecutorId::new(i),
+                    TopologyId::new(0),
+                    ComponentId::new(0),
+                    Mhz::new(10.0),
+                )
+            })
+            .collect();
+        SchedulingInput::new(
+            cluster,
+            executors,
+            TrafficMatrix::new(),
+            SchedParams::default().with_workers(TopologyId::new(0), 4),
+        )
+    }
+
+    #[test]
+    fn registry_has_all_builtins() {
+        let r = SchedulerRegistry::with_builtins();
+        assert_eq!(
+            r.names(),
+            vec![
+                "aniello-offline",
+                "aniello-online",
+                "storm-default",
+                "t-storm",
+                "t-storm-initial",
+                "t-storm-ls"
+            ]
+        );
+        for name in r.names() {
+            let mut s = r.create(name).expect("factory works");
+            assert!(s.schedule(&input()).is_ok(), "{name}");
+        }
+    }
+
+    #[test]
+    fn registry_unknown_name_errors() {
+        let r = SchedulerRegistry::with_builtins();
+        let err = match r.create("nope") {
+            Err(e) => e,
+            Ok(_) => panic!("expected unknown-scheduler error"),
+        };
+        assert!(matches!(err, TStormError::UnknownScheduler { .. }));
+    }
+
+    #[test]
+    fn registry_custom_registration() {
+        let mut r = SchedulerRegistry::new();
+        assert!(r.names().is_empty());
+        r.register("mine", || Box::new(TStormScheduler::new()));
+        assert!(r.create("mine").is_ok());
+    }
+
+    #[test]
+    fn swap_changes_algorithm_for_all_clones() {
+        let swappable =
+            SwappableScheduler::new(Box::new(RoundRobinScheduler::storm_default()));
+        let clone = swappable.clone();
+        assert_eq!(clone.current_name(), "round-robin (storm default)");
+
+        let registry = SchedulerRegistry::with_builtins();
+        swappable
+            .swap_from_registry(&registry, "t-storm")
+            .expect("swap works");
+        assert_eq!(clone.current_name(), "t-storm");
+
+        // Both handles schedule through the new algorithm.
+        let input = input();
+        let a = clone.schedule(&input).expect("feasible");
+        assert_eq!(a.len(), 4);
+    }
+
+    #[test]
+    fn swappable_implements_scheduler_trait() {
+        let mut s: Box<dyn Scheduler> = Box::new(SwappableScheduler::new(Box::new(
+            TStormScheduler::new(),
+        )));
+        assert_eq!(s.name(), "swappable");
+        assert!(s.schedule(&input()).is_ok());
+    }
+
+    #[test]
+    fn swap_unknown_name_fails_and_keeps_current() {
+        let swappable = SwappableScheduler::new(Box::new(TStormScheduler::new()));
+        let registry = SchedulerRegistry::with_builtins();
+        assert!(swappable.swap_from_registry(&registry, "bogus").is_err());
+        assert_eq!(swappable.current_name(), "t-storm");
+    }
+}

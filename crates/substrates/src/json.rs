@@ -1,0 +1,168 @@
+//! A minimal flat-JSON codec.
+//!
+//! LogStash "submits log lines as separate JSON values into a Redis queue"
+//! (Section V). The log generator emits flat JSON objects with string
+//! values; this module encodes/decodes exactly that subset without pulling
+//! in a JSON dependency. Keys and values are escaped for `"` and `\`.
+
+use std::collections::BTreeMap;
+
+/// Encodes a flat string map as a JSON object with deterministic key
+/// order.
+#[must_use]
+pub fn encode(map: &BTreeMap<String, String>) -> String {
+    let mut out = String::with_capacity(map.len() * 16 + 2);
+    out.push('{');
+    for (i, (k, v)) in map.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_string(&mut out, k);
+        out.push(':');
+        push_string(&mut out, v);
+    }
+    out.push('}');
+    out
+}
+
+fn push_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            other => out.push(other),
+        }
+    }
+    out.push('"');
+}
+
+/// Decodes a flat JSON object with string values, as produced by
+/// [`encode`]. Returns `None` on any malformed input.
+#[must_use]
+pub fn decode(input: &str) -> Option<BTreeMap<String, String>> {
+    let mut chars = input.trim().chars().peekable();
+    if chars.next()? != '{' {
+        return None;
+    }
+    let mut map = BTreeMap::new();
+    loop {
+        skip_ws(&mut chars);
+        match chars.peek()? {
+            '}' => {
+                chars.next();
+                break;
+            }
+            '"' => {
+                let key = parse_string(&mut chars)?;
+                skip_ws(&mut chars);
+                if chars.next()? != ':' {
+                    return None;
+                }
+                skip_ws(&mut chars);
+                let value = parse_string(&mut chars)?;
+                map.insert(key, value);
+                skip_ws(&mut chars);
+                match chars.peek()? {
+                    ',' => {
+                        chars.next();
+                        skip_ws(&mut chars);
+                        // A comma must be followed by another pair, not '}'.
+                        if chars.peek()? != &'"' {
+                            return None;
+                        }
+                    }
+                    '}' => {}
+                    _ => return None,
+                }
+            }
+            _ => return None,
+        }
+    }
+    skip_ws(&mut chars);
+    if chars.next().is_some() {
+        return None;
+    }
+    Some(map)
+}
+
+fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+    while matches!(chars.peek(), Some(c) if c.is_ascii_whitespace()) {
+        chars.next();
+    }
+}
+
+fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Option<String> {
+    if chars.next()? != '"' {
+        return None;
+    }
+    let mut out = String::new();
+    loop {
+        match chars.next()? {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                'r' => out.push('\r'),
+                _ => return None,
+            },
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(pairs: &[(&str, &str)]) -> BTreeMap<String, String> {
+        pairs
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_simple() {
+        let m = map(&[("uri", "/index.html"), ("status", "200")]);
+        let json = encode(&m);
+        assert_eq!(json, r#"{"status":"200","uri":"/index.html"}"#);
+        assert_eq!(decode(&json), Some(m));
+    }
+
+    #[test]
+    fn roundtrip_escapes() {
+        let m = map(&[("q", "a\"b\\c\nd\te\rf")]);
+        assert_eq!(decode(&encode(&m)), Some(m));
+    }
+
+    #[test]
+    fn empty_object() {
+        let m = BTreeMap::new();
+        assert_eq!(encode(&m), "{}");
+        assert_eq!(decode("{}"), Some(m));
+        assert_eq!(decode(" { } "), Some(BTreeMap::new()));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert_eq!(decode(""), None);
+        assert_eq!(decode("{"), None);
+        assert_eq!(decode(r#"{"a"}"#), None);
+        assert_eq!(decode(r#"{"a":1}"#), None); // non-string value
+        assert_eq!(decode(r#"{"a":"b""#), None);
+        assert_eq!(decode(r#"{"a":"b"} trailing"#), None);
+        assert_eq!(decode(r#"{"a":"b",}"#), None);
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        let got = decode("{ \"a\" : \"b\" , \"c\" : \"d\" }").unwrap();
+        assert_eq!(got, map(&[("a", "b"), ("c", "d")]));
+    }
+}

@@ -1,0 +1,207 @@
+//! A MongoDB-like in-memory document store.
+//!
+//! The paper's topologies end in "Mongo bolts" that "simply save the
+//! results into separate collections in a Mongo database for verification".
+//! This store plays that role: sink bolts insert documents, tests and
+//! examples read collections back to verify end-to-end correctness (e.g.
+//! that Word Count's counts match the corpus).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A flat document: ordered field → value strings.
+///
+/// Flat string documents are all the paper's bolts produce (word/count
+/// pairs, log-entry summaries, counter snapshots).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Document {
+    fields: BTreeMap<String, String>,
+}
+
+impl Document {
+    /// Creates an empty document.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style field insertion.
+    #[must_use]
+    pub fn with(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.fields.insert(key.into(), value.into());
+        self
+    }
+
+    /// Sets a field.
+    pub fn set(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        self.fields.insert(key.into(), value.into());
+    }
+
+    /// Reads a field.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.fields.get(key).map(String::as_str)
+    }
+
+    /// Number of fields.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True if the document has no fields.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Iterates `(field, value)` pairs in field order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.fields.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+}
+
+/// An in-memory collection/document store with insert counting.
+///
+/// # Example
+///
+/// ```
+/// use tstorm_substrates::{Document, MongoStore};
+///
+/// let mut db = MongoStore::new();
+/// db.upsert_by("words", "word", Document::new().with("word", "cat").with("count", "1"));
+/// db.upsert_by("words", "word", Document::new().with("word", "cat").with("count", "2"));
+/// assert_eq!(db.count("words"), 1); // one row per word
+/// assert_eq!(db.find_by("words", "word", "cat").unwrap().get("count"), Some("2"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MongoStore {
+    collections: BTreeMap<String, Vec<Document>>,
+    inserts: u64,
+}
+
+impl MongoStore {
+    /// Creates an empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a document into a collection (created on first use).
+    pub fn insert(&mut self, collection: &str, doc: Document) {
+        self.collections
+            .entry(collection.to_owned())
+            .or_default()
+            .push(doc);
+        self.inserts += 1;
+    }
+
+    /// Upserts by key field: if a document with the same value of
+    /// `key_field` exists, it is replaced; otherwise the document is
+    /// inserted. This is how the Word Count Mongo bolt keeps one row per
+    /// word.
+    pub fn upsert_by(&mut self, collection: &str, key_field: &str, doc: Document) {
+        let coll = self.collections.entry(collection.to_owned()).or_default();
+        let key = doc.get(key_field).map(str::to_owned);
+        if let Some(key) = key {
+            if let Some(existing) = coll
+                .iter_mut()
+                .find(|d| d.get(key_field) == Some(key.as_str()))
+            {
+                *existing = doc;
+                self.inserts += 1;
+                return;
+            }
+        }
+        coll.push(doc);
+        self.inserts += 1;
+    }
+
+    /// All documents in a collection (empty slice if absent).
+    #[must_use]
+    pub fn collection(&self, name: &str) -> &[Document] {
+        self.collections.get(name).map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of documents in a collection.
+    #[must_use]
+    pub fn count(&self, name: &str) -> usize {
+        self.collection(name).len()
+    }
+
+    /// Collection names in order.
+    #[must_use]
+    pub fn collection_names(&self) -> Vec<&str> {
+        self.collections.keys().map(String::as_str).collect()
+    }
+
+    /// Total insert operations performed (including upserts).
+    #[must_use]
+    pub fn total_inserts(&self) -> u64 {
+        self.inserts
+    }
+
+    /// Finds the first document in a collection whose `field` equals
+    /// `value`.
+    #[must_use]
+    pub fn find_by(&self, collection: &str, field: &str, value: &str) -> Option<&Document> {
+        self.collection(collection)
+            .iter()
+            .find(|d| d.get(field) == Some(value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_count() {
+        let mut m = MongoStore::new();
+        m.insert("words", Document::new().with("word", "cat").with("n", "1"));
+        m.insert("words", Document::new().with("word", "dog").with("n", "2"));
+        assert_eq!(m.count("words"), 2);
+        assert_eq!(m.count("missing"), 0);
+        assert_eq!(m.total_inserts(), 2);
+        assert_eq!(m.collection_names(), vec!["words"]);
+    }
+
+    #[test]
+    fn find_by_field() {
+        let mut m = MongoStore::new();
+        m.insert("words", Document::new().with("word", "cat").with("n", "3"));
+        let d = m.find_by("words", "word", "cat").expect("found");
+        assert_eq!(d.get("n"), Some("3"));
+        assert!(m.find_by("words", "word", "dog").is_none());
+    }
+
+    #[test]
+    fn upsert_replaces_matching_key() {
+        let mut m = MongoStore::new();
+        m.upsert_by("words", "word", Document::new().with("word", "cat").with("n", "1"));
+        m.upsert_by("words", "word", Document::new().with("word", "cat").with("n", "5"));
+        m.upsert_by("words", "word", Document::new().with("word", "dog").with("n", "2"));
+        assert_eq!(m.count("words"), 2);
+        assert_eq!(m.find_by("words", "word", "cat").unwrap().get("n"), Some("5"));
+        assert_eq!(m.total_inserts(), 3);
+    }
+
+    #[test]
+    fn upsert_without_key_field_inserts() {
+        let mut m = MongoStore::new();
+        m.upsert_by("c", "k", Document::new().with("other", "1"));
+        m.upsert_by("c", "k", Document::new().with("other", "2"));
+        assert_eq!(m.count("c"), 2);
+    }
+
+    #[test]
+    fn document_accessors() {
+        let mut d = Document::new();
+        assert!(d.is_empty());
+        d.set("a", "1");
+        assert_eq!(d.get("a"), Some("1"));
+        assert_eq!(d.len(), 1);
+        let pairs: Vec<_> = d.iter().collect();
+        assert_eq!(pairs, vec![("a", "1")]);
+    }
+}

@@ -1,0 +1,414 @@
+//! Fluent construction of validated topologies.
+
+use crate::component::{ComponentKind, ComponentSpec, CostProfile};
+use crate::grouping::Grouping;
+use crate::topology::{StreamEdge, Topology, ACKER_COMPONENT};
+use crate::value::Fields;
+use tstorm_types::{ComponentId, Result, SimTime, TStormError};
+
+/// Default tuple-processing timeout: 30 seconds, as in Storm 0.8.2.
+pub const DEFAULT_MESSAGE_TIMEOUT: SimTime = SimTime::from_secs(30);
+
+/// Default spout pacing: the paper's Throughput Test spout sleeps 5 ms
+/// between tuples for rate control.
+pub const DEFAULT_EMIT_INTERVAL: SimTime = SimTime::from_millis(5);
+
+struct PendingEdge {
+    from_name: String,
+    to_name: String,
+    grouping: Grouping,
+}
+
+/// Builds a [`Topology`] incrementally, mirroring Storm's
+/// `TopologyBuilder` API (C-BUILDER).
+///
+/// # Example
+///
+/// ```
+/// use tstorm_topology::{Grouping, TopologyBuilder, CostProfile};
+///
+/// let topo = TopologyBuilder::new("throughput-test")
+///     .spout("spout", 5, &["payload"])
+///     .bolt("identity", 15, &["payload"], &[("spout", Grouping::Shuffle)])
+///     .bolt_with_cost(
+///         "counter", 15, &["count"],
+///         &[("identity", Grouping::Shuffle)],
+///         CostProfile::light(),
+///     )
+///     .num_workers(40)
+///     .num_ackers(10)
+///     .build()?;
+/// assert_eq!(topo.total_executors(), 45);
+/// # Ok::<(), tstorm_types::TStormError>(())
+/// ```
+pub struct TopologyBuilder {
+    name: String,
+    components: Vec<ComponentSpec>,
+    edges: Vec<PendingEdge>,
+    num_workers: u32,
+    num_ackers: u32,
+    message_timeout: SimTime,
+    acker_cost: CostProfile,
+}
+
+impl TopologyBuilder {
+    /// Starts a new topology with the given name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            components: Vec::new(),
+            edges: Vec::new(),
+            num_workers: 1,
+            num_ackers: 0,
+            message_timeout: DEFAULT_MESSAGE_TIMEOUT,
+            acker_cost: CostProfile {
+                cycles_per_tuple: 10_000, // ackers only XOR ids
+                cycles_per_emit: 4_000,
+                cycles_per_input_byte: 0,
+                emit_overhead_bytes: tstorm_types::Bytes::new(20),
+            },
+        }
+    }
+
+    /// Declares a spout with default (light) cost and default pacing.
+    #[must_use]
+    pub fn spout<S: AsRef<str>>(self, name: &str, parallelism: u32, fields: &[S]) -> Self {
+        self.spout_with(
+            name,
+            parallelism,
+            fields,
+            CostProfile::light(),
+            DEFAULT_EMIT_INTERVAL,
+        )
+    }
+
+    /// Declares a spout with an explicit cost profile and pacing interval.
+    #[must_use]
+    pub fn spout_with<S: AsRef<str>>(
+        mut self,
+        name: &str,
+        parallelism: u32,
+        fields: &[S],
+        cost: CostProfile,
+        emit_interval: SimTime,
+    ) -> Self {
+        self.components.push(ComponentSpec {
+            name: name.to_owned(),
+            kind: ComponentKind::Spout,
+            parallelism,
+            num_tasks: parallelism,
+            output_fields: Fields::new(fields),
+            cost,
+            emit_interval,
+        });
+        self
+    }
+
+    /// Declares a bolt with default (light) cost, consuming the listed
+    /// upstream streams.
+    #[must_use]
+    pub fn bolt<S: AsRef<str>>(
+        self,
+        name: &str,
+        parallelism: u32,
+        fields: &[S],
+        inputs: &[(&str, Grouping)],
+    ) -> Self {
+        self.bolt_with_cost(name, parallelism, fields, inputs, CostProfile::light())
+    }
+
+    /// Declares a bolt with an explicit cost profile.
+    #[must_use]
+    pub fn bolt_with_cost<S: AsRef<str>>(
+        mut self,
+        name: &str,
+        parallelism: u32,
+        fields: &[S],
+        inputs: &[(&str, Grouping)],
+        cost: CostProfile,
+    ) -> Self {
+        self.components.push(ComponentSpec {
+            name: name.to_owned(),
+            kind: ComponentKind::Bolt,
+            parallelism,
+            num_tasks: parallelism,
+            output_fields: Fields::new(fields),
+            cost,
+            emit_interval: SimTime::ZERO,
+        });
+        for (from, grouping) in inputs {
+            self.edges.push(PendingEdge {
+                from_name: (*from).to_owned(),
+                to_name: name.to_owned(),
+                grouping: grouping.clone(),
+            });
+        }
+        self
+    }
+
+    /// Overrides the task count of the most recently declared component
+    /// (tasks default to the parallelism).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no component has been declared yet.
+    #[must_use]
+    pub fn tasks(mut self, num_tasks: u32) -> Self {
+        let last = self
+            .components
+            .last_mut()
+            .expect("tasks() requires a declared component");
+        last.num_tasks = num_tasks;
+        self
+    }
+
+    /// Sets the number of workers the user requests (the paper's `Nu`).
+    #[must_use]
+    pub fn num_workers(mut self, n: u32) -> Self {
+        self.num_workers = n;
+        self
+    }
+
+    /// Sets the number of acker executors (0 disables acking — tuples
+    /// complete at their terminal bolt and cannot be replayed).
+    #[must_use]
+    pub fn num_ackers(mut self, n: u32) -> Self {
+        self.num_ackers = n;
+        self
+    }
+
+    /// Sets the tuple-processing timeout (Storm default: 30 s).
+    #[must_use]
+    pub fn message_timeout(mut self, timeout: SimTime) -> Self {
+        self.message_timeout = timeout;
+        self
+    }
+
+    /// Finalises and validates the topology.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TStormError::InvalidTopology`] if any edge references an
+    /// undeclared component, a fields grouping keys on a missing field, the
+    /// graph is cyclic, or any parallelism is zero.
+    pub fn build(mut self) -> Result<Topology> {
+        if self.num_ackers > 0 {
+            self.components.push(ComponentSpec {
+                name: ACKER_COMPONENT.to_owned(),
+                kind: ComponentKind::Bolt,
+                parallelism: self.num_ackers,
+                num_tasks: self.num_ackers,
+                output_fields: Fields::new::<&str>(&[]),
+                cost: self.acker_cost,
+                emit_interval: SimTime::ZERO,
+            });
+        }
+
+        let find = |name: &str, comps: &[ComponentSpec]| -> Result<ComponentId> {
+            comps
+                .iter()
+                .position(|c| c.name == name)
+                .map(|i| ComponentId::new(i as u32))
+                .ok_or_else(|| {
+                    TStormError::invalid_topology(format!(
+                        "edge references undeclared component `{name}`"
+                    ))
+                })
+        };
+
+        let mut edges = Vec::with_capacity(self.edges.len());
+        for pe in &self.edges {
+            let from = find(&pe.from_name, &self.components)?;
+            let to = find(&pe.to_name, &self.components)?;
+            let key_indices = match &pe.grouping {
+                Grouping::Fields(names) => {
+                    let schema = &self.components[from.as_usize()].output_fields;
+                    let mut idx = Vec::with_capacity(names.len());
+                    for n in names {
+                        match schema.index_of(n) {
+                            Some(i) => idx.push(i),
+                            None => {
+                                return Err(TStormError::invalid_topology(format!(
+                                    "fields grouping into `{}` keys on `{n}`, which `{}` does not emit",
+                                    pe.to_name, pe.from_name
+                                )))
+                            }
+                        }
+                    }
+                    idx
+                }
+                _ => Vec::new(),
+            };
+            edges.push(StreamEdge {
+                from,
+                to,
+                grouping: pe.grouping.clone(),
+                key_indices,
+            });
+        }
+
+        let topo = Topology {
+            name: self.name,
+            components: self.components,
+            edges,
+            num_workers: self.num_workers,
+            message_timeout: self.message_timeout,
+        };
+        topo.validate()?;
+        Ok(topo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain() -> Result<Topology> {
+        TopologyBuilder::new("chain")
+            .spout("s", 1, &["v"])
+            .bolt("b1", 1, &["v"], &[("s", Grouping::Shuffle)])
+            .bolt("b2", 1, &["v"], &[("b1", Grouping::Shuffle)])
+            .num_ackers(5)
+            .num_workers(10)
+            .build()
+    }
+
+    #[test]
+    fn builds_valid_chain() {
+        let t = chain().expect("valid");
+        assert_eq!(t.components().len(), 4); // s, b1, b2, __acker
+        assert_eq!(t.total_executors(), 8);
+        assert!(t.acker_component().is_some());
+        assert_eq!(t.message_timeout(), SimTime::from_secs(30));
+    }
+
+    #[test]
+    fn zero_ackers_means_no_acker_component() {
+        let t = TopologyBuilder::new("t")
+            .spout("s", 1, &["v"])
+            .bolt("b", 1, &["v"], &[("s", Grouping::Shuffle)])
+            .build()
+            .expect("valid");
+        assert!(t.acker_component().is_none());
+        assert_eq!(t.components().len(), 2);
+    }
+
+    #[test]
+    fn rejects_unknown_upstream() {
+        let err = TopologyBuilder::new("t")
+            .spout("s", 1, &["v"])
+            .bolt("b", 1, &["v"], &[("nope", Grouping::Shuffle)])
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("undeclared component"));
+    }
+
+    #[test]
+    fn rejects_missing_key_field() {
+        let err = TopologyBuilder::new("t")
+            .spout("s", 1, &["line"])
+            .bolt("b", 1, &["w"], &[("s", Grouping::fields(&["word"]))])
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("does not emit"));
+    }
+
+    #[test]
+    fn rejects_zero_parallelism() {
+        let err = TopologyBuilder::new("t")
+            .spout("s", 0, &["v"])
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("zero parallelism"));
+    }
+
+    #[test]
+    fn rejects_topology_without_spout() {
+        let err = TopologyBuilder::new("t")
+            .bolt::<&str>("b", 1, &[], &[])
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("no spout"));
+    }
+
+    #[test]
+    fn rejects_cycle() {
+        let err = TopologyBuilder::new("t")
+            .spout("s", 1, &["v"])
+            .bolt("b1", 1, &["v"], &[("s", Grouping::Shuffle)])
+            .bolt("b2", 1, &["v"], &[("b1", Grouping::Shuffle)])
+            // b3 consumes itself: a self-loop is the smallest cycle.
+            .bolt("b3", 1, &["v"], &[("b2", Grouping::Shuffle), ("b3", Grouping::Shuffle)])
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("cycle"));
+    }
+
+    #[test]
+    fn resolves_field_indices() {
+        let t = TopologyBuilder::new("t")
+            .spout("s", 1, &["a", "word", "b"])
+            .bolt("c", 3, &["n"], &[("s", Grouping::fields(&["word"]))])
+            .build()
+            .expect("valid");
+        let edge = &t.edges()[0];
+        assert_eq!(edge.key_indices, vec![1]);
+    }
+
+    #[test]
+    fn tasks_can_exceed_parallelism() {
+        let t = TopologyBuilder::new("t")
+            .spout("s", 2, &["v"])
+            .tasks(8)
+            .bolt("b", 1, &["v"], &[("s", Grouping::Shuffle)])
+            .build()
+            .expect("valid");
+        assert_eq!(t.component(t.component_id("s").unwrap()).num_tasks(), 8);
+    }
+
+    #[test]
+    fn rejects_tasks_below_parallelism() {
+        let err = TopologyBuilder::new("t")
+            .spout("s", 4, &["v"])
+            .tasks(2)
+            .bolt("b", 1, &["v"], &[("s", Grouping::Shuffle)])
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("fewer tasks"));
+    }
+
+    #[test]
+    fn topological_order_starts_with_spout() {
+        let t = chain().expect("valid");
+        let order = t.topological_order();
+        assert_eq!(order.len(), 4);
+        assert_eq!(t.component(order[0]).kind(), ComponentKind::Spout);
+    }
+
+    #[test]
+    fn spout_cannot_consume() {
+        // Constructed directly to bypass builder ordering: builder cannot
+        // even express it (spouts take no inputs), so check validate().
+        let mut t = chain().expect("valid");
+        let spout = t.component_id("s").unwrap();
+        let b1 = t.component_id("b1").unwrap();
+        t.edges.push(StreamEdge {
+            from: b1,
+            to: spout,
+            grouping: Grouping::Shuffle,
+            key_indices: vec![],
+        });
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn edges_from_and_into() {
+        let t = chain().expect("valid");
+        let s = t.component_id("s").unwrap();
+        let b1 = t.component_id("b1").unwrap();
+        assert_eq!(t.edges_from(s).count(), 1);
+        assert_eq!(t.edges_into(b1).count(), 1);
+        assert_eq!(t.edges_into(s).count(), 0);
+    }
+}

@@ -1,0 +1,206 @@
+//! Component specifications: spouts, bolts and their cost profiles.
+
+use crate::value::Fields;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use tstorm_types::{Bytes, SimTime};
+
+/// Whether a component is a stream source or a stream processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ComponentKind {
+    /// A source of tuples (reads external data, emits into the topology).
+    Spout,
+    /// A consumer/transformer of tuples.
+    Bolt,
+}
+
+impl fmt::Display for ComponentKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ComponentKind::Spout => f.write_str("spout"),
+            ComponentKind::Bolt => f.write_str("bolt"),
+        }
+    }
+}
+
+/// The execution-cost profile of a component, consumed by the simulator's
+/// CPU and network models.
+///
+/// The paper's workloads differ exactly along these axes: Throughput Test
+/// bolts "are designed to do little work", Word Count bolts do "much more
+/// substantial work", and Log Stream bolts do "even more intensive work"
+/// (Section V). Costs are in CPU *cycles* per tuple so that service time
+/// scales with the node's MHz share under contention.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostProfile {
+    /// Cycles consumed to process one input tuple (for spouts: to produce
+    /// one output tuple), before per-emit costs.
+    pub cycles_per_tuple: u64,
+    /// Additional cycles per emitted tuple (serialisation, bookkeeping).
+    pub cycles_per_emit: u64,
+    /// Additional cycles per byte of input payload — models
+    /// (de)serialisation and copying cost, which dominates for large
+    /// tuples like Throughput Test's 10 KB random strings.
+    pub cycles_per_input_byte: u64,
+    /// Approximate payload size added on each emit beyond the carried
+    /// values (headers, ids). Payload value bytes are computed from the
+    /// actual tuple contents.
+    pub emit_overhead_bytes: Bytes,
+}
+
+impl CostProfile {
+    /// A near-free profile (identity bolts, counters, ackers).
+    #[must_use]
+    pub const fn light() -> Self {
+        Self {
+            cycles_per_tuple: 40_000, // 20 µs on a 2 GHz core
+            cycles_per_emit: 8_000,
+            cycles_per_input_byte: 0,
+            emit_overhead_bytes: Bytes::new(32),
+        }
+    }
+
+    /// A moderate profile (string splitting, counting with hash maps).
+    #[must_use]
+    pub const fn medium() -> Self {
+        Self {
+            cycles_per_tuple: 400_000, // 200 µs on a 2 GHz core
+            cycles_per_emit: 20_000,
+            cycles_per_input_byte: 0,
+            emit_overhead_bytes: Bytes::new(32),
+        }
+    }
+
+    /// A heavy profile (rule evaluation, indexing, database inserts).
+    #[must_use]
+    pub const fn heavy() -> Self {
+        Self {
+            cycles_per_tuple: 2_000_000, // 1 ms on a 2 GHz core
+            cycles_per_emit: 40_000,
+            cycles_per_input_byte: 0,
+            emit_overhead_bytes: Bytes::new(64),
+        }
+    }
+
+    /// Builder-style override of [`CostProfile::cycles_per_tuple`].
+    #[must_use]
+    pub const fn with_cycles_per_tuple(mut self, cycles: u64) -> Self {
+        self.cycles_per_tuple = cycles;
+        self
+    }
+
+    /// Builder-style override of [`CostProfile::cycles_per_emit`].
+    #[must_use]
+    pub const fn with_cycles_per_emit(mut self, cycles: u64) -> Self {
+        self.cycles_per_emit = cycles;
+        self
+    }
+
+    /// Builder-style override of [`CostProfile::cycles_per_input_byte`].
+    #[must_use]
+    pub const fn with_cycles_per_input_byte(mut self, cycles: u64) -> Self {
+        self.cycles_per_input_byte = cycles;
+        self
+    }
+}
+
+impl Default for CostProfile {
+    fn default() -> Self {
+        Self::light()
+    }
+}
+
+/// The full static specification of one component.
+///
+/// Construct through [`crate::TopologyBuilder`]; fields are read-only
+/// afterwards (C-STRUCT-PRIVATE) via accessors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComponentSpec {
+    pub(crate) name: String,
+    pub(crate) kind: ComponentKind,
+    pub(crate) parallelism: u32,
+    pub(crate) num_tasks: u32,
+    pub(crate) output_fields: Fields,
+    pub(crate) cost: CostProfile,
+    /// Spout rate control: minimum virtual time between consecutive
+    /// `next_tuple` calls on one spout task. The paper's Throughput Test
+    /// spout sleeps 5 ms per tuple; that sleep is deducted from reported
+    /// processing time, which the simulator honours by timestamping tuples
+    /// at emission.
+    pub(crate) emit_interval: SimTime,
+}
+
+impl ComponentSpec {
+    /// The component's user-visible name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Spout or bolt.
+    #[must_use]
+    pub fn kind(&self) -> ComponentKind {
+        self.kind
+    }
+
+    /// Number of executors requested for this component.
+    #[must_use]
+    pub fn parallelism(&self) -> u32 {
+        self.parallelism
+    }
+
+    /// Number of tasks (≥ parallelism; tasks are spread over executors).
+    #[must_use]
+    pub fn num_tasks(&self) -> u32 {
+        self.num_tasks
+    }
+
+    /// Output stream schema.
+    #[must_use]
+    pub fn output_fields(&self) -> &Fields {
+        &self.output_fields
+    }
+
+    /// Execution cost profile.
+    #[must_use]
+    pub fn cost(&self) -> &CostProfile {
+        &self.cost
+    }
+
+    /// Spout emit pacing interval ([`SimTime::ZERO`] for bolts).
+    #[must_use]
+    pub fn emit_interval(&self) -> SimTime {
+        self.emit_interval
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_are_ordered_by_weight() {
+        assert!(CostProfile::light().cycles_per_tuple < CostProfile::medium().cycles_per_tuple);
+        assert!(CostProfile::medium().cycles_per_tuple < CostProfile::heavy().cycles_per_tuple);
+    }
+
+    #[test]
+    fn profile_builders_override() {
+        let p = CostProfile::light()
+            .with_cycles_per_tuple(123)
+            .with_cycles_per_emit(45);
+        assert_eq!(p.cycles_per_tuple, 123);
+        assert_eq!(p.cycles_per_emit, 45);
+    }
+
+    #[test]
+    fn default_profile_is_light() {
+        assert_eq!(CostProfile::default(), CostProfile::light());
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(ComponentKind::Spout.to_string(), "spout");
+        assert_eq!(ComponentKind::Bolt.to_string(), "bolt");
+    }
+}

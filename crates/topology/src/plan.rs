@@ -1,0 +1,212 @@
+//! Expansion of a topology into its executors and tasks.
+//!
+//! Storm's two-level parallelism (Fig. 1 of the paper): each component runs
+//! as `num_tasks` **tasks**, packed into `parallelism` **executors**
+//! (threads). The scheduler assigns executors to slots; tasks ride along
+//! inside their executor. The expansion here mirrors Storm's: tasks are
+//! divided into contiguous, near-equal runs per executor.
+
+use crate::component::ComponentKind;
+use crate::topology::Topology;
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+use tstorm_types::ComponentId;
+
+/// One task of a component, identified topology-locally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskSpec {
+    /// Owning component.
+    pub component: ComponentId,
+    /// Task index within the component, `0..num_tasks`.
+    pub index: u32,
+}
+
+/// One executor of a component: a thread running a contiguous range of the
+/// component's tasks.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecutorSpec {
+    /// Owning component.
+    pub component: ComponentId,
+    /// Executor index within the component, `0..parallelism`.
+    pub index: u32,
+    /// Task indices (within the component) this executor runs.
+    pub tasks: Range<u32>,
+    /// Whether the owning component is a spout.
+    pub is_spout: bool,
+    /// Whether the owning component is the system acker.
+    pub is_acker: bool,
+}
+
+impl ExecutorSpec {
+    /// Number of tasks carried by this executor.
+    #[must_use]
+    pub fn task_count(&self) -> u32 {
+        self.tasks.end - self.tasks.start
+    }
+}
+
+/// The complete executor/task expansion of one topology.
+///
+/// Executor order is deterministic: components in declaration order, then
+/// executor index — the same order Storm's default scheduler walks when it
+/// round-robins executors over workers.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecutionPlan {
+    executors: Vec<ExecutorSpec>,
+}
+
+impl ExecutionPlan {
+    /// Expands a validated topology.
+    #[must_use]
+    pub fn for_topology(topology: &Topology) -> Self {
+        let mut executors = Vec::with_capacity(topology.total_executors() as usize);
+        let acker = topology.acker_component();
+        for (ci, comp) in topology.components().iter().enumerate() {
+            let component = ComponentId::new(ci as u32);
+            let p = comp.parallelism();
+            let t = comp.num_tasks();
+            // Distribute t tasks over p executors: the first (t % p)
+            // executors get one extra task.
+            let base = t / p;
+            let extra = t % p;
+            let mut next_task = 0u32;
+            for e in 0..p {
+                let count = base + u32::from(e < extra);
+                executors.push(ExecutorSpec {
+                    component,
+                    index: e,
+                    tasks: next_task..next_task + count,
+                    is_spout: comp.kind() == ComponentKind::Spout,
+                    is_acker: Some(component) == acker,
+                });
+                next_task += count;
+            }
+        }
+        Self { executors }
+    }
+
+    /// All executors in scheduling order.
+    #[must_use]
+    pub fn executors(&self) -> &[ExecutorSpec] {
+        &self.executors
+    }
+
+    /// Number of executors (this topology's contribution to `Ne`).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.executors.len()
+    }
+
+    /// True if the plan has no executors (cannot happen for valid
+    /// topologies, which require at least one spout).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.executors.is_empty()
+    }
+
+    /// Executors belonging to one component.
+    pub fn executors_of(&self, component: ComponentId) -> impl Iterator<Item = &ExecutorSpec> {
+        self.executors
+            .iter()
+            .filter(move |e| e.component == component)
+    }
+
+    /// Finds the executor (index within this plan) that runs the given
+    /// task of the given component. Used by fields/global grouping to map
+    /// a chosen task to its hosting executor.
+    #[must_use]
+    pub fn executor_for_task(&self, component: ComponentId, task_index: u32) -> Option<usize> {
+        self.executors
+            .iter()
+            .position(|e| e.component == component && e.tasks.contains(&task_index))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TopologyBuilder;
+    use crate::grouping::Grouping;
+
+    fn topo() -> Topology {
+        TopologyBuilder::new("t")
+            .spout("s", 2, &["v"])
+            .tasks(5)
+            .bolt("b", 3, &["v"], &[("s", Grouping::Shuffle)])
+            .num_ackers(2)
+            .build()
+            .expect("valid")
+    }
+
+    #[test]
+    fn expansion_counts_match() {
+        let t = topo();
+        let plan = ExecutionPlan::for_topology(&t);
+        assert_eq!(plan.len(), 7); // 2 spout + 3 bolt + 2 acker
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn tasks_split_contiguously_and_evenly() {
+        let t = topo();
+        let plan = ExecutionPlan::for_topology(&t);
+        let s = t.component_id("s").unwrap();
+        let specs: Vec<_> = plan.executors_of(s).collect();
+        assert_eq!(specs.len(), 2);
+        // 5 tasks over 2 executors: 3 + 2.
+        assert_eq!(specs[0].tasks, 0..3);
+        assert_eq!(specs[1].tasks, 3..5);
+        assert_eq!(specs[0].task_count(), 3);
+        assert!(specs[0].is_spout);
+        assert!(!specs[0].is_acker);
+    }
+
+    #[test]
+    fn acker_executors_are_flagged() {
+        let t = topo();
+        let plan = ExecutionPlan::for_topology(&t);
+        let ackers = plan
+            .executors()
+            .iter()
+            .filter(|e| e.is_acker)
+            .count();
+        assert_eq!(ackers, 2);
+    }
+
+    #[test]
+    fn executor_for_task_maps_correctly() {
+        let t = topo();
+        let plan = ExecutionPlan::for_topology(&t);
+        let s = t.component_id("s").unwrap();
+        let e0 = plan.executor_for_task(s, 0).unwrap();
+        let e4 = plan.executor_for_task(s, 4).unwrap();
+        assert_ne!(e0, e4);
+        assert_eq!(plan.executor_for_task(s, 99), None);
+    }
+
+    #[test]
+    fn every_task_is_covered_exactly_once() {
+        let t = topo();
+        let plan = ExecutionPlan::for_topology(&t);
+        for (ci, comp) in t.components().iter().enumerate() {
+            let c = ComponentId::new(ci as u32);
+            let mut covered = vec![0u32; comp.num_tasks() as usize];
+            for e in plan.executors_of(c) {
+                for task in e.tasks.clone() {
+                    covered[task as usize] += 1;
+                }
+            }
+            assert!(covered.iter().all(|&n| n == 1), "component {ci} coverage");
+        }
+    }
+
+    #[test]
+    fn plan_order_is_declaration_order() {
+        let t = topo();
+        let plan = ExecutionPlan::for_topology(&t);
+        let comps: Vec<u32> = plan.executors().iter().map(|e| e.component.index()).collect();
+        let mut sorted = comps.clone();
+        sorted.sort_unstable();
+        assert_eq!(comps, sorted);
+    }
+}

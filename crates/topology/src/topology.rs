@@ -1,0 +1,271 @@
+//! The validated topology graph.
+
+use crate::component::{ComponentKind, ComponentSpec};
+use crate::grouping::Grouping;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use tstorm_types::{ComponentId, Result, SimTime, TStormError};
+
+/// Name of the system component that hosts acker executors.
+///
+/// Storm tracks tuple completion with dedicated *acker* tasks (Section II);
+/// they are scheduled like any other executor and therefore participate in
+/// the traffic the scheduler optimises. The builder appends this component
+/// automatically when `num_ackers > 0`.
+pub const ACKER_COMPONENT: &str = "__acker";
+
+/// A directed stream edge between two components, with its routing rule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamEdge {
+    /// Producing component.
+    pub from: ComponentId,
+    /// Consuming component.
+    pub to: ComponentId,
+    /// How tuples are routed to consumer tasks.
+    pub grouping: Grouping,
+    /// For [`Grouping::Fields`]: resolved indices of the key fields in the
+    /// producer's output schema. Empty otherwise.
+    pub key_indices: Vec<usize>,
+}
+
+/// A validated Storm topology: the immutable unit users submit.
+///
+/// Build with [`crate::TopologyBuilder`]. All structural invariants hold by
+/// construction: unique component names, edges reference declared
+/// components, spouts have no inbound edges, fields-grouping keys exist in
+/// the producer schema, and the graph is acyclic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    pub(crate) name: String,
+    pub(crate) components: Vec<ComponentSpec>,
+    pub(crate) edges: Vec<StreamEdge>,
+    pub(crate) num_workers: u32,
+    pub(crate) message_timeout: SimTime,
+}
+
+impl Topology {
+    /// The topology's user-visible name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All components (spouts, bolts, and the acker component if any), in
+    /// declaration order. [`ComponentId`] indexes into this slice.
+    #[must_use]
+    pub fn components(&self) -> &[ComponentSpec] {
+        &self.components
+    }
+
+    /// Looks up a component by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this topology.
+    #[must_use]
+    pub fn component(&self, id: ComponentId) -> &ComponentSpec {
+        &self.components[id.as_usize()]
+    }
+
+    /// Looks up a component id by name.
+    #[must_use]
+    pub fn component_id(&self, name: &str) -> Option<ComponentId> {
+        self.components
+            .iter()
+            .position(|c| c.name == name)
+            .map(|i| ComponentId::new(i as u32))
+    }
+
+    /// All stream edges.
+    #[must_use]
+    pub fn edges(&self) -> &[StreamEdge] {
+        &self.edges
+    }
+
+    /// Edges produced by the given component.
+    pub fn edges_from(&self, from: ComponentId) -> impl Iterator<Item = &StreamEdge> {
+        self.edges.iter().filter(move |e| e.from == from)
+    }
+
+    /// Edges consumed by the given component.
+    pub fn edges_into(&self, to: ComponentId) -> impl Iterator<Item = &StreamEdge> {
+        self.edges.iter().filter(move |e| e.to == to)
+    }
+
+    /// Number of workers the user requested (the paper's `Nu`).
+    #[must_use]
+    pub fn num_workers(&self) -> u32 {
+        self.num_workers
+    }
+
+    /// Tuple-processing timeout before replay (Storm default: 30 s).
+    #[must_use]
+    pub fn message_timeout(&self) -> SimTime {
+        self.message_timeout
+    }
+
+    /// Total number of executors across all components (the paper's `Ne`
+    /// contribution of this topology).
+    #[must_use]
+    pub fn total_executors(&self) -> u32 {
+        self.components.iter().map(|c| c.parallelism).sum()
+    }
+
+    /// Ids of all spout components.
+    pub fn spouts(&self) -> impl Iterator<Item = ComponentId> + '_ {
+        self.components
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.kind == ComponentKind::Spout)
+            .map(|(i, _)| ComponentId::new(i as u32))
+    }
+
+    /// Id of the acker component, if the topology has ackers.
+    #[must_use]
+    pub fn acker_component(&self) -> Option<ComponentId> {
+        self.component_id(ACKER_COMPONENT)
+    }
+
+    /// Validates all structural invariants. The builder calls this; it is
+    /// public so deserialized topologies can be re-checked.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TStormError::InvalidTopology`] describing the first
+    /// violation found.
+    pub fn validate(&self) -> Result<()> {
+        if self.components.is_empty() {
+            return Err(TStormError::invalid_topology("no components declared"));
+        }
+        let mut seen: HashMap<&str, ()> = HashMap::new();
+        for c in &self.components {
+            if c.name.is_empty() {
+                return Err(TStormError::invalid_topology("empty component name"));
+            }
+            if seen.insert(&c.name, ()).is_some() {
+                return Err(TStormError::invalid_topology(format!(
+                    "duplicate component name `{}`",
+                    c.name
+                )));
+            }
+            if c.parallelism == 0 {
+                return Err(TStormError::invalid_topology(format!(
+                    "component `{}` has zero parallelism",
+                    c.name
+                )));
+            }
+            if c.num_tasks < c.parallelism {
+                return Err(TStormError::invalid_topology(format!(
+                    "component `{}` declares fewer tasks ({}) than executors ({})",
+                    c.name, c.num_tasks, c.parallelism
+                )));
+            }
+        }
+        if !self
+            .components
+            .iter()
+            .any(|c| c.kind == ComponentKind::Spout)
+        {
+            return Err(TStormError::invalid_topology("topology has no spout"));
+        }
+        let n = self.components.len();
+        for e in &self.edges {
+            if e.from.as_usize() >= n || e.to.as_usize() >= n {
+                return Err(TStormError::invalid_topology(format!(
+                    "edge references unknown component ({} -> {})",
+                    e.from, e.to
+                )));
+            }
+            let to = &self.components[e.to.as_usize()];
+            if to.kind == ComponentKind::Spout {
+                return Err(TStormError::invalid_topology(format!(
+                    "spout `{}` cannot consume a stream",
+                    to.name
+                )));
+            }
+            if let Grouping::Fields(names) = &e.grouping {
+                let from = &self.components[e.from.as_usize()];
+                if names.is_empty() {
+                    return Err(TStormError::invalid_topology(format!(
+                        "fields grouping into `{}` declares no key fields",
+                        to.name
+                    )));
+                }
+                for name in names {
+                    if from.output_fields.index_of(name).is_none() {
+                        return Err(TStormError::invalid_topology(format!(
+                            "fields grouping into `{}` keys on `{name}`, which `{}` does not emit",
+                            to.name, from.name
+                        )));
+                    }
+                }
+                if e.key_indices.len() != names.len() {
+                    return Err(TStormError::invalid_topology(
+                        "fields grouping key indices not resolved",
+                    ));
+                }
+            }
+        }
+        self.check_acyclic()?;
+        if self.num_workers == 0 {
+            return Err(TStormError::invalid_topology(
+                "requested zero workers",
+            ));
+        }
+        Ok(())
+    }
+
+    fn check_acyclic(&self) -> Result<()> {
+        // Kahn's algorithm over the component graph.
+        let n = self.components.len();
+        let mut indegree = vec![0usize; n];
+        for e in &self.edges {
+            indegree[e.to.as_usize()] += 1;
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut visited = 0usize;
+        while let Some(u) = queue.pop() {
+            visited += 1;
+            for e in &self.edges {
+                if e.from.as_usize() == u {
+                    indegree[e.to.as_usize()] -= 1;
+                    if indegree[e.to.as_usize()] == 0 {
+                        queue.push(e.to.as_usize());
+                    }
+                }
+            }
+        }
+        if visited != n {
+            return Err(TStormError::invalid_topology(
+                "topology graph contains a cycle",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Components in a topological order (spouts first). Useful for
+    /// reports and for the Aniello offline scheduler's graph walk.
+    #[must_use]
+    pub fn topological_order(&self) -> Vec<ComponentId> {
+        let n = self.components.len();
+        let mut indegree = vec![0usize; n];
+        for e in &self.edges {
+            indegree[e.to.as_usize()] += 1;
+        }
+        let mut queue: std::collections::VecDeque<usize> =
+            (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(u) = queue.pop_front() {
+            order.push(ComponentId::new(u as u32));
+            for e in &self.edges {
+                if e.from.as_usize() == u {
+                    indegree[e.to.as_usize()] -= 1;
+                    if indegree[e.to.as_usize()] == 0 {
+                        queue.push_back(e.to.as_usize());
+                    }
+                }
+            }
+        }
+        order
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests: arbitrary topologies built through the builder always
+//! expand into consistent execution plans.
+
+use proptest::prelude::*;
+use tstorm_topology::{ExecutionPlan, Grouping, Topology, TopologyBuilder};
+use tstorm_types::ComponentId;
+
+/// Builds a random linear chain with random parallelism/task counts and
+/// a random grouping per edge.
+fn arb_chain() -> impl Strategy<Value = Topology> {
+    (
+        1u32..5,                                        // spout parallelism
+        proptest::collection::vec((1u32..6, 0u8..4), 1..6), // bolts: (parallelism, grouping)
+        0u32..4,                                        // ackers
+        1u32..8,                                        // extra tasks on the spout
+    )
+        .prop_map(|(spout_par, bolts, ackers, extra_tasks)| {
+            let mut b = TopologyBuilder::new("prop")
+                .spout("s", spout_par, &["k", "v"])
+                .tasks(spout_par + extra_tasks);
+            let mut prev = "s".to_owned();
+            for (i, (par, g)) in bolts.iter().enumerate() {
+                let name = format!("b{i}");
+                let grouping = match g {
+                    0 => Grouping::Shuffle,
+                    1 => Grouping::fields(&["k"]),
+                    2 => Grouping::All,
+                    _ => Grouping::Global,
+                };
+                b = b.bolt(&name, *par, &["k", "v"], &[(prev.as_str(), grouping)]);
+                prev = name;
+            }
+            b.num_ackers(ackers)
+                .num_workers(4)
+                .build()
+                .expect("builder-constructed chains are valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Validation accepts everything the builder produces, and
+    /// re-validation of the built value is stable.
+    #[test]
+    fn built_topologies_revalidate(topo in arb_chain()) {
+        prop_assert!(topo.validate().is_ok());
+    }
+
+    /// The execution plan covers every task of every component exactly
+    /// once, with contiguous per-executor ranges.
+    #[test]
+    fn plans_partition_tasks(topo in arb_chain()) {
+        let plan = ExecutionPlan::for_topology(&topo);
+        prop_assert_eq!(plan.len() as u32, topo.total_executors());
+        for (ci, comp) in topo.components().iter().enumerate() {
+            let c = ComponentId::new(ci as u32);
+            let mut covered = vec![0u32; comp.num_tasks() as usize];
+            for e in plan.executors_of(c) {
+                prop_assert!(e.tasks.end <= comp.num_tasks());
+                for t in e.tasks.clone() {
+                    covered[t as usize] += 1;
+                }
+            }
+            prop_assert!(covered.iter().all(|&n| n == 1));
+        }
+    }
+
+    /// Executor task counts differ by at most one within a component
+    /// (Storm's even task split).
+    #[test]
+    fn task_split_is_even(topo in arb_chain()) {
+        let plan = ExecutionPlan::for_topology(&topo);
+        for (ci, _) in topo.components().iter().enumerate() {
+            let c = ComponentId::new(ci as u32);
+            let counts: Vec<u32> = plan.executors_of(c).map(|e| e.task_count()).collect();
+            if let (Some(min), Some(max)) = (counts.iter().min(), counts.iter().max()) {
+                prop_assert!(max - min <= 1, "uneven split {counts:?}");
+            }
+        }
+    }
+
+    /// Topological order contains every component exactly once with the
+    /// spout first.
+    #[test]
+    fn topological_order_is_complete(topo in arb_chain()) {
+        let order = topo.topological_order();
+        prop_assert_eq!(order.len(), topo.components().len());
+        let mut seen = std::collections::HashSet::new();
+        for c in &order {
+            prop_assert!(seen.insert(*c));
+        }
+        // The spout has no inputs, so it must appear before its consumer.
+        let spout = topo.component_id("s").unwrap();
+        let b0 = topo.component_id("b0").unwrap();
+        let pos = |c| order.iter().position(|x| *x == c).unwrap();
+        prop_assert!(pos(spout) < pos(b0));
+    }
+
+    /// Task-to-executor lookup agrees with the plan's ranges.
+    #[test]
+    fn executor_for_task_is_consistent(topo in arb_chain()) {
+        let plan = ExecutionPlan::for_topology(&topo);
+        for (ci, comp) in topo.components().iter().enumerate() {
+            let c = ComponentId::new(ci as u32);
+            for task in 0..comp.num_tasks() {
+                let idx = plan.executor_for_task(c, task).expect("covered task");
+                let spec = &plan.executors()[idx];
+                prop_assert_eq!(spec.component, c);
+                prop_assert!(spec.tasks.contains(&task));
+            }
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! The workspace-wide error type.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Convenient result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, TStormError>;
+
+/// Errors produced by topology construction, cluster configuration,
+/// scheduling and simulation control.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TStormError {
+    /// A topology failed structural validation (unknown component,
+    /// duplicate name, missing field for a fields grouping, cycle, …).
+    InvalidTopology {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// A cluster specification is unusable (no nodes, zero slots, …).
+    InvalidCluster {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// The scheduler could not produce a feasible assignment.
+    Infeasible {
+        /// Which scheduler reported the failure.
+        scheduler: String,
+        /// Why no feasible assignment exists.
+        reason: String,
+    },
+    /// A configuration parameter is out of its valid domain.
+    InvalidConfig {
+        /// The parameter name.
+        parameter: String,
+        /// Why the value was rejected.
+        reason: String,
+    },
+    /// A named scheduler was not found in the hot-swap registry.
+    UnknownScheduler {
+        /// The requested name.
+        name: String,
+    },
+    /// A simulation-control request referenced an unknown entity.
+    UnknownEntity {
+        /// Description of the missing entity (e.g. "executor exec-7").
+        what: String,
+    },
+}
+
+impl fmt::Display for TStormError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TStormError::InvalidTopology { reason } => {
+                write!(f, "invalid topology: {reason}")
+            }
+            TStormError::InvalidCluster { reason } => {
+                write!(f, "invalid cluster: {reason}")
+            }
+            TStormError::Infeasible { scheduler, reason } => {
+                write!(f, "scheduler {scheduler} found no feasible assignment: {reason}")
+            }
+            TStormError::InvalidConfig { parameter, reason } => {
+                write!(f, "invalid configuration parameter {parameter}: {reason}")
+            }
+            TStormError::UnknownScheduler { name } => {
+                write!(f, "unknown scheduler {name}")
+            }
+            TStormError::UnknownEntity { what } => {
+                write!(f, "unknown entity: {what}")
+            }
+        }
+    }
+}
+
+impl StdError for TStormError {}
+
+impl TStormError {
+    /// Shorthand constructor for [`TStormError::InvalidTopology`].
+    #[must_use]
+    pub fn invalid_topology(reason: impl Into<String>) -> Self {
+        TStormError::InvalidTopology {
+            reason: reason.into(),
+        }
+    }
+
+    /// Shorthand constructor for [`TStormError::InvalidCluster`].
+    #[must_use]
+    pub fn invalid_cluster(reason: impl Into<String>) -> Self {
+        TStormError::InvalidCluster {
+            reason: reason.into(),
+        }
+    }
+
+    /// Shorthand constructor for [`TStormError::Infeasible`].
+    #[must_use]
+    pub fn infeasible(scheduler: impl Into<String>, reason: impl Into<String>) -> Self {
+        TStormError::Infeasible {
+            scheduler: scheduler.into(),
+            reason: reason.into(),
+        }
+    }
+
+    /// Shorthand constructor for [`TStormError::InvalidConfig`].
+    #[must_use]
+    pub fn invalid_config(parameter: impl Into<String>, reason: impl Into<String>) -> Self {
+        TStormError::InvalidConfig {
+            parameter: parameter.into(),
+            reason: reason.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = TStormError::invalid_topology("bolt `x` consumes unknown stream `y`");
+        let msg = e.to_string();
+        assert!(msg.starts_with("invalid topology"));
+        assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: StdError + Send + Sync + 'static>() {}
+        assert_bounds::<TStormError>();
+    }
+
+    #[test]
+    fn constructors_fill_fields() {
+        match TStormError::infeasible("tstorm", "not enough capacity") {
+            TStormError::Infeasible { scheduler, reason } => {
+                assert_eq!(scheduler, "tstorm");
+                assert_eq!(reason, "not enough capacity");
+            }
+            other => panic!("unexpected variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn variants_compare_equal_structurally() {
+        assert_eq!(
+            TStormError::UnknownScheduler { name: "x".into() },
+            TStormError::UnknownScheduler { name: "x".into() }
+        );
+    }
+}

@@ -1,0 +1,230 @@
+//! Newtyped identifiers for the Storm execution model.
+//!
+//! The paper (Table I) indexes executors `i ∈ {1..Ne}`, slots
+//! `j ∈ {1..Ns}` and worker nodes `k ∈ {1..K}`. We mirror those as dense
+//! `u32` indices wrapped in distinct types so that an executor index can
+//! never be confused with a slot index at compile time (C-NEWTYPE).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:expr) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an identifier from a dense index.
+            #[must_use]
+            pub const fn new(index: u32) -> Self {
+                Self(index)
+            }
+
+            /// Returns the dense index backing this identifier.
+            #[must_use]
+            pub const fn index(self) -> u32 {
+                self.0
+            }
+
+            /// Returns the index as a `usize`, convenient for slice access.
+            #[must_use]
+            pub const fn as_usize(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(index: u32) -> Self {
+                Self(index)
+            }
+        }
+
+        impl From<$name> for u32 {
+            fn from(id: $name) -> u32 {
+                id.0
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifies a topology submitted to the cluster.
+    TopologyId,
+    "topo-"
+);
+define_id!(
+    /// Identifies a component (spout or bolt) within a topology.
+    ///
+    /// Component ids are topology-local: the first component declared in a
+    /// topology gets index 0, and so on. Pair with [`TopologyId`] for a
+    /// globally unique key.
+    ComponentId,
+    "comp-"
+);
+define_id!(
+    /// Identifies a task — one logical instance of a component.
+    ///
+    /// Task ids are global across the cluster so that fields grouping can
+    /// hash directly to a task.
+    TaskId,
+    "task-"
+);
+define_id!(
+    /// Identifies an executor — a thread running one or more tasks.
+    ///
+    /// Executor ids are global across the cluster; this matches the paper's
+    /// `i ∈ {1, …, Ne}` indexing over all executors of all topologies.
+    ExecutorId,
+    "exec-"
+);
+define_id!(
+    /// Identifies a worker process (a JVM in real Storm).
+    WorkerId,
+    "worker-"
+);
+define_id!(
+    /// Identifies a slot — a port on a worker node that can host one worker.
+    ///
+    /// Slot ids are global (`j ∈ {1, …, Ns}`); the cluster model maps each
+    /// slot to its owning node (the paper's `ω(j)`).
+    SlotId,
+    "slot-"
+);
+define_id!(
+    /// Identifies a physical worker node (`k ∈ {1, …, K}`).
+    NodeId,
+    "node-"
+);
+
+/// Identifies one spout tuple for the acking machinery.
+///
+/// Tuple ids are unique per simulation run and monotonically increasing,
+/// which also makes them usable as a tie-breaker.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct TupleId(u64);
+
+impl TupleId {
+    /// Creates a tuple id from its raw sequence number.
+    #[must_use]
+    pub const fn new(seq: u64) -> Self {
+        Self(seq)
+    }
+
+    /// Returns the raw sequence number.
+    #[must_use]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the next tuple id in sequence.
+    #[must_use]
+    pub const fn next(self) -> Self {
+        Self(self.0 + 1)
+    }
+}
+
+impl fmt::Display for TupleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tuple-{}", self.0)
+    }
+}
+
+/// Identifies one published assignment (schedule version).
+///
+/// T-Storm "uses the timestamp of an assignment as its ID" (Section IV-D);
+/// we store the virtual timestamp in microseconds. Dispatchers use this id
+/// to route in-flight tuples to old or new workers during re-assignment.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct AssignmentId(u64);
+
+impl AssignmentId {
+    /// Creates an assignment id from a virtual timestamp in microseconds.
+    #[must_use]
+    pub const fn from_timestamp_micros(micros: u64) -> Self {
+        Self(micros)
+    }
+
+    /// Returns the virtual timestamp in microseconds.
+    #[must_use]
+    pub const fn timestamp_micros(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for AssignmentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "assign-{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_roundtrip_through_u32() {
+        let e = ExecutorId::new(7);
+        assert_eq!(u32::from(e), 7);
+        assert_eq!(ExecutorId::from(7u32), e);
+        assert_eq!(e.as_usize(), 7);
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(SlotId::new(1) < SlotId::new(2));
+        assert!(NodeId::new(0) < NodeId::new(9));
+    }
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(ExecutorId::new(3).to_string(), "exec-3");
+        assert_eq!(SlotId::new(0).to_string(), "slot-0");
+        assert_eq!(NodeId::new(12).to_string(), "node-12");
+        assert_eq!(TupleId::new(5).to_string(), "tuple-5");
+        assert_eq!(
+            AssignmentId::from_timestamp_micros(99).to_string(),
+            "assign-99"
+        );
+    }
+
+    #[test]
+    fn tuple_id_next_increments() {
+        let t = TupleId::new(41);
+        assert_eq!(t.next().get(), 42);
+    }
+
+    #[test]
+    fn assignment_id_orders_by_timestamp() {
+        let old = AssignmentId::from_timestamp_micros(1_000);
+        let new = AssignmentId::from_timestamp_micros(2_000);
+        assert!(old < new);
+        assert_eq!(new.timestamp_micros(), 2_000);
+    }
+
+    #[test]
+    fn distinct_id_types_are_distinct() {
+        // This is a compile-time property; the test documents intent.
+        fn takes_slot(_s: SlotId) {}
+        takes_slot(SlotId::new(1));
+    }
+
+    #[test]
+    fn default_ids_are_zero() {
+        assert_eq!(ExecutorId::default().index(), 0);
+        assert_eq!(TupleId::default().get(), 0);
+    }
+}

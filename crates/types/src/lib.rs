@@ -1,0 +1,41 @@
+//! Shared foundation types for the T-Storm reproduction.
+//!
+//! This crate holds the vocabulary used by every other crate in the
+//! workspace: newtyped identifiers for the entities of the Storm execution
+//! model (topologies, components, tasks, executors, workers, slots, worker
+//! nodes), the virtual-time representation used by the discrete-event
+//! simulator, physical units (CPU MHz, bytes), a deterministic random number
+//! generator, and the common error type.
+//!
+//! Everything here is deliberately small, `Copy` where possible, and free of
+//! behaviour — behaviour lives in the crates that own each subsystem.
+//!
+//! # Example
+//!
+//! ```
+//! use tstorm_types::{NodeId, SimTime, Mhz};
+//!
+//! let node = NodeId::new(3);
+//! let t = SimTime::from_secs(20);
+//! let capacity = Mhz::new(4000.0);
+//! assert_eq!(node.index(), 3);
+//! assert_eq!(t.as_micros(), 20_000_000);
+//! assert_eq!(capacity.get(), 4000.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod ids;
+pub mod rng;
+pub mod time;
+pub mod units;
+
+pub use error::{Result, TStormError};
+pub use ids::{
+    AssignmentId, ComponentId, ExecutorId, NodeId, SlotId, TaskId, TopologyId, TupleId, WorkerId,
+};
+pub use rng::DetRng;
+pub use time::SimTime;
+pub use units::{Bytes, Mhz};

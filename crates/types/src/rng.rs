@@ -1,0 +1,259 @@
+//! Deterministic randomness for reproducible simulations.
+//!
+//! Every stochastic decision in the simulator (shuffle grouping, service
+//! time jitter, workload generation) draws from a [`DetRng`] seeded from the
+//! run configuration. Identical seeds produce identical runs on every
+//! platform, which the test suite and the benchmark harness rely on.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A deterministic, seedable random number generator.
+///
+/// Wraps [`rand::rngs::StdRng`] and adds domain helpers plus *stream
+/// splitting*: independent child generators derived from a parent so that
+/// adding random draws in one subsystem does not perturb another.
+///
+/// # Example
+///
+/// ```
+/// use tstorm_types::DetRng;
+///
+/// let mut a = DetRng::seed_from(42);
+/// let mut b = DetRng::seed_from(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    inner: StdRng,
+}
+
+impl DetRng {
+    /// Creates a generator from a 64-bit seed.
+    #[must_use]
+    pub fn seed_from(seed: u64) -> Self {
+        Self {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child generator for a named stream.
+    ///
+    /// The child's seed mixes the parent seed material with the label via
+    /// FNV-1a, so children with different labels are decorrelated and the
+    /// derivation itself does not consume parent state beyond one draw.
+    #[must_use]
+    pub fn split(&mut self, label: &str) -> DetRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in label.as_bytes() {
+            h ^= u64::from(*byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let salt = self.inner.next_u64();
+        DetRng::seed_from(h ^ salt.rotate_left(17))
+    }
+
+    /// Returns the next raw 64-bit value.
+    #[must_use]
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Returns a uniform value in `[0, 1)`.
+    #[must_use]
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Returns a uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0) is meaningless");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Returns a uniform value in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    #[must_use]
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "invalid range [{lo}, {hi})");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Samples an exponential inter-arrival span with the given mean.
+    ///
+    /// Used for Poisson arrival processes in the workload generators.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not positive and finite.
+    #[must_use]
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "exponential mean must be positive, got {mean}"
+        );
+        // Inverse-CDF sampling; guard against ln(0).
+        let u: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
+        -mean * u.ln()
+    }
+
+    /// Samples a value jittered uniformly within `±fraction` of `base`.
+    ///
+    /// E.g. `jitter(100.0, 0.1)` is uniform in `[90, 110)`. A fraction of
+    /// zero returns `base` exactly.
+    #[must_use]
+    pub fn jitter(&mut self, base: f64, fraction: f64) -> f64 {
+        if fraction <= 0.0 || base == 0.0 {
+            return base;
+        }
+        self.range_f64(base * (1.0 - fraction), base * (1.0 + fraction))
+    }
+
+    /// Samples an index from a Zipf distribution over `n` items with
+    /// exponent `s`, by inverse-CDF over the precomputed weights in
+    /// `cdf` (see [`zipf_cdf`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cdf` is empty.
+    #[must_use]
+    pub fn zipf_index(&mut self, cdf: &[f64]) -> usize {
+        assert!(!cdf.is_empty(), "zipf cdf must be non-empty");
+        let u = self.uniform();
+        match cdf.binary_search_by(|p| p.partial_cmp(&u).expect("cdf is finite")) {
+            Ok(i) => i,
+            Err(i) => i.min(cdf.len() - 1),
+        }
+    }
+}
+
+/// Precomputes the cumulative distribution for a Zipf law over `n` items
+/// with exponent `s` (larger `s` = more skew). Pair with
+/// [`DetRng::zipf_index`].
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+#[must_use]
+pub fn zipf_cdf(n: usize, s: f64) -> Vec<f64> {
+    assert!(n > 0, "zipf over zero items");
+    let mut weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut acc = 0.0;
+    for w in &mut weights {
+        acc += *w / total;
+        *w = acc;
+    }
+    // Guard against floating point: the last entry must reach 1.0.
+    if let Some(last) = weights.last_mut() {
+        *last = 1.0;
+    }
+    weights
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DetRng::seed_from(7);
+        let mut b = DetRng::seed_from(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = DetRng::seed_from(1);
+        let mut b = DetRng::seed_from(2);
+        let same = (0..10).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 10);
+    }
+
+    #[test]
+    fn split_is_deterministic_and_label_sensitive() {
+        let mut p1 = DetRng::seed_from(9);
+        let mut p2 = DetRng::seed_from(9);
+        let mut c1 = p1.split("network");
+        let mut c2 = p2.split("network");
+        assert_eq!(c1.next_u64(), c2.next_u64());
+
+        let mut p3 = DetRng::seed_from(9);
+        let mut c3 = p3.split("cpu");
+        let mut p4 = DetRng::seed_from(9);
+        let mut c4 = p4.split("network");
+        assert_ne!(c3.next_u64(), c4.next_u64());
+    }
+
+    #[test]
+    fn below_stays_in_range() {
+        let mut rng = DetRng::seed_from(3);
+        for _ in 0..1000 {
+            assert!(rng.below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn exponential_mean_is_approximately_right() {
+        let mut rng = DetRng::seed_from(11);
+        let n = 20_000;
+        let mean = 5.0;
+        let sum: f64 = (0..n).map(|_| rng.exponential(mean)).sum();
+        let observed = sum / n as f64;
+        assert!(
+            (observed - mean).abs() < 0.2,
+            "observed mean {observed} too far from {mean}"
+        );
+    }
+
+    #[test]
+    fn jitter_brackets_base() {
+        let mut rng = DetRng::seed_from(13);
+        for _ in 0..1000 {
+            let v = rng.jitter(100.0, 0.2);
+            assert!((80.0..120.0).contains(&v));
+        }
+        assert_eq!(rng.jitter(100.0, 0.0), 100.0);
+        assert_eq!(rng.jitter(0.0, 0.5), 0.0);
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_low_indices() {
+        let cdf = zipf_cdf(100, 1.0);
+        assert_eq!(cdf.len(), 100);
+        assert!((cdf.last().copied().unwrap() - 1.0).abs() < 1e-12);
+        let mut rng = DetRng::seed_from(17);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..10_000 {
+            counts[rng.zipf_index(&cdf)] += 1;
+        }
+        assert!(counts[0] > counts[50]);
+        assert!(counts[0] > 1_000); // rank 1 has ~19% of mass at s=1, n=100
+    }
+
+    #[test]
+    #[should_panic(expected = "below(0)")]
+    fn below_zero_panics() {
+        let mut rng = DetRng::seed_from(1);
+        let _ = rng.below(0);
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let mut rng = DetRng::seed_from(19);
+        for _ in 0..1000 {
+            let u = rng.uniform();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+}

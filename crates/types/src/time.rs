@@ -1,0 +1,261 @@
+//! Virtual time for the discrete-event simulator.
+//!
+//! The simulator advances an integer microsecond clock. Integer time keeps
+//! event ordering exact and runs reproducible across platforms (no floating
+//! point drift in the event queue).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A point in virtual time (or a duration), in microseconds.
+///
+/// `SimTime` is used both as an absolute timestamp and as a span; the
+/// arithmetic operators are saturating-free (they panic on overflow in debug
+/// builds like ordinary integer math) because a simulation that overflows
+/// ~584 000 years of virtual time is a bug.
+///
+/// # Example
+///
+/// ```
+/// use tstorm_types::SimTime;
+///
+/// let start = SimTime::from_secs(100);
+/// let period = SimTime::from_millis(500);
+/// assert_eq!((start + period).as_micros(), 100_500_000);
+/// assert!(start < start + period);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The zero timestamp (simulation start).
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The maximum representable time, used as an "infinite" horizon.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates a time from whole microseconds.
+    #[must_use]
+    pub const fn from_micros(micros: u64) -> Self {
+        Self(micros)
+    }
+
+    /// Creates a time from whole milliseconds.
+    #[must_use]
+    pub const fn from_millis(millis: u64) -> Self {
+        Self(millis * 1_000)
+    }
+
+    /// Creates a time from whole seconds.
+    #[must_use]
+    pub const fn from_secs(secs: u64) -> Self {
+        Self(secs * 1_000_000)
+    }
+
+    /// Creates a time from fractional seconds, rounding to microseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    #[must_use]
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "SimTime::from_secs_f64 requires a finite non-negative value, got {secs}"
+        );
+        Self((secs * 1e6).round() as u64)
+    }
+
+    /// Returns the value in microseconds.
+    #[must_use]
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the value in whole milliseconds (truncating).
+    #[must_use]
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Returns the value in whole seconds (truncating).
+    #[must_use]
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Returns the value in fractional seconds.
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Returns the value in fractional milliseconds.
+    #[must_use]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Saturating subtraction: returns `self - other`, or zero if `other`
+    /// is later than `self`.
+    #[must_use]
+    pub const fn saturating_sub(self, other: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(other.0))
+    }
+
+    /// Checked addition; `None` on overflow.
+    #[must_use]
+    pub const fn checked_add(self, other: SimTime) -> Option<SimTime> {
+        match self.0.checked_add(other.0) {
+            Some(v) => Some(SimTime(v)),
+            None => None,
+        }
+    }
+
+    /// Multiplies a duration by an integer factor.
+    #[must_use]
+    pub const fn mul(self, factor: u64) -> SimTime {
+        SimTime(self.0 * factor)
+    }
+
+    /// Returns the next multiple of `period` that is strictly after `self`.
+    ///
+    /// Useful for aligning periodic control-plane events (monitor samples,
+    /// schedule fetches) to their grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    #[must_use]
+    pub fn next_multiple_of(self, period: SimTime) -> SimTime {
+        assert!(period.0 > 0, "period must be non-zero");
+        SimTime((self.0 / period.0 + 1) * period.0)
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimTime {
+    fn sub_assign(&mut self, rhs: SimTime) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else {
+            write!(f, "{}us", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimTime::from_secs(2), SimTime::from_millis(2_000));
+        assert_eq!(SimTime::from_millis(3), SimTime::from_micros(3_000));
+        assert_eq!(SimTime::from_secs_f64(1.5), SimTime::from_millis(1_500));
+    }
+
+    #[test]
+    fn arithmetic_works() {
+        let a = SimTime::from_secs(10);
+        let b = SimTime::from_secs(4);
+        assert_eq!((a + b).as_secs(), 14);
+        assert_eq!((a - b).as_secs(), 6);
+        let mut c = a;
+        c += b;
+        assert_eq!(c.as_secs(), 14);
+        c -= b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn saturating_sub_clamps_to_zero() {
+        let a = SimTime::from_secs(1);
+        let b = SimTime::from_secs(2);
+        assert_eq!(a.saturating_sub(b), SimTime::ZERO);
+        assert_eq!(b.saturating_sub(a), SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn next_multiple_of_aligns_to_grid() {
+        let period = SimTime::from_secs(20);
+        assert_eq!(
+            SimTime::from_secs(0).next_multiple_of(period),
+            SimTime::from_secs(20)
+        );
+        assert_eq!(
+            SimTime::from_secs(20).next_multiple_of(period),
+            SimTime::from_secs(40)
+        );
+        assert_eq!(
+            SimTime::from_secs(21).next_multiple_of(period),
+            SimTime::from_secs(40)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be non-zero")]
+    fn next_multiple_of_zero_period_panics() {
+        let _ = SimTime::from_secs(1).next_multiple_of(SimTime::ZERO);
+    }
+
+    #[test]
+    fn display_scales_units() {
+        assert_eq!(SimTime::from_micros(5).to_string(), "5us");
+        assert_eq!(SimTime::from_millis(5).to_string(), "5.000ms");
+        assert_eq!(SimTime::from_secs(5).to_string(), "5.000s");
+    }
+
+    #[test]
+    fn conversions_truncate() {
+        let t = SimTime::from_micros(1_999_999);
+        assert_eq!(t.as_secs(), 1);
+        assert_eq!(t.as_millis(), 1_999);
+        assert!((t.as_secs_f64() - 1.999_999).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite non-negative")]
+    fn from_secs_f64_rejects_negative() {
+        let _ = SimTime::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn checked_add_detects_overflow() {
+        assert!(SimTime::MAX.checked_add(SimTime::from_micros(1)).is_none());
+        assert_eq!(
+            SimTime::from_secs(1).checked_add(SimTime::from_secs(1)),
+            Some(SimTime::from_secs(2))
+        );
+    }
+}

@@ -1,0 +1,293 @@
+//! Physical units used by the load model.
+//!
+//! The paper measures executor workload as "CPU usage in MHz" (Section IV-B)
+//! — the number of cycles consumed per second of wall-clock time, scaled to
+//! megahertz — and node capacity `C_k` as the total MHz of its cores. We
+//! keep that unit so Algorithm 1 reads exactly like the paper.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A CPU rate in megahertz (10^6 cycles per second).
+///
+/// Used both for node capacities (`C_k`) and executor workloads (`l_i`).
+///
+/// # Example
+///
+/// ```
+/// use tstorm_types::Mhz;
+///
+/// let capacity = Mhz::new(4000.0);
+/// let load = Mhz::new(900.0) + Mhz::new(450.0);
+/// assert!(load <= capacity);
+/// assert_eq!(load.get(), 1350.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Mhz(f64);
+
+impl Mhz {
+    /// Zero MHz.
+    pub const ZERO: Mhz = Mhz(0.0);
+
+    /// Creates a rate from a megahertz value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is negative or not finite.
+    #[must_use]
+    pub fn new(value: f64) -> Self {
+        assert!(
+            value.is_finite() && value >= 0.0,
+            "Mhz requires a finite non-negative value, got {value}"
+        );
+        Self(value)
+    }
+
+    /// Returns the megahertz value.
+    #[must_use]
+    pub const fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Converts cycles consumed over a period into an average MHz rate.
+    ///
+    /// This is how the load monitor translates `getThreadCpuTime`-style
+    /// cycle counts into the workload values the scheduler consumes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period_micros` is zero.
+    #[must_use]
+    pub fn from_cycles_over(cycles: u64, period_micros: u64) -> Self {
+        assert!(period_micros > 0, "period must be non-zero");
+        // cycles / seconds / 1e6 == cycles / micros
+        Self::new(cycles as f64 / period_micros as f64)
+    }
+
+    /// Returns `self / other` as a dimensionless utilisation ratio.
+    ///
+    /// Returns 0.0 when `other` is zero (an unloaded node with zero
+    /// capacity never occurs in valid clusters but keeps math total).
+    #[must_use]
+    pub fn ratio(self, other: Mhz) -> f64 {
+        if other.0 == 0.0 {
+            0.0
+        } else {
+            self.0 / other.0
+        }
+    }
+
+    /// Returns the smaller of two rates.
+    #[must_use]
+    pub fn min(self, other: Mhz) -> Mhz {
+        Mhz(self.0.min(other.0))
+    }
+
+    /// Returns the larger of two rates.
+    #[must_use]
+    pub fn max(self, other: Mhz) -> Mhz {
+        Mhz(self.0.max(other.0))
+    }
+}
+
+impl Add for Mhz {
+    type Output = Mhz;
+    fn add(self, rhs: Mhz) -> Mhz {
+        Mhz(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Mhz {
+    fn add_assign(&mut self, rhs: Mhz) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Mhz {
+    type Output = Mhz;
+    fn sub(self, rhs: Mhz) -> Mhz {
+        Mhz((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl Mul<f64> for Mhz {
+    type Output = Mhz;
+    fn mul(self, rhs: f64) -> Mhz {
+        Mhz(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Mhz {
+    type Output = Mhz;
+    fn div(self, rhs: f64) -> Mhz {
+        Mhz(self.0 / rhs)
+    }
+}
+
+impl Sum for Mhz {
+    fn sum<I: Iterator<Item = Mhz>>(iter: I) -> Mhz {
+        iter.fold(Mhz::ZERO, |acc, x| acc + x)
+    }
+}
+
+impl fmt::Display for Mhz {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1}MHz", self.0)
+    }
+}
+
+/// A data size in bytes.
+///
+/// Used for tuple payload sizes and the bandwidth model of the 1 Gbps
+/// cluster network.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Bytes(u64);
+
+impl Bytes {
+    /// Zero bytes.
+    pub const ZERO: Bytes = Bytes(0);
+
+    /// Creates a size from a byte count.
+    #[must_use]
+    pub const fn new(bytes: u64) -> Self {
+        Self(bytes)
+    }
+
+    /// Creates a size from kibibytes (1024 bytes).
+    #[must_use]
+    pub const fn from_kib(kib: u64) -> Self {
+        Self(kib * 1024)
+    }
+
+    /// Returns the byte count.
+    #[must_use]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Transmission time in microseconds over a link of the given
+    /// bandwidth in bits per second, rounded up to at least 1 µs for any
+    /// non-empty payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits_per_sec` is zero.
+    #[must_use]
+    pub fn transmit_micros(self, bits_per_sec: u64) -> u64 {
+        assert!(bits_per_sec > 0, "bandwidth must be non-zero");
+        if self.0 == 0 {
+            return 0;
+        }
+        let bits = self.0 as u128 * 8;
+        let micros = bits * 1_000_000 / bits_per_sec as u128;
+        (micros as u64).max(1)
+    }
+}
+
+impl Add for Bytes {
+    type Output = Bytes;
+    fn add(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Bytes {
+    fn add_assign(&mut self, rhs: Bytes) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sum for Bytes {
+    fn sum<I: Iterator<Item = Bytes>>(iter: I) -> Bytes {
+        iter.fold(Bytes::ZERO, |acc, x| acc + x)
+    }
+}
+
+impl fmt::Display for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1024 * 1024 {
+            write!(f, "{:.2}MiB", self.0 as f64 / (1024.0 * 1024.0))
+        } else if self.0 >= 1024 {
+            write!(f, "{:.2}KiB", self.0 as f64 / 1024.0)
+        } else {
+            write!(f, "{}B", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mhz_arithmetic() {
+        let a = Mhz::new(100.0);
+        let b = Mhz::new(50.0);
+        assert_eq!((a + b).get(), 150.0);
+        assert_eq!((a - b).get(), 50.0);
+        assert_eq!((a * 2.0).get(), 200.0);
+        assert_eq!((a / 2.0).get(), 50.0);
+    }
+
+    #[test]
+    fn mhz_sub_saturates_at_zero() {
+        assert_eq!((Mhz::new(10.0) - Mhz::new(20.0)).get(), 0.0);
+    }
+
+    #[test]
+    fn mhz_sum() {
+        let total: Mhz = [Mhz::new(1.0), Mhz::new(2.0), Mhz::new(3.0)]
+            .into_iter()
+            .sum();
+        assert_eq!(total.get(), 6.0);
+    }
+
+    #[test]
+    fn mhz_from_cycles() {
+        // 40e9 cycles over 20 s => 2000 MHz.
+        let m = Mhz::from_cycles_over(40_000_000_000, 20_000_000);
+        assert!((m.get() - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mhz_ratio_handles_zero() {
+        assert_eq!(Mhz::new(1.0).ratio(Mhz::ZERO), 0.0);
+        assert_eq!(Mhz::new(1.0).ratio(Mhz::new(2.0)), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite non-negative")]
+    fn mhz_rejects_nan() {
+        let _ = Mhz::new(f64::NAN);
+    }
+
+    #[test]
+    fn bytes_transmit_time_on_gigabit() {
+        // 10 KiB over 1 Gbps: 10240*8 bits / 1e9 bps = 81.92 us -> 81 us.
+        let t = Bytes::from_kib(10).transmit_micros(1_000_000_000);
+        assert_eq!(t, 81);
+        // Empty payload costs nothing.
+        assert_eq!(Bytes::ZERO.transmit_micros(1_000_000_000), 0);
+        // Tiny payload still costs at least 1 us.
+        assert_eq!(Bytes::new(1).transmit_micros(1_000_000_000), 1);
+    }
+
+    #[test]
+    fn bytes_display() {
+        assert_eq!(Bytes::new(10).to_string(), "10B");
+        assert_eq!(Bytes::from_kib(10).to_string(), "10.00KiB");
+        assert_eq!(Bytes::new(2 * 1024 * 1024).to_string(), "2.00MiB");
+    }
+
+    #[test]
+    fn mhz_min_max() {
+        let a = Mhz::new(1.0);
+        let b = Mhz::new(2.0);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+    }
+}

@@ -1,0 +1,163 @@
+//! The Section III chain micro-topology used for Observations 1 and 2.
+//!
+//! "A chain-like topology consisting of one spout executor, four bolts
+//! with one executor per component, and five acker executors", driven by
+//! the Throughput Test's 10 KB random-string spout. Fig. 2 compares three
+//! manual placements of it (n1w1, n5w5, n5w10); Fig. 3 overloads it by
+//! raising spout parallelism to 5 while keeping one bolt executor each.
+
+use crate::logic::{CountingBolt, RandomStringSpout};
+use tstorm_sim::{ExecutorLogic, IdentityBolt};
+use tstorm_topology::{
+    ComponentKind, ComponentSpec, CostProfile, Grouping, Topology, TopologyBuilder,
+};
+use tstorm_types::{Result, SimTime};
+
+/// Parameters of the chain micro-topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChainParams {
+    /// Spout executors (Fig. 2: 1; Fig. 3: 5).
+    pub spouts: u32,
+    /// Number of chained bolts (paper: 4), one executor each unless
+    /// overridden by [`ChainParams::bolt_parallelism`].
+    pub bolts: u32,
+    /// Executors per bolt (paper: 1).
+    pub bolt_parallelism: u32,
+    /// Acker executors (paper: 5).
+    pub ackers: u32,
+    /// Workers requested.
+    pub workers: u32,
+    /// Tuple payload size (Throughput Test: 10 KB).
+    pub tuple_bytes: usize,
+    /// Spout pacing (paper: 5 ms).
+    pub emit_interval_ms: u64,
+}
+
+impl ChainParams {
+    /// The Fig. 2 configuration.
+    #[must_use]
+    pub fn fig2() -> Self {
+        Self {
+            spouts: 1,
+            bolts: 4,
+            bolt_parallelism: 1,
+            ackers: 5,
+            workers: 10,
+            tuple_bytes: 10 * 1024,
+            emit_interval_ms: 5,
+        }
+    }
+
+    /// The Fig. 3 overload configuration: "we set the number of spout
+    /// executors to 5 but kept the number of bolt executors at 1".
+    #[must_use]
+    pub fn fig3_overload() -> Self {
+        Self {
+            spouts: 5,
+            ..Self::fig2()
+        }
+    }
+}
+
+impl Default for ChainParams {
+    fn default() -> Self {
+        Self::fig2()
+    }
+}
+
+/// Builds the chain topology: `spout -> bolt1 -> … -> boltN`.
+///
+/// # Errors
+///
+/// Propagates topology validation failures.
+pub fn topology(p: &ChainParams) -> Result<Topology> {
+    let spout_cost = CostProfile::light()
+        .with_cycles_per_tuple(60_000)
+        .with_cycles_per_input_byte(20);
+    let bolt_cost = CostProfile::light().with_cycles_per_input_byte(50);
+    let mut b = TopologyBuilder::new("chain").spout_with(
+        "spout",
+        p.spouts,
+        &["seq", "payload"],
+        spout_cost,
+        SimTime::from_millis(p.emit_interval_ms),
+    );
+    for i in 1..=p.bolts {
+        let name = format!("bolt{i}");
+        let upstream = if i == 1 {
+            "spout".to_owned()
+        } else {
+            format!("bolt{}", i - 1)
+        };
+        b = b.bolt_with_cost(
+            &name,
+            p.bolt_parallelism,
+            &["seq", "payload"],
+            &[(upstream.as_str(), Grouping::Shuffle)],
+            bolt_cost,
+        );
+    }
+    b.num_ackers(p.ackers).num_workers(p.workers).build()
+}
+
+/// Builds the logic factory for [`topology`]: identity bolts along the
+/// chain, a counting bolt at the end.
+pub fn factory(p: &ChainParams, seed: u64) -> impl FnMut(&ComponentSpec, u32) -> ExecutorLogic {
+    let bytes = p.tuple_bytes;
+    let last = format!("bolt{}", p.bolts);
+    move |spec, index| {
+        if spec.kind() == ComponentKind::Spout {
+            ExecutorLogic::spout(RandomStringSpout::new(bytes, seed ^ (u64::from(index) << 24)))
+        } else if spec.name() == last {
+            ExecutorLogic::bolt(CountingBolt::new())
+        } else {
+            ExecutorLogic::bolt(IdentityBolt::new())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tstorm_cluster::{Assignment, ClusterSpec};
+    use tstorm_sim::{SimConfig, Simulation};
+    use tstorm_types::{Mhz, SlotId};
+
+    #[test]
+    fn fig2_shape_matches_paper() {
+        let t = topology(&ChainParams::fig2()).expect("valid");
+        // 1 spout + 4 bolts + 5 ackers = 10 executors.
+        assert_eq!(t.total_executors(), 10);
+        assert_eq!(t.components().len(), 6);
+    }
+
+    #[test]
+    fn fig3_has_five_spout_executors() {
+        let t = topology(&ChainParams::fig3_overload()).expect("valid");
+        assert_eq!(t.total_executors(), 14);
+        let spout = t.component_id("spout").unwrap();
+        assert_eq!(t.component(spout).parallelism(), 5);
+    }
+
+    #[test]
+    fn chain_processes_tuples() {
+        let p = ChainParams {
+            tuple_bytes: 1024,
+            ..ChainParams::fig2()
+        };
+        let t = topology(&p).expect("valid");
+        let cluster = ClusterSpec::homogeneous(1, 1, Mhz::new(8000.0)).unwrap();
+        let mut sim = Simulation::new(cluster, SimConfig::default());
+        let mut f = factory(&p, 3);
+        sim.submit_topology(&t, &mut f);
+        let a: Assignment = sim
+            .executor_descriptors()
+            .into_iter()
+            .map(|d| (d.id, SlotId::new(0)))
+            .collect();
+        sim.apply_assignment(&a);
+        sim.run_until(SimTime::from_secs(15));
+        assert!(sim.completed() > 1000, "completed {}", sim.completed());
+        assert_eq!(sim.failed(), 0);
+    }
+}

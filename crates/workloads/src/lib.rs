@@ -1,0 +1,38 @@
+//! The paper's evaluation workloads, as reusable topology + logic bundles.
+//!
+//! Section V of the paper evaluates T-Storm on three "well-known data
+//! processing applications":
+//!
+//! * [`throughput`] — the **Throughput Test** topology: a spout emitting
+//!   10 KB random strings, an identity bolt, and a counter bolt
+//!   ("designed to do little work");
+//! * [`wordcount`] — **Word Count (stream version)**: a reader spout fed
+//!   from a Redis queue, a SplitSentence bolt, a fields-grouped WordCount
+//!   bolt, and a Mongo sink;
+//! * [`logstream`] — **Log Stream Processing** (Fig. 7): a log spout fed
+//!   LogStash-style JSON from a Redis queue, a rules bolt, indexer and
+//!   counter bolts, and two Mongo sinks;
+//!
+//! plus [`chain`], the Section III micro-topology used for Observations 1
+//! and 2 (one spout, four chained bolts, five ackers).
+//!
+//! Each module exposes a parameter struct with the paper's defaults, a
+//! `topology()` constructor and a `factory()` producing the executor
+//! logic. Because logic is plugged into the simulator through the same
+//! [`tstorm_sim::ExecutorLogic`] API regardless of scheduler, these
+//! workloads run unmodified under Storm's default scheduler, T-Storm, or
+//! the Aniello baselines — the paper's *user transparency* property.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chain;
+pub mod logic;
+pub mod logstream;
+pub mod throughput;
+pub mod wordcount;
+
+pub use chain::ChainParams;
+pub use logstream::LogStreamParams;
+pub use throughput::ThroughputParams;
+pub use wordcount::WordCountParams;

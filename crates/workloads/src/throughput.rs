@@ -1,0 +1,172 @@
+//! The Throughput Test topology (Section V, Fig. 5).
+//!
+//! "A simple topology called Throughput Test, which has one spout and two
+//! bolts. The spout repeatedly generates random strings of a fixed size of
+//! 10K bytes … connected to a bolt called identity bolt that simply emits
+//! any tuples it receives … the next component is a counter bolt."
+//!
+//! The bolts "are designed to do little work": computation is dominated
+//! by moving the 10 KB payloads, which the cost profiles express through
+//! `cycles_per_input_byte` (deserialisation/copy cost).
+
+use crate::logic::{CountingBolt, RandomStringSpout};
+use tstorm_sim::{ExecutorLogic, IdentityBolt};
+use tstorm_topology::{
+    ComponentKind, ComponentSpec, CostProfile, Grouping, Topology, TopologyBuilder,
+};
+use tstorm_types::{Result, SimTime};
+
+/// Parameters of the Throughput Test topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThroughputParams {
+    /// Spout executors (paper: 5).
+    pub spouts: u32,
+    /// Identity bolt executors (paper: 15).
+    pub identities: u32,
+    /// Counter bolt executors (paper: 15).
+    pub counters: u32,
+    /// Acker executors (paper: 10).
+    pub ackers: u32,
+    /// Workers requested, the paper's `Nu` (paper: 40).
+    pub workers: u32,
+    /// Tuple payload size (paper: 10 KB).
+    pub tuple_bytes: usize,
+    /// Spout pacing (paper: 5 ms sleep per tuple).
+    pub emit_interval_ms: u64,
+}
+
+impl ThroughputParams {
+    /// The paper's Fig. 5 configuration: "40 workers, 5 spout executors,
+    /// 15 identity bolt executors, and 15 counter bolt executors and 10
+    /// acker executors".
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            spouts: 5,
+            identities: 15,
+            counters: 15,
+            ackers: 10,
+            workers: 40,
+            tuple_bytes: 10 * 1024,
+            emit_interval_ms: 5,
+        }
+    }
+
+    /// A scaled-down variant for fast tests.
+    #[must_use]
+    pub fn small() -> Self {
+        Self {
+            spouts: 2,
+            identities: 3,
+            counters: 3,
+            ackers: 2,
+            workers: 8,
+            tuple_bytes: 1024,
+            emit_interval_ms: 5,
+        }
+    }
+}
+
+impl Default for ThroughputParams {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Builds the Throughput Test topology.
+///
+/// # Errors
+///
+/// Propagates topology validation failures (zero parallelism).
+pub fn topology(p: &ThroughputParams) -> Result<Topology> {
+    let spout_cost = CostProfile::light()
+        .with_cycles_per_tuple(60_000)
+        .with_cycles_per_input_byte(20); // generating the payload
+    let moving_cost = CostProfile::light().with_cycles_per_input_byte(50);
+    TopologyBuilder::new("throughput-test")
+        .spout_with(
+            "spout",
+            p.spouts,
+            &["seq", "payload"],
+            spout_cost,
+            SimTime::from_millis(p.emit_interval_ms),
+        )
+        .bolt_with_cost(
+            "identity",
+            p.identities,
+            &["seq", "payload"],
+            &[("spout", Grouping::Shuffle)],
+            moving_cost,
+        )
+        .bolt_with_cost(
+            "counter",
+            p.counters,
+            &["count"],
+            &[("identity", Grouping::Shuffle)],
+            moving_cost,
+        )
+        .num_ackers(p.ackers)
+        .num_workers(p.workers)
+        .build()
+}
+
+/// Builds the logic factory for [`topology`].
+pub fn factory(
+    p: &ThroughputParams,
+    seed: u64,
+) -> impl FnMut(&ComponentSpec, u32) -> ExecutorLogic {
+    let bytes = p.tuple_bytes;
+    move |spec, index| match (spec.kind(), spec.name()) {
+        (ComponentKind::Spout, _) => ExecutorLogic::spout(RandomStringSpout::new(
+            bytes,
+            seed ^ (u64::from(index) << 32),
+        )),
+        (_, "identity") => ExecutorLogic::bolt(IdentityBolt::new()),
+        _ => ExecutorLogic::bolt(CountingBolt::new()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tstorm_cluster::{Assignment, ClusterSpec};
+    use tstorm_sim::{SimConfig, Simulation};
+    use tstorm_types::{Mhz, SlotId};
+
+    #[test]
+    fn paper_parameters_expand_to_45_executors() {
+        let t = topology(&ThroughputParams::paper()).expect("valid");
+        assert_eq!(t.total_executors(), 45);
+        assert_eq!(t.num_workers(), 40);
+    }
+
+    #[test]
+    fn runs_end_to_end() {
+        let p = ThroughputParams::small();
+        let t = topology(&p).expect("valid");
+        let cluster = ClusterSpec::homogeneous(2, 4, Mhz::new(8000.0)).unwrap();
+        let mut sim = Simulation::new(cluster, SimConfig::default());
+        let mut f = factory(&p, 7);
+        sim.submit_topology(&t, &mut f);
+        let a: Assignment = sim
+            .executor_descriptors()
+            .into_iter()
+            .map(|d| (d.id, SlotId::new(0)))
+            .collect();
+        sim.apply_assignment(&a);
+        sim.run_until(SimTime::from_secs(20));
+        assert!(sim.completed() > 1_000, "completed {}", sim.completed());
+        assert_eq!(sim.failed(), 0);
+    }
+
+    #[test]
+    fn payload_sizes_match_configuration() {
+        let p = ThroughputParams::paper();
+        let mut s = RandomStringSpout::new(p.tuple_bytes, 1);
+        use tstorm_sim::SpoutLogic;
+        use tstorm_topology::Value;
+        let v = s.next_tuple(SimTime::ZERO).unwrap();
+        let total: u64 = v.iter().map(Value::payload_bytes).sum();
+        assert_eq!(total as usize, p.tuple_bytes + 8);
+    }
+}

@@ -1,0 +1,55 @@
+//! Quickstart: run the paper's Throughput Test under plain Storm and
+//! under T-Storm on the same 10-node cluster, and print the comparison.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use tstorm::cluster::ClusterSpec;
+use tstorm::core::{SystemMode, TStormConfig, TStormSystem};
+use tstorm::metrics::ComparisonRow;
+use tstorm::types::{Mhz, SimTime};
+use tstorm::workloads::throughput::{self, ThroughputParams};
+
+fn run(mode: SystemMode, gamma: f64) -> Result<TStormSystem, Box<dyn std::error::Error>> {
+    // The paper's testbed shape: 10 worker nodes on a 1 Gbps network.
+    let cluster = ClusterSpec::homogeneous(10, 4, Mhz::new(8000.0))?;
+    let mut config = TStormConfig::default().with_mode(mode).with_gamma(gamma);
+    // Shortened control periods so the example finishes quickly; the
+    // benchmark binaries use the paper's Table II values.
+    config.generation_period = SimTime::from_secs(60);
+    let mut system = TStormSystem::new(cluster, config)?;
+
+    let params = ThroughputParams::paper();
+    let topology = throughput::topology(&params)?;
+    let mut factory = throughput::factory(&params, 7);
+    system.submit(&topology, &mut factory)?;
+    system.start()?;
+    system.run_until(SimTime::from_secs(300))?;
+    Ok(system)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Throughput Test on 10 nodes: Storm default vs T-Storm (gamma=1)\n");
+
+    let storm = run(SystemMode::StormDefault, 1.0)?;
+    let tstorm = run(SystemMode::TStorm, 1.0)?;
+
+    let storm_report = storm.report("Storm");
+    let tstorm_report = tstorm.report("T-Storm");
+    println!("{}", storm_report.render_table());
+    println!("{}", tstorm_report.render_table());
+
+    let stable = SimTime::from_secs(120);
+    if let Some(row) =
+        ComparisonRow::from_reports("throughput gamma=1", &storm_report, &tstorm_report, stable)
+    {
+        println!("{}", ComparisonRow::render_table(&[row]));
+    }
+    println!(
+        "T-Storm rescheduled {} time(s); smooth rollout dropped {} tuples.",
+        tstorm.simulation().reassignments(),
+        tstorm.simulation().dropped_in_flight(),
+    );
+    Ok(())
+}

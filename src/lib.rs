@@ -1,0 +1,66 @@
+//! # tstorm — a reproduction of *T-Storm: Traffic-Aware Online Scheduling
+//! # in Storm* (ICDCS 2014)
+//!
+//! This facade crate re-exports the whole workspace so applications can
+//! depend on a single crate:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`types`] | `tstorm-types` | ids, virtual time, units, RNG, errors |
+//! | [`topology`] | `tstorm-topology` | spouts, bolts, groupings, builder |
+//! | [`cluster`] | `tstorm-cluster` | nodes, slots, assignments |
+//! | [`sim`] | `tstorm-sim` | the Storm-model discrete-event simulator |
+//! | [`monitor`] | `tstorm-monitor` | load monitors, EWMA stats DB, overload |
+//! | [`sched`] | `tstorm-sched` | Algorithm 1, round-robin, Aniello baselines |
+//! | [`core`] | `tstorm-core` | the assembled T-Storm system |
+//! | [`substrates`] | `tstorm-substrates` | Redis/Mongo/LogStash/corpus stand-ins |
+//! | [`workloads`] | `tstorm-workloads` | Throughput Test, Word Count, Log Stream |
+//! | [`metrics`] | `tstorm-metrics` | 1-minute series, percentiles, reports, comparisons |
+//!
+//! Two more workspace members are binaries rather than library crates:
+//! `tstorm-bench` (per-figure reproduction harness) and `tstorm-cli`
+//! (the `tstorm` command-line front end).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use tstorm::cluster::ClusterSpec;
+//! use tstorm::core::{SystemMode, TStormConfig, TStormSystem};
+//! use tstorm::sim::{ConstSpout, ExecutorLogic, IdentityBolt};
+//! use tstorm::topology::{Grouping, TopologyBuilder};
+//! use tstorm::types::{Mhz, SimTime};
+//!
+//! // A 4-node cluster and a tiny topology.
+//! let cluster = ClusterSpec::homogeneous(4, 4, Mhz::new(8000.0))?;
+//! let topo = TopologyBuilder::new("quick")
+//!     .spout("src", 2, &["v"])
+//!     .bolt("work", 2, &["v"], &[("src", Grouping::Shuffle)])
+//!     .num_ackers(1)
+//!     .num_workers(4)
+//!     .build()?;
+//!
+//! // Run it under T-Storm.
+//! let mut system = TStormSystem::new(cluster, TStormConfig::default())?;
+//! system.submit(&topo, &mut |spec, _| match spec.kind() {
+//!     tstorm::topology::ComponentKind::Spout => ExecutorLogic::spout(ConstSpout::new("hi")),
+//!     _ => ExecutorLogic::bolt(IdentityBolt::new()),
+//! })?;
+//! system.start()?;
+//! system.run_until(SimTime::from_secs(30))?;
+//! assert!(system.simulation().completed() > 0);
+//! # Ok::<(), tstorm::types::TStormError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use tstorm_cluster as cluster;
+pub use tstorm_core as core;
+pub use tstorm_metrics as metrics;
+pub use tstorm_monitor as monitor;
+pub use tstorm_sched as sched;
+pub use tstorm_sim as sim;
+pub use tstorm_substrates as substrates;
+pub use tstorm_topology as topology;
+pub use tstorm_types as types;
+pub use tstorm_workloads as workloads;

@@ -1,0 +1,113 @@
+//! Cross-crate end-to-end tests: multi-topology clusters, whole-system
+//! determinism, and schedule validity under the full pipeline.
+
+use tstorm::cluster::ClusterSpec;
+use tstorm::core::{SystemMode, TStormConfig, TStormSystem};
+use tstorm::sched::{ExecutorInfo, SchedParams, SchedulingInput};
+use tstorm::types::{Mhz, SimTime};
+use tstorm::workloads::throughput::{self, ThroughputParams};
+use tstorm::workloads::wordcount::{self, WordCountParams, WordCountState};
+
+fn cluster10() -> ClusterSpec {
+    ClusterSpec::homogeneous(10, 4, Mhz::new(8000.0)).expect("valid")
+}
+
+fn fast_config(gamma: f64, seed: u64) -> TStormConfig {
+    let mut c = TStormConfig::default()
+        .with_mode(SystemMode::TStorm)
+        .with_gamma(gamma)
+        .with_seed(seed);
+    c.monitor_period = SimTime::from_secs(10);
+    c.fetch_period = SimTime::from_secs(5);
+    c.generation_period = SimTime::from_secs(60);
+    c
+}
+
+#[test]
+fn two_topologies_share_the_cluster() {
+    // Throughput Test and Word Count run side by side under T-Storm —
+    // the scheduling problem spans "M topologies" as in Section IV-C.
+    let mut system = TStormSystem::new(cluster10(), fast_config(2.0, 7)).expect("valid");
+
+    let tp = ThroughputParams::small();
+    let t_topo = throughput::topology(&tp).expect("valid");
+    let mut t_factory = throughput::factory(&tp, 3);
+    let h1 = system.submit(&t_topo, &mut t_factory).expect("submits");
+
+    let wp = WordCountParams::paper();
+    let w_topo = wordcount::topology(&wp).expect("valid");
+    let state = WordCountState::new();
+    state.attach_corpus_producer(SimTime::ZERO, 100.0);
+    let mut w_factory = wordcount::factory(&state);
+    let h2 = system.submit(&w_topo, &mut w_factory).expect("submits");
+
+    assert_ne!(h1.id, h2.id);
+    system.start().expect("starts");
+    system.run_until(SimTime::from_secs(200)).expect("runs");
+
+    assert!(system.simulation().completed() > 5_000);
+    assert_eq!(system.simulation().failed(), 0);
+    // Both topologies made progress: word rows exist in Mongo.
+    assert!(state.store.borrow().count("words") > 20);
+
+    // The live assignment satisfies the structural constraints for the
+    // combined executor population.
+    let db = system.monitor().db();
+    let executors: Vec<ExecutorInfo> = system
+        .simulation()
+        .executor_descriptors()
+        .into_iter()
+        .map(|d| ExecutorInfo::new(d.id, d.topology, d.component, db.load_of(d.id)))
+        .collect();
+    let input = SchedulingInput::new(
+        cluster10(),
+        executors,
+        db.traffic_matrix(),
+        SchedParams::default(),
+    );
+    let ctx = input.executor_ctx();
+    let violations =
+        system
+            .simulation()
+            .current_assignment()
+            .constraint_violations(&input.cluster, &ctx, None);
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn whole_system_is_deterministic() {
+    let run = |seed: u64| {
+        let p = ThroughputParams::small();
+        let topo = throughput::topology(&p).expect("valid");
+        let mut system = TStormSystem::new(cluster10(), fast_config(1.7, seed)).expect("valid");
+        let mut f = throughput::factory(&p, seed);
+        system.submit(&topo, &mut f).expect("submits");
+        system.start().expect("starts");
+        system.run_until(SimTime::from_secs(150)).expect("runs");
+        (
+            system.simulation().completed(),
+            system.simulation().emitted(),
+            system.generations(),
+            system.report("x").proc_time_ms.points(),
+        )
+    };
+    let a = run(99);
+    let b = run(99);
+    assert_eq!(a, b, "same seed must reproduce the identical run");
+}
+
+#[test]
+fn facade_reexports_compose() {
+    // Compile-time-ish check that the facade exposes a coherent API
+    // surface; exercises types/metrics/monitor via the facade paths.
+    let series = {
+        let mut s = tstorm::metrics::WindowedSeries::new(tstorm::types::SimTime::from_secs(60));
+        s.record(tstorm::types::SimTime::from_secs(30), 2.0);
+        s
+    };
+    assert_eq!(series.total_count(), 1);
+    let mut ewma = tstorm::monitor::Ewma::new(0.5);
+    assert_eq!(ewma.update(4.0), 4.0);
+    let q = tstorm::substrates::RedisQueue::new("q");
+    assert_eq!(q.name(), "q");
+}

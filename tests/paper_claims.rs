@@ -1,0 +1,120 @@
+//! Reduced-duration checks of the paper's headline claims. The full
+//! 1000 s reproductions live in the `fig*` binaries of `tstorm-bench`;
+//! these tests run the same experiment code shorter and assert the
+//! qualitative shape (who wins, direction of tradeoffs) holds.
+
+use tstorm_bench::experiments;
+use tstorm_core::SystemMode;
+use tstorm_types::SimTime;
+
+const DURATION: u64 = 400;
+const STABLE: SimTime = SimTime::from_secs(200);
+
+#[test]
+fn observation1_fig2_ordering() {
+    let outcomes = experiments::fig2(200, 42);
+    let mean =
+        |i: usize| outcomes[i].report.proc_time_ms.overall_mean().expect("data");
+    assert!(mean(0) < mean(1), "n1w1 must beat n5w5");
+    assert!(mean(1) < mean(2), "n5w5 must beat n5w10");
+}
+
+#[test]
+fn observation2_fig3_overload() {
+    let outcome = experiments::fig3(150, 42);
+    assert!(outcome.failed > 0, "overload must fail tuples");
+}
+
+#[test]
+fn fig5_throughput_test_speedup_and_consolidation() {
+    let storm = experiments::fig5(SystemMode::StormDefault, 1.0, DURATION, 42);
+    let g1 = experiments::fig5(SystemMode::TStorm, 1.0, DURATION, 42);
+    let g6 = experiments::fig5(SystemMode::TStorm, 6.0, DURATION, 42);
+
+    let s = storm.report.mean_proc_time_after(STABLE).expect("data");
+    let t1 = g1.report.mean_proc_time_after(STABLE).expect("data");
+    let t6 = g6.report.mean_proc_time_after(STABLE).expect("data");
+
+    // Paper: >83% speedup; we assert a decisive win (>50%).
+    assert!(t1 < s * 0.5, "gamma=1: storm {s:.2} ms vs t-storm {t1:.2} ms");
+    // Consolidation to very few nodes keeps comparable performance.
+    let n6 = g6.report.nodes_used.last().copied().unwrap();
+    assert!(n6 <= 4, "gamma=6 should use very few nodes, used {n6}");
+    assert!(
+        t6 < s,
+        "consolidated t-storm {t6:.2} ms should still beat storm {s:.2} ms"
+    );
+}
+
+#[test]
+fn fig6_word_count_speedup() {
+    let storm = experiments::fig6(SystemMode::StormDefault, 1.0, DURATION, 42);
+    let tstorm = experiments::fig6(SystemMode::TStorm, 1.8, DURATION, 42);
+    let s = storm.report.mean_proc_time_after(STABLE).expect("data");
+    let t = tstorm.report.mean_proc_time_after(STABLE).expect("data");
+    assert!(t < s, "word count: storm {s:.2} ms vs t-storm {t:.2} ms");
+    let nodes = tstorm.report.nodes_used.last().copied().unwrap();
+    assert!(nodes < 10, "gamma=1.8 should consolidate below 10 nodes, used {nodes}");
+}
+
+#[test]
+fn fig8_log_stream_speedup() {
+    let storm = experiments::fig8(SystemMode::StormDefault, 1.0, DURATION, 42);
+    let tstorm = experiments::fig8(SystemMode::TStorm, 1.7, DURATION, 42);
+    let s = storm.report.mean_proc_time_after(STABLE).expect("data");
+    let t = tstorm.report.mean_proc_time_after(STABLE).expect("data");
+    assert!(t < s, "log stream: storm {s:.2} ms vs t-storm {t:.2} ms");
+    let nodes = tstorm.report.nodes_used.last().copied().unwrap();
+    assert!(nodes < 10, "gamma=1.7 should consolidate below 10 nodes, used {nodes}");
+}
+
+#[test]
+fn fig9_word_count_overload_recovery() {
+    let outcome = experiments::fig9(DURATION, 42);
+    assert!(outcome.overload_events > 0, "overload must be detected");
+    let nodes = outcome.report.nodes_used.last().copied().unwrap();
+    assert!(nodes > 1, "recovery must allocate more nodes, used {nodes}");
+    // Latency drops sharply after recovery relative to the overloaded
+    // early windows.
+    let points = outcome.report.proc_points();
+    let early_max = points
+        .iter()
+        .take_while(|p| p.start < SimTime::from_secs(120))
+        .filter(|p| p.count > 0)
+        .map(|p| p.mean)
+        .fold(0.0, f64::max);
+    let late = outcome.report.mean_proc_time_after(STABLE).expect("data");
+    assert!(
+        late < early_max / 5.0,
+        "late {late:.1} ms should be far below the overloaded peak {early_max:.1} ms"
+    );
+}
+
+#[test]
+fn fig10_log_stream_overload_recovery() {
+    let outcome = experiments::fig10(DURATION, 42);
+    assert!(outcome.overload_events > 0, "overload must be detected");
+    let nodes = outcome.report.nodes_used.last().copied().unwrap();
+    assert!(nodes >= 4, "recovery should spread wide, used {nodes}");
+    let late = outcome.report.mean_proc_time_after(STABLE).expect("data");
+    assert!(late < 1_000.0, "post-recovery latency {late:.1} ms");
+}
+
+#[test]
+fn headline_rows_have_consistent_direction() {
+    let rows = experiments::headline(300, 42);
+    assert_eq!(rows.len(), 3);
+    for row in &rows {
+        assert!(
+            row.speedup_percent > 0.0,
+            "{}: t-storm should win ({:.1}%)",
+            row.label,
+            row.speedup_percent
+        );
+        assert!(
+            row.candidate_nodes <= row.baseline_nodes,
+            "{}: t-storm should not use more nodes",
+            row.label
+        );
+    }
+}
