@@ -7,13 +7,14 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use tstorm_cluster::ClusterSpec;
-use tstorm_sched::{ExecutorInfo, SchedParams, Scheduler, SchedulingInput, TStormScheduler, TrafficMatrix};
+use tstorm_sched::{
+    ExecutorInfo, SchedParams, Scheduler, SchedulingInput, TStormScheduler, TrafficMatrix,
+};
 use tstorm_types::{ComponentId, ExecutorId, Mhz, TopologyId};
 
 /// A chain of `ne` executors over `nodes`×`slots_per_node` slots.
 fn chain_input(ne: u32, nodes: u32, slots_per_node: u32) -> SchedulingInput {
-    let cluster =
-        ClusterSpec::homogeneous(nodes, slots_per_node, Mhz::new(8000.0)).expect("valid");
+    let cluster = ClusterSpec::homogeneous(nodes, slots_per_node, Mhz::new(8000.0)).expect("valid");
     let executors: Vec<ExecutorInfo> = (0..ne)
         .map(|i| {
             ExecutorInfo::new(
@@ -26,7 +27,11 @@ fn chain_input(ne: u32, nodes: u32, slots_per_node: u32) -> SchedulingInput {
         .collect();
     let mut traffic = TrafficMatrix::new();
     for i in 0..ne.saturating_sub(1) {
-        traffic.set(ExecutorId::new(i), ExecutorId::new(i + 1), 100.0 + f64::from(i));
+        traffic.set(
+            ExecutorId::new(i),
+            ExecutorId::new(i + 1),
+            100.0 + f64::from(i),
+        );
     }
     SchedulingInput::new(
         cluster,

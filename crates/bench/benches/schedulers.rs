@@ -24,7 +24,12 @@ fn throughput_like_input() -> SchedulingInput {
     let ackers = stage(35, 10);
 
     let mut executors = Vec::new();
-    for (comp, ids) in [(0u32, &spouts), (1, &identities), (2, &counters), (3, &ackers)] {
+    for (comp, ids) in [
+        (0u32, &spouts),
+        (1, &identities),
+        (2, &counters),
+        (3, &ackers),
+    ] {
         for id in ids {
             executors.push(ExecutorInfo::new(
                 *id,
@@ -36,14 +41,15 @@ fn throughput_like_input() -> SchedulingInput {
     }
 
     let mut traffic = TrafficMatrix::new();
-    let connect = |traffic: &mut TrafficMatrix, from: &[ExecutorId], to: &[ExecutorId], total: f64| {
-        let per = total / (from.len() * to.len()) as f64;
-        for f in from {
-            for t in to {
-                traffic.set(*f, *t, per);
+    let connect =
+        |traffic: &mut TrafficMatrix, from: &[ExecutorId], to: &[ExecutorId], total: f64| {
+            let per = total / (from.len() * to.len()) as f64;
+            for f in from {
+                for t in to {
+                    traffic.set(*f, *t, per);
+                }
             }
-        }
-    };
+        };
     connect(&mut traffic, &spouts, &identities, 1000.0);
     connect(&mut traffic, &identities, &counters, 1000.0);
     connect(&mut traffic, &spouts, &ackers, 1000.0);

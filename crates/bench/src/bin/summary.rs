@@ -25,7 +25,5 @@ fn main() {
         "Average worker-node reduction: {:.0}% (the operational-cost lever of Section I).",
         avg_node_saving * 100.0
     );
-    println!(
-        "Paper abstract: >84% speedup (light) and 27% (heavy) with 30% fewer worker nodes."
-    );
+    println!("Paper abstract: >84% speedup (light) and 27% (heavy) with 30% fewer worker nodes.");
 }

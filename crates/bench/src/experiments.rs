@@ -367,9 +367,7 @@ mod tests {
     fn fig2_ordering_holds() {
         let outcomes = fig2(120, 3);
         assert_eq!(outcomes.len(), 3);
-        let mean = |o: &ExperimentOutcome| {
-            o.report.proc_time_ms.overall_mean().expect("has data")
-        };
+        let mean = |o: &ExperimentOutcome| o.report.proc_time_ms.overall_mean().expect("has data");
         let (a, b, c) = (mean(&outcomes[0]), mean(&outcomes[1]), mean(&outcomes[2]));
         assert!(a < b, "n1w1 {a:.3} should beat n5w5 {b:.3}");
         assert!(b < c, "n5w5 {b:.3} should beat n5w10 {c:.3}");
@@ -388,7 +386,10 @@ mod tests {
             .filter(|p| p.count > 0)
             .map(|p| p.mean)
             .fold(0.0, f64::max);
-        assert!(peak > 2_000.0, "peak latency {peak:.1} ms too low for overload");
+        assert!(
+            peak > 2_000.0,
+            "peak latency {peak:.1} ms too low for overload"
+        );
         // ...and most of the stream never completes at all.
         assert!(
             outcome.completed < outcome.report.emitted / 2,

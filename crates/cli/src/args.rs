@@ -28,6 +28,15 @@ pub struct RunOptions {
     pub rate: f64,
     /// Write the 1-minute series as CSV to this path.
     pub csv: Option<String>,
+    /// Stream trace events as JSON Lines to this path.
+    pub trace: Option<String>,
+    /// Comma-separated trace categories to keep (default: all).
+    pub trace_filter: Option<String>,
+    /// Keep 1 in N data-plane trace events (default: 1 = keep all).
+    pub trace_sample: u64,
+    /// Write the metrics registry in Prometheus text format to this
+    /// path at the end of the run.
+    pub prom: Option<String>,
     /// Suppress the per-window table (summary only).
     pub quiet: bool,
 }
@@ -45,6 +54,10 @@ impl Default for RunOptions {
             seed: 42,
             rate: 300.0,
             csv: None,
+            trace: None,
+            trace_filter: None,
+            trace_sample: 1,
+            prom: None,
             quiet: false,
         }
     }
@@ -99,10 +112,15 @@ OPTIONS (run/compare):
     --seed      N      RNG seed                        [42]
     --rate      F      input lines/s (queue workloads) [300]
     --csv       PATH   write 1-minute series as CSV
+    --trace PATH       stream trace events as JSON Lines
+    --trace-filter CAT[,CAT...]  keep only these categories
+                       (tuple|queue|process|worker|control)
+    --trace-sample N   keep 1 in N data-plane trace events  [1]
+    --prom  PATH       write metrics in Prometheus text format
     --quiet            summary only
 ";
 
-/// Parses a full argument list (excluding argv[0]).
+/// Parses a full argument list (excluding `argv[0]`).
 ///
 /// # Errors
 ///
@@ -148,9 +166,7 @@ where
                     "wordcount" => Topology::WordCount,
                     "logstream" => Topology::LogStream,
                     "chain" => Topology::Chain,
-                    other => {
-                        return Err(ParseError(format!("unknown topology `{other}`")))
-                    }
+                    other => return Err(ParseError(format!("unknown topology `{other}`"))),
                 }
             }
             "--system" => {
@@ -168,6 +184,21 @@ where
             "--duration" => opts.duration_secs = u64::from(parse_int(flag, &value(flag)?)?),
             "--seed" => opts.seed = u64::from(parse_int(flag, &value(flag)?)?),
             "--csv" => opts.csv = Some(value(flag)?),
+            "--trace" => opts.trace = Some(value(flag)?),
+            "--trace-filter" => {
+                let spec = value(flag)?;
+                tstorm_trace::TraceFilter::parse(&spec).map_err(|tok| {
+                    ParseError(format!("--trace-filter: unknown category `{tok}`"))
+                })?;
+                opts.trace_filter = Some(spec);
+            }
+            "--trace-sample" => {
+                opts.trace_sample = u64::from(parse_int(flag, &value(flag)?)?);
+                if opts.trace_sample == 0 {
+                    return Err(ParseError("--trace-sample must be positive".to_owned()));
+                }
+            }
+            "--prom" => opts.prom = Some(value(flag)?),
             "--quiet" => opts.quiet = true,
             other => return Err(ParseError(format!("unknown flag `{other}`"))),
         }
@@ -249,5 +280,23 @@ mod tests {
     fn rejects_degenerate_values() {
         assert!(parse(args("run --nodes 0")).is_err());
         assert!(parse(args("run --duration 0")).is_err());
+        assert!(parse(args("run --trace-sample 0")).is_err());
+        assert!(parse(args("run --trace-filter tuple,bogus")).is_err());
+    }
+
+    #[test]
+    fn parses_observability_flags() {
+        let cmd = parse(args(
+            "run --trace t.jsonl --trace-filter tuple,control --trace-sample 10 \
+             --prom m.prom",
+        ))
+        .expect("parses");
+        let Command::Run(o) = cmd else {
+            panic!("expected run");
+        };
+        assert_eq!(o.trace.as_deref(), Some("t.jsonl"));
+        assert_eq!(o.trace_filter.as_deref(), Some("tuple,control"));
+        assert_eq!(o.trace_sample, 10);
+        assert_eq!(o.prom.as_deref(), Some("m.prom"));
     }
 }

@@ -58,6 +58,12 @@ fn main() -> ExitCode {
                     }
                     println!("series written to {path}");
                 }
+                if let Some(path) = &opts.trace {
+                    println!("trace written to {path}");
+                }
+                if let Some(path) = &opts.prom {
+                    println!("metrics written to {path}");
+                }
                 ExitCode::SUCCESS
             }
             Err(e) => {

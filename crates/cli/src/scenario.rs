@@ -1,10 +1,13 @@
 //! Scenario construction and execution for the CLI.
 
 use crate::args::RunOptions;
+use std::fs::File;
+use std::io::{BufWriter, Write};
 use tstorm_cluster::ClusterSpec;
 use tstorm_core::{TStormConfig, TStormSystem};
 use tstorm_metrics::RunReport;
-use tstorm_types::{Mhz, Result, SimTime};
+use tstorm_trace::{JsonlWriter, Observer, TraceFilter};
+use tstorm_types::{Mhz, Result, SimTime, TStormError};
 use tstorm_workloads::chain::{self, ChainParams};
 use tstorm_workloads::logstream::{self, LogStreamParams, LogStreamState};
 use tstorm_workloads::throughput::{self, ThroughputParams};
@@ -68,6 +71,10 @@ pub fn run_scenario(opts: &RunOptions) -> Result<ScenarioOutcome> {
         .with_seed(opts.seed)
         .with_scheduler(&opts.scheduler);
     let mut system = TStormSystem::new(cluster, config)?;
+    let observer = build_observer(opts)?;
+    if observer.is_enabled() {
+        system.set_observer(observer.clone());
+    }
 
     match opts.topology {
         Topology::Throughput => {
@@ -103,6 +110,23 @@ pub fn run_scenario(opts: &RunOptions) -> Result<ScenarioOutcome> {
     system.start()?;
     system.run_until(SimTime::from_secs(opts.duration_secs))?;
 
+    if observer.is_enabled() {
+        observer
+            .flush()
+            .map_err(|e| TStormError::invalid_config("--trace", format!("flushing trace: {e}")))?;
+        if let Some(path) = &opts.prom {
+            let text = observer.render_prometheus().unwrap_or_default();
+            let mut file = BufWriter::new(File::create(path).map_err(|e| {
+                TStormError::invalid_config("--prom", format!("cannot create {path}: {e}"))
+            })?);
+            file.write_all(text.as_bytes())
+                .and_then(|()| file.flush())
+                .map_err(|e| {
+                    TStormError::invalid_config("--prom", format!("writing {path}: {e}"))
+                })?;
+        }
+    }
+
     let label = format!(
         "{} / {} (gamma={})",
         opts.topology.name(),
@@ -118,6 +142,38 @@ pub fn run_scenario(opts: &RunOptions) -> Result<ScenarioOutcome> {
         completed: system.simulation().completed(),
         timeline: system.timeline().to_vec(),
     })
+}
+
+/// Builds the observer the options ask for: a JSONL sink for
+/// `--trace`, the category filter and sampling stride, and (with
+/// `--prom` alone) a metrics-only observer with no sinks. Returns a
+/// disabled observer when no observability flag is set, so untraced
+/// runs pay a single pointer check per potential event.
+fn build_observer(opts: &RunOptions) -> Result<Observer> {
+    if opts.trace.is_none() && opts.prom.is_none() {
+        return Ok(Observer::disabled());
+    }
+    let mut builder = Observer::builder().sample(opts.trace_sample);
+    if let Some(spec) = &opts.trace_filter {
+        let filter = TraceFilter::parse(spec).map_err(|tok| {
+            TStormError::invalid_config("--trace-filter", format!("unknown category `{tok}`"))
+        })?;
+        builder = builder.filter(filter);
+    }
+    if let Some(path) = &opts.trace {
+        let file = File::create(path).map_err(|e| {
+            TStormError::invalid_config("--trace", format!("cannot create {path}: {e}"))
+        })?;
+        builder = builder.sink(Box::new(JsonlWriter::new(BufWriter::new(file))));
+    }
+    if let Some(path) = &opts.prom {
+        // Fail before the (possibly long) run, not after it: the file
+        // is rewritten with the real metrics once the run finishes.
+        File::create(path).map_err(|e| {
+            TStormError::invalid_config("--prom", format!("cannot create {path}: {e}"))
+        })?;
+    }
+    Ok(builder.build())
 }
 
 impl ScenarioOutcome {
@@ -202,6 +258,34 @@ mod tests {
             ..quick(Topology::Throughput)
         };
         assert!(run_scenario(&opts).is_err());
+    }
+
+    #[test]
+    fn trace_and_prom_files_are_written() {
+        let dir = std::env::temp_dir().join("tstorm-cli-trace-test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let trace = dir.join("trace.jsonl");
+        let prom = dir.join("metrics.prom");
+        let opts = RunOptions {
+            trace: Some(trace.to_string_lossy().into_owned()),
+            prom: Some(prom.to_string_lossy().into_owned()),
+            trace_sample: 4,
+            ..quick(Topology::Throughput)
+        };
+        let outcome = run_scenario(&opts).expect("runs");
+        assert!(outcome.completed > 100);
+
+        let jsonl = std::fs::read_to_string(&trace).expect("trace file");
+        assert!(jsonl.lines().count() > 100, "trace should have many lines");
+        for line in jsonl.lines().take(50) {
+            let v = tstorm_trace::json::parse(line).expect("valid JSON line");
+            assert!(v.get("t").is_some() && v.get("type").is_some(), "{line}");
+        }
+
+        let text = std::fs::read_to_string(&prom).expect("prom file");
+        assert!(text.contains("# TYPE tstorm_tuples_completed_total counter"));
+        assert!(text.contains("# TYPE tstorm_complete_latency_ms histogram"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

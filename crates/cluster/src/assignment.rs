@@ -434,7 +434,9 @@ mod tests {
     fn detects_nonexistent_slot() {
         let c = cluster();
         let ctx = ctx(&[(0, 0, 1.0)]);
-        let a: Assignment = [(ExecutorId::new(0), SlotId::new(99))].into_iter().collect();
+        let a: Assignment = [(ExecutorId::new(0), SlotId::new(99))]
+            .into_iter()
+            .collect();
         let v = a.constraint_violations(&c, &ctx, None);
         assert_eq!(v.len(), 1);
         assert!(v[0].contains("nonexistent"));

@@ -142,7 +142,10 @@ impl TStormConfig {
     /// Returns [`TStormError::InvalidConfig`] for out-of-domain values.
     pub fn validate(&self) -> Result<()> {
         if !(0.0..=1.0).contains(&self.alpha) {
-            return Err(TStormError::invalid_config("alpha", "must be within [0, 1]"));
+            return Err(TStormError::invalid_config(
+                "alpha",
+                "must be within [0, 1]",
+            ));
         }
         if let EstimatorKind::HoltLinear { beta } = self.estimator {
             if !(0.0..=1.0).contains(&beta) {
@@ -224,8 +227,10 @@ mod tests {
 
     #[test]
     fn estimator_beta_is_validated() {
-        let mut c = TStormConfig::default();
-        c.estimator = EstimatorKind::HoltLinear { beta: 0.4 };
+        let mut c = TStormConfig {
+            estimator: EstimatorKind::HoltLinear { beta: 0.4 },
+            ..TStormConfig::default()
+        };
         assert!(c.validate().is_ok());
         c.estimator = EstimatorKind::HoltLinear { beta: 1.5 };
         assert!(c.validate().is_err());

@@ -13,6 +13,7 @@ use tstorm_sched::{
 };
 use tstorm_sim::{ExecutorLogic, Simulation, TopologyHandle};
 use tstorm_topology::{ComponentSpec, Topology};
+use tstorm_trace::{Observer, TraceEvent};
 use tstorm_types::{AssignmentId, ComponentId, Result, SimTime, TStormError, TopologyId};
 
 /// A running T-Storm (or plain Storm) deployment over the simulator.
@@ -41,6 +42,11 @@ pub struct TStormSystem {
     overload_events: u32,
     last_overload_generate: Option<SimTime>,
     timeline: Vec<ControlEvent>,
+    observer: Observer,
+    /// Capture wall-clock scheduler runtime into trace events (off by
+    /// default: wall time is nondeterministic and would break
+    /// byte-identical traces; the metrics histogram gets it either way).
+    trace_wall_time: bool,
 }
 
 impl std::fmt::Debug for TStormSystem {
@@ -74,9 +80,11 @@ impl TStormSystem {
         let alpha = config.alpha;
         let monitor = match config.estimator {
             EstimatorKind::Ewma => LoadMonitor::new(alpha),
-            EstimatorKind::HoltLinear { beta } => LoadMonitor::with_estimator(Box::new(
-                move || Box::new(HoltLinearEstimator::new(alpha, beta)),
-            )),
+            EstimatorKind::HoltLinear { beta } => {
+                LoadMonitor::with_estimator(Box::new(move || {
+                    Box::new(HoltLinearEstimator::new(alpha, beta))
+                }))
+            }
         };
         Ok(Self {
             monitor,
@@ -95,10 +103,36 @@ impl TStormSystem {
             overload_events: 0,
             last_overload_generate: None,
             timeline: Vec::new(),
+            observer: Observer::disabled(),
+            trace_wall_time: false,
             cluster,
             config,
             sim,
         })
+    }
+
+    /// Attaches an observer to the whole system: the simulator's data
+    /// plane, the load monitor, and the control plane all share its
+    /// sinks and metrics registry.
+    pub fn set_observer(&mut self, observer: Observer) {
+        self.sim.set_observer(observer.clone());
+        self.monitor.set_observer(observer.clone());
+        self.observer = observer;
+    }
+
+    /// Enables wall-clock scheduler-runtime capture in
+    /// [`TraceEvent::ScheduleGenerated`] events. Off by default because
+    /// wall time varies run to run, breaking byte-identical traces; the
+    /// `tstorm_schedule_runtime_us` histogram records it regardless.
+    pub fn set_trace_wall_time(&mut self, on: bool) {
+        self.trace_wall_time = on;
+    }
+
+    /// The observer attached to this system (disabled unless
+    /// [`TStormSystem::set_observer`] was called).
+    #[must_use]
+    pub fn observer(&self) -> &Observer {
+        &self.observer
     }
 
     /// Submits a topology with its logic factory. Storm applications port
@@ -119,8 +153,7 @@ impl TStormSystem {
         self.workers_requested
             .insert(handle.id, topology.num_workers());
         for edge in topology.edges() {
-            self.component_edges
-                .push((handle.id, edge.from, edge.to));
+            self.component_edges.push((handle.id, edge.from, edge.to));
         }
         Ok(handle)
     }
@@ -204,6 +237,19 @@ impl TStormSystem {
             snap.record_traffic(from, to, tuples);
         }
         self.monitor.ingest(&snap);
+        if self.observer.is_enabled() {
+            let utilisations = self.node_utilisations();
+            self.observer.metrics(|m| {
+                for (node, ratio) in &utilisations {
+                    m.set_gauge(
+                        "tstorm_node_cpu_utilisation",
+                        "Estimated node CPU load as a fraction of capacity",
+                        &[("node", &node.to_string())],
+                        *ratio,
+                    );
+                }
+            });
+        }
 
         if self.config.mode == SystemMode::TStorm && self.config.overload_fast_path {
             let cooled_down = self
@@ -224,6 +270,30 @@ impl TStormSystem {
                         nodes: report.cpu_overloaded.clone(),
                         failures: report.recent_failures,
                     });
+                    if self.observer.is_enabled() {
+                        let at = self.sim.now();
+                        let utilisations = self.node_utilisations();
+                        for node in &report.cpu_overloaded {
+                            let node = node.index();
+                            let utilisation = utilisations
+                                .iter()
+                                .find(|(n, _)| *n == node)
+                                .map_or(0.0, |(_, u)| *u);
+                            self.observer
+                                .emit_with(at, || TraceEvent::OverloadDetected {
+                                    node,
+                                    utilisation,
+                                });
+                        }
+                        self.observer.metrics(|m| {
+                            m.inc_counter(
+                                "tstorm_overload_events_total",
+                                "Overload detections that triggered the fast path",
+                                &[],
+                                1,
+                            );
+                        });
+                    }
                     self.generate(true)?;
                 }
             }
@@ -239,7 +309,40 @@ impl TStormSystem {
             return Ok(()); // no runtime information yet
         }
         let input = self.scheduling_input();
+        let sched_started = self.observer.is_enabled().then(std::time::Instant::now);
         let assignment = self.scheduler.schedule(&input)?;
+        let elapsed_us = sched_started.map(|t| t.elapsed().as_micros() as u64);
+        if let Some(us) = elapsed_us {
+            self.observer.metrics(|m| {
+                m.observe(
+                    "tstorm_schedule_runtime_us",
+                    "Wall-clock runtime of one scheduler invocation",
+                    &[("algorithm", &self.scheduler.current_name())],
+                    us as f64,
+                );
+            });
+        }
+        if self.observer.is_enabled() {
+            let quality = AssignmentQuality::evaluate(&assignment, &input);
+            let at = self.sim.now();
+            let algorithm = self.scheduler.current_name();
+            let wall = self.trace_wall_time.then_some(elapsed_us).flatten();
+            self.observer
+                .emit_with(at, || TraceEvent::ScheduleGenerated {
+                    algorithm,
+                    inter_node_traffic: quality.inter_node_traffic,
+                    inter_process_traffic: quality.inter_process_traffic,
+                    elapsed_us: wall,
+                });
+            self.observer.metrics(|m| {
+                m.inc_counter(
+                    "tstorm_schedules_generated_total",
+                    "Scheduler invocations that produced a candidate schedule",
+                    &[],
+                    1,
+                );
+            });
+        }
         // Publish only real changes; re-applying the current schedule
         // would needlessly restart workers.
         if self.sim.current_assignment().diff(&assignment).is_empty() {
@@ -296,6 +399,22 @@ impl TStormSystem {
         }
     }
 
+    /// Estimated per-node CPU load as a fraction of capacity, from the
+    /// EWMA database under the assignment currently in force (same
+    /// aggregation as [`OverloadDetector::inspect`]).
+    fn node_utilisations(&self) -> Vec<(u32, f64)> {
+        let loads = self.monitor.db().executor_loads();
+        let mut per_node: BTreeMap<u32, f64> = BTreeMap::new();
+        for (exec, slot) in self.sim.current_assignment().iter() {
+            if let Some(load) = loads.get(&exec) {
+                let node = self.cluster.node_of(slot);
+                *per_node.entry(node.index()).or_insert(0.0) +=
+                    load.ratio(self.cluster.node(node).capacity);
+            }
+        }
+        per_node.into_iter().collect()
+    }
+
     fn scheduling_input(&self) -> SchedulingInput {
         let db = self.monitor.db();
         let executors: Vec<ExecutorInfo> = self
@@ -310,13 +429,8 @@ impl TStormSystem {
         for (topo, workers) in &self.workers_requested {
             params = params.with_workers(*topo, *workers);
         }
-        SchedulingInput::new(
-            self.cluster.clone(),
-            executors,
-            db.traffic_matrix(),
-            params,
-        )
-        .with_component_edges(self.component_edges.clone())
+        SchedulingInput::new(self.cluster.clone(), executors, db.traffic_matrix(), params)
+            .with_component_edges(self.component_edges.clone())
     }
 
     /// Storm's `rebalance` command: changes a topology's requested
@@ -383,6 +497,10 @@ impl TStormSystem {
             at: self.sim.now(),
             name: name.to_owned(),
         });
+        self.observer
+            .emit_with(self.sim.now(), || TraceEvent::SchedulerSwapped {
+                to: name.to_owned(),
+            });
         Ok(())
     }
 
@@ -410,6 +528,8 @@ impl TStormSystem {
             at: self.sim.now(),
             gamma,
         });
+        self.observer
+            .emit_with(self.sim.now(), || TraceEvent::GammaChanged { gamma });
         Ok(())
     }
 

@@ -100,7 +100,11 @@ impl ControlEvent {
 impl fmt::Display for ControlEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ControlEvent::OverloadDetected { at, nodes, failures } => write!(
+            ControlEvent::OverloadDetected {
+                at,
+                nodes,
+                failures,
+            } => write!(
                 f,
                 "[{:>6}s] overload detected: {} saturated node(s), {failures} failure(s)",
                 at.as_secs(),
@@ -121,10 +125,18 @@ impl fmt::Display for ControlEvent {
                 write!(f, "[{:>6}s] schedule suppressed: {reason}", at.as_secs())
             }
             ControlEvent::ScheduleFetched { at, id } => {
-                write!(f, "[{:>6}s] schedule {id} fetched into Nimbus", at.as_secs())
+                write!(
+                    f,
+                    "[{:>6}s] schedule {id} fetched into Nimbus",
+                    at.as_secs()
+                )
             }
             ControlEvent::SchedulerSwapped { at, name } => {
-                write!(f, "[{:>6}s] scheduler hot-swapped to `{name}`", at.as_secs())
+                write!(
+                    f,
+                    "[{:>6}s] scheduler hot-swapped to `{name}`",
+                    at.as_secs()
+                )
             }
             ControlEvent::GammaChanged { at, gamma } => {
                 write!(f, "[{:>6}s] gamma set to {gamma}", at.as_secs())
@@ -132,7 +144,11 @@ impl fmt::Display for ControlEvent {
             ControlEvent::TopologyKilled { at, topology } => {
                 write!(f, "[{:>6}s] {topology} killed", at.as_secs())
             }
-            ControlEvent::Rebalanced { at, topology, workers } => write!(
+            ControlEvent::Rebalanced {
+                at,
+                topology,
+                workers,
+            } => write!(
                 f,
                 "[{:>6}s] {topology} rebalanced to {workers} worker(s)",
                 at.as_secs()

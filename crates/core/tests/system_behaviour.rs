@@ -14,7 +14,10 @@ fn cluster10() -> ClusterSpec {
 /// Shortened control periods so tests finish quickly while preserving
 /// monitor < fetch < generation ordering.
 fn fast_config(mode: SystemMode, gamma: f64, seed: u64) -> TStormConfig {
-    let mut c = TStormConfig::default().with_mode(mode).with_gamma(gamma).with_seed(seed);
+    let mut c = TStormConfig::default()
+        .with_mode(mode)
+        .with_gamma(gamma)
+        .with_seed(seed);
     c.monitor_period = SimTime::from_secs(10);
     c.fetch_period = SimTime::from_secs(5);
     c.generation_period = SimTime::from_secs(60);
@@ -28,7 +31,9 @@ fn run_throughput(mode: SystemMode, gamma: f64, until_secs: u64) -> TStormSystem
     let mut f = throughput::factory(&p, 7);
     system.submit(&topo, &mut f).expect("submits");
     system.start().expect("starts");
-    system.run_until(SimTime::from_secs(until_secs)).expect("runs");
+    system
+        .run_until(SimTime::from_secs(until_secs))
+        .expect("runs");
     system
 }
 
@@ -65,7 +70,11 @@ fn tstorm_reschedules_from_runtime_traffic() {
     // At gamma = 1 the initial assignment is already near-optimal and the
     // publish hysteresis correctly suppresses a no-gain re-assignment.
     let system = run_throughput(SystemMode::TStorm, 1.7, 200);
-    assert!(system.generations() >= 1, "generated {}", system.generations());
+    assert!(
+        system.generations() >= 1,
+        "generated {}",
+        system.generations()
+    );
     assert!(
         system.simulation().reassignments() >= 1,
         "reassigned {}",
@@ -83,8 +92,14 @@ fn tstorm_beats_storm_on_average_processing_time() {
     let storm = run_throughput(SystemMode::StormDefault, 1.0, 300);
     let tstorm = run_throughput(SystemMode::TStorm, 1.0, 300);
     let stable = SimTime::from_secs(120);
-    let s = storm.report("storm").mean_proc_time_after(stable).expect("data");
-    let t = tstorm.report("t-storm").mean_proc_time_after(stable).expect("data");
+    let s = storm
+        .report("storm")
+        .mean_proc_time_after(stable)
+        .expect("data");
+    let t = tstorm
+        .report("t-storm")
+        .mean_proc_time_after(stable)
+        .expect("data");
     assert!(
         t < s * 0.6,
         "expected a large speedup: storm {s:.3} ms vs t-storm {t:.3} ms"
@@ -97,8 +112,14 @@ fn larger_gamma_consolidates_nodes_without_losing_much() {
     let g6 = run_throughput(SystemMode::TStorm, 6.0, 300);
     let n1 = g1.report("g1").nodes_used.last().copied().unwrap();
     let n6 = g6.report("g6").nodes_used.last().copied().unwrap();
-    assert!(n6 < n1, "gamma 6 ({n6} nodes) should use fewer than gamma 1 ({n1})");
-    assert!(n6 <= 4, "gamma 6 should consolidate aggressively, used {n6}");
+    assert!(
+        n6 < n1,
+        "gamma 6 ({n6} nodes) should use fewer than gamma 1 ({n1})"
+    );
+    assert!(
+        n6 <= 4,
+        "gamma 6 should consolidate aggressively, used {n6}"
+    );
     // Consolidation must not blow up latency on this light topology.
     let stable = SimTime::from_secs(150);
     let l1 = g1.report("g1").mean_proc_time_after(stable).expect("data");
@@ -175,8 +196,7 @@ fn gamma_adjustable_on_the_fly() {
 
 #[test]
 fn run_before_start_is_an_error() {
-    let mut system =
-        TStormSystem::new(cluster10(), TStormConfig::default()).expect("valid");
+    let mut system = TStormSystem::new(cluster10(), TStormConfig::default()).expect("valid");
     assert!(system.run_until(SimTime::from_secs(10)).is_err());
 }
 
@@ -184,7 +204,12 @@ fn run_before_start_is_an_error() {
 fn transparency_same_topology_runs_under_every_scheduler() {
     // The same topology value + factory shape runs under Storm, T-Storm,
     // and both Aniello baselines without modification.
-    for scheduler in ["t-storm", "aniello-online", "aniello-offline", "storm-default"] {
+    for scheduler in [
+        "t-storm",
+        "aniello-online",
+        "aniello-offline",
+        "storm-default",
+    ] {
         let p = ThroughputParams::small();
         let topo = throughput::topology(&p).expect("valid");
         let config = fast_config(SystemMode::TStorm, 2.0, 11).with_scheduler(scheduler);
@@ -236,7 +261,11 @@ fn killed_topology_stops_and_frees_resources() {
     assert!(descs.iter().all(|d| !h1.executors.contains(&d.id)));
     // Its slots were freed.
     for exec in &h1.executors {
-        assert!(system.simulation().current_assignment().slot_of(*exec).is_none());
+        assert!(system
+            .simulation()
+            .current_assignment()
+            .slot_of(*exec)
+            .is_none());
     }
 }
 

@@ -93,6 +93,31 @@ impl LogHistogram {
         Some(Self::bucket_value(NUM_BUCKETS - 1))
     }
 
+    /// Upper bound of bucket `idx` in the recorded unit (milliseconds).
+    ///
+    /// Bucket `idx` covers `(bucket_upper_bound(idx - 1),
+    /// bucket_upper_bound(idx)]` on the log grid; exporters (e.g.
+    /// Prometheus text format) use these as `le` boundaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[must_use]
+    pub fn bucket_upper_bound(idx: usize) -> f64 {
+        assert!(idx < NUM_BUCKETS, "bucket index {idx} out of range");
+        2f64.powf(MIN_LOG2 + (idx as f64 + 1.0) / BUCKETS_PER_OCTAVE)
+    }
+
+    /// Iterates the non-empty buckets as `(upper_bound, count)` pairs in
+    /// ascending bucket order.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(idx, &c)| (Self::bucket_upper_bound(idx), c))
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &LogHistogram) {
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {

@@ -200,7 +200,11 @@ impl ComparisonRow {
             let _ = writeln!(
                 out,
                 "{:<28} {:>14.3} {:>14.3} {:>10.1} {:>7} {:>7}",
-                r.label, r.baseline_ms, r.candidate_ms, r.speedup_percent, r.baseline_nodes,
+                r.label,
+                r.baseline_ms,
+                r.candidate_ms,
+                r.speedup_percent,
+                r.baseline_nodes,
                 r.candidate_nodes
             );
         }

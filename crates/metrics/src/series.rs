@@ -88,7 +88,11 @@ impl WindowedSeries {
             .enumerate()
             .map(|(i, (sum, count))| WindowPoint {
                 start: self.window.mul(i as u64),
-                mean: if *count == 0 { 0.0 } else { sum / *count as f64 },
+                mean: if *count == 0 {
+                    0.0
+                } else {
+                    sum / *count as f64
+                },
                 count: *count,
             })
             .collect()

@@ -26,10 +26,7 @@ impl<T: Clone + PartialEq> StepSeries<T> {
     /// monotone, as in any event-ordered log).
     pub fn record(&mut self, at: SimTime, value: T) {
         if let Some((last_t, last_v)) = self.steps.last() {
-            assert!(
-                at >= *last_t,
-                "StepSeries records must be time-ordered"
-            );
+            assert!(at >= *last_t, "StepSeries records must be time-ordered");
             if *last_v == value {
                 return;
             }
@@ -181,7 +178,10 @@ mod integral_tests {
         let area = s.integral_seconds(SimTime::ZERO, SimTime::from_secs(100));
         assert!((area - 200.0).abs() < 1e-9);
         // Window entirely before the first step.
-        assert_eq!(s.integral_seconds(SimTime::ZERO, SimTime::from_secs(10)), 0.0);
+        assert_eq!(
+            s.integral_seconds(SimTime::ZERO, SimTime::from_secs(10)),
+            0.0
+        );
         // Degenerate window.
         assert_eq!(
             s.integral_seconds(SimTime::from_secs(60), SimTime::from_secs(60)),
@@ -192,6 +192,9 @@ mod integral_tests {
     #[test]
     fn integral_of_empty_series_is_zero() {
         let s: StepSeries<u32> = StepSeries::new();
-        assert_eq!(s.integral_seconds(SimTime::ZERO, SimTime::from_secs(10)), 0.0);
+        assert_eq!(
+            s.integral_seconds(SimTime::ZERO, SimTime::from_secs(10)),
+            0.0
+        );
     }
 }

@@ -63,6 +63,7 @@ pub const DEFAULT_MONITOR_PERIOD_SECS: u64 = 20;
 #[derive(Debug)]
 pub struct LoadMonitor {
     db: StatsDb,
+    observer: tstorm_trace::Observer,
 }
 
 impl LoadMonitor {
@@ -76,6 +77,7 @@ impl LoadMonitor {
     pub fn new(alpha: f64) -> Self {
         Self {
             db: StatsDb::new(alpha),
+            observer: tstorm_trace::Observer::disabled(),
         }
     }
 
@@ -85,13 +87,39 @@ impl LoadMonitor {
     pub fn with_estimator(factory: EstimatorFactory) -> Self {
         Self {
             db: StatsDb::with_estimator(factory),
+            observer: tstorm_trace::Observer::disabled(),
         }
+    }
+
+    /// Attaches an observer: each ingested window bumps the snapshot
+    /// counter and refreshes the per-executor EWMA load gauges.
+    pub fn set_observer(&mut self, observer: tstorm_trace::Observer) {
+        self.observer = observer;
     }
 
     /// Applies one monitoring window's readings
     /// (`Y = αY + (1 − α)·Sample` per parameter).
     pub fn ingest(&mut self, snapshot: &WindowSnapshot) {
         self.db.ingest(snapshot);
+        if self.observer.is_enabled() {
+            let loads = self.db.executor_loads();
+            self.observer.metrics(|m| {
+                m.inc_counter(
+                    "tstorm_monitor_snapshots_total",
+                    "Monitoring windows ingested into the EWMA database",
+                    &[],
+                    1,
+                );
+                for (exec, load) in &loads {
+                    m.set_gauge(
+                        "tstorm_executor_load_mhz",
+                        "Smoothed per-executor CPU load estimate",
+                        &[("executor", &exec.index().to_string())],
+                        load.get(),
+                    );
+                }
+            });
+        }
     }
 
     /// The estimates database.

@@ -82,16 +82,12 @@ impl OverloadDetector {
         let mut node_load: HashMap<NodeId, Mhz> = HashMap::new();
         for (exec, slot) in assignment.iter() {
             if let Some(load) = loads.get(&exec) {
-                *node_load
-                    .entry(cluster.node_of(slot))
-                    .or_insert(Mhz::ZERO) += *load;
+                *node_load.entry(cluster.node_of(slot)).or_insert(Mhz::ZERO) += *load;
             }
         }
         let mut cpu_overloaded: Vec<NodeId> = node_load
             .into_iter()
-            .filter(|(node, load)| {
-                load.ratio(cluster.node(*node).capacity) >= self.cpu_threshold
-            })
+            .filter(|(node, load)| load.ratio(cluster.node(*node).capacity) >= self.cpu_threshold)
             .map(|(node, _)| node)
             .collect();
         cpu_overloaded.sort_unstable();

@@ -199,7 +199,7 @@ mod tests {
         let mut db = StatsDb::new(0.5);
         db.ingest(&snap(&[(0, 8_000_000_000)], &[])); // 400 MHz
         db.ingest(&snap(&[(0, 16_000_000_000)], &[])); // sample 800 MHz
-        // Y = 0.5*400 + 0.5*800 = 600.
+                                                       // Y = 0.5*400 + 0.5*800 = 600.
         assert!((db.load_of(e(0)).get() - 600.0).abs() < 1e-9);
     }
 

@@ -180,28 +180,18 @@ impl Scheduler for AnielloOnlineScheduler {
             let per_worker_cap = exec_idxs.len().div_ceil(num_workers);
 
             // Phase 1: executors -> workers.
-            let worker_of = phase1_pack(
-                input,
-                exec_idxs,
-                num_workers,
-                per_worker_cap,
-            );
+            let worker_of = phase1_pack(input, exec_idxs, num_workers, per_worker_cap);
 
             // Phase 2: workers -> slots (grouping heavy worker pairs onto
             // the same node when balance allows).
-            let worker_slots = phase2_place(
-                input,
-                exec_idxs,
-                &worker_of,
-                num_workers,
-                &mut slot_taken,
-            )
-            .ok_or_else(|| {
-                TStormError::infeasible(
-                    self.name(),
-                    format!("not enough free slots for {topology}"),
-                )
-            })?;
+            let worker_slots =
+                phase2_place(input, exec_idxs, &worker_of, num_workers, &mut slot_taken)
+                    .ok_or_else(|| {
+                        TStormError::infeasible(
+                            self.name(),
+                            format!("not enough free slots for {topology}"),
+                        )
+                    })?;
 
             for (pos, idx) in exec_idxs.iter().enumerate() {
                 let w = worker_of[pos];
@@ -303,7 +293,10 @@ fn phase1_pack(
             worker_count[w] += 1;
         }
     }
-    worker_of.into_iter().map(|w| w.expect("all placed")).collect()
+    worker_of
+        .into_iter()
+        .map(|w| w.expect("all placed"))
+        .collect()
 }
 
 /// Phase 2: place `num_workers` workers onto free slots, pairing workers
@@ -334,10 +327,8 @@ fn phase2_place(
             }
         }
     }
-    let mut wpairs: Vec<(f64, usize, usize)> = wtraffic
-        .into_iter()
-        .map(|((a, b), r)| (r, a, b))
-        .collect();
+    let mut wpairs: Vec<(f64, usize, usize)> =
+        wtraffic.into_iter().map(|((a, b), r)| (r, a, b)).collect();
     wpairs.sort_by(|x, y| {
         y.0.partial_cmp(&x.0)
             .expect("rates are finite")
@@ -364,11 +355,11 @@ fn phase2_place(
 
     let mut slots: Vec<Option<SlotId>> = vec![None; num_workers];
     let pin = |w: usize,
-                   node: usize,
-                   node_of_worker: &mut Vec<Option<usize>>,
-                   node_workers: &mut Vec<usize>,
-                   slots: &mut Vec<Option<SlotId>>,
-                   slot_taken: &mut [bool]|
+               node: usize,
+               node_of_worker: &mut Vec<Option<usize>>,
+               node_workers: &mut Vec<usize>,
+               slots: &mut Vec<Option<SlotId>>,
+               slot_taken: &mut [bool]|
      -> bool {
         if let Some(slot) = free_on_node(node, slot_taken) {
             node_of_worker[w] = Some(node);
@@ -385,43 +376,66 @@ fn phase2_place(
         match (node_of_worker[wa], node_of_worker[wb]) {
             (None, None) => {
                 let n = least_loaded_node(&node_workers, slot_taken)?;
-                if !pin(wa, n, &mut node_of_worker, &mut node_workers, &mut slots, slot_taken) {
+                if !pin(
+                    wa,
+                    n,
+                    &mut node_of_worker,
+                    &mut node_workers,
+                    &mut slots,
+                    slot_taken,
+                ) {
                     return None;
                 }
-                let n2 = if node_workers[n] < per_node_cap
-                    && free_on_node(n, slot_taken).is_some()
+                let n2 = if node_workers[n] < per_node_cap && free_on_node(n, slot_taken).is_some()
                 {
                     n
                 } else {
                     least_loaded_node(&node_workers, slot_taken)?
                 };
-                if !pin(wb, n2, &mut node_of_worker, &mut node_workers, &mut slots, slot_taken) {
+                if !pin(
+                    wb,
+                    n2,
+                    &mut node_of_worker,
+                    &mut node_workers,
+                    &mut slots,
+                    slot_taken,
+                ) {
                     return None;
                 }
             }
             (Some(n), None) => {
-                let target = if node_workers[n] < per_node_cap
-                    && free_on_node(n, slot_taken).is_some()
-                {
-                    n
-                } else {
-                    least_loaded_node(&node_workers, slot_taken)?
-                };
-                if !pin(wb, target, &mut node_of_worker, &mut node_workers, &mut slots, slot_taken)
-                {
+                let target =
+                    if node_workers[n] < per_node_cap && free_on_node(n, slot_taken).is_some() {
+                        n
+                    } else {
+                        least_loaded_node(&node_workers, slot_taken)?
+                    };
+                if !pin(
+                    wb,
+                    target,
+                    &mut node_of_worker,
+                    &mut node_workers,
+                    &mut slots,
+                    slot_taken,
+                ) {
                     return None;
                 }
             }
             (None, Some(n)) => {
-                let target = if node_workers[n] < per_node_cap
-                    && free_on_node(n, slot_taken).is_some()
-                {
-                    n
-                } else {
-                    least_loaded_node(&node_workers, slot_taken)?
-                };
-                if !pin(wa, target, &mut node_of_worker, &mut node_workers, &mut slots, slot_taken)
-                {
+                let target =
+                    if node_workers[n] < per_node_cap && free_on_node(n, slot_taken).is_some() {
+                        n
+                    } else {
+                        least_loaded_node(&node_workers, slot_taken)?
+                    };
+                if !pin(
+                    wa,
+                    target,
+                    &mut node_of_worker,
+                    &mut node_workers,
+                    &mut slots,
+                    slot_taken,
+                ) {
                     return None;
                 }
             }
@@ -431,7 +445,14 @@ fn phase2_place(
     for w in 0..num_workers {
         if slots[w].is_none() {
             let n = least_loaded_node(&node_workers, slot_taken)?;
-            if !pin(w, n, &mut node_of_worker, &mut node_workers, &mut slots, slot_taken) {
+            if !pin(
+                w,
+                n,
+                &mut node_of_worker,
+                &mut node_workers,
+                &mut slots,
+                slot_taken,
+            ) {
                 return None;
             }
         }

@@ -108,8 +108,7 @@ impl<'a> Occupancy<'a> {
             self.slot_execs.remove(&slot);
             self.node_topo_slot.remove(&(node, topo));
         }
-        self.node_load[node.as_usize()] =
-            self.node_load[node.as_usize()] - self.load_of[&exec];
+        self.node_load[node.as_usize()] = self.node_load[node.as_usize()] - self.load_of[&exec];
         self.node_count[node.as_usize()] -= 1;
     }
 
@@ -121,8 +120,7 @@ impl<'a> Occupancy<'a> {
         if self.node_count[k] >= self.cap_count {
             return None;
         }
-        let cap = self.input.cluster.node(node).capacity
-            * self.input.params.capacity_fraction;
+        let cap = self.input.cluster.node(node).capacity * self.input.params.capacity_fraction;
         if self.node_load[k] + self.load_of[&exec] > cap {
             return None;
         }
@@ -248,7 +246,12 @@ mod tests {
         let cluster = ClusterSpec::homogeneous(nodes, 2, Mhz::new(8000.0)).expect("valid");
         let executors = (0..n)
             .map(|i| {
-                ExecutorInfo::new(e(i), TopologyId::new(0), ComponentId::new(0), Mhz::new(10.0))
+                ExecutorInfo::new(
+                    e(i),
+                    TopologyId::new(0),
+                    ComponentId::new(0),
+                    Mhz::new(10.0),
+                )
             })
             .collect();
         let mut traffic = TrafficMatrix::new();

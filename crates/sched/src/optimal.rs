@@ -158,7 +158,12 @@ mod tests {
         let n = 7u32;
         let executors = (0..n)
             .map(|i| {
-                ExecutorInfo::new(e(i), TopologyId::new(0), ComponentId::new(0), Mhz::new(100.0))
+                ExecutorInfo::new(
+                    e(i),
+                    TopologyId::new(0),
+                    ComponentId::new(0),
+                    Mhz::new(100.0),
+                )
             })
             .collect();
         let mut traffic = TrafficMatrix::new();
@@ -219,7 +224,10 @@ mod tests {
             greedy_gap += AssignmentQuality::evaluate(&g, &input).inter_node_traffic - opt;
             ls_gap += AssignmentQuality::evaluate(&l, &input).inter_node_traffic - opt;
         }
-        assert!(ls_gap <= greedy_gap + 1e-9, "ls {ls_gap} vs greedy {greedy_gap}");
+        assert!(
+            ls_gap <= greedy_gap + 1e-9,
+            "ls {ls_gap} vs greedy {greedy_gap}"
+        );
     }
 
     #[test]

@@ -19,9 +19,9 @@ use crate::problem::SchedulingInput;
 use crate::roundrobin::RoundRobinScheduler;
 use crate::tstorm::TStormScheduler;
 use crate::Scheduler;
-use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use std::sync::{Mutex, PoisonError};
 use tstorm_cluster::Assignment;
 use tstorm_types::{Result, TStormError};
 
@@ -121,7 +121,10 @@ pub struct SwappableScheduler {
 impl std::fmt::Debug for SwappableScheduler {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SwappableScheduler")
-            .field("current", &*self.current.lock())
+            .field(
+                "current",
+                &*self.current.lock().unwrap_or_else(PoisonError::into_inner),
+            )
             .finish()
     }
 }
@@ -139,8 +142,8 @@ impl SwappableScheduler {
 
     /// Replaces the algorithm.
     pub fn swap(&self, scheduler: Box<dyn Scheduler>) {
-        *self.current.lock() = scheduler.name().to_owned();
-        *self.inner.lock() = scheduler;
+        *self.current.lock().unwrap_or_else(PoisonError::into_inner) = scheduler.name().to_owned();
+        *self.inner.lock().unwrap_or_else(PoisonError::into_inner) = scheduler;
     }
 
     /// Replaces the algorithm with one created from a registry.
@@ -157,7 +160,10 @@ impl SwappableScheduler {
     /// The name of the algorithm currently installed.
     #[must_use]
     pub fn current_name(&self) -> String {
-        self.current.lock().clone()
+        self.current
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
     }
 
     /// Runs the installed algorithm on an input.
@@ -166,7 +172,10 @@ impl SwappableScheduler {
     ///
     /// Propagates the installed scheduler's error.
     pub fn schedule(&self, input: &SchedulingInput) -> Result<Assignment> {
-        self.inner.lock().schedule(input)
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .schedule(input)
     }
 }
 
@@ -247,8 +256,7 @@ mod tests {
 
     #[test]
     fn swap_changes_algorithm_for_all_clones() {
-        let swappable =
-            SwappableScheduler::new(Box::new(RoundRobinScheduler::storm_default()));
+        let swappable = SwappableScheduler::new(Box::new(RoundRobinScheduler::storm_default()));
         let clone = swappable.clone();
         assert_eq!(clone.current_name(), "round-robin (storm default)");
 
@@ -266,9 +274,8 @@ mod tests {
 
     #[test]
     fn swappable_implements_scheduler_trait() {
-        let mut s: Box<dyn Scheduler> = Box::new(SwappableScheduler::new(Box::new(
-            TStormScheduler::new(),
-        )));
+        let mut s: Box<dyn Scheduler> =
+            Box::new(SwappableScheduler::new(Box::new(TStormScheduler::new())));
         assert_eq!(s.name(), "swappable");
         assert!(s.schedule(&input()).is_ok());
     }

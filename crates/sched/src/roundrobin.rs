@@ -67,11 +67,8 @@ impl Scheduler for RoundRobinScheduler {
         // Slots already taken, globally across topologies.
         let mut slot_taken = vec![false; cluster.num_slots()];
         // Workers per node, for the "even spread" policy.
-        let mut node_workers: BTreeMap<NodeId, usize> = cluster
-            .nodes()
-            .iter()
-            .map(|n| (n.id, 0usize))
-            .collect();
+        let mut node_workers: BTreeMap<NodeId, usize> =
+            cluster.nodes().iter().map(|n| (n.id, 0usize)).collect();
 
         // Group executors by topology, preserving id order within each.
         let mut by_topology: BTreeMap<TopologyId, Vec<usize>> = BTreeMap::new();
@@ -115,8 +112,7 @@ impl Scheduler for RoundRobinScheduler {
                     .nodes()
                     .iter()
                     .filter(|n| {
-                        !(self.one_worker_per_node
-                            && used_nodes_this_topology.contains(&n.id))
+                        !(self.one_worker_per_node && used_nodes_this_topology.contains(&n.id))
                     })
                     .filter_map(|n| {
                         cluster
@@ -161,12 +157,7 @@ mod tests {
     use tstorm_cluster::ClusterSpec;
     use tstorm_types::{ComponentId, ExecutorId, Mhz};
 
-    fn input(
-        nodes: u32,
-        slots: u32,
-        executors: u32,
-        workers_requested: u32,
-    ) -> SchedulingInput {
+    fn input(nodes: u32, slots: u32, executors: u32, workers_requested: u32) -> SchedulingInput {
         let cluster = ClusterSpec::homogeneous(nodes, slots, Mhz::new(4000.0)).unwrap();
         let execs = (0..executors)
             .map(|i| {
@@ -294,12 +285,8 @@ mod tests {
                 Mhz::new(10.0),
             ));
         }
-        let input = SchedulingInput::new(
-            cluster,
-            execs,
-            TrafficMatrix::new(),
-            SchedParams::default(),
-        );
+        let input =
+            SchedulingInput::new(cluster, execs, TrafficMatrix::new(), SchedParams::default());
         let mut s = RoundRobinScheduler::storm_default();
         // First topology takes the only slot; the second cannot be placed.
         assert!(s.schedule(&input).is_err());

@@ -95,11 +95,8 @@ impl<'a> State<'a> {
     fn new(input: &'a SchedulingInput) -> Self {
         let ns = input.cluster.num_slots();
         let k = input.cluster.num_nodes();
-        let mut adjacency: HashMap<ExecutorId, Vec<(ExecutorId, f64)>> = input
-            .executors
-            .iter()
-            .map(|e| (e.id, Vec::new()))
-            .collect();
+        let mut adjacency: HashMap<ExecutorId, Vec<(ExecutorId, f64)>> =
+            input.executors.iter().map(|e| (e.id, Vec::new())).collect();
         for (from, to, rate) in input.traffic.iter() {
             if let Some(v) = adjacency.get_mut(&from) {
                 v.push((to, rate));
@@ -150,15 +147,13 @@ impl<'a> State<'a> {
         match strictness {
             Strictness::StructuralOnly => true,
             Strictness::NoCap => self.capacity_ok(k, load),
-            Strictness::Full => {
-                self.capacity_ok(k, load) && self.node_count[k] < cap_count
-            }
+            Strictness::Full => self.capacity_ok(k, load) && self.node_count[k] < cap_count,
         }
     }
 
     fn capacity_ok(&self, node_idx: usize, load: Mhz) -> bool {
-        let cap = self.input.cluster.nodes()[node_idx].capacity
-            * self.input.params.capacity_fraction;
+        let cap =
+            self.input.cluster.nodes()[node_idx].capacity * self.input.params.capacity_fraction;
         self.node_load[node_idx] + load <= cap
     }
 
@@ -234,14 +229,20 @@ impl Scheduler for TStormScheduler {
                 Strictness::NoCap,
                 Strictness::StructuralOnly,
             ] {
-                chosen = best_slot(&state, info.id, info.topology, info.load, cap_count, strictness);
+                chosen = best_slot(
+                    &state,
+                    info.id,
+                    info.topology,
+                    info.load,
+                    cap_count,
+                    strictness,
+                );
                 if chosen.is_some() {
                     match strictness {
                         Strictness::Full => {}
-                        Strictness::NoCap => self.relaxations.push(format!(
-                            "{}: executor cap {cap_count} relaxed",
-                            info.id
-                        )),
+                        Strictness::NoCap => self
+                            .relaxations
+                            .push(format!("{}: executor cap {cap_count} relaxed", info.id)),
                         Strictness::StructuralOnly => self
                             .relaxations
                             .push(format!("{}: node capacity relaxed", info.id)),

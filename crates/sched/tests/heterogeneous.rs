@@ -37,7 +37,14 @@ fn lopsided_cluster() -> ClusterSpec {
 
 fn heavy_executors(n: u32, load: f64) -> Vec<ExecutorInfo> {
     (0..n)
-        .map(|i| ExecutorInfo::new(e(i), TopologyId::new(0), ComponentId::new(0), Mhz::new(load)))
+        .map(|i| {
+            ExecutorInfo::new(
+                e(i),
+                TopologyId::new(0),
+                ComponentId::new(0),
+                Mhz::new(load),
+            )
+        })
         .collect()
 }
 

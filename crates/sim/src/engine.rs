@@ -6,13 +6,12 @@ use crate::event::{Envelope, EnvelopeKind, Event, EventQueue};
 use crate::logic::ExecutorLogic;
 use crate::network::{classify, HopClass, Network};
 use crate::routing::select_tasks;
-use std::collections::{HashMap, VecDeque};
-use tstorm_cluster::{Assignment, ClusterSpec};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use tstorm_cluster::{Assignment, AssignmentDiff, ClusterSpec};
 use tstorm_metrics::RunReport;
 use tstorm_topology::{ComponentSpec, CostProfile, ExecutionPlan, Grouping, Topology, Value};
-use tstorm_types::{
-    Bytes, ComponentId, DetRng, ExecutorId, SimTime, SlotId, TopologyId, TupleId,
-};
+use tstorm_trace::{Observer, TraceEvent};
+use tstorm_types::{Bytes, ComponentId, DetRng, ExecutorId, SimTime, SlotId, TopologyId, TupleId};
 
 /// Static description of one executor, as exposed to the control plane.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -76,6 +75,7 @@ struct BusyWork {
     env: Option<Box<Envelope>>,
     /// Tuples produced by the logic, to be routed at completion.
     outputs: Vec<Vec<Value>>,
+    started_at: SimTime,
     done_at: SimTime,
     /// For spout emissions: how many times this payload was replayed.
     replays: u32,
@@ -165,6 +165,20 @@ pub struct Simulation {
     reassignments: u32,
     worker_failures: u32,
     events_processed: u64,
+    observer: Observer,
+    /// Monotonic version of applied assignments (for trace events).
+    assignment_version: u64,
+}
+
+/// Maps the simulator's hop classification onto the trace vocabulary
+/// (the trace crate sits below the simulator in the dependency graph,
+/// so it defines its own copy of the enum).
+fn trace_hop(hop: HopClass) -> tstorm_trace::HopClass {
+    match hop {
+        HopClass::IntraWorker => tstorm_trace::HopClass::IntraWorker,
+        HopClass::InterProcess => tstorm_trace::HopClass::InterProcess,
+        HopClass::InterNode => tstorm_trace::HopClass::InterNode,
+    }
 }
 
 impl std::fmt::Debug for Simulation {
@@ -211,10 +225,20 @@ impl Simulation {
             reassignments: 0,
             worker_failures: 0,
             events_processed: 0,
+            observer: Observer::disabled(),
+            assignment_version: 0,
         };
         sim.queue
             .push(sim.config.reassign.supervisor_poll, Event::SupervisorPoll);
         sim
+    }
+
+    /// Attaches an observer; all subsequent state transitions emit trace
+    /// events and update the shared metrics registry. The default
+    /// (disabled) observer makes every instrumentation site a no-op, so
+    /// untraced runs behave bit-identically to uninstrumented builds.
+    pub fn set_observer(&mut self, observer: Observer) {
+        self.observer = observer;
     }
 
     /// Submits a topology; executors are created but remain unassigned
@@ -314,6 +338,8 @@ impl Simulation {
     /// executors relocate, workers start after the configured startup
     /// delay, spouts begin emitting once their worker is ready.
     pub fn apply_assignment(&mut self, assignment: &Assignment) {
+        let old_slots = self.current.slots_used();
+        let diff = self.current.diff(assignment);
         let ready_at = self.clock + self.config.reassign.worker_startup;
         for i in 0..self.executors.len() {
             let id = ExecutorId::new(i as u32);
@@ -326,8 +352,45 @@ impl Simulation {
             }
         }
         self.current = assignment.clone();
+        self.note_assignment_change(&old_slots, &diff);
         self.recompute_node_stats();
         self.record_usage();
+    }
+
+    /// Emits the worker/assignment trace events and counters for a
+    /// just-applied assignment (`self.current` must already hold it).
+    fn note_assignment_change(&mut self, old_slots: &BTreeSet<SlotId>, diff: &AssignmentDiff) {
+        self.assignment_version += 1;
+        let version = self.assignment_version;
+        let at = self.clock;
+        self.observer
+            .emit_with(at, || TraceEvent::AssignmentApplied {
+                version,
+                moved: diff.moved.len() as u64,
+                added: diff.added.len() as u64,
+                removed: diff.removed.len() as u64,
+            });
+        let new_slots = self.current.slots_used();
+        for slot in new_slots.difference(old_slots) {
+            let node = self.cluster.node_of(*slot).index();
+            let worker = slot.index();
+            self.observer
+                .emit_with(at, || TraceEvent::WorkerStart { node, worker });
+        }
+        for slot in old_slots.difference(&new_slots) {
+            let node = self.cluster.node_of(*slot).index();
+            let worker = slot.index();
+            self.observer
+                .emit_with(at, || TraceEvent::WorkerStop { node, worker });
+        }
+        self.observer.metrics(|m| {
+            m.inc_counter(
+                "tstorm_assignments_applied_total",
+                "Assignments applied to the cluster",
+                &[],
+                1,
+            );
+        });
     }
 
     /// Submits a new assignment to Nimbus; supervisors pick it up at their
@@ -494,7 +557,8 @@ impl Simulation {
     /// Queued and in-flight work of the crashed worker is lost either
     /// way; anchored tuples time out and may be replayed.
     pub fn inject_worker_failure(&mut self, slot: SlotId, at: SimTime, recoverable: bool) {
-        self.queue.push(at, Event::WorkerFailure { slot, recoverable });
+        self.queue
+            .push(at, Event::WorkerFailure { slot, recoverable });
     }
 
     /// A copy of the metrics report with the given label.
@@ -586,6 +650,7 @@ impl Simulation {
         self.executors[idx].busy = Some(BusyWork {
             env: None,
             outputs: vec![values],
+            started_at: self.clock,
             done_at,
             replays,
             busy_node,
@@ -610,7 +675,15 @@ impl Simulation {
             self.dropped_in_flight += 1;
             return;
         }
+        let tuple = env.root.map_or(u64::MAX, TupleId::get);
         self.executors[idx].queue.push_back(env);
+        let depth = self.executors[idx].queue.len() as u64;
+        self.observer
+            .emit_with(self.clock, || TraceEvent::QueueEnter {
+                tuple,
+                executor: idx as u32,
+                depth,
+            });
         let id = ExecutorId::new(idx as u32);
         if self.is_available(idx) && self.executors[idx].busy.is_none() {
             self.try_start(id);
@@ -626,6 +699,21 @@ impl Simulation {
         let Some(env) = self.executors[idx].queue.pop_front() else {
             return;
         };
+        {
+            let tuple = env.root.map_or(u64::MAX, TupleId::get);
+            let depth = self.executors[idx].queue.len() as u64;
+            self.observer
+                .emit_with(self.clock, || TraceEvent::QueueLeave {
+                    tuple,
+                    executor: idx as u32,
+                    depth,
+                });
+            self.observer
+                .emit_with(self.clock, || TraceEvent::ProcessStart {
+                    tuple,
+                    executor: idx as u32,
+                });
+        }
         let mut outputs: Vec<Vec<Value>> = Vec::new();
         if env.kind == EnvelopeKind::Data {
             if let ExecutorLogic::Bolt(b) = &mut self.executors[idx].logic {
@@ -644,6 +732,7 @@ impl Simulation {
         self.executors[idx].busy = Some(BusyWork {
             env: Some(env),
             outputs,
+            started_at: self.clock,
             done_at,
             replays: 0,
             busy_node,
@@ -663,6 +752,20 @@ impl Simulation {
         }
         self.release_cpu(work.busy_node);
 
+        {
+            let tuple = work
+                .env
+                .as_deref()
+                .map_or(u64::MAX, |e| e.root.map_or(u64::MAX, TupleId::get));
+            let service_us = (work.done_at - work.started_at).as_micros();
+            self.observer
+                .emit_with(self.clock, || TraceEvent::ProcessDone {
+                    tuple,
+                    executor: idx as u32,
+                    service_us,
+                });
+        }
+
         match work.env {
             None => self.finish_spout_emission(id, work.outputs, work.replays),
             Some(env) => self.finish_message(id, &env, work.outputs),
@@ -675,19 +778,37 @@ impl Simulation {
             // grid, as OS-scheduled sleeps do on real hardware.
             let base = self.executors[idx].emit_interval.as_micros() as f64;
             let jittered = self.rng.jitter(base, self.config.cpu.service_jitter);
-            let next = self.executors[idx].last_tick
-                + SimTime::from_micros((jittered as u64).max(1));
+            let next =
+                self.executors[idx].last_tick + SimTime::from_micros((jittered as u64).max(1));
             self.schedule_tick(id, next);
         }
     }
 
-    fn finish_spout_emission(&mut self, id: ExecutorId, mut outputs: Vec<Vec<Value>>, replays: u32) {
+    fn finish_spout_emission(
+        &mut self,
+        id: ExecutorId,
+        mut outputs: Vec<Vec<Value>>,
+        replays: u32,
+    ) {
         let idx = id.as_usize();
         let values = outputs.pop().unwrap_or_default();
         let topo_idx = self.executors[idx].topo_idx;
         let root_id = TupleId::new(self.next_tuple);
         self.next_tuple += 1;
         self.emitted += 1;
+        self.observer
+            .emit_with(self.clock, || TraceEvent::TupleEmit {
+                tuple: root_id.get(),
+                executor: idx as u32,
+            });
+        self.observer.metrics(|m| {
+            m.inc_counter(
+                "tstorm_tuples_emitted_total",
+                "Spout emissions, including replays",
+                &[],
+                1,
+            );
+        });
 
         let has_ackers = !self.topologies[topo_idx].ackers.is_empty();
         let acker = if has_ackers {
@@ -760,11 +881,7 @@ impl Simulation {
                                 },
                                 root_id,
                             );
-                        } else if self
-                            .roots
-                            .get(&root_id)
-                            .is_some_and(|r| r.outstanding == 0)
-                        {
+                        } else if self.roots.get(&root_id).is_some_and(|r| r.outstanding == 0) {
                             self.complete_root(root_id);
                         }
                     }
@@ -772,6 +889,19 @@ impl Simulation {
             }
             EnvelopeKind::AckerInit { xor } | EnvelopeKind::AckerAck { xor } => {
                 let root_id = env.root.expect("acker messages carry a root");
+                if matches!(env.kind, EnvelopeKind::AckerAck { .. }) {
+                    self.observer.emit_with(self.clock, || TraceEvent::Ack {
+                        tuple: root_id.get(),
+                    });
+                    self.observer.metrics(|m| {
+                        m.inc_counter(
+                            "tstorm_acks_total",
+                            "Ack-tree edges retired by ackers",
+                            &[],
+                            1,
+                        );
+                    });
+                }
                 let done = match self.roots.get_mut(&root_id) {
                     Some(r) => {
                         r.xor ^= xor;
@@ -797,6 +927,25 @@ impl Simulation {
             let latency_ms = (self.clock - root.emit_at).as_millis_f64();
             self.report.record_latency(self.clock, latency_ms);
             self.completed += 1;
+            self.observer
+                .emit_with(self.clock, || TraceEvent::Complete {
+                    tuple: root_id.get(),
+                    latency_ms,
+                });
+            self.observer.metrics(|m| {
+                m.inc_counter(
+                    "tstorm_tuples_completed_total",
+                    "Fully acked spout tuples",
+                    &[],
+                    1,
+                );
+                m.observe(
+                    "tstorm_complete_latency_ms",
+                    "End-to-end tuple completion latency",
+                    &[],
+                    latency_ms,
+                );
+            });
         }
     }
 
@@ -843,8 +992,8 @@ impl Simulation {
                     )
                 };
                 for task in tasks {
-                    let dst = self.topologies[topo_idx].out_edges[&component][edge_idx]
-                        .task_exec[task as usize];
+                    let dst = self.topologies[topo_idx].out_edges[&component][edge_idx].task_exec
+                        [task as usize];
                     let edge_id = splitmix(self.next_edge.wrapping_add(0x9e37_79b9));
                     self.next_edge += 1;
                     xor ^= edge_id;
@@ -908,6 +1057,29 @@ impl Simulation {
         let src_node = self.cluster.node_of(src_slot);
         let dst_node = self.cluster.node_of(dst_slot);
         let hop = classify(src_slot.index(), dst_slot.index(), src_node, dst_node);
+        self.observer
+            .emit_with(self.clock, || TraceEvent::TupleTransfer {
+                tuple: env.root.map_or(u64::MAX, TupleId::get),
+                from_executor: env.src.index(),
+                to_executor: env.dst.index(),
+                hop: trace_hop(hop),
+                bytes: payload.get(),
+            });
+        self.observer.metrics(|m| {
+            let labels = [("hop", trace_hop(hop).label())];
+            m.inc_counter(
+                "tstorm_transfers_total",
+                "Tuple transfers by locality class",
+                &labels,
+                1,
+            );
+            m.inc_counter(
+                "tstorm_transfer_bytes_total",
+                "Bytes transferred by locality class",
+                &labels,
+                payload.get(),
+            );
+        });
         let extra_workers = match hop {
             HopClass::IntraWorker => 0,
             _ => self.workers_on_node[dst_node.as_usize()].saturating_sub(1),
@@ -925,13 +1097,36 @@ impl Simulation {
         self.failed += 1;
         self.counters.failures += 1;
         self.report.failed.increment(self.clock);
-        if self.config.replay_failed && root.replays < self.config.max_replays
+        self.observer.emit_with(self.clock, || TraceEvent::Timeout {
+            tuple: root_id.get(),
+        });
+        self.observer.metrics(|m| {
+            m.inc_counter(
+                "tstorm_tuples_timeout_total",
+                "Spout tuples whose message timeout expired",
+                &[],
+                1,
+            );
+        });
+        if self.config.replay_failed
+            && root.replays < self.config.max_replays
             && !root.values.is_empty()
         {
             let spout_idx = root.spout.as_usize();
             self.executors[spout_idx]
                 .replay_queue
                 .push_back((root.values, root.replays + 1));
+            self.observer.emit_with(self.clock, || TraceEvent::Replay {
+                tuple: root_id.get(),
+            });
+            self.observer.metrics(|m| {
+                m.inc_counter(
+                    "tstorm_tuples_replayed_total",
+                    "Timed-out tuples queued for spout replay",
+                    &[],
+                    1,
+                );
+            });
             if self.is_available(spout_idx) {
                 self.schedule_tick(root.spout, self.clock);
             }
@@ -943,6 +1138,26 @@ impl Simulation {
             self.clock + self.config.reassign.supervisor_poll,
             Event::SupervisorPoll,
         );
+        if self.observer.is_enabled() {
+            // Sample queue occupancy on the supervisor grid: cheap, and
+            // frequent enough to catch sustained backlog.
+            let depths: Vec<(usize, usize)> = self
+                .executors
+                .iter()
+                .enumerate()
+                .map(|(i, e)| (i, e.queue.len()))
+                .collect();
+            self.observer.metrics(|m| {
+                for (i, depth) in depths {
+                    m.set_gauge(
+                        "tstorm_queue_depth",
+                        "Executor receive-queue depth at the last supervisor poll",
+                        &[("executor", &i.to_string())],
+                        depth as f64,
+                    );
+                }
+            });
+        }
         let Some(pending) = self.pending.take() else {
             return;
         };
@@ -960,6 +1175,7 @@ impl Simulation {
     /// set changed and start replacements; queued work and in-flight
     /// messages to those workers are lost.
     fn rollout_immediate(&mut self, new: &Assignment) {
+        let old_slots = self.current.slots_used();
         let diff = self.current.diff(new);
         let ready_at = self.clock + self.config.reassign.worker_startup;
         for i in 0..self.executors.len() {
@@ -985,6 +1201,7 @@ impl Simulation {
             }
         }
         self.current = new.clone();
+        self.note_assignment_change(&old_slots, &diff);
         self.recompute_node_stats();
         self.record_usage();
     }
@@ -1008,11 +1225,14 @@ impl Simulation {
         let Some(new) = self.switching_to.take() else {
             return;
         };
+        let old_slots = self.current.slots_used();
+        let diff = self.current.diff(&new);
         for i in 0..self.executors.len() {
             let id = ExecutorId::new(i as u32);
             self.executors[i].location = new.slot_of(id);
         }
         self.current = new;
+        self.note_assignment_change(&old_slots, &diff);
         self.recompute_node_stats();
         self.record_usage();
         // Kick everything awake under the new placement.
@@ -1039,6 +1259,20 @@ impl Simulation {
             return; // empty slot: nothing to kill
         }
         self.worker_failures += 1;
+        {
+            let node = self.cluster.node_of(slot).index();
+            let worker = slot.index();
+            self.observer
+                .emit_with(self.clock, || TraceEvent::WorkerStop { node, worker });
+            self.observer.metrics(|m| {
+                m.inc_counter(
+                    "tstorm_worker_failures_total",
+                    "Injected worker crashes handled",
+                    &[],
+                    1,
+                );
+            });
+        }
 
         // An unrecoverable crash relocates the whole worker to a free
         // slot on another node, if one exists.
@@ -1054,6 +1288,12 @@ impl Simulation {
                 .map(|s| s.slot)
         };
 
+        if let Some(s) = new_slot {
+            let node = self.cluster.node_of(s).index();
+            let worker = s.index();
+            self.observer
+                .emit_with(self.clock, || TraceEvent::WorkerStart { node, worker });
+        }
         let ready_at = self.clock + self.config.reassign.worker_startup;
         for i in victims {
             if let Some(work) = self.executors[i].busy.take() {

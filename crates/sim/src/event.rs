@@ -2,8 +2,8 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use tstorm_types::{ExecutorId, SimTime, SlotId, TupleId};
 use tstorm_topology::Value;
+use tstorm_types::{ExecutorId, SimTime, SlotId, TupleId};
 
 /// Routing/acking metadata carried by every in-flight message.
 #[derive(Debug, Clone)]

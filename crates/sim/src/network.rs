@@ -61,21 +61,18 @@ impl Network {
             HopClass::IntraWorker => now + SimTime::from_micros(self.config.intra_worker_micros),
             HopClass::InterProcess => {
                 let sched = SimTime::from_micros(
-                    self.config.recv_sched_delay_per_extra_worker
-                        * u64::from(dst_extra_workers),
+                    self.config.recv_sched_delay_per_extra_worker * u64::from(dst_extra_workers),
                 );
                 now + SimTime::from_micros(self.config.inter_process_micros) + sched
             }
             HopClass::InterNode => {
                 let bytes = Bytes::new(payload.get() + self.config.header_bytes);
-                let tx =
-                    SimTime::from_micros(bytes.transmit_micros(self.config.nic_bits_per_sec));
+                let tx = SimTime::from_micros(bytes.transmit_micros(self.config.nic_bits_per_sec));
                 let nic = &mut self.nic_free[src_node.as_usize()];
                 let start = if *nic > now { *nic } else { now };
                 *nic = start + tx;
                 let sched = SimTime::from_micros(
-                    self.config.recv_sched_delay_per_extra_worker
-                        * u64::from(dst_extra_workers),
+                    self.config.recv_sched_delay_per_extra_worker * u64::from(dst_extra_workers),
                 );
                 *nic + SimTime::from_micros(self.config.inter_node_micros) + sched
             }
@@ -92,12 +89,7 @@ impl Network {
 
 /// Classifies a hop from slot placement.
 #[must_use]
-pub fn classify(
-    src_slot: u32,
-    dst_slot: u32,
-    src_node: NodeId,
-    dst_node: NodeId,
-) -> HopClass {
+pub fn classify(src_slot: u32, dst_slot: u32, src_node: NodeId, dst_node: NodeId) -> HopClass {
     if src_slot == dst_slot {
         HopClass::IntraWorker
     } else if src_node == dst_node {
@@ -179,8 +171,13 @@ mod tests {
         let mut net = network();
         let now = SimTime::ZERO;
         let small = net.delivery_time(now, HopClass::IntraWorker, Bytes::new(1), NodeId::new(0), 0);
-        let large =
-            net.delivery_time(now, HopClass::IntraWorker, Bytes::from_kib(100), NodeId::new(0), 0);
+        let large = net.delivery_time(
+            now,
+            HopClass::IntraWorker,
+            Bytes::from_kib(100),
+            NodeId::new(0),
+            0,
+        );
         assert_eq!(small, large);
     }
 }

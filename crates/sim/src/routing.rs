@@ -121,8 +121,22 @@ mod tests {
         let mut rng = DetRng::seed_from(1);
         let mut rr = 0;
         let g = Grouping::fields(&["word"]);
-        let a = select_tasks(&g, &[0], &[Value::str("cat"), Value::Int(1)], 8, &mut rng, &mut rr);
-        let b = select_tasks(&g, &[0], &[Value::str("cat"), Value::Int(99)], 8, &mut rng, &mut rr);
+        let a = select_tasks(
+            &g,
+            &[0],
+            &[Value::str("cat"), Value::Int(1)],
+            8,
+            &mut rng,
+            &mut rr,
+        );
+        let b = select_tasks(
+            &g,
+            &[0],
+            &[Value::str("cat"), Value::Int(99)],
+            8,
+            &mut rng,
+            &mut rr,
+        );
         assert_eq!(a, b);
     }
 
@@ -184,7 +198,10 @@ mod tests {
     #[test]
     fn stable_hash_is_stable() {
         // Pin the FNV result so cross-version drift is caught.
-        assert_eq!(key_hash(&[Value::str("cat")], &[0]), key_hash(&[Value::str("cat")], &[0]));
+        assert_eq!(
+            key_hash(&[Value::str("cat")], &[0]),
+            key_hash(&[Value::str("cat")], &[0])
+        );
         let h1 = key_hash(&[Value::str("cat")], &[0]);
         let h2 = key_hash(&[Value::str("dog")], &[0]);
         assert_ne!(h1, h2);

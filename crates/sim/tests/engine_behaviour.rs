@@ -263,13 +263,19 @@ impl SpoutLogic for VocabSpout {
 fn fields_grouping_partitions_words_across_executors() {
     let topo = TopologyBuilder::new("wc")
         .spout("src", 1, &["word"])
-        .bolt("count", 4, &["word"], &[("src", Grouping::fields(&["word"]))])
+        .bolt(
+            "count",
+            4,
+            &["word"],
+            &[("src", Grouping::fields(&["word"]))],
+        )
         .num_ackers(1)
         .num_workers(1)
         .build()
         .expect("valid");
-    let sets: Vec<Rc<RefCell<HashSet<String>>>> =
-        (0..4).map(|_| Rc::new(RefCell::new(HashSet::new()))).collect();
+    let sets: Vec<Rc<RefCell<HashSet<String>>>> = (0..4)
+        .map(|_| Rc::new(RefCell::new(HashSet::new())))
+        .collect();
     let sets_for_factory = sets.clone();
     let mut next_count = 0usize;
     let mut f = move |spec: &tstorm_topology::ComponentSpec, _idx: u32| {
@@ -361,7 +367,9 @@ fn immediate_reassignment_drops_in_flight_work() {
     );
     // But the system recovers and keeps processing.
     let report = sim.report("x");
-    assert!(report.mean_proc_time_after(SimTime::from_secs(60)).is_some());
+    assert!(report
+        .mean_proc_time_after(SimTime::from_secs(60))
+        .is_some());
 }
 
 #[test]
@@ -445,8 +453,9 @@ fn global_grouping_routes_everything_to_task_zero() {
         .num_workers(1)
         .build()
         .expect("valid");
-    let sets: Vec<Rc<RefCell<HashSet<String>>>> =
-        (0..3).map(|_| Rc::new(RefCell::new(HashSet::new()))).collect();
+    let sets: Vec<Rc<RefCell<HashSet<String>>>> = (0..3)
+        .map(|_| Rc::new(RefCell::new(HashSet::new())))
+        .collect();
     let sets2 = sets.clone();
     let mut i = 0usize;
     let mut f = move |spec: &tstorm_topology::ComponentSpec, _| {
@@ -478,8 +487,9 @@ fn all_grouping_broadcasts_to_every_executor() {
         .num_workers(1)
         .build()
         .expect("valid");
-    let sets: Vec<Rc<RefCell<HashSet<String>>>> =
-        (0..3).map(|_| Rc::new(RefCell::new(HashSet::new()))).collect();
+    let sets: Vec<Rc<RefCell<HashSet<String>>>> = (0..3)
+        .map(|_| Rc::new(RefCell::new(HashSet::new())))
+        .collect();
     let sets2 = sets.clone();
     let mut i = 0usize;
     let mut f = move |spec: &tstorm_topology::ComponentSpec, _| {
@@ -498,7 +508,10 @@ fn all_grouping_broadcasts_to_every_executor() {
     sim.apply_assignment(&all_on_slot(&sim, 0));
     sim.run_until(SimTime::from_secs(5));
     for s in &sets {
-        assert!(!s.borrow().is_empty(), "broadcast must reach every executor");
+        assert!(
+            !s.borrow().is_empty(),
+            "broadcast must reach every executor"
+        );
     }
 }
 
@@ -515,7 +528,9 @@ fn recoverable_worker_failure_restarts_in_place() {
     // The worker restarted on the same slot and kept processing.
     let report = sim.report("x");
     assert_eq!(report.nodes_used.last(), Some(&1));
-    assert!(report.mean_proc_time_after(SimTime::from_secs(60)).is_some());
+    assert!(report
+        .mean_proc_time_after(SimTime::from_secs(60))
+        .is_some());
     // In-service/queued work was lost: either dropped in flight or timed
     // out (and replay re-emitted it).
     assert!(sim.completed() > 10_000);
@@ -536,7 +551,11 @@ fn unrecoverable_worker_failure_relocates_to_another_node() {
     let nodes: std::collections::BTreeSet<_> = a
         .slots_used()
         .iter()
-        .map(|s| ClusterSpec::homogeneous(2, 2, Mhz::new(8000.0)).unwrap().node_of(*s))
+        .map(|s| {
+            ClusterSpec::homogeneous(2, 2, Mhz::new(8000.0))
+                .unwrap()
+                .node_of(*s)
+        })
         .collect();
     assert_eq!(nodes.len(), 1);
     assert!(a.slots_used().iter().all(|s| s.index() >= 2), "{a:?}");
@@ -573,7 +592,12 @@ fn unrecoverable_failure_without_free_slots_keeps_executors_down() {
     sim.run_until(SimTime::from_secs(60));
     // Nothing can run any more; completions stop (in-flight acks may add
     // a handful right at the failure instant).
-    assert!(sim.completed() <= before + 5, "{} vs {}", sim.completed(), before);
+    assert!(
+        sim.completed() <= before + 5,
+        "{} vs {}",
+        sim.completed(),
+        before
+    );
     assert!(sim.current_assignment().is_empty());
 }
 

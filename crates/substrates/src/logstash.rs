@@ -15,7 +15,13 @@ use tstorm_types::rng::zipf_cdf;
 use tstorm_types::DetRng;
 
 const METHODS: &[&str] = &["GET", "GET", "GET", "GET", "POST", "HEAD"];
-const STATUS: &[(u32, f64)] = &[(200, 0.87), (304, 0.06), (404, 0.04), (500, 0.02), (301, 0.01)];
+const STATUS: &[(u32, f64)] = &[
+    (200, 0.87),
+    (304, 0.06),
+    (404, 0.04),
+    (500, 0.02),
+    (301, 0.01),
+];
 const USER_AGENTS: &[&str] = &[
     "Mozilla/4.0+(compatible;+MSIE+8.0;+Windows+NT+6.1)",
     "Mozilla/5.0+(Windows+NT+6.1)+Firefox/21.0",

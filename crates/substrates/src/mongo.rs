@@ -178,11 +178,26 @@ mod tests {
     #[test]
     fn upsert_replaces_matching_key() {
         let mut m = MongoStore::new();
-        m.upsert_by("words", "word", Document::new().with("word", "cat").with("n", "1"));
-        m.upsert_by("words", "word", Document::new().with("word", "cat").with("n", "5"));
-        m.upsert_by("words", "word", Document::new().with("word", "dog").with("n", "2"));
+        m.upsert_by(
+            "words",
+            "word",
+            Document::new().with("word", "cat").with("n", "1"),
+        );
+        m.upsert_by(
+            "words",
+            "word",
+            Document::new().with("word", "cat").with("n", "5"),
+        );
+        m.upsert_by(
+            "words",
+            "word",
+            Document::new().with("word", "dog").with("n", "2"),
+        );
         assert_eq!(m.count("words"), 2);
-        assert_eq!(m.find_by("words", "word", "cat").unwrap().get("n"), Some("5"));
+        assert_eq!(
+            m.find_by("words", "word", "cat").unwrap().get("n"),
+            Some("5")
+        );
         assert_eq!(m.total_inserts(), 3);
     }
 

@@ -7,8 +7,8 @@
 //! production time has passed. This keeps the queue exact and deterministic
 //! without scheduling a simulator event per produced item.
 
-use std::collections::{BinaryHeap, VecDeque};
 use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 use tstorm_types::SimTime;
 
 /// Generates the payload for the `n`-th item of one producer.
@@ -179,7 +179,10 @@ impl RedisQueue {
     /// Number of currently active (non-stopped) producers.
     #[must_use]
     pub fn active_producers(&self) -> usize {
-        self.producers.iter().filter(|p| p.next_at.is_some()).count()
+        self.producers
+            .iter()
+            .filter(|p| p.next_at.is_some())
+            .count()
     }
 }
 
@@ -244,7 +247,10 @@ mod tests {
         // Drain, then measure production over the next 10 s.
         while q.pop(SimTime::from_secs(10)).is_some() {}
         let after = q.backlog(SimTime::from_secs(20));
-        assert!(after > before, "rate should roughly double: {after} vs {before}");
+        assert!(
+            after > before,
+            "rate should roughly double: {after} vs {before}"
+        );
         assert!(after >= 2_000, "two 100/s streams over 10 s: got {after}");
     }
 

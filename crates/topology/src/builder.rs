@@ -230,9 +230,9 @@ impl TopologyBuilder {
                             Some(i) => idx.push(i),
                             None => {
                                 return Err(TStormError::invalid_topology(format!(
-                                    "fields grouping into `{}` keys on `{n}`, which `{}` does not emit",
-                                    pe.to_name, pe.from_name
-                                )))
+                                "fields grouping into `{}` keys on `{n}`, which `{}` does not emit",
+                                pe.to_name, pe.from_name
+                            )))
                             }
                         }
                     }
@@ -339,7 +339,12 @@ mod tests {
             .bolt("b1", 1, &["v"], &[("s", Grouping::Shuffle)])
             .bolt("b2", 1, &["v"], &[("b1", Grouping::Shuffle)])
             // b3 consumes itself: a self-loop is the smallest cycle.
-            .bolt("b3", 1, &["v"], &[("b2", Grouping::Shuffle), ("b3", Grouping::Shuffle)])
+            .bolt(
+                "b3",
+                1,
+                &["v"],
+                &[("b2", Grouping::Shuffle), ("b3", Grouping::Shuffle)],
+            )
             .build()
             .unwrap_err();
         assert!(err.to_string().contains("cycle"));

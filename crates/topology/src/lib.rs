@@ -43,6 +43,6 @@ pub mod value;
 pub use builder::TopologyBuilder;
 pub use component::{ComponentKind, ComponentSpec, CostProfile};
 pub use grouping::Grouping;
-pub use plan::{ExecutorSpec, ExecutionPlan, TaskSpec};
+pub use plan::{ExecutionPlan, ExecutorSpec, TaskSpec};
 pub use topology::{StreamEdge, Topology, ACKER_COMPONENT};
 pub use value::{Fields, Value};

@@ -165,11 +165,7 @@ mod tests {
     fn acker_executors_are_flagged() {
         let t = topo();
         let plan = ExecutionPlan::for_topology(&t);
-        let ackers = plan
-            .executors()
-            .iter()
-            .filter(|e| e.is_acker)
-            .count();
+        let ackers = plan.executors().iter().filter(|e| e.is_acker).count();
         assert_eq!(ackers, 2);
     }
 
@@ -204,7 +200,11 @@ mod tests {
     fn plan_order_is_declaration_order() {
         let t = topo();
         let plan = ExecutionPlan::for_topology(&t);
-        let comps: Vec<u32> = plan.executors().iter().map(|e| e.component.index()).collect();
+        let comps: Vec<u32> = plan
+            .executors()
+            .iter()
+            .map(|e| e.component.index())
+            .collect();
         let mut sorted = comps.clone();
         sorted.sort_unstable();
         assert_eq!(comps, sorted);

@@ -208,9 +208,7 @@ impl Topology {
         }
         self.check_acyclic()?;
         if self.num_workers == 0 {
-            return Err(TStormError::invalid_topology(
-                "requested zero workers",
-            ));
+            return Err(TStormError::invalid_topology("requested zero workers"));
         }
         Ok(())
     }

@@ -1,113 +1,135 @@
 //! Property tests: arbitrary topologies built through the builder always
 //! expand into consistent execution plans.
+//!
+//! Formerly written with `proptest`; rewritten as deterministic
+//! seeded-loop properties so the workspace has no external dependencies.
+//! Each test draws 128 random chains from a fixed meta-seed and reports
+//! the failing case number on assertion failure.
 
-use proptest::prelude::*;
 use tstorm_topology::{ExecutionPlan, Grouping, Topology, TopologyBuilder};
-use tstorm_types::ComponentId;
+use tstorm_types::{ComponentId, DetRng};
+
+const CASES: u64 = 128;
 
 /// Builds a random linear chain with random parallelism/task counts and
 /// a random grouping per edge.
-fn arb_chain() -> impl Strategy<Value = Topology> {
-    (
-        1u32..5,                                        // spout parallelism
-        proptest::collection::vec((1u32..6, 0u8..4), 1..6), // bolts: (parallelism, grouping)
-        0u32..4,                                        // ackers
-        1u32..8,                                        // extra tasks on the spout
-    )
-        .prop_map(|(spout_par, bolts, ackers, extra_tasks)| {
-            let mut b = TopologyBuilder::new("prop")
-                .spout("s", spout_par, &["k", "v"])
-                .tasks(spout_par + extra_tasks);
-            let mut prev = "s".to_owned();
-            for (i, (par, g)) in bolts.iter().enumerate() {
-                let name = format!("b{i}");
-                let grouping = match g {
-                    0 => Grouping::Shuffle,
-                    1 => Grouping::fields(&["k"]),
-                    2 => Grouping::All,
-                    _ => Grouping::Global,
-                };
-                b = b.bolt(&name, *par, &["k", "v"], &[(prev.as_str(), grouping)]);
-                prev = name;
-            }
-            b.num_ackers(ackers)
-                .num_workers(4)
-                .build()
-                .expect("builder-constructed chains are valid")
-        })
+fn arb_chain(rng: &mut DetRng) -> Topology {
+    let spout_par = 1 + rng.below(4) as u32; // 1..5
+    let num_bolts = 1 + rng.below(5); // 1..6
+    let bolts: Vec<(u32, u8)> = (0..num_bolts)
+        .map(|_| (1 + rng.below(5) as u32, rng.below(4) as u8))
+        .collect();
+    let ackers = rng.below(4) as u32; // 0..4
+    let extra_tasks = 1 + rng.below(7) as u32; // 1..8
+
+    let mut b = TopologyBuilder::new("prop")
+        .spout("s", spout_par, &["k", "v"])
+        .tasks(spout_par + extra_tasks);
+    let mut prev = "s".to_owned();
+    for (i, (par, g)) in bolts.iter().enumerate() {
+        let name = format!("b{i}");
+        let grouping = match g {
+            0 => Grouping::Shuffle,
+            1 => Grouping::fields(&["k"]),
+            2 => Grouping::All,
+            _ => Grouping::Global,
+        };
+        b = b.bolt(&name, *par, &["k", "v"], &[(prev.as_str(), grouping)]);
+        prev = name;
+    }
+    b.num_ackers(ackers)
+        .num_workers(4)
+        .build()
+        .expect("builder-constructed chains are valid")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Validation accepts everything the builder produces, and
-    /// re-validation of the built value is stable.
-    #[test]
-    fn built_topologies_revalidate(topo in arb_chain()) {
-        prop_assert!(topo.validate().is_ok());
+/// Validation accepts everything the builder produces, and re-validation
+/// of the built value is stable.
+#[test]
+fn built_topologies_revalidate() {
+    for case in 0..CASES {
+        let mut rng = DetRng::seed_from(0x7070 + case);
+        let topo = arb_chain(&mut rng);
+        assert!(topo.validate().is_ok(), "case {case}");
     }
+}
 
-    /// The execution plan covers every task of every component exactly
-    /// once, with contiguous per-executor ranges.
-    #[test]
-    fn plans_partition_tasks(topo in arb_chain()) {
+/// The execution plan covers every task of every component exactly
+/// once, with contiguous per-executor ranges.
+#[test]
+fn plans_partition_tasks() {
+    for case in 0..CASES {
+        let mut rng = DetRng::seed_from(0x9147 + case);
+        let topo = arb_chain(&mut rng);
         let plan = ExecutionPlan::for_topology(&topo);
-        prop_assert_eq!(plan.len() as u32, topo.total_executors());
+        assert_eq!(plan.len() as u32, topo.total_executors(), "case {case}");
         for (ci, comp) in topo.components().iter().enumerate() {
             let c = ComponentId::new(ci as u32);
             let mut covered = vec![0u32; comp.num_tasks() as usize];
             for e in plan.executors_of(c) {
-                prop_assert!(e.tasks.end <= comp.num_tasks());
+                assert!(e.tasks.end <= comp.num_tasks(), "case {case}");
                 for t in e.tasks.clone() {
                     covered[t as usize] += 1;
                 }
             }
-            prop_assert!(covered.iter().all(|&n| n == 1));
+            assert!(covered.iter().all(|&n| n == 1), "case {case}");
         }
     }
+}
 
-    /// Executor task counts differ by at most one within a component
-    /// (Storm's even task split).
-    #[test]
-    fn task_split_is_even(topo in arb_chain()) {
+/// Executor task counts differ by at most one within a component
+/// (Storm's even task split).
+#[test]
+fn task_split_is_even() {
+    for case in 0..CASES {
+        let mut rng = DetRng::seed_from(0x5917 + case);
+        let topo = arb_chain(&mut rng);
         let plan = ExecutionPlan::for_topology(&topo);
         for (ci, _) in topo.components().iter().enumerate() {
             let c = ComponentId::new(ci as u32);
             let counts: Vec<u32> = plan.executors_of(c).map(|e| e.task_count()).collect();
             if let (Some(min), Some(max)) = (counts.iter().min(), counts.iter().max()) {
-                prop_assert!(max - min <= 1, "uneven split {counts:?}");
+                assert!(max - min <= 1, "case {case}: uneven split {counts:?}");
             }
         }
     }
+}
 
-    /// Topological order contains every component exactly once with the
-    /// spout first.
-    #[test]
-    fn topological_order_is_complete(topo in arb_chain()) {
+/// Topological order contains every component exactly once with the
+/// spout first.
+#[test]
+fn topological_order_is_complete() {
+    for case in 0..CASES {
+        let mut rng = DetRng::seed_from(0x0D3A + case);
+        let topo = arb_chain(&mut rng);
         let order = topo.topological_order();
-        prop_assert_eq!(order.len(), topo.components().len());
+        assert_eq!(order.len(), topo.components().len(), "case {case}");
         let mut seen = std::collections::HashSet::new();
         for c in &order {
-            prop_assert!(seen.insert(*c));
+            assert!(seen.insert(*c), "case {case}");
         }
         // The spout has no inputs, so it must appear before its consumer.
         let spout = topo.component_id("s").unwrap();
         let b0 = topo.component_id("b0").unwrap();
         let pos = |c| order.iter().position(|x| *x == c).unwrap();
-        prop_assert!(pos(spout) < pos(b0));
+        assert!(pos(spout) < pos(b0), "case {case}");
     }
+}
 
-    /// Task-to-executor lookup agrees with the plan's ranges.
-    #[test]
-    fn executor_for_task_is_consistent(topo in arb_chain()) {
+/// Task-to-executor lookup agrees with the plan's ranges.
+#[test]
+fn executor_for_task_is_consistent() {
+    for case in 0..CASES {
+        let mut rng = DetRng::seed_from(0xEF07 + case);
+        let topo = arb_chain(&mut rng);
         let plan = ExecutionPlan::for_topology(&topo);
         for (ci, comp) in topo.components().iter().enumerate() {
             let c = ComponentId::new(ci as u32);
             for task in 0..comp.num_tasks() {
                 let idx = plan.executor_for_task(c, task).expect("covered task");
                 let spec = &plan.executors()[idx];
-                prop_assert_eq!(spec.component, c);
-                prop_assert!(spec.tasks.contains(&task));
+                assert_eq!(spec.component, c, "case {case}");
+                assert!(spec.tasks.contains(&task), "case {case}");
             }
         }
     }

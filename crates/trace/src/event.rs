@@ -1,0 +1,464 @@
+//! The structured trace event vocabulary.
+//!
+//! Every observable state transition in the simulated T-Storm cluster is
+//! one [`TraceEvent`] variant. Events carry plain identifiers (executor
+//! indices, node indices, tuple ids) rather than references into
+//! simulator state, so a sink can buffer or serialise them without
+//! lifetime entanglement.
+//!
+//! Rendering to JSONL is part of this module so that the byte layout of
+//! a trace line is defined in exactly one place: field order is fixed,
+//! floats use Rust's shortest round-trip formatting, and nothing in a
+//! line depends on wall-clock time or hash-map iteration order. Two runs
+//! with the same seed therefore produce byte-identical trace files.
+
+use crate::json::ObjectWriter;
+use tstorm_types::SimTime;
+
+/// Locality class of a tuple transfer, mirroring the paper's three-level
+/// cost model (§III): intra-executor/worker hops are nearly free,
+/// inter-process hops pay IPC, inter-node hops pay the network.
+///
+/// This is the trace layer's own copy of the classification: the
+/// simulator depends on this crate, not the other way around, so the
+/// sim maps its internal hop type into this one when emitting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HopClass {
+    /// Producer and consumer share a worker (JVM) — in-memory hand-off.
+    IntraWorker,
+    /// Same node, different worker process — local IPC.
+    InterProcess,
+    /// Different nodes — pays full network latency and bandwidth.
+    InterNode,
+}
+
+impl HopClass {
+    /// Stable lower-case label used in JSONL output and metric labels.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            HopClass::IntraWorker => "intra_worker",
+            HopClass::InterProcess => "inter_process",
+            HopClass::InterNode => "inter_node",
+        }
+    }
+}
+
+/// Coarse event category, used for sink filtering and sampling.
+///
+/// High-frequency data-plane categories (`Tuple`, `Queue`, `Process`)
+/// are eligible for 1-in-N sampling; control-plane categories are
+/// always recorded when their category passes the filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventCategory {
+    /// Tuple lifecycle: emit, transfer, ack, complete, timeout, replay.
+    Tuple,
+    /// Executor receive-queue occupancy changes.
+    Queue,
+    /// Executor processing start/finish.
+    Process,
+    /// Worker/assignment lifecycle.
+    Worker,
+    /// Scheduler and control-plane decisions.
+    Control,
+}
+
+impl EventCategory {
+    /// All categories, in filter-string order.
+    pub const ALL: [EventCategory; 5] = [
+        EventCategory::Tuple,
+        EventCategory::Queue,
+        EventCategory::Process,
+        EventCategory::Worker,
+        EventCategory::Control,
+    ];
+
+    /// Stable lower-case name (also the `--trace-filter` token).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            EventCategory::Tuple => "tuple",
+            EventCategory::Queue => "queue",
+            EventCategory::Process => "process",
+            EventCategory::Worker => "worker",
+            EventCategory::Control => "control",
+        }
+    }
+
+    /// Parses a filter token (case-insensitive).
+    #[must_use]
+    pub fn parse(token: &str) -> Option<EventCategory> {
+        let t = token.trim().to_ascii_lowercase();
+        Self::ALL.into_iter().find(|c| c.name() == t)
+    }
+
+    /// True for high-frequency data-plane categories that 1-in-N
+    /// sampling applies to.
+    #[must_use]
+    pub fn is_sampled(self) -> bool {
+        matches!(
+            self,
+            EventCategory::Tuple | EventCategory::Queue | EventCategory::Process
+        )
+    }
+}
+
+/// One structured trace event.
+///
+/// Identifier conventions: `executor`/`from_executor`/`to_executor` are
+/// global executor indices, `node` is a cluster node index, `worker` is
+/// a worker-slot index, `tuple` is the root tuple id the event belongs
+/// to (the anchor for at-least-once tracking).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A spout finished emitting a new root tuple.
+    TupleEmit {
+        /// Root tuple id.
+        tuple: u64,
+        /// Emitting spout executor.
+        executor: u32,
+    },
+    /// A tuple (root or derived) was sent between two executors.
+    TupleTransfer {
+        /// Root tuple id.
+        tuple: u64,
+        /// Producing executor.
+        from_executor: u32,
+        /// Consuming executor.
+        to_executor: u32,
+        /// Locality class of the hop.
+        hop: HopClass,
+        /// Payload size in bytes.
+        bytes: u64,
+    },
+    /// A tuple entered an executor's receive queue.
+    QueueEnter {
+        /// Root tuple id.
+        tuple: u64,
+        /// Queue owner.
+        executor: u32,
+        /// Queue depth after the push.
+        depth: u64,
+    },
+    /// A tuple left an executor's receive queue to start processing.
+    QueueLeave {
+        /// Root tuple id.
+        tuple: u64,
+        /// Queue owner.
+        executor: u32,
+        /// Queue depth after the pop.
+        depth: u64,
+    },
+    /// An executor began processing a tuple.
+    ProcessStart {
+        /// Root tuple id.
+        tuple: u64,
+        /// Processing executor.
+        executor: u32,
+    },
+    /// An executor finished processing a tuple.
+    ProcessDone {
+        /// Root tuple id.
+        tuple: u64,
+        /// Processing executor.
+        executor: u32,
+        /// Virtual service time spent, microseconds.
+        service_us: u64,
+    },
+    /// The acker XOR-retired one tuple edge of a tree.
+    Ack {
+        /// Root tuple id.
+        tuple: u64,
+    },
+    /// A root tuple's tree fully completed.
+    Complete {
+        /// Root tuple id.
+        tuple: u64,
+        /// End-to-end completion latency in milliseconds.
+        latency_ms: f64,
+    },
+    /// A root tuple's message timeout expired before completion.
+    Timeout {
+        /// Root tuple id.
+        tuple: u64,
+    },
+    /// A timed-out root tuple was replayed from the spout.
+    Replay {
+        /// Root tuple id (of the original emission).
+        tuple: u64,
+    },
+    /// A new assignment version was applied to the cluster.
+    AssignmentApplied {
+        /// Assignment version number.
+        version: u64,
+        /// Number of executors whose slot changed vs. the previous
+        /// assignment (the diff size — 0 for the initial assignment
+        /// means a full rollout is counted in `added`).
+        moved: u64,
+        /// Executors newly assigned.
+        added: u64,
+        /// Executors removed from the assignment.
+        removed: u64,
+    },
+    /// A worker process started on a node.
+    WorkerStart {
+        /// Host node index.
+        node: u32,
+        /// Worker slot index on that node.
+        worker: u32,
+    },
+    /// A worker process stopped (relocation or failure).
+    WorkerStop {
+        /// Host node index.
+        node: u32,
+        /// Worker slot index on that node.
+        worker: u32,
+    },
+    /// The scheduler produced a new candidate schedule.
+    ScheduleGenerated {
+        /// Scheduler algorithm name (e.g. `tstorm`, `round_robin`).
+        algorithm: String,
+        /// Predicted inter-node traffic of the schedule (tuples/s).
+        inter_node_traffic: f64,
+        /// Predicted inter-process traffic of the schedule (tuples/s).
+        inter_process_traffic: f64,
+        /// Wall-clock scheduling time in microseconds. `None` unless
+        /// wall-clock capture was explicitly enabled: the field is
+        /// nondeterministic, and the default keeps trace files
+        /// byte-identical across same-seed runs (the value always
+        /// reaches the metrics histogram regardless).
+        elapsed_us: Option<u64>,
+    },
+    /// The load monitor flagged a node as overloaded.
+    OverloadDetected {
+        /// Overloaded node index.
+        node: u32,
+        /// Observed CPU utilisation (0..=1 scale, may exceed 1).
+        utilisation: f64,
+    },
+    /// The active scheduler implementation was hot-swapped.
+    SchedulerSwapped {
+        /// Name of the scheduler now active.
+        to: String,
+    },
+    /// The traffic-balance weight γ was changed at runtime.
+    GammaChanged {
+        /// New γ value.
+        gamma: f64,
+    },
+}
+
+impl TraceEvent {
+    /// Stable event-type name used in the JSONL `type` field.
+    #[must_use]
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            TraceEvent::TupleEmit { .. } => "tuple_emit",
+            TraceEvent::TupleTransfer { .. } => "tuple_transfer",
+            TraceEvent::QueueEnter { .. } => "queue_enter",
+            TraceEvent::QueueLeave { .. } => "queue_leave",
+            TraceEvent::ProcessStart { .. } => "process_start",
+            TraceEvent::ProcessDone { .. } => "process_done",
+            TraceEvent::Ack { .. } => "ack",
+            TraceEvent::Complete { .. } => "complete",
+            TraceEvent::Timeout { .. } => "timeout",
+            TraceEvent::Replay { .. } => "replay",
+            TraceEvent::AssignmentApplied { .. } => "assignment_applied",
+            TraceEvent::WorkerStart { .. } => "worker_start",
+            TraceEvent::WorkerStop { .. } => "worker_stop",
+            TraceEvent::ScheduleGenerated { .. } => "schedule_generated",
+            TraceEvent::OverloadDetected { .. } => "overload_detected",
+            TraceEvent::SchedulerSwapped { .. } => "scheduler_swapped",
+            TraceEvent::GammaChanged { .. } => "gamma_changed",
+        }
+    }
+
+    /// The category this event belongs to.
+    #[must_use]
+    pub fn category(&self) -> EventCategory {
+        match self {
+            TraceEvent::TupleEmit { .. }
+            | TraceEvent::TupleTransfer { .. }
+            | TraceEvent::Ack { .. }
+            | TraceEvent::Complete { .. }
+            | TraceEvent::Timeout { .. }
+            | TraceEvent::Replay { .. } => EventCategory::Tuple,
+            TraceEvent::QueueEnter { .. } | TraceEvent::QueueLeave { .. } => EventCategory::Queue,
+            TraceEvent::ProcessStart { .. } | TraceEvent::ProcessDone { .. } => {
+                EventCategory::Process
+            }
+            TraceEvent::AssignmentApplied { .. }
+            | TraceEvent::WorkerStart { .. }
+            | TraceEvent::WorkerStop { .. } => EventCategory::Worker,
+            TraceEvent::ScheduleGenerated { .. }
+            | TraceEvent::OverloadDetected { .. }
+            | TraceEvent::SchedulerSwapped { .. }
+            | TraceEvent::GammaChanged { .. } => EventCategory::Control,
+        }
+    }
+
+    /// Renders one JSONL line (without trailing newline).
+    ///
+    /// Field order is fixed: `t` (virtual time, µs), `type`, then the
+    /// variant's payload fields in declaration order.
+    #[must_use]
+    pub fn to_jsonl(&self, at: SimTime) -> String {
+        let mut o = ObjectWriter::new();
+        o.u64("t", at.as_micros()).str("type", self.type_name());
+        match self {
+            TraceEvent::TupleEmit { tuple, executor } => {
+                o.u64("tuple", *tuple).u64("executor", u64::from(*executor));
+            }
+            TraceEvent::TupleTransfer {
+                tuple,
+                from_executor,
+                to_executor,
+                hop,
+                bytes,
+            } => {
+                o.u64("tuple", *tuple)
+                    .u64("from", u64::from(*from_executor))
+                    .u64("to", u64::from(*to_executor))
+                    .str("hop", hop.label())
+                    .u64("bytes", *bytes);
+            }
+            TraceEvent::QueueEnter {
+                tuple,
+                executor,
+                depth,
+            }
+            | TraceEvent::QueueLeave {
+                tuple,
+                executor,
+                depth,
+            } => {
+                o.u64("tuple", *tuple)
+                    .u64("executor", u64::from(*executor))
+                    .u64("depth", *depth);
+            }
+            TraceEvent::ProcessStart { tuple, executor } => {
+                o.u64("tuple", *tuple).u64("executor", u64::from(*executor));
+            }
+            TraceEvent::ProcessDone {
+                tuple,
+                executor,
+                service_us,
+            } => {
+                o.u64("tuple", *tuple)
+                    .u64("executor", u64::from(*executor))
+                    .u64("service_us", *service_us);
+            }
+            TraceEvent::Ack { tuple }
+            | TraceEvent::Timeout { tuple }
+            | TraceEvent::Replay { tuple } => {
+                o.u64("tuple", *tuple);
+            }
+            TraceEvent::Complete { tuple, latency_ms } => {
+                o.u64("tuple", *tuple).f64("latency_ms", *latency_ms);
+            }
+            TraceEvent::AssignmentApplied {
+                version,
+                moved,
+                added,
+                removed,
+            } => {
+                o.u64("version", *version)
+                    .u64("moved", *moved)
+                    .u64("added", *added)
+                    .u64("removed", *removed);
+            }
+            TraceEvent::WorkerStart { node, worker } | TraceEvent::WorkerStop { node, worker } => {
+                o.u64("node", u64::from(*node))
+                    .u64("worker", u64::from(*worker));
+            }
+            TraceEvent::ScheduleGenerated {
+                algorithm,
+                inter_node_traffic,
+                inter_process_traffic,
+                elapsed_us,
+            } => {
+                o.str("algorithm", algorithm)
+                    .f64("inter_node_traffic", *inter_node_traffic)
+                    .f64("inter_process_traffic", *inter_process_traffic);
+                if let Some(us) = elapsed_us {
+                    o.u64("elapsed_us", *us);
+                }
+            }
+            TraceEvent::OverloadDetected { node, utilisation } => {
+                o.u64("node", u64::from(*node))
+                    .f64("utilisation", *utilisation);
+            }
+            TraceEvent::SchedulerSwapped { to } => {
+                o.str("to", to);
+            }
+            TraceEvent::GammaChanged { gamma } => {
+                o.f64("gamma", *gamma);
+            }
+        }
+        o.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn every_category_token_round_trips() {
+        for c in EventCategory::ALL {
+            assert_eq!(EventCategory::parse(c.name()), Some(c));
+            assert_eq!(EventCategory::parse(&c.name().to_uppercase()), Some(c));
+        }
+        assert_eq!(EventCategory::parse("bogus"), None);
+    }
+
+    #[test]
+    fn jsonl_lines_parse_and_carry_fields() {
+        let at = SimTime::from_millis(1500);
+        let ev = TraceEvent::TupleTransfer {
+            tuple: 7,
+            from_executor: 2,
+            to_executor: 9,
+            hop: HopClass::InterNode,
+            bytes: 128,
+        };
+        let line = ev.to_jsonl(at);
+        let v = parse(&line).expect("valid JSON");
+        assert_eq!(v.get("t").unwrap().as_f64(), Some(1_500_000.0));
+        assert_eq!(v.get("type").unwrap().as_str(), Some("tuple_transfer"));
+        assert_eq!(v.get("hop").unwrap().as_str(), Some("inter_node"));
+        assert_eq!(v.get("bytes").unwrap().as_f64(), Some(128.0));
+    }
+
+    #[test]
+    fn elapsed_us_absent_by_default() {
+        let ev = TraceEvent::ScheduleGenerated {
+            algorithm: "tstorm".into(),
+            inter_node_traffic: 10.5,
+            inter_process_traffic: 3.25,
+            elapsed_us: None,
+        };
+        let line = ev.to_jsonl(SimTime::ZERO);
+        assert!(!line.contains("elapsed_us"), "{line}");
+        let with = TraceEvent::ScheduleGenerated {
+            algorithm: "tstorm".into(),
+            inter_node_traffic: 10.5,
+            inter_process_traffic: 3.25,
+            elapsed_us: Some(42),
+        };
+        assert!(with.to_jsonl(SimTime::ZERO).contains("\"elapsed_us\":42"));
+    }
+
+    #[test]
+    fn categories_match_sampling_policy() {
+        assert!(TraceEvent::Ack { tuple: 1 }.category().is_sampled());
+        assert!(!TraceEvent::GammaChanged { gamma: 0.5 }
+            .category()
+            .is_sampled());
+        assert_eq!(
+            TraceEvent::WorkerStart { node: 0, worker: 0 }.category(),
+            EventCategory::Worker
+        );
+    }
+}

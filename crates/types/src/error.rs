@@ -58,7 +58,10 @@ impl fmt::Display for TStormError {
                 write!(f, "invalid cluster: {reason}")
             }
             TStormError::Infeasible { scheduler, reason } => {
-                write!(f, "scheduler {scheduler} found no feasible assignment: {reason}")
+                write!(
+                    f,
+                    "scheduler {scheduler} found no feasible assignment: {reason}"
+                )
             }
             TStormError::InvalidConfig { parameter, reason } => {
                 write!(f, "invalid configuration parameter {parameter}: {reason}")

@@ -5,14 +5,14 @@
 //! run configuration. Identical seeds produce identical runs on every
 //! platform, which the test suite and the benchmark harness rely on.
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
-
 /// A deterministic, seedable random number generator.
 ///
-/// Wraps [`rand::rngs::StdRng`] and adds domain helpers plus *stream
-/// splitting*: independent child generators derived from a parent so that
-/// adding random draws in one subsystem does not perturb another.
+/// An in-tree xoshiro256++ generator (public-domain algorithm by Blackman
+/// and Vigna) with domain helpers plus *stream splitting*: independent
+/// child generators derived from a parent so that adding random draws in
+/// one subsystem does not perturb another. Self-contained so the
+/// simulator builds without network access and produces identical streams
+/// on every platform.
 ///
 /// # Example
 ///
@@ -25,16 +25,30 @@ use rand::{Rng, RngCore, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct DetRng {
-    inner: StdRng,
+    state: [u64; 4],
+}
+
+/// SplitMix64 step, used to expand a 64-bit seed into generator state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl DetRng {
     /// Creates a generator from a 64-bit seed.
     #[must_use]
     pub fn seed_from(seed: u64) -> Self {
-        Self {
-            inner: StdRng::seed_from_u64(seed),
-        }
+        let mut sm = seed;
+        let state = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Self { state }
     }
 
     /// Derives an independent child generator for a named stream.
@@ -49,20 +63,31 @@ impl DetRng {
             h ^= u64::from(*byte);
             h = h.wrapping_mul(0x0000_0100_0000_01b3);
         }
-        let salt = self.inner.next_u64();
+        let salt = self.next_u64();
         DetRng::seed_from(h ^ salt.rotate_left(17))
     }
 
-    /// Returns the next raw 64-bit value.
+    /// Returns the next raw 64-bit value (xoshiro256++ step).
     #[must_use]
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Returns a uniform value in `[0, 1)`.
     #[must_use]
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 random mantissa bits give every representable multiple of
+        // 2^-53 in [0, 1) with equal probability.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Returns a uniform integer in `[0, n)`.
@@ -73,7 +98,15 @@ impl DetRng {
     #[must_use]
     pub fn below(&mut self, n: usize) -> usize {
         assert!(n > 0, "below(0) is meaningless");
-        self.inner.gen_range(0..n)
+        // Rejection sampling to avoid modulo bias.
+        let n = n as u64;
+        let zone = u64::MAX - (u64::MAX - n + 1) % n;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return (v % n) as usize;
+            }
+        }
     }
 
     /// Returns a uniform value in `[lo, hi)`.
@@ -84,7 +117,7 @@ impl DetRng {
     #[must_use]
     pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
         assert!(lo < hi, "invalid range [{lo}, {hi})");
-        self.inner.gen_range(lo..hi)
+        lo + self.uniform() * (hi - lo)
     }
 
     /// Samples an exponential inter-arrival span with the given mean.
@@ -101,7 +134,7 @@ impl DetRng {
             "exponential mean must be positive, got {mean}"
         );
         // Inverse-CDF sampling; guard against ln(0).
-        let u: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
+        let u: f64 = self.uniform().max(f64::MIN_POSITIVE);
         -mean * u.ln()
     }
 

@@ -107,7 +107,10 @@ pub fn factory(p: &ChainParams, seed: u64) -> impl FnMut(&ComponentSpec, u32) ->
     let last = format!("bolt{}", p.bolts);
     move |spec, index| {
         if spec.kind() == ComponentKind::Spout {
-            ExecutorLogic::spout(RandomStringSpout::new(bytes, seed ^ (u64::from(index) << 24)))
+            ExecutorLogic::spout(RandomStringSpout::new(
+                bytes,
+                seed ^ (u64::from(index) << 24),
+            ))
         } else if spec.name() == last {
             ExecutorLogic::bolt(CountingBolt::new())
         } else {

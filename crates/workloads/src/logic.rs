@@ -367,7 +367,10 @@ mod tests {
         b.execute(&[Value::str("dog"), Value::Int(1)], &mut |_| {});
         let s = store.borrow();
         assert_eq!(s.count("words"), 2);
-        assert_eq!(s.find_by("words", "word", "cat").unwrap().get("count"), Some("2"));
+        assert_eq!(
+            s.find_by("words", "word", "cat").unwrap().get("count"),
+            Some("2")
+        );
     }
 
     #[test]

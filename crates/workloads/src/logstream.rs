@@ -252,8 +252,16 @@ mod tests {
 
         assert!(sim.completed() > 500, "completed {}", sim.completed());
         let store = state.store.borrow();
-        assert!(store.count("index") > 10, "index rows {}", store.count("index"));
-        assert!(store.count("counts") >= 2, "count rows {}", store.count("counts"));
+        assert!(
+            store.count("index") > 10,
+            "index rows {}",
+            store.count("index")
+        );
+        assert!(
+            store.count("counts") >= 2,
+            "count rows {}",
+            store.count("counts")
+        );
         // The dominant status class must be 200.
         let ok_count: u64 = store
             .find_by("counts", "status", "200")

@@ -243,7 +243,11 @@ mod tests {
 
         assert!(sim.completed() > 500, "completed {}", sim.completed());
         let store = state.store.borrow();
-        assert!(store.count("words") > 50, "words rows {}", store.count("words"));
+        assert!(
+            store.count("words") > 50,
+            "words rows {}",
+            store.count("words")
+        );
         // Spot-check a frequent word: the stored count can only lag the
         // ground truth (tuples still in flight), never exceed it.
         let popped = state.queue.borrow().popped();

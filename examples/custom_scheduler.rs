@@ -46,11 +46,9 @@ impl Scheduler for PackFirstScheduler {
                     .slots_of(slot.node)
                     .find(|s| slot_topo[s.slot.as_usize()] == Some(e.topology))
                     .map(|s| s.slot);
-                let respects_one_slot =
-                    node_slot_of_topo.is_none_or(|s| s == slot.slot);
+                let respects_one_slot = node_slot_of_topo.is_none_or(|s| s == slot.slot);
                 let fits = node_load[k] + e.load
-                    <= input.cluster.node(slot.node).capacity
-                        * input.params.capacity_fraction;
+                    <= input.cluster.node(slot.node).capacity * input.params.capacity_fraction;
                 if compatible && respects_one_slot && fits {
                     slot_topo[j] = Some(e.topology);
                     node_load[k] += e.load;
@@ -87,10 +85,8 @@ fn main() -> Result<()> {
     // code into the schedule generator" step).
     let mut config2 = config;
     config2.scheduler = "t-storm".into();
-    let mut system = TStormSystem::new(
-        ClusterSpec::homogeneous(10, 4, Mhz::new(8000.0))?,
-        config2,
-    )?;
+    let mut system =
+        TStormSystem::new(ClusterSpec::homogeneous(10, 4, Mhz::new(8000.0))?, config2)?;
     system.register_scheduler("pack-first", || Box::new(PackFirstScheduler));
     system.swap_scheduler("pack-first")?;
     assert_eq!(system.scheduler_name(), "pack-first");
@@ -104,8 +100,10 @@ fn main() -> Result<()> {
         .report("pack-first")
         .mean_proc_time_after(SimTime::from_secs(120))
         .unwrap_or(f64::NAN);
-    println!("pack-first (user-defined):   {packed:.3} ms avg, {:?} node(s)",
-        system.report("x").nodes_used.last());
+    println!(
+        "pack-first (user-defined):   {packed:.3} ms avg, {:?} node(s)",
+        system.report("x").nodes_used.last()
+    );
     // On this lightly loaded topology, extreme packing performs well —
     // Observation 1 in action. Its danger is having no capacity or
     // consolidation guard: under load it overloads a node, which

@@ -16,6 +16,7 @@
 //! | [`substrates`] | `tstorm-substrates` | Redis/Mongo/LogStash/corpus stand-ins |
 //! | [`workloads`] | `tstorm-workloads` | Throughput Test, Word Count, Log Stream |
 //! | [`metrics`] | `tstorm-metrics` | 1-minute series, percentiles, reports, comparisons |
+//! | [`trace`] | `tstorm-trace` | structured trace events, metrics registry, Prometheus/JSONL export |
 //!
 //! Two more workspace members are binaries rather than library crates:
 //! `tstorm-bench` (per-figure reproduction harness) and `tstorm-cli`
@@ -62,5 +63,6 @@ pub use tstorm_sched as sched;
 pub use tstorm_sim as sim;
 pub use tstorm_substrates as substrates;
 pub use tstorm_topology as topology;
+pub use tstorm_trace as trace;
 pub use tstorm_types as types;
 pub use tstorm_workloads as workloads;

@@ -66,11 +66,10 @@ fn two_topologies_share_the_cluster() {
         SchedParams::default(),
     );
     let ctx = input.executor_ctx();
-    let violations =
-        system
-            .simulation()
-            .current_assignment()
-            .constraint_violations(&input.cluster, &ctx, None);
+    let violations = system
+        .simulation()
+        .current_assignment()
+        .constraint_violations(&input.cluster, &ctx, None);
     assert!(violations.is_empty(), "{violations:?}");
 }
 

@@ -13,8 +13,13 @@ const STABLE: SimTime = SimTime::from_secs(200);
 #[test]
 fn observation1_fig2_ordering() {
     let outcomes = experiments::fig2(200, 42);
-    let mean =
-        |i: usize| outcomes[i].report.proc_time_ms.overall_mean().expect("data");
+    let mean = |i: usize| {
+        outcomes[i]
+            .report
+            .proc_time_ms
+            .overall_mean()
+            .expect("data")
+    };
     assert!(mean(0) < mean(1), "n1w1 must beat n5w5");
     assert!(mean(1) < mean(2), "n5w5 must beat n5w10");
 }
@@ -36,7 +41,10 @@ fn fig5_throughput_test_speedup_and_consolidation() {
     let t6 = g6.report.mean_proc_time_after(STABLE).expect("data");
 
     // Paper: >83% speedup; we assert a decisive win (>50%).
-    assert!(t1 < s * 0.5, "gamma=1: storm {s:.2} ms vs t-storm {t1:.2} ms");
+    assert!(
+        t1 < s * 0.5,
+        "gamma=1: storm {s:.2} ms vs t-storm {t1:.2} ms"
+    );
     // Consolidation to very few nodes keeps comparable performance.
     let n6 = g6.report.nodes_used.last().copied().unwrap();
     assert!(n6 <= 4, "gamma=6 should use very few nodes, used {n6}");
@@ -54,7 +62,10 @@ fn fig6_word_count_speedup() {
     let t = tstorm.report.mean_proc_time_after(STABLE).expect("data");
     assert!(t < s, "word count: storm {s:.2} ms vs t-storm {t:.2} ms");
     let nodes = tstorm.report.nodes_used.last().copied().unwrap();
-    assert!(nodes < 10, "gamma=1.8 should consolidate below 10 nodes, used {nodes}");
+    assert!(
+        nodes < 10,
+        "gamma=1.8 should consolidate below 10 nodes, used {nodes}"
+    );
 }
 
 #[test]
@@ -65,7 +76,10 @@ fn fig8_log_stream_speedup() {
     let t = tstorm.report.mean_proc_time_after(STABLE).expect("data");
     assert!(t < s, "log stream: storm {s:.2} ms vs t-storm {t:.2} ms");
     let nodes = tstorm.report.nodes_used.last().copied().unwrap();
-    assert!(nodes < 10, "gamma=1.7 should consolidate below 10 nodes, used {nodes}");
+    assert!(
+        nodes < 10,
+        "gamma=1.7 should consolidate below 10 nodes, used {nodes}"
+    );
 }
 
 #[test]

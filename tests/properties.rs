@@ -1,6 +1,11 @@
-//! Property-based tests on the core invariants, spanning crates.
+//! Property-style tests on the core invariants, spanning crates.
+//!
+//! Formerly written with `proptest`; rewritten as deterministic
+//! seeded-loop properties so the workspace has no external dependencies.
+//! Each test draws many random instances from a [`DetRng`] with a fixed
+//! meta-seed, so failures are exactly reproducible (the failing case's
+//! seed is printed in the assertion message).
 
-use proptest::prelude::*;
 use std::collections::HashMap;
 use tstorm::cluster::{Assignment, ClusterSpec};
 use tstorm::monitor::Ewma;
@@ -13,11 +18,13 @@ use tstorm::topology::{Grouping, Value};
 use tstorm::types::rng::zipf_cdf;
 use tstorm::types::{ComponentId, DetRng, ExecutorId, Mhz, SlotId, TopologyId};
 
-/// Strategy: a random scheduling problem. Executors are grouped into a
-/// handful of topologies/components with random loads; traffic connects
-/// random pairs.
-fn arb_input() -> impl Strategy<Value = SchedulingInput> {
-    arb_input_with_topologies(1u32..3)
+const CASES: u64 = 128;
+
+/// A random scheduling problem. Executors are grouped into a handful of
+/// topologies/components with random loads; traffic connects random
+/// pairs.
+fn arb_input(rng: &mut DetRng) -> SchedulingInput {
+    arb_input_with_topologies(rng, 2)
 }
 
 /// Single-topology variant, used by the optimality comparison: with
@@ -25,84 +32,77 @@ fn arb_input() -> impl Strategy<Value = SchedulingInput> {
 /// traffic order and spend one node's executor cap on several
 /// topologies, ending up worse than the default scheduler — a genuine
 /// (and here documented) limitation of Algorithm 1, not a bug.
-fn arb_single_topology_input() -> impl Strategy<Value = SchedulingInput> {
-    arb_input_with_topologies(1u32..2)
+fn arb_single_topology_input(rng: &mut DetRng) -> SchedulingInput {
+    arb_input_with_topologies(rng, 1)
 }
 
-fn arb_input_with_topologies(
-    topologies: std::ops::Range<u32>,
-) -> impl Strategy<Value = SchedulingInput> {
-    (
-        2u32..6,            // nodes
-        1u32..5,            // slots per node
-        1usize..40,         // executors
-        topologies,         // topologies
-        0usize..60,         // traffic entries
-        1u64..u64::MAX,     // rng seed for loads/traffic
-        0.5f64..8.0,        // gamma
-    )
-        .prop_map(|(nodes, slots, ne, topos, traffic_n, seed, gamma)| {
-            let mut rng = DetRng::seed_from(seed);
-            let cluster =
-                ClusterSpec::homogeneous(nodes, slots, Mhz::new(4000.0)).expect("valid");
-            let executors: Vec<ExecutorInfo> = (0..ne as u32)
-                .map(|i| {
-                    ExecutorInfo::new(
-                        ExecutorId::new(i),
-                        TopologyId::new(i % topos),
-                        ComponentId::new(rng.below(5) as u32),
-                        Mhz::new(rng.range_f64(0.0, 500.0).max(0.0)),
-                    )
-                })
-                .collect();
-            let mut traffic = TrafficMatrix::new();
-            for _ in 0..traffic_n {
-                let a = rng.below(ne) as u32;
-                let b = rng.below(ne) as u32;
-                if a != b
-                    && executors[a as usize].topology == executors[b as usize].topology
-                {
-                    traffic.add(
-                        ExecutorId::new(a),
-                        ExecutorId::new(b),
-                        rng.range_f64(0.1, 1000.0),
-                    );
-                }
-            }
-            SchedulingInput::new(
-                cluster,
-                executors,
-                traffic,
-                SchedParams::default().with_gamma(gamma),
+fn arb_input_with_topologies(rng: &mut DetRng, max_topologies: usize) -> SchedulingInput {
+    let nodes = 2 + rng.below(4) as u32; // 2..6
+    let slots = 1 + rng.below(4) as u32; // 1..5
+    let ne = 1 + rng.below(39); // 1..40
+    let topos = 1 + rng.below(max_topologies) as u32;
+    let traffic_n = rng.below(60); // 0..60
+    let gamma = rng.range_f64(0.5, 8.0);
+    let cluster = ClusterSpec::homogeneous(nodes, slots, Mhz::new(4000.0)).expect("valid");
+    let executors: Vec<ExecutorInfo> = (0..ne as u32)
+        .map(|i| {
+            ExecutorInfo::new(
+                ExecutorId::new(i),
+                TopologyId::new(i % topos),
+                ComponentId::new(rng.below(5) as u32),
+                Mhz::new(rng.range_f64(0.0, 500.0).max(0.0)),
             )
         })
+        .collect();
+    let mut traffic = TrafficMatrix::new();
+    for _ in 0..traffic_n {
+        let a = rng.below(ne) as u32;
+        let b = rng.below(ne) as u32;
+        if a != b && executors[a as usize].topology == executors[b as usize].topology {
+            traffic.add(
+                ExecutorId::new(a),
+                ExecutorId::new(b),
+                rng.range_f64(0.1, 1000.0),
+            );
+        }
+    }
+    SchedulingInput::new(
+        cluster,
+        executors,
+        traffic,
+        SchedParams::default().with_gamma(gamma),
+    )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Algorithm 1 either fails cleanly or assigns *every* executor while
-    /// honouring the structural constraints (one topology per slot, one
-    /// slot per topology per node). Capacity/count may be relaxed (and
-    /// reported), but structure never is.
-    #[test]
-    fn alg1_structural_constraints_always_hold(input in arb_input()) {
+/// Algorithm 1 either fails cleanly or assigns *every* executor while
+/// honouring the structural constraints (one topology per slot, one
+/// slot per topology per node). Capacity/count may be relaxed (and
+/// reported), but structure never is.
+#[test]
+fn alg1_structural_constraints_always_hold() {
+    for case in 0..CASES {
+        let mut rng = DetRng::seed_from(0xA110 + case);
+        let input = arb_input(&mut rng);
         let mut sched = TStormScheduler::new();
         if let Ok(assignment) = sched.schedule(&input) {
-            prop_assert_eq!(assignment.len(), input.num_executors());
+            assert_eq!(assignment.len(), input.num_executors(), "case {case}");
             let ctx = input.executor_ctx();
             let violations: Vec<String> = assignment
                 .constraint_violations(&input.cluster, &ctx, None)
                 .into_iter()
                 .collect();
-            prop_assert!(violations.is_empty(), "{:?}", violations);
+            assert!(violations.is_empty(), "case {case}: {violations:?}");
         }
     }
+}
 
-    /// When Algorithm 1 needed no relaxation, the capacity constraint
-    /// holds too.
-    #[test]
-    fn alg1_capacity_holds_without_relaxation(input in arb_input()) {
+/// When Algorithm 1 needed no relaxation, the capacity constraint
+/// holds too.
+#[test]
+fn alg1_capacity_holds_without_relaxation() {
+    for case in 0..CASES {
+        let mut rng = DetRng::seed_from(0xCAFE + case);
+        let input = arb_input(&mut rng);
         let mut sched = TStormScheduler::new();
         if let Ok(assignment) = sched.schedule(&input) {
             if sched.relaxations().is_empty() {
@@ -112,24 +112,28 @@ proptest! {
                     &ctx,
                     Some(input.params.capacity_fraction),
                 );
-                prop_assert!(violations.is_empty(), "{:?}", violations);
+                assert!(violations.is_empty(), "case {case}: {violations:?}");
             }
         }
     }
+}
 
-    /// Algorithm 1 never produces more inter-node traffic than the
-    /// traffic-blind default scheduler *when both play by the same
-    /// rules*: the default ignores the capacity and γ-cap constraints, so
-    /// the comparison only counts when its assignment happens to satisfy
-    /// them too (otherwise it "wins" by overloading nodes, which is the
-    /// very failure mode Observation 2 documents).
-    #[test]
-    fn alg1_no_worse_than_round_robin(input in arb_single_topology_input()) {
+/// Algorithm 1 never produces more inter-node traffic than the
+/// traffic-blind default scheduler *when both play by the same
+/// rules*: the default ignores the capacity and γ-cap constraints, so
+/// the comparison only counts when its assignment happens to satisfy
+/// them too (otherwise it "wins" by overloading nodes, which is the
+/// very failure mode Observation 2 documents).
+#[test]
+fn alg1_no_worse_than_round_robin() {
+    for case in 0..CASES {
+        let mut rng = DetRng::seed_from(0xB0B0 + case);
+        let input = arb_single_topology_input(&mut rng);
         let mut ts = TStormScheduler::new();
         let mut rr = RoundRobinScheduler::storm_default();
         if let (Ok(a_ts), Ok(a_rr)) = (ts.schedule(&input), rr.schedule(&input)) {
             if !ts.relaxations().is_empty() {
-                return Ok(());
+                continue;
             }
             let cap = input.node_executor_cap();
             let ctx = input.executor_ctx();
@@ -140,92 +144,116 @@ proptest! {
                     <= cap
             });
             let rr_within_capacity = a_rr
-                .constraint_violations(
-                    &input.cluster,
-                    &ctx,
-                    Some(input.params.capacity_fraction),
-                )
+                .constraint_violations(&input.cluster, &ctx, Some(input.params.capacity_fraction))
                 .iter()
                 .all(|v| !v.contains("exceeds"));
             if rr_within_cap && rr_within_capacity {
                 let q_ts = AssignmentQuality::evaluate(&a_ts, &input);
                 let q_rr = AssignmentQuality::evaluate(&a_rr, &input);
-                prop_assert!(
+                assert!(
                     q_ts.inter_node_traffic <= q_rr.inter_node_traffic + 1e-6,
-                    "t-storm {} vs rr {}",
+                    "case {case}: t-storm {} vs rr {}",
                     q_ts.inter_node_traffic,
                     q_rr.inter_node_traffic
                 );
             }
         }
     }
+}
 
-    /// The default scheduler assigns every executor exactly once.
-    #[test]
-    fn round_robin_assigns_everyone(input in arb_input()) {
+/// The default scheduler assigns every executor exactly once.
+#[test]
+fn round_robin_assigns_everyone() {
+    for case in 0..CASES {
+        let mut rng = DetRng::seed_from(0x22B + case);
+        let input = arb_input(&mut rng);
         let mut rr = RoundRobinScheduler::storm_default();
         if let Ok(assignment) = rr.schedule(&input) {
-            prop_assert_eq!(assignment.len(), input.num_executors());
+            assert_eq!(assignment.len(), input.num_executors(), "case {case}");
             for e in &input.executors {
-                prop_assert!(assignment.slot_of(e.id).is_some());
+                assert!(assignment.slot_of(e.id).is_some(), "case {case}");
             }
         }
     }
+}
 
-    /// Assignment diff algebra: self-diff is empty, and the diff's moved
-    /// set never overlaps added/removed.
-    #[test]
-    fn assignment_diff_algebra(
-        pairs_a in proptest::collection::vec((0u32..30, 0u32..12), 0..30),
-        pairs_b in proptest::collection::vec((0u32..30, 0u32..12), 0..30),
-    ) {
-        let a: Assignment = pairs_a
-            .into_iter()
-            .map(|(e, s)| (ExecutorId::new(e), SlotId::new(s)))
-            .collect();
-        let b: Assignment = pairs_b
-            .into_iter()
-            .map(|(e, s)| (ExecutorId::new(e), SlotId::new(s)))
-            .collect();
-        prop_assert!(a.diff(&a.clone()).is_empty());
+/// Assignment diff algebra: self-diff is empty, and the diff's moved
+/// set never overlaps added/removed.
+#[test]
+fn assignment_diff_algebra() {
+    for case in 0..CASES {
+        let mut rng = DetRng::seed_from(0xD1FF + case);
+        let draw_pairs = |rng: &mut DetRng| -> Assignment {
+            let n = rng.below(31);
+            (0..n)
+                .map(|_| {
+                    (
+                        ExecutorId::new(rng.below(30) as u32),
+                        SlotId::new(rng.below(12) as u32),
+                    )
+                })
+                .collect()
+        };
+        let a = draw_pairs(&mut rng);
+        let b = draw_pairs(&mut rng);
+        assert!(a.diff(&a.clone()).is_empty(), "case {case}");
         let d = a.diff(&b);
         for e in &d.moved {
-            prop_assert!(!d.added.contains(e));
-            prop_assert!(!d.removed.contains(e));
-            prop_assert!(a.slot_of(*e).is_some() && b.slot_of(*e).is_some());
+            assert!(!d.added.contains(e), "case {case}");
+            assert!(!d.removed.contains(e), "case {case}");
+            assert!(
+                a.slot_of(*e).is_some() && b.slot_of(*e).is_some(),
+                "case {case}"
+            );
         }
         for e in &d.added {
-            prop_assert!(a.slot_of(*e).is_none() && b.slot_of(*e).is_some());
+            assert!(
+                a.slot_of(*e).is_none() && b.slot_of(*e).is_some(),
+                "case {case}"
+            );
         }
         for e in &d.removed {
-            prop_assert!(a.slot_of(*e).is_some() && b.slot_of(*e).is_none());
+            assert!(
+                a.slot_of(*e).is_some() && b.slot_of(*e).is_none(),
+                "case {case}"
+            );
         }
     }
+}
 
-    /// EWMA estimates stay within the range of samples seen so far.
-    #[test]
-    fn ewma_bounded_by_samples(
-        alpha in 0.0f64..=1.0,
-        samples in proptest::collection::vec(-1e6f64..1e6, 1..50),
-    ) {
+/// EWMA estimates stay within the range of samples seen so far.
+#[test]
+fn ewma_bounded_by_samples() {
+    for case in 0..CASES {
+        let mut rng = DetRng::seed_from(0xE3A + case);
+        let alpha = rng.uniform();
+        let n = 1 + rng.below(49);
         let mut e = Ewma::new(alpha);
         let mut lo = f64::INFINITY;
         let mut hi = f64::NEG_INFINITY;
-        for s in samples {
+        for _ in 0..n {
+            let s = rng.range_f64(-1e6, 1e6);
             lo = lo.min(s);
             hi = hi.max(s);
             let y = e.update(s);
-            prop_assert!(y >= lo - 1e-9 && y <= hi + 1e-9, "estimate {y} outside [{lo}, {hi}]");
+            assert!(
+                y >= lo - 1e-9 && y <= hi + 1e-9,
+                "case {case}: estimate {y} outside [{lo}, {hi}]"
+            );
         }
     }
+}
 
-    /// Traffic matrix: total_of equals the sum over neighbours.
-    #[test]
-    fn traffic_total_equals_neighbour_sum(
-        entries in proptest::collection::vec((0u32..10, 0u32..10, 0.1f64..100.0), 0..40),
-    ) {
+/// Traffic matrix: total_of equals the sum over neighbours.
+#[test]
+fn traffic_total_equals_neighbour_sum() {
+    for case in 0..CASES {
+        let mut rng = DetRng::seed_from(0x70AD + case);
         let mut m = TrafficMatrix::new();
-        for (a, b, r) in entries {
+        for _ in 0..rng.below(41) {
+            let a = rng.below(10) as u32;
+            let b = rng.below(10) as u32;
+            let r = rng.range_f64(0.1, 100.0);
             if a != b {
                 m.add(ExecutorId::new(a), ExecutorId::new(b), r);
             }
@@ -233,20 +261,25 @@ proptest! {
         for i in 0..10u32 {
             let id = ExecutorId::new(i);
             let from_neighbours: f64 = m.neighbours_of(id).iter().map(|(_, r)| r).sum();
-            prop_assert!((m.total_of(id) - from_neighbours).abs() < 1e-9);
+            assert!(
+                (m.total_of(id) - from_neighbours).abs() < 1e-9,
+                "case {case}"
+            );
         }
     }
+}
 
-    /// Grouping selection: destinations are always valid task indices;
-    /// fields grouping is a pure function of the key.
-    #[test]
-    fn grouping_selections_are_valid(
-        num_tasks in 1u32..32,
-        key in ".{0,12}",
-        seed in 0u64..u64::MAX,
-    ) {
+/// Grouping selection: destinations are always valid task indices;
+/// fields grouping is a pure function of the key.
+#[test]
+fn grouping_selections_are_valid() {
+    for case in 0..CASES {
+        let mut rng = DetRng::seed_from(0x6E0 + case);
+        let num_tasks = 1 + rng.below(31) as u32;
+        let key: String = (0..rng.below(13))
+            .map(|_| char::from(b' ' + rng.below(95) as u8))
+            .collect();
         let values = vec![Value::str(&key), Value::Int(1)];
-        let mut rng = DetRng::seed_from(seed);
         let mut rr = 0;
         for grouping in [
             Grouping::Shuffle,
@@ -256,41 +289,71 @@ proptest! {
             Grouping::Direct,
         ] {
             let tasks = select_tasks(&grouping, &[0], &values, num_tasks, &mut rng, &mut rr);
-            prop_assert!(!tasks.is_empty());
+            assert!(!tasks.is_empty(), "case {case}");
             for t in &tasks {
-                prop_assert!(*t < num_tasks);
+                assert!(*t < num_tasks, "case {case}");
             }
         }
         // Fields determinism.
-        let a = select_tasks(&Grouping::fields(&["k"]), &[0], &values, num_tasks, &mut rng, &mut rr);
-        let b = select_tasks(&Grouping::fields(&["k"]), &[0], &values, num_tasks, &mut rng, &mut rr);
-        prop_assert_eq!(a, b);
+        let a = select_tasks(
+            &Grouping::fields(&["k"]),
+            &[0],
+            &values,
+            num_tasks,
+            &mut rng,
+            &mut rr,
+        );
+        let b = select_tasks(
+            &Grouping::fields(&["k"]),
+            &[0],
+            &values,
+            num_tasks,
+            &mut rng,
+            &mut rr,
+        );
+        assert_eq!(a, b, "case {case}");
     }
+}
 
-    /// Zipf CDFs are monotone and end at 1.
-    #[test]
-    fn zipf_cdf_is_monotone(n in 1usize..500, s in 0.1f64..3.0) {
+/// Zipf CDFs are monotone and end at 1.
+#[test]
+fn zipf_cdf_is_monotone() {
+    for case in 0..CASES {
+        let mut rng = DetRng::seed_from(0x21F + case);
+        let n = 1 + rng.below(499);
+        let s = rng.range_f64(0.1, 3.0);
         let cdf = zipf_cdf(n, s);
-        prop_assert_eq!(cdf.len(), n);
+        assert_eq!(cdf.len(), n, "case {case}");
         for w in cdf.windows(2) {
-            prop_assert!(w[0] <= w[1] + 1e-12);
+            assert!(w[0] <= w[1] + 1e-12, "case {case}");
         }
-        prop_assert!((cdf[n - 1] - 1.0).abs() < 1e-9);
+        assert!((cdf[n - 1] - 1.0).abs() < 1e-9, "case {case}");
     }
+}
 
-    /// Quality buckets partition the placed traffic.
-    #[test]
-    fn quality_buckets_partition_traffic(input in arb_input()) {
+/// Quality buckets partition the placed traffic.
+#[test]
+fn quality_buckets_partition_traffic() {
+    for case in 0..CASES {
+        let mut rng = DetRng::seed_from(0xBCE7 + case);
+        let input = arb_input(&mut rng);
         let mut rr = RoundRobinScheduler::storm_default();
         if let Ok(assignment) = rr.schedule(&input) {
             let q = AssignmentQuality::evaluate(&assignment, &input);
-            prop_assert!((q.total_traffic() - input.traffic.total()).abs() < 1e-6);
+            assert!(
+                (q.total_traffic() - input.traffic.total()).abs() < 1e-6,
+                "case {case}"
+            );
         }
     }
+}
 
-    /// node_loads sums to the total executor load regardless of placement.
-    #[test]
-    fn node_loads_conserve_total(input in arb_input()) {
+/// node_loads sums to the total executor load regardless of placement.
+#[test]
+fn node_loads_conserve_total() {
+    for case in 0..CASES {
+        let mut rng = DetRng::seed_from(0x10AD + case);
+        let input = arb_input(&mut rng);
         let mut rr = RoundRobinScheduler::storm_default();
         if let Ok(assignment) = rr.schedule(&input) {
             let ctx: HashMap<_, _> = input.executor_ctx();
@@ -300,25 +363,21 @@ proptest! {
                 .map(|m| m.get())
                 .sum();
             let exec_total: f64 = input.executors.iter().map(|e| e.load.get()).sum();
-            prop_assert!((node_total - exec_total).abs() < 1e-6);
+            assert!((node_total - exec_total).abs() < 1e-6, "case {case}");
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// On instances small enough to enumerate, Algorithm 1 never beats
-    /// the true optimum (sanity of both implementations), and the
-    /// local-search refinement sits between greedy and optimal.
-    #[test]
-    fn alg1_vs_enumerated_optimal(
-        seed in 1u64..u64::MAX,
-        ne in 2u32..8,
-        gamma in 1.0f64..4.0,
-    ) {
-        use tstorm::sched::{optimal_assignment, LocalSearchScheduler, TStormScheduler};
-        let mut rng = DetRng::seed_from(seed);
+/// On instances small enough to enumerate, Algorithm 1 never beats
+/// the true optimum (sanity of both implementations), and the
+/// local-search refinement sits between greedy and optimal.
+#[test]
+fn alg1_vs_enumerated_optimal() {
+    use tstorm::sched::{optimal_assignment, LocalSearchScheduler};
+    for case in 0..48 {
+        let mut rng = DetRng::seed_from(0x0971 + case);
+        let ne = 2 + rng.below(6) as u32;
+        let gamma = rng.range_f64(1.0, 4.0);
         let cluster = ClusterSpec::homogeneous(3, 2, Mhz::new(4000.0)).expect("valid");
         let executors: Vec<ExecutorInfo> = (0..ne)
             .map(|i| {
@@ -335,7 +394,11 @@ proptest! {
             let a = rng.below(ne as usize) as u32;
             let b = rng.below(ne as usize) as u32;
             if a != b {
-                traffic.add(ExecutorId::new(a), ExecutorId::new(b), rng.range_f64(1.0, 50.0));
+                traffic.add(
+                    ExecutorId::new(a),
+                    ExecutorId::new(b),
+                    rng.range_f64(1.0, 50.0),
+                );
             }
         }
         let input = SchedulingInput::new(
@@ -346,17 +409,27 @@ proptest! {
         );
         if let Some((_, opt_cost)) = optimal_assignment(&input) {
             let mut greedy = TStormScheduler::new();
-            let a_greedy = greedy.schedule(&input).expect("feasible when optimum exists");
+            let a_greedy = greedy
+                .schedule(&input)
+                .expect("feasible when optimum exists");
             // Only compare runs that honoured all constraints; relaxed
             // runs solve a different (less constrained) problem.
             if greedy.relaxations().is_empty() {
                 let g = AssignmentQuality::evaluate(&a_greedy, &input).inter_node_traffic;
-                prop_assert!(g >= opt_cost - 1e-6, "greedy {g} below optimum {opt_cost}");
+                assert!(
+                    g >= opt_cost - 1e-6,
+                    "case {case}: greedy {g} below optimum {opt_cost}"
+                );
 
-                let a_ls = LocalSearchScheduler::new().schedule(&input).expect("feasible");
+                let a_ls = LocalSearchScheduler::new()
+                    .schedule(&input)
+                    .expect("feasible");
                 let l = AssignmentQuality::evaluate(&a_ls, &input).inter_node_traffic;
-                prop_assert!(l >= opt_cost - 1e-6, "ls {l} below optimum {opt_cost}");
-                prop_assert!(l <= g + 1e-6, "ls {l} worse than greedy {g}");
+                assert!(
+                    l >= opt_cost - 1e-6,
+                    "case {case}: ls {l} below optimum {opt_cost}"
+                );
+                assert!(l <= g + 1e-6, "case {case}: ls {l} worse than greedy {g}");
             }
         }
     }

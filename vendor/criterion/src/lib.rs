@@ -1,0 +1,150 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the subset of criterion's API used by `tstorm-bench` —
+//! `Criterion`, `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `black_box`, and the `criterion_group!`/
+//! `criterion_main!` macros — with plain wall-clock timing instead of
+//! statistical sampling. Good enough to smoke-run every bench and print
+//! per-iteration times in environments where crates.io is unreachable;
+//! swap the workspace dependency back to the real criterion for serious
+//! measurement.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Ignored; kept for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs `f` `sample_size` times and prints the mean wall-clock time.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+        }
+        bencher.report(&self.name, id);
+        self
+    }
+
+    /// Like [`Self::bench_function`] but passes `input` through to `f`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        for _ in 0..self.sample_size {
+            f(&mut bencher, input);
+        }
+        bencher.report(&self.name, &id.0);
+        self
+    }
+
+    /// Ends the group (printing happens per-benchmark).
+    pub fn finish(&mut self) {}
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times one execution of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        let out = f();
+        self.total += start.elapsed();
+        self.iters += 1;
+        black_box(out);
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        if self.iters == 0 {
+            println!("{group}/{id}: no iterations");
+            return;
+        }
+        let mean = self.total / u32::try_from(self.iters).unwrap_or(u32::MAX);
+        println!("{group}/{id}: {mean:?} mean over {} iters", self.iters);
+    }
+}
+
+/// Identifier for a parameterised benchmark, mirroring
+/// `criterion::BenchmarkId`.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds an id from a parameter value.
+    pub fn from_parameter<D: std::fmt::Display>(param: D) -> Self {
+        Self(param.to_string())
+    }
+
+    /// Builds an id from a function name and parameter.
+    pub fn new<D: std::fmt::Display>(name: &str, param: D) -> Self {
+        Self(format!("{name}/{param}"))
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,43 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The simulator's types carry `#[derive(Serialize, Deserialize)]` as a
+//! statement of intent (external tooling may want to consume them), but no
+//! in-tree code path performs serde serialization — JSON/JSONL output is
+//! produced by in-tree formatters. This crate supplies the two marker
+//! traits and (behind the `derive` feature) no-op derive macros so the
+//! workspace builds in environments where crates.io is unreachable.
+//!
+//! Swapping back to the real serde is a one-line change in the workspace
+//! `Cargo.toml`; no source edits are required because the derive
+//! invocations and trait paths match.
+
+/// Marker trait mirroring `serde::Serialize`.
+///
+/// Blanket-implemented for every type so `T: Serialize` bounds always
+/// hold; the derive macro is a pure no-op.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+///
+/// Lifetime parameter kept for signature compatibility with real serde.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Mirror of `serde::ser` with just enough surface for `use serde::ser::…`
+/// imports to resolve.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+/// Mirror of `serde::de`.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}

@@ -1,0 +1,17 @@
+//! No-op `Serialize`/`Deserialize` derive macros for the offline serde
+//! stand-in. The stand-in blanket-implements both marker traits for all
+//! types, so the derives emit nothing; they exist only so
+//! `#[derive(Serialize, Deserialize)]` and `#[serde(...)]` helper
+//! attributes keep compiling unchanged.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
