@@ -37,6 +37,13 @@ pub struct RunOptions {
     /// Write the metrics registry in Prometheus text format to this
     /// path at the end of the run.
     pub prom: Option<String>,
+    /// Fault-plan specs (repeatable `--fault`), e.g.
+    /// `node-crash@t=400,node=3`. Validated at parse time, applied to
+    /// the simulation before the run.
+    pub faults: Vec<String>,
+    /// Maximum replays per tuple before it is permanently failed
+    /// (`None` = unbounded, Storm's behaviour).
+    pub max_replays: Option<u32>,
     /// Suppress the per-window table (summary only).
     pub quiet: bool,
 }
@@ -58,6 +65,8 @@ impl Default for RunOptions {
             trace_filter: None,
             trace_sample: 1,
             prom: None,
+            faults: Vec::new(),
+            max_replays: None,
             quiet: false,
         }
     }
@@ -117,6 +126,12 @@ OPTIONS (run/compare):
                        (tuple|queue|process|worker|control)
     --trace-sample N   keep 1 in N data-plane trace events  [1]
     --prom  PATH       write metrics in Prometheus text format
+    --fault SPEC       inject a fault (repeatable). Specs:
+                       worker-crash@t=SECS,node=N,slot=S
+                       node-crash@t=SECS,node=N[,restart=SECS]
+                       nic-slow@t=SECS,node=N,factor=F,dur=SECS
+    --max-replays N    permanently fail a tuple after N replays
+                       [unbounded, like Storm]
     --quiet            summary only
 ";
 
@@ -199,6 +214,13 @@ where
                 }
             }
             "--prom" => opts.prom = Some(value(flag)?),
+            "--fault" => {
+                let spec = value(flag)?;
+                tstorm_sim::fault::parse_spec(&spec)
+                    .map_err(|e| ParseError(format!("--fault: {e}")))?;
+                opts.faults.push(spec);
+            }
+            "--max-replays" => opts.max_replays = Some(parse_int(flag, &value(flag)?)?),
             "--quiet" => opts.quiet = true,
             other => return Err(ParseError(format!("unknown flag `{other}`"))),
         }
@@ -282,6 +304,34 @@ mod tests {
         assert!(parse(args("run --duration 0")).is_err());
         assert!(parse(args("run --trace-sample 0")).is_err());
         assert!(parse(args("run --trace-filter tuple,bogus")).is_err());
+    }
+
+    #[test]
+    fn parses_fault_flags() {
+        let cmd = parse(args(
+            "run --fault node-crash@t=400,node=3 \
+             --fault worker-crash@t=200,node=1,slot=0 --max-replays 5",
+        ))
+        .expect("parses");
+        let Command::Run(o) = cmd else {
+            panic!("expected run");
+        };
+        assert_eq!(
+            o.faults,
+            vec![
+                "node-crash@t=400,node=3".to_owned(),
+                "worker-crash@t=200,node=1,slot=0".to_owned(),
+            ]
+        );
+        assert_eq!(o.max_replays, Some(5));
+    }
+
+    #[test]
+    fn rejects_malformed_fault_specs() {
+        assert!(parse(args("run --fault")).is_err());
+        assert!(parse(args("run --fault gremlin@t=1,node=0")).is_err());
+        assert!(parse(args("run --fault node-crash@node=3")).is_err());
+        assert!(parse(args("run --max-replays x")).is_err());
     }
 
     #[test]

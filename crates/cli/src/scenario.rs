@@ -6,6 +6,7 @@ use std::io::{BufWriter, Write};
 use tstorm_cluster::ClusterSpec;
 use tstorm_core::{TStormConfig, TStormSystem};
 use tstorm_metrics::RunReport;
+use tstorm_sim::FaultPlan;
 use tstorm_trace::{JsonlWriter, Observer, TraceFilter};
 use tstorm_types::{Mhz, Result, SimTime, TStormError};
 use tstorm_workloads::chain::{self, ChainParams};
@@ -54,6 +55,14 @@ pub struct ScenarioOutcome {
     pub failed: u64,
     /// Completed tuples.
     pub completed: u64,
+    /// Faults injected from the fault plan.
+    pub faults_injected: u32,
+    /// Tuples dropped (queued or in flight) by crashes.
+    pub tuples_lost: u64,
+    /// Tuples permanently failed after exhausting replays.
+    pub perm_failed: u64,
+    /// Crash recoveries the control plane triggered.
+    pub recovery_events: u32,
     /// Control-plane decision log.
     pub timeline: Vec<tstorm_core::ControlEvent>,
 }
@@ -65,11 +74,16 @@ pub struct ScenarioOutcome {
 /// Propagates configuration, topology and scheduling errors.
 pub fn run_scenario(opts: &RunOptions) -> Result<ScenarioOutcome> {
     let cluster = ClusterSpec::homogeneous(opts.nodes, opts.slots, Mhz::new(8000.0))?;
-    let config = TStormConfig::default()
+    let mut config = TStormConfig::default()
         .with_mode(opts.mode)
         .with_gamma(opts.gamma)
         .with_seed(opts.seed)
         .with_scheduler(&opts.scheduler);
+    if let Some(cap) = opts.max_replays {
+        config.sim.max_replays = cap;
+    }
+    let fault_plan = FaultPlan::from_specs(&opts.faults)
+        .map_err(|e| TStormError::invalid_config("--fault", e.to_string()))?;
     let mut system = TStormSystem::new(cluster, config)?;
     let observer = build_observer(opts)?;
     if observer.is_enabled() {
@@ -108,6 +122,7 @@ pub fn run_scenario(opts: &RunOptions) -> Result<ScenarioOutcome> {
     }
 
     system.start()?;
+    system.simulation_mut().apply_fault_plan(&fault_plan)?;
     system.run_until(SimTime::from_secs(opts.duration_secs))?;
 
     if observer.is_enabled() {
@@ -140,6 +155,10 @@ pub fn run_scenario(opts: &RunOptions) -> Result<ScenarioOutcome> {
         overload_events: system.overload_events(),
         failed: system.simulation().failed(),
         completed: system.simulation().completed(),
+        faults_injected: system.simulation().faults_injected(),
+        tuples_lost: system.simulation().tuples_lost(),
+        perm_failed: system.simulation().perm_failed(),
+        recovery_events: system.recovery_events(),
         timeline: system.timeline().to_vec(),
     })
 }
@@ -197,7 +216,7 @@ impl ScenarioOutcome {
             .report
             .latency_quantile(0.99)
             .map_or("n/a".to_owned(), |m| format!("{m:.3} ms"));
-        format!(
+        let mut line = format!(
             "avg(stable half) {mean} | p50 {p50} | p99 {p99} | nodes {:?} | \
              completed {} | failed {} | generations {} | rollouts {} | overloads {}",
             self.report.final_nodes_used().unwrap_or(0),
@@ -206,7 +225,14 @@ impl ScenarioOutcome {
             self.generations,
             self.reassignments,
             self.overload_events,
-        )
+        );
+        if self.faults_injected > 0 {
+            line.push_str(&format!(
+                " | faults {} (lost {}, perm-failed {}, recoveries {})",
+                self.faults_injected, self.tuples_lost, self.perm_failed, self.recovery_events,
+            ));
+        }
+        line
     }
 }
 
@@ -286,6 +312,32 @@ mod tests {
         assert!(text.contains("# TYPE tstorm_tuples_completed_total counter"));
         assert!(text.contains("# TYPE tstorm_complete_latency_ms histogram"));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn node_crash_recovers_and_is_reported() {
+        let opts = RunOptions {
+            faults: vec!["node-crash@t=120,node=0".to_owned()],
+            duration_secs: 300,
+            ..quick(Topology::Throughput)
+        };
+        let outcome = run_scenario(&opts).expect("runs");
+        assert_eq!(outcome.faults_injected, 1);
+        assert!(
+            outcome.recovery_events >= 1,
+            "control plane should have re-placed the orphaned executors"
+        );
+        let summary = outcome.summary(300);
+        assert!(summary.contains("faults 1"), "{summary}");
+    }
+
+    #[test]
+    fn fault_on_nonexistent_node_is_an_error() {
+        let opts = RunOptions {
+            faults: vec!["node-crash@t=10,node=99".to_owned()],
+            ..quick(Topology::Throughput)
+        };
+        assert!(run_scenario(&opts).is_err());
     }
 
     #[test]

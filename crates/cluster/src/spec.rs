@@ -28,15 +28,23 @@ pub struct SlotInfo {
     pub local_index: u32,
 }
 
-/// An immutable cluster description: the set of worker nodes and the global
-/// slot table.
+/// A cluster description: the set of worker nodes, the global slot
+/// table, and per-node liveness.
 ///
 /// Slot ids are dense and ordered node-major: node 0's slots come first,
 /// then node 1's, and so on. This gives `ω(j)` O(1) lookup.
+///
+/// The node/slot *shape* is immutable, but nodes can be marked dead and
+/// revived ([`ClusterSpec::set_node_live`]) — a crashed node keeps its
+/// ids (so existing assignments stay resolvable) while schedulers skip
+/// it via [`ClusterSpec::is_node_live`] / [`ClusterSpec::live_nodes`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClusterSpec {
     nodes: Vec<NodeSpec>,
     slots: Vec<SlotInfo>,
+    /// `live[k]` is false while node `k` is crashed. Kept as a dense
+    /// vector (not a set) so equality and iteration stay deterministic.
+    live: Vec<bool>,
 }
 
 impl ClusterSpec {
@@ -81,7 +89,8 @@ impl ClusterSpec {
                 });
             }
         }
-        Ok(Self { nodes, slots })
+        let live = vec![true; nodes.len()];
+        Ok(Self { nodes, slots, live })
     }
 
     /// Builds a homogeneous cluster of `num_nodes` nodes with
@@ -156,6 +165,57 @@ impl ClusterSpec {
     pub fn total_capacity(&self) -> Mhz {
         self.nodes.iter().map(|n| n.capacity).sum()
     }
+
+    /// Marks a node crashed (`live == false`) or recovered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn set_node_live(&mut self, node: NodeId, live: bool) {
+        self.live[node.as_usize()] = live;
+    }
+
+    /// Whether a node is currently up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn is_node_live(&self, node: NodeId) -> bool {
+        self.live[node.as_usize()]
+    }
+
+    /// Whether a slot's owning node is currently up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot id is out of range.
+    #[must_use]
+    pub fn is_slot_live(&self, slot: SlotId) -> bool {
+        self.is_node_live(self.node_of(slot))
+    }
+
+    /// Live nodes only, ordered by id.
+    pub fn live_nodes(&self) -> impl Iterator<Item = &NodeSpec> {
+        self.nodes.iter().filter(|n| self.is_node_live(n.id))
+    }
+
+    /// Number of live nodes — the `K` schedulers should balance over.
+    #[must_use]
+    pub fn num_live_nodes(&self) -> usize {
+        self.live.iter().filter(|l| **l).count()
+    }
+
+    /// Live slots only, ordered by slot id.
+    pub fn live_slots(&self) -> impl Iterator<Item = &SlotInfo> {
+        self.slots.iter().filter(|s| self.is_node_live(s.node))
+    }
+
+    /// Total CPU capacity across live nodes.
+    #[must_use]
+    pub fn live_capacity(&self) -> Mhz {
+        self.live_nodes().map(|n| n.capacity).sum()
+    }
 }
 
 #[cfg(test)]
@@ -217,6 +277,29 @@ mod tests {
         }])
         .unwrap_err();
         assert!(err.to_string().contains("dense"));
+    }
+
+    #[test]
+    fn liveness_defaults_to_all_up_and_toggles() {
+        let mut c = ClusterSpec::homogeneous(3, 2, Mhz::new(4000.0)).expect("valid");
+        assert_eq!(c.num_live_nodes(), 3);
+        assert!(c.is_node_live(NodeId::new(1)));
+        assert_eq!(c.live_slots().count(), 6);
+
+        c.set_node_live(NodeId::new(1), false);
+        assert!(!c.is_node_live(NodeId::new(1)));
+        assert!(!c.is_slot_live(SlotId::new(2)));
+        assert!(c.is_slot_live(SlotId::new(0)));
+        assert_eq!(c.num_live_nodes(), 2);
+        assert_eq!(c.live_nodes().count(), 2);
+        assert_eq!(c.live_slots().count(), 4);
+        assert_eq!(c.live_capacity().get(), 8000.0);
+        // The shape is untouched: ids still resolve.
+        assert_eq!(c.num_nodes(), 3);
+        assert_eq!(c.node_of(SlotId::new(2)), NodeId::new(1));
+
+        c.set_node_live(NodeId::new(1), true);
+        assert_eq!(c.num_live_nodes(), 3);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use crate::config::{EstimatorKind, SystemMode, TStormConfig};
 use crate::timeline::ControlEvent;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use tstorm_cluster::{Assignment, ClusterSpec};
 use tstorm_metrics::RunReport;
 use tstorm_monitor::{HoltLinearEstimator, LoadMonitor, OverloadDetector, WindowSnapshot};
@@ -14,7 +14,9 @@ use tstorm_sched::{
 use tstorm_sim::{ExecutorLogic, Simulation, TopologyHandle};
 use tstorm_topology::{ComponentSpec, Topology};
 use tstorm_trace::{Observer, TraceEvent};
-use tstorm_types::{AssignmentId, ComponentId, Result, SimTime, TStormError, TopologyId};
+use tstorm_types::{
+    AssignmentId, ComponentId, ExecutorId, Result, SimTime, TStormError, TopologyId,
+};
 
 /// A running T-Storm (or plain Storm) deployment over the simulator.
 ///
@@ -41,6 +43,8 @@ pub struct TStormSystem {
     generations: u32,
     overload_events: u32,
     last_overload_generate: Option<SimTime>,
+    last_recovery_generate: Option<SimTime>,
+    recovery_events: u32,
     timeline: Vec<ControlEvent>,
     observer: Observer,
     /// Capture wall-clock scheduler runtime into trace events (off by
@@ -102,6 +106,8 @@ impl TStormSystem {
             generations: 0,
             overload_events: 0,
             last_overload_generate: None,
+            last_recovery_generate: None,
+            recovery_events: 0,
             timeline: Vec::new(),
             observer: Observer::disabled(),
             trace_wall_time: false,
@@ -298,6 +304,54 @@ impl TStormSystem {
                 }
             }
         }
+        self.recover_lost_executors()?;
+        Ok(())
+    }
+
+    /// Crash recovery: executors whose worker died under a fault plan
+    /// sit unassigned until the control plane re-places them. Nimbus
+    /// notices the dead slots at the next monitoring round, re-runs the
+    /// active scheduler against the shrunken cluster, and rolls the new
+    /// assignment out through the normal publish/fetch path (T-Storm)
+    /// or directly (plain Storm, which has no schedule store).
+    fn recover_lost_executors(&mut self) -> Result<()> {
+        let unplaced = self.sim.unplaced_executors();
+        if unplaced == 0 {
+            return Ok(());
+        }
+        // A recovery schedule already published but not yet fetched:
+        // let that rollout land before rescheduling again.
+        if let Some((id, _)) = &self.published {
+            if self.config.mode == SystemMode::TStorm && self.applied_id != Some(*id) {
+                return Ok(());
+            }
+        }
+        // Fetched-but-still-rolling-out (worker startup): space retries
+        // so one crash does not force a regeneration every tick.
+        let cooled_down = self
+            .last_recovery_generate
+            .is_none_or(|t| self.sim.now() >= t + self.config.overload_cooldown);
+        if !cooled_down {
+            return Ok(());
+        }
+        self.recovery_events += 1;
+        self.last_recovery_generate = Some(self.sim.now());
+        self.timeline.push(ControlEvent::RecoveryTriggered {
+            at: self.sim.now(),
+            unplaced,
+        });
+        match self.config.mode {
+            SystemMode::TStorm => self.generate(true)?,
+            SystemMode::StormDefault => {
+                let mut sched = RoundRobinScheduler::storm_default();
+                let input = self.scheduling_input();
+                let assignment = sched.schedule(&input)?;
+                if !self.sim.current_assignment().diff(&assignment).is_empty() {
+                    self.sim.submit_assignment(&assignment);
+                    self.prune_stale_estimates();
+                }
+            }
+        }
         Ok(())
     }
 
@@ -395,8 +449,22 @@ impl TStormSystem {
                     at: self.sim.now(),
                     id: *id,
                 });
+                self.prune_stale_estimates();
             }
         }
+    }
+
+    /// Drops estimates for executors the simulator no longer runs, so a
+    /// reassignment cannot be steered by traffic pairs of retired
+    /// executors.
+    fn prune_stale_estimates(&mut self) {
+        let alive: BTreeSet<ExecutorId> = self
+            .sim
+            .executor_descriptors()
+            .into_iter()
+            .map(|d| d.id)
+            .collect();
+        self.monitor.db_mut().retain_executors(&alive);
     }
 
     /// Estimated per-node CPU load as a fraction of capacity, from the
@@ -429,8 +497,15 @@ impl TStormSystem {
         for (topo, workers) in &self.workers_requested {
             params = params.with_workers(*topo, *workers);
         }
-        SchedulingInput::new(self.cluster.clone(), executors, db.traffic_matrix(), params)
-            .with_component_edges(self.component_edges.clone())
+        // The *simulator's* cluster view carries node liveness; the
+        // system's own copy is the static shape from construction.
+        SchedulingInput::new(
+            self.sim.cluster().clone(),
+            executors,
+            db.traffic_matrix(),
+            params,
+        )
+        .with_component_edges(self.component_edges.clone())
     }
 
     /// Storm's `rebalance` command: changes a topology's requested
@@ -574,6 +649,12 @@ impl TStormSystem {
     #[must_use]
     pub fn overload_events(&self) -> u32 {
         self.overload_events
+    }
+
+    /// Number of crash recoveries the control plane triggered.
+    #[must_use]
+    pub fn recovery_events(&self) -> u32 {
+        self.recovery_events
     }
 
     /// The metrics report of this run.

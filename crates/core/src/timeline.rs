@@ -68,6 +68,14 @@ pub enum ControlEvent {
         /// Which topology.
         topology: TopologyId,
     },
+    /// Nimbus noticed executors orphaned by a worker/node crash and
+    /// re-invoked the active scheduler to re-place them.
+    RecoveryTriggered {
+        /// When.
+        at: SimTime,
+        /// Executors found without a live worker.
+        unplaced: usize,
+    },
     /// Storm's `rebalance` command: the topology's worker count changed
     /// and it was redistributed.
     Rebalanced {
@@ -92,6 +100,7 @@ impl ControlEvent {
             | ControlEvent::SchedulerSwapped { at, .. }
             | ControlEvent::GammaChanged { at, .. }
             | ControlEvent::TopologyKilled { at, .. }
+            | ControlEvent::RecoveryTriggered { at, .. }
             | ControlEvent::Rebalanced { at, .. } => *at,
         }
     }
@@ -144,6 +153,11 @@ impl fmt::Display for ControlEvent {
             ControlEvent::TopologyKilled { at, topology } => {
                 write!(f, "[{:>6}s] {topology} killed", at.as_secs())
             }
+            ControlEvent::RecoveryTriggered { at, unplaced } => write!(
+                f,
+                "[{:>6}s] recovery: {unplaced} orphaned executor(s), re-running scheduler",
+                at.as_secs()
+            ),
             ControlEvent::Rebalanced {
                 at,
                 topology,
@@ -211,11 +225,16 @@ mod tests {
                 at: SimTime::from_secs(400),
                 topology: TopologyId::new(1),
             },
+            ControlEvent::RecoveryTriggered {
+                at: SimTime::from_secs(410),
+                unplaced: 4,
+            },
         ];
         let text = render_timeline(&events);
         assert_eq!(text.lines().count(), events.len());
         assert!(text.contains("overload detected"));
         assert!(text.contains("suppressed"));
         assert!(text.contains("t-storm-ls"));
+        assert!(text.contains("4 orphaned executor(s)"));
     }
 }

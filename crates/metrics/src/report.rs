@@ -30,6 +30,15 @@ pub struct RunReport {
     pub completed: u64,
     /// Tuples emitted by spouts (including replays).
     pub emitted: u64,
+    /// Timed-out tuples re-queued for spout replay.
+    pub replays: u64,
+    /// Tuples that timed out with no replay possible (replay disabled or
+    /// the replay cap exhausted) — permanent losses.
+    pub perm_failed: u64,
+    /// Queued/in-service tuples destroyed by injected crashes.
+    pub tuples_lost: u64,
+    /// Fault-to-first-completion latency (ms) per recovered fault.
+    pub recovery_latency_ms: Vec<f64>,
 }
 
 impl RunReport {
@@ -45,6 +54,10 @@ impl RunReport {
             workers_used: StepSeries::new(),
             completed: 0,
             emitted: 0,
+            replays: 0,
+            perm_failed: 0,
+            tuples_lost: 0,
+            recovery_latency_ms: Vec::new(),
         }
     }
 
@@ -115,6 +128,21 @@ impl RunReport {
             self.emitted,
             self.final_nodes_used()
         );
+        if self.tuples_lost > 0 || self.perm_failed > 0 || !self.recovery_latency_ms.is_empty() {
+            let recoveries: Vec<String> = self
+                .recovery_latency_ms
+                .iter()
+                .map(|ms| format!("{ms:.1}ms"))
+                .collect();
+            let _ = writeln!(
+                out,
+                "faults: lost={} replays={} perm_failed={} recovery=[{}]",
+                self.tuples_lost,
+                self.replays,
+                self.perm_failed,
+                recoveries.join(", ")
+            );
+        }
         out
     }
 
@@ -253,6 +281,20 @@ mod tests {
         // Window 0 and 1 are empty -> "-" cells.
         assert!(table.contains('-'));
         assert!(table.contains("5.000"));
+    }
+
+    #[test]
+    fn fault_line_renders_only_when_faults_happened() {
+        let clean = report("x", &[(0, 2.0)], 1);
+        assert!(!clean.render_table().contains("faults:"));
+        let mut faulty = report("x", &[(0, 2.0)], 1);
+        faulty.tuples_lost = 12;
+        faulty.replays = 9;
+        faulty.perm_failed = 2;
+        faulty.recovery_latency_ms.push(1500.0);
+        let table = faulty.render_table();
+        assert!(table.contains("faults: lost=12 replays=9 perm_failed=2"));
+        assert!(table.contains("1500.0ms"));
     }
 
     #[test]

@@ -7,7 +7,7 @@
 
 use crate::estimator::{Estimator, EstimatorFactory, EwmaEstimator};
 use crate::snapshot::WindowSnapshot;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use tstorm_sched::TrafficMatrix;
 use tstorm_types::{ExecutorId, Mhz};
 
@@ -143,6 +143,17 @@ impl StatsDb {
             .retain(|(f, t), _| *f != executor && *t != executor);
     }
 
+    /// Keeps only estimates touching the given executors — the bulk
+    /// complement of [`StatsDb::forget_executor`], applied when a
+    /// reassignment retires executors: stale workload entries and
+    /// traffic pairs would otherwise keep steering the traffic-aware
+    /// scheduler toward executors that no longer exist.
+    pub fn retain_executors(&mut self, keep: &BTreeSet<ExecutorId>) {
+        self.workloads.retain(|e, _| keep.contains(e));
+        self.traffic
+            .retain(|(f, t), _| keep.contains(f) && keep.contains(t));
+    }
+
     /// Number of windows ingested so far — the schedule generator uses
     /// this to tell "no data yet" from "idle cluster".
     #[must_use]
@@ -234,6 +245,24 @@ mod tests {
         assert_eq!(db.load_of(e(0)), Mhz::ZERO);
         assert!(db.executor_loads().contains_key(&e(1)));
         assert!(db.traffic_matrix().is_empty());
+    }
+
+    #[test]
+    fn retain_executors_drops_stale_pairs() {
+        let mut db = StatsDb::new(0.5);
+        db.ingest(&snap(
+            &[(0, 1000), (1, 1000), (2, 1000)],
+            &[(0, 1, 100), (1, 2, 100), (2, 0, 100)],
+        ));
+        let keep: BTreeSet<ExecutorId> = [e(0), e(1)].into_iter().collect();
+        db.retain_executors(&keep);
+        let m = db.traffic_matrix();
+        assert!(m.get(e(0), e(1)) > 0.0, "kept pair survives");
+        assert_eq!(m.get(e(1), e(2)), 0.0, "pair touching removed executor");
+        assert_eq!(m.get(e(2), e(0)), 0.0, "pair touching removed executor");
+        assert_eq!(db.load_of(e(2)), Mhz::ZERO);
+        assert!(db.executor_loads().contains_key(&e(0)));
+        assert!(db.executor_loads().contains_key(&e(1)));
     }
 
     #[test]

@@ -50,7 +50,7 @@ impl Scheduler for AnielloOfflineScheduler {
 
     fn schedule(&mut self, input: &SchedulingInput) -> Result<Assignment> {
         let mut assignment = Assignment::new();
-        let mut slot_taken = vec![false; input.cluster.num_slots()];
+        let mut slot_taken = dead_slots_taken(input);
 
         let mut by_topology: BTreeMap<TopologyId, Vec<usize>> = BTreeMap::new();
         for (idx, e) in input.executors.iter().enumerate() {
@@ -165,7 +165,7 @@ impl Scheduler for AnielloOnlineScheduler {
         }
 
         let mut assignment = Assignment::new();
-        let mut slot_taken = vec![false; input.cluster.num_slots()];
+        let mut slot_taken = dead_slots_taken(input);
 
         let mut by_topology: BTreeMap<TopologyId, Vec<usize>> = BTreeMap::new();
         for (idx, e) in input.executors.iter().enumerate() {
@@ -174,7 +174,14 @@ impl Scheduler for AnielloOnlineScheduler {
 
         for (topology, exec_idxs) in &by_topology {
             let requested = input.params.workers_for(*topology) as usize;
-            let num_workers = requested.min(exec_idxs.len()).max(1);
+            let free_slots = slot_taken.iter().filter(|t| !**t).count();
+            if free_slots == 0 {
+                return Err(TStormError::infeasible(
+                    self.name(),
+                    format!("no free slots for {topology}"),
+                ));
+            }
+            let num_workers = requested.min(exec_idxs.len()).min(free_slots).max(1);
             // Balance cap: ceil(executors / workers), the DEBS'13 paper's
             // per-worker load balance requirement (by executor count).
             let per_worker_cap = exec_idxs.len().div_ceil(num_workers);
@@ -200,6 +207,18 @@ impl Scheduler for AnielloOnlineScheduler {
         }
         Ok(assignment)
     }
+}
+
+/// The initial slot-occupancy vector: slots on dead nodes start out
+/// "taken" so neither phase places a worker there.
+fn dead_slots_taken(input: &SchedulingInput) -> Vec<bool> {
+    let mut taken = vec![false; input.cluster.num_slots()];
+    for s in input.cluster.slots() {
+        if !input.cluster.is_node_live(s.node) {
+            taken[s.slot.as_usize()] = true;
+        }
+    }
+    taken
 }
 
 /// Phase 1: pack a topology's executors into `num_workers` workers,

@@ -116,6 +116,9 @@ impl<'a> Occupancy<'a> {
     /// per-topology rule; `None` when the node has no compatible slot or
     /// would violate the capacity/cap constraints.
     fn feasible_slot(&self, exec: ExecutorId, node: NodeId) -> Option<SlotId> {
+        if !self.input.cluster.is_node_live(node) {
+            return None;
+        }
         let k = node.as_usize();
         if self.node_count[k] >= self.cap_count {
             return None;

@@ -276,10 +276,12 @@ impl SchedulingInput {
         ids
     }
 
-    /// The per-node executor cap `⌈γ·Ne/K⌉` (at least 1).
+    /// The per-node executor cap `⌈γ·Ne/K⌉` (at least 1). `K` counts
+    /// *live* nodes: when part of the cluster is down, the surviving
+    /// nodes must be allowed to absorb the displaced executors.
     #[must_use]
     pub fn node_executor_cap(&self) -> usize {
-        let k = self.cluster.num_nodes() as f64;
+        let k = self.cluster.num_live_nodes().max(1) as f64;
         let ne = self.num_executors() as f64;
         ((self.params.gamma * ne / k).ceil() as usize).max(1)
     }

@@ -237,6 +237,32 @@ mod tests {
     }
 
     #[test]
+    fn builtins_never_place_on_dead_nodes() {
+        let r = SchedulerRegistry::with_builtins();
+        let mut base = input();
+        base.traffic
+            .set(ExecutorId::new(0), ExecutorId::new(1), 100.0);
+        base.traffic
+            .set(ExecutorId::new(2), ExecutorId::new(3), 50.0);
+        base.cluster
+            .set_node_live(tstorm_types::NodeId::new(1), false);
+        for name in r.names() {
+            let mut s = r.create(name).expect("factory works");
+            let a = s
+                .schedule(&base)
+                .unwrap_or_else(|e| panic!("{name} infeasible on surviving node: {e}"));
+            assert_eq!(a.len(), 4, "{name} dropped executors");
+            for (_, slot) in a.iter() {
+                let node = base.cluster.node_of(slot);
+                assert!(
+                    base.cluster.is_node_live(node),
+                    "{name} placed an executor on dead node {node}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn registry_unknown_name_errors() {
         let r = SchedulerRegistry::with_builtins();
         let err = match r.create("nope") {

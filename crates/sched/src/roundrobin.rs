@@ -64,8 +64,14 @@ impl Scheduler for RoundRobinScheduler {
     fn schedule(&mut self, input: &SchedulingInput) -> Result<Assignment> {
         let cluster = &input.cluster;
         let mut assignment = Assignment::new();
-        // Slots already taken, globally across topologies.
+        // Slots already taken, globally across topologies. Dead nodes'
+        // slots are unschedulable and start out "taken".
         let mut slot_taken = vec![false; cluster.num_slots()];
+        for s in cluster.slots() {
+            if !cluster.is_node_live(s.node) {
+                slot_taken[s.slot.as_usize()] = true;
+            }
+        }
         // Workers per node, for the "even spread" policy.
         let mut node_workers: BTreeMap<NodeId, usize> =
             cluster.nodes().iter().map(|n| (n.id, 0usize)).collect();

@@ -281,6 +281,9 @@ fn best_slot(
     // use (`fresh_node == false` sorts first), then lower node id.
     let mut best: Option<((f64, bool, NodeId), SlotId)> = None;
     for node in state.input.cluster.nodes() {
+        if !state.input.cluster.is_node_live(node.id) {
+            continue;
+        }
         let Some(slot) = state.candidate_slot(node.id, topology) else {
             continue;
         };

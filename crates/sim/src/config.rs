@@ -142,8 +142,11 @@ pub struct SimConfig {
     pub spout_idle_retry: SimTime,
     /// Whether timed-out tuples are replayed from the spout.
     pub replay_failed: bool,
-    /// Maximum replays per spout tuple (guards runaway feedback under
-    /// sustained overload).
+    /// Maximum replays per spout tuple. Storm itself never gives up
+    /// (`TOPOLOGY_MAX_SPOUT_PENDING` throttles but does not drop), so
+    /// the default is effectively unbounded; scenarios can lower it to
+    /// bound runaway feedback. A tuple that exhausts its replays is
+    /// counted permanently failed and traced as `tuple_failed`.
     pub max_replays: u32,
 }
 
@@ -156,7 +159,7 @@ impl Default for SimConfig {
             reassign: ReassignConfig::default(),
             spout_idle_retry: SimTime::from_millis(5),
             replay_failed: true,
-            max_replays: 3,
+            max_replays: u32::MAX,
         }
     }
 }
@@ -189,6 +192,15 @@ mod tests {
         assert_eq!(c.reassign.spout_halt_extra, SimTime::from_secs(10));
         assert_eq!(c.network.nic_bits_per_sec, 1_000_000_000);
         assert_eq!(c.reassign.mode, ReassignMode::Smooth);
+    }
+
+    #[test]
+    fn replay_cap_defaults_to_unbounded() {
+        // Storm replays until the tuple completes; the cap exists only
+        // for scenarios that opt into bounded retries.
+        let c = SimConfig::default();
+        assert!(c.replay_failed);
+        assert_eq!(c.max_replays, u32::MAX);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 
 use crate::config::{ReassignMode, SimConfig};
 use crate::event::{Envelope, EnvelopeKind, Event, EventQueue};
+use crate::fault::{FaultKind, FaultPlan};
 use crate::logic::ExecutorLogic;
 use crate::network::{classify, HopClass, Network};
 use crate::routing::select_tasks;
@@ -11,7 +12,10 @@ use tstorm_cluster::{Assignment, AssignmentDiff, ClusterSpec};
 use tstorm_metrics::RunReport;
 use tstorm_topology::{ComponentSpec, CostProfile, ExecutionPlan, Grouping, Topology, Value};
 use tstorm_trace::{Observer, TraceEvent};
-use tstorm_types::{Bytes, ComponentId, DetRng, ExecutorId, SimTime, SlotId, TopologyId, TupleId};
+use tstorm_types::{
+    Bytes, ComponentId, DetRng, ExecutorId, NodeId, Result, SimTime, SlotId, TStormError,
+    TopologyId, TupleId,
+};
 
 /// Static description of one executor, as exposed to the control plane.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -168,6 +172,23 @@ pub struct Simulation {
     observer: Observer,
     /// Monotonic version of applied assignments (for trace events).
     assignment_version: u64,
+    /// Fault-plan events fired so far.
+    faults_injected: u32,
+    /// Tuples destroyed by fault-plan crashes: queued or in service at
+    /// the crash instant, plus in-flight messages dropped because a
+    /// crash left an endpoint unplaced.
+    tuples_lost: u64,
+    /// Timed-out tuples re-queued for spout replay.
+    replays_triggered: u64,
+    /// Tuples that timed out and could not be replayed (replay disabled
+    /// or the replay cap exhausted) — permanently failed.
+    perm_failed: u64,
+    /// Time of the most recent crash fault still awaiting recovery.
+    recovery_fault_at: Option<SimTime>,
+    /// Whether a post-fault assignment has been applied already.
+    recovery_reassigned: bool,
+    /// Fault-to-first-completion latencies (ms) of healed faults.
+    recovery_latencies: Vec<f64>,
 }
 
 /// Maps the simulator's hop classification onto the trace vocabulary
@@ -227,6 +248,13 @@ impl Simulation {
             events_processed: 0,
             observer: Observer::disabled(),
             assignment_version: 0,
+            faults_injected: 0,
+            tuples_lost: 0,
+            replays_triggered: 0,
+            perm_failed: 0,
+            recovery_fault_at: None,
+            recovery_reassigned: false,
+            recovery_latencies: Vec::new(),
         };
         sim.queue
             .push(sim.config.reassign.supervisor_poll, Event::SupervisorPoll);
@@ -391,6 +419,25 @@ impl Simulation {
                 1,
             );
         });
+        // A fault is pending recovery: the first assignment that places
+        // or moves executors afterwards is the recovery placement.
+        let placed = (diff.added.len() + diff.moved.len()) as u64;
+        if self.recovery_fault_at.is_some() && !self.recovery_reassigned && placed > 0 {
+            self.recovery_reassigned = true;
+            self.observer
+                .emit_with(at, || TraceEvent::ExecutorsReassigned {
+                    version,
+                    count: placed,
+                });
+            self.observer.metrics(|m| {
+                m.inc_counter(
+                    "tstorm_recovery_reassignments_total",
+                    "Assignments that re-placed executors after a fault",
+                    &[],
+                    1,
+                );
+            });
+        }
     }
 
     /// Submits a new assignment to Nimbus; supervisors pick it up at their
@@ -561,6 +608,110 @@ impl Simulation {
             .push(at, Event::WorkerFailure { slot, recoverable });
     }
 
+    /// Schedules every event of a [`FaultPlan`]. Unlike
+    /// [`Simulation::inject_worker_failure`], fault-plan crashes never
+    /// restart in place: the engine drops the workers' state and marks
+    /// node liveness, and recovery is the control plane's job (detect
+    /// orphaned executors, re-run the scheduler, apply the new
+    /// assignment). Node crashes with a `restart` rejoin later; NIC
+    /// slowdowns restore automatically after their duration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TStormError::InvalidConfig`] if a fault targets a node
+    /// or node-local slot outside the cluster.
+    pub fn apply_fault_plan(&mut self, plan: &FaultPlan) -> Result<()> {
+        for event in plan.events() {
+            let node = event.kind.node();
+            if node.as_usize() >= self.cluster.num_nodes() {
+                return Err(TStormError::invalid_config(
+                    "--fault",
+                    format!(
+                        "{} targets node {node}, but the cluster has {} nodes",
+                        event.kind.name(),
+                        self.cluster.num_nodes()
+                    ),
+                ));
+            }
+            match event.kind {
+                FaultKind::WorkerCrash { local_slot, .. } => {
+                    let slots = self.cluster.node(node).num_slots;
+                    if local_slot >= slots {
+                        return Err(TStormError::invalid_config(
+                            "--fault",
+                            format!("node {node} has {slots} slots, no local slot {local_slot}"),
+                        ));
+                    }
+                }
+                FaultKind::NodeCrash { restart_after, .. } => {
+                    if let Some(after) = restart_after {
+                        self.queue.push(event.at + after, Event::NodeRestart(node));
+                    }
+                }
+                FaultKind::NicSlowdown { duration, .. } => {
+                    self.queue
+                        .push(event.at + duration, Event::NicRestore(node));
+                }
+            }
+            self.queue.push(event.at, Event::Fault(event.kind.clone()));
+        }
+        Ok(())
+    }
+
+    /// The cluster as the simulator sees it, including node liveness
+    /// updated by fault events.
+    #[must_use]
+    pub fn cluster(&self) -> &ClusterSpec {
+        &self.cluster
+    }
+
+    /// Live executors the current assignment does not place anywhere —
+    /// the signal the control plane watches to detect that a crash
+    /// orphaned executors and a recovery schedule is needed.
+    #[must_use]
+    pub fn unplaced_executors(&self) -> usize {
+        self.executors
+            .iter()
+            .enumerate()
+            .filter(|(i, e)| e.alive && self.current.slot_of(ExecutorId::new(*i as u32)).is_none())
+            .count()
+    }
+
+    /// Fault-plan events fired so far.
+    #[must_use]
+    pub fn faults_injected(&self) -> u32 {
+        self.faults_injected
+    }
+
+    /// Tuples destroyed by fault-plan crashes: queued or in service at
+    /// the crash instant, plus in-flight messages dropped because the
+    /// crash left their destination (or source) unplaced. Routine drops
+    /// from scheduler-driven relocation stay in
+    /// [`Simulation::dropped_in_flight`].
+    #[must_use]
+    pub fn tuples_lost(&self) -> u64 {
+        self.tuples_lost
+    }
+
+    /// Timed-out tuples re-queued for spout replay.
+    #[must_use]
+    pub fn replays_triggered(&self) -> u64 {
+        self.replays_triggered
+    }
+
+    /// Tuples that timed out with no replay possible — permanent losses.
+    #[must_use]
+    pub fn perm_failed(&self) -> u64 {
+        self.perm_failed
+    }
+
+    /// Fault-to-first-completion latencies (ms) of recovered faults, in
+    /// fault order.
+    #[must_use]
+    pub fn recovery_latencies(&self) -> &[f64] {
+        &self.recovery_latencies
+    }
+
     /// A copy of the metrics report with the given label.
     #[must_use]
     pub fn report(&self, label: &str) -> RunReport {
@@ -568,6 +719,10 @@ impl Simulation {
         r.label = label.to_owned();
         r.completed = self.completed;
         r.emitted = self.emitted;
+        r.replays = self.replays_triggered;
+        r.perm_failed = self.perm_failed;
+        r.tuples_lost = self.tuples_lost;
+        r.recovery_latency_ms = self.recovery_latencies.clone();
         r
     }
 
@@ -588,6 +743,9 @@ impl Simulation {
             Event::WorkerFailure { slot, recoverable } => {
                 self.on_worker_failure(slot, recoverable);
             }
+            Event::Fault(kind) => self.on_fault(&kind),
+            Event::NodeRestart(node) => self.on_node_restart(node),
+            Event::NicRestore(node) => self.on_nic_restore(node),
         }
     }
 
@@ -671,8 +829,14 @@ impl Simulation {
         let idx = env.dst.as_usize();
         if env.dst_epoch != self.executors[idx].epoch {
             // The destination worker was killed while this message was in
-            // flight (Storm Immediate re-assignment): the tuple is lost.
-            self.dropped_in_flight += 1;
+            // flight. If the executor crashed and has not been re-placed
+            // yet, the fault destroyed this tuple; otherwise it is a
+            // routine re-assignment drop (Storm Immediate mode).
+            if self.faults_injected > 0 && self.executors[idx].location.is_none() {
+                self.note_tuple_lost(1);
+            } else {
+                self.dropped_in_flight += 1;
+            }
             return;
         }
         let tuple = env.root.map_or(u64::MAX, TupleId::get);
@@ -946,6 +1110,27 @@ impl Simulation {
                     latency_ms,
                 );
             });
+            // Recovery latency: fault time → first completion under the
+            // recovery placement (ISSUE metric definition).
+            if self.recovery_reassigned {
+                if let Some(fault_at) = self.recovery_fault_at.take() {
+                    self.recovery_reassigned = false;
+                    let recovery_ms = (self.clock - fault_at).as_millis_f64();
+                    self.recovery_latencies.push(recovery_ms);
+                    self.observer
+                        .emit_with(self.clock, || TraceEvent::RecoveryComplete {
+                            latency_ms: recovery_ms,
+                        });
+                    self.observer.metrics(|m| {
+                        m.observe(
+                            "tstorm_recovery_latency_ms",
+                            "Fault to first post-reassignment completion",
+                            &[],
+                            recovery_ms,
+                        );
+                    });
+                }
+            }
         }
     }
 
@@ -1044,9 +1229,15 @@ impl Simulation {
             self.executors[env.src.as_usize()].location,
             self.executors[env.dst.as_usize()].location,
         ) else {
-            // Destination not placed: the message is lost; anchored roots
-            // will time out.
-            self.dropped_in_flight += 1;
+            // An endpoint is not placed: the message is lost; anchored
+            // roots will time out. An unplaced endpoint after a fault
+            // means a crash orphaned it — count the tuple against the
+            // fault rather than as a routine in-flight drop.
+            if self.faults_injected > 0 {
+                self.note_tuple_lost(1);
+            } else {
+                self.dropped_in_flight += 1;
+            }
             return;
         };
         *self
@@ -1084,9 +1275,9 @@ impl Simulation {
             HopClass::IntraWorker => 0,
             _ => self.workers_on_node[dst_node.as_usize()].saturating_sub(1),
         };
-        let at = self
-            .network
-            .delivery_time(self.clock, hop, payload, src_node, extra_workers);
+        let at =
+            self.network
+                .delivery_time(self.clock, hop, payload, src_node, dst_node, extra_workers);
         self.queue.push(at, Event::Deliver(Box::new(env)));
     }
 
@@ -1113,6 +1304,7 @@ impl Simulation {
             && !root.values.is_empty()
         {
             let spout_idx = root.spout.as_usize();
+            self.replays_triggered += 1;
             self.executors[spout_idx]
                 .replay_queue
                 .push_back((root.values, root.replays + 1));
@@ -1130,6 +1322,24 @@ impl Simulation {
             if self.is_available(spout_idx) {
                 self.schedule_tick(root.spout, self.clock);
             }
+        } else {
+            // No replay possible (disabled, or the cap is exhausted):
+            // the tuple is permanently failed, not just late.
+            self.perm_failed += 1;
+            let replays = u64::from(root.replays);
+            self.observer
+                .emit_with(self.clock, || TraceEvent::TupleFailed {
+                    tuple: root_id.get(),
+                    replays,
+                });
+            self.observer.metrics(|m| {
+                m.inc_counter(
+                    "tstorm_tuples_failed_total",
+                    "Tuples that timed out with no replay possible",
+                    &[],
+                    1,
+                );
+            });
         }
     }
 
@@ -1319,6 +1529,141 @@ impl Simulation {
         }
         self.recompute_node_stats();
         self.record_usage();
+    }
+
+    /// One fault-plan event fires. Crashes drop worker state and leave
+    /// the victims unassigned — the monitoring loop notices at its next
+    /// round and re-runs the scheduler against the shrunken cluster.
+    fn on_fault(&mut self, kind: &FaultKind) {
+        self.faults_injected += 1;
+        let node = kind.node();
+        let worker = match kind {
+            FaultKind::WorkerCrash { local_slot, .. } => self
+                .cluster
+                .slots_of(node)
+                .nth(*local_slot as usize)
+                .map(|s| s.slot.index()),
+            _ => None,
+        };
+        let name = kind.name();
+        self.observer
+            .emit_with(self.clock, || TraceEvent::FaultInjected {
+                kind: name.to_owned(),
+                node: node.index(),
+                worker,
+            });
+        self.observer.metrics(|m| {
+            m.inc_counter(
+                "tstorm_faults_injected_total",
+                "Fault-plan events fired",
+                &[("kind", name)],
+                1,
+            );
+        });
+        match kind {
+            FaultKind::WorkerCrash { local_slot, .. } => {
+                let slot = self
+                    .cluster
+                    .slots_of(node)
+                    .nth(*local_slot as usize)
+                    .map(|s| s.slot)
+                    .expect("validated by apply_fault_plan");
+                self.recovery_fault_at = Some(self.clock);
+                self.recovery_reassigned = false;
+                self.crash_slot(slot);
+                self.recompute_node_stats();
+                self.record_usage();
+            }
+            FaultKind::NodeCrash { .. } => {
+                self.cluster.set_node_live(node, false);
+                self.recovery_fault_at = Some(self.clock);
+                self.recovery_reassigned = false;
+                let slots: Vec<SlotId> = self.cluster.slots_of(node).map(|s| s.slot).collect();
+                for slot in slots {
+                    self.crash_slot(slot);
+                }
+                self.recompute_node_stats();
+                self.record_usage();
+            }
+            FaultKind::NicSlowdown { factor, .. } => {
+                self.network.set_slow_factor(node, *factor);
+            }
+        }
+    }
+
+    /// Kills one worker process without restarting it: its executors'
+    /// queued and in-service tuples are destroyed, in-flight messages to
+    /// it will be dropped on delivery (epoch mismatch), and the
+    /// executors stay unassigned until a future assignment places them.
+    fn crash_slot(&mut self, slot: SlotId) {
+        let victims: Vec<usize> = self
+            .executors
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.location == Some(slot))
+            .map(|(i, _)| i)
+            .collect();
+        if victims.is_empty() {
+            return; // empty slot: nothing to kill
+        }
+        {
+            let node = self.cluster.node_of(slot).index();
+            let worker = slot.index();
+            self.observer
+                .emit_with(self.clock, || TraceEvent::WorkerStop { node, worker });
+        }
+        let mut lost = 0u64;
+        for i in victims {
+            if let Some(work) = self.executors[i].busy.take() {
+                self.release_cpu(work.busy_node);
+                lost += 1;
+            }
+            let e = &mut self.executors[i];
+            lost += e.queue.len() as u64;
+            e.epoch += 1;
+            e.queue.clear();
+            e.location = None;
+            e.paused_until = None;
+            self.current.unassign(ExecutorId::new(i as u32));
+        }
+        self.note_tuple_lost(lost);
+    }
+
+    /// Counts tuples destroyed by a fault — at the crash instant or
+    /// dropped later because a crash left their destination unplaced.
+    fn note_tuple_lost(&mut self, n: u64) {
+        self.tuples_lost += n;
+        self.observer.metrics(|m| {
+            m.inc_counter(
+                "tstorm_tuples_lost_total",
+                "Queued or in-service tuples destroyed by crashes",
+                &[],
+                n,
+            );
+        });
+    }
+
+    /// A crashed node rejoins: its slots become schedulable again. No
+    /// executors move here — the next schedule generation may use it.
+    fn on_node_restart(&mut self, node: NodeId) {
+        self.cluster.set_node_live(node, true);
+        self.observer
+            .emit_with(self.clock, || TraceEvent::FaultInjected {
+                kind: "node_restart".to_owned(),
+                node: node.index(),
+                worker: None,
+            });
+    }
+
+    /// A transient NIC slowdown ends.
+    fn on_nic_restore(&mut self, node: NodeId) {
+        self.network.set_slow_factor(node, 1.0);
+        self.observer
+            .emit_with(self.clock, || TraceEvent::FaultInjected {
+                kind: "nic_restored".to_owned(),
+                node: node.index(),
+                worker: None,
+            });
     }
 
     fn on_resume(&mut self, id: ExecutorId) {

@@ -1,9 +1,10 @@
 //! The event queue: a time-ordered heap with deterministic tie-breaking.
 
+use crate::fault::FaultKind;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use tstorm_topology::Value;
-use tstorm_types::{ExecutorId, SimTime, SlotId, TupleId};
+use tstorm_types::{ExecutorId, NodeId, SimTime, SlotId, TupleId};
 
 /// Routing/acking metadata carried by every in-flight message.
 #[derive(Debug, Clone)]
@@ -77,6 +78,15 @@ pub enum Event {
         /// Whether the supervisor's in-place restart succeeds.
         recoverable: bool,
     },
+    /// A scheduled [`FaultKind`] from a fault plan fires. Unlike
+    /// [`Event::WorkerFailure`], recovery is left to the control plane:
+    /// the engine only drops state and marks liveness, and the
+    /// scheduler re-places the orphaned executors.
+    Fault(FaultKind),
+    /// A crashed node rejoins the cluster.
+    NodeRestart(NodeId),
+    /// A transient NIC slowdown ends.
+    NicRestore(NodeId),
 }
 
 struct Entry {

@@ -21,7 +21,10 @@
 //!   delay old-worker shutdown, halt spouts until bolts are ready,
 //!   dispatcher keyed by assignment id → no tuple loss);
 //! * **metrics**: per-tuple completion latency (1-minute averages, the
-//!   paper's metric), failed-tuple counts, nodes/workers in use.
+//!   paper's metric), failed-tuple counts, nodes/workers in use;
+//! * **faults**: a deterministic [`FaultPlan`] crashes workers or whole
+//!   nodes and throttles NICs at scripted virtual times; the ack-timeout
+//!   replay machinery plus the control plane's re-scheduling recover.
 //!
 //! Determinism: one seeded RNG drives every stochastic choice; equal
 //! seeds give bit-identical runs.
@@ -64,10 +67,12 @@
 pub mod config;
 pub mod engine;
 pub mod event;
+pub mod fault;
 pub mod logic;
 pub mod network;
 pub mod routing;
 
 pub use config::{CpuConfig, NetworkConfig, ReassignConfig, ReassignMode, SimConfig};
 pub use engine::{ExecutorDescriptor, SimCounters, Simulation, TopologyHandle};
+pub use fault::{FaultEvent, FaultKind, FaultParseError, FaultPlan};
 pub use logic::{BoltLogic, ConstSpout, ExecutorLogic, IdentityBolt, SpoutLogic};

@@ -246,6 +246,37 @@ pub enum TraceEvent {
         /// New γ value.
         gamma: f64,
     },
+    /// A root tuple permanently failed: it timed out and cannot be
+    /// replayed (replay disabled or the replay cap was exhausted).
+    TupleFailed {
+        /// Root tuple id.
+        tuple: u64,
+        /// Replays already attempted for this payload.
+        replays: u64,
+    },
+    /// A scheduled fault from the fault plan fired.
+    FaultInjected {
+        /// Fault kind (`worker_crash`, `node_crash`, `nic_slowdown`,
+        /// `node_restart`, `nic_restored`).
+        kind: String,
+        /// Targeted node index.
+        node: u32,
+        /// Targeted worker slot, for worker-level faults.
+        worker: Option<u32>,
+    },
+    /// The control plane re-placed executors orphaned by a fault.
+    ExecutorsReassigned {
+        /// Assignment version carrying the recovery placement.
+        version: u64,
+        /// Executors moved or newly placed by the recovery assignment.
+        count: u64,
+    },
+    /// First tuple completion after a recovery placement — the fault is
+    /// healed end to end.
+    RecoveryComplete {
+        /// Fault-to-first-completion latency in milliseconds.
+        latency_ms: f64,
+    },
 }
 
 impl TraceEvent {
@@ -270,6 +301,10 @@ impl TraceEvent {
             TraceEvent::OverloadDetected { .. } => "overload_detected",
             TraceEvent::SchedulerSwapped { .. } => "scheduler_swapped",
             TraceEvent::GammaChanged { .. } => "gamma_changed",
+            TraceEvent::TupleFailed { .. } => "tuple_failed",
+            TraceEvent::FaultInjected { .. } => "fault_injected",
+            TraceEvent::ExecutorsReassigned { .. } => "executors_reassigned",
+            TraceEvent::RecoveryComplete { .. } => "recovery_complete",
         }
     }
 
@@ -282,7 +317,8 @@ impl TraceEvent {
             | TraceEvent::Ack { .. }
             | TraceEvent::Complete { .. }
             | TraceEvent::Timeout { .. }
-            | TraceEvent::Replay { .. } => EventCategory::Tuple,
+            | TraceEvent::Replay { .. }
+            | TraceEvent::TupleFailed { .. } => EventCategory::Tuple,
             TraceEvent::QueueEnter { .. } | TraceEvent::QueueLeave { .. } => EventCategory::Queue,
             TraceEvent::ProcessStart { .. } | TraceEvent::ProcessDone { .. } => {
                 EventCategory::Process
@@ -293,7 +329,10 @@ impl TraceEvent {
             TraceEvent::ScheduleGenerated { .. }
             | TraceEvent::OverloadDetected { .. }
             | TraceEvent::SchedulerSwapped { .. }
-            | TraceEvent::GammaChanged { .. } => EventCategory::Control,
+            | TraceEvent::GammaChanged { .. }
+            | TraceEvent::FaultInjected { .. }
+            | TraceEvent::ExecutorsReassigned { .. }
+            | TraceEvent::RecoveryComplete { .. } => EventCategory::Control,
         }
     }
 
@@ -394,6 +433,21 @@ impl TraceEvent {
             TraceEvent::GammaChanged { gamma } => {
                 o.f64("gamma", *gamma);
             }
+            TraceEvent::TupleFailed { tuple, replays } => {
+                o.u64("tuple", *tuple).u64("replays", *replays);
+            }
+            TraceEvent::FaultInjected { kind, node, worker } => {
+                o.str("kind", kind).u64("node", u64::from(*node));
+                if let Some(w) = worker {
+                    o.u64("worker", u64::from(*w));
+                }
+            }
+            TraceEvent::ExecutorsReassigned { version, count } => {
+                o.u64("version", *version).u64("count", *count);
+            }
+            TraceEvent::RecoveryComplete { latency_ms } => {
+                o.f64("latency_ms", *latency_ms);
+            }
         }
         o.finish()
     }
@@ -448,6 +502,46 @@ mod tests {
             elapsed_us: Some(42),
         };
         assert!(with.to_jsonl(SimTime::ZERO).contains("\"elapsed_us\":42"));
+    }
+
+    #[test]
+    fn fault_events_serialise_with_fixed_fields() {
+        let ev = TraceEvent::FaultInjected {
+            kind: "node_crash".into(),
+            node: 3,
+            worker: None,
+        };
+        let line = ev.to_jsonl(SimTime::from_secs(400));
+        assert_eq!(
+            line,
+            "{\"t\":400000000,\"type\":\"fault_injected\",\"kind\":\"node_crash\",\"node\":3}"
+        );
+        assert_eq!(ev.category(), EventCategory::Control);
+
+        let ev = TraceEvent::FaultInjected {
+            kind: "worker_crash".into(),
+            node: 1,
+            worker: Some(0),
+        };
+        assert!(ev.to_jsonl(SimTime::ZERO).contains("\"worker\":0"));
+
+        let ev = TraceEvent::ExecutorsReassigned {
+            version: 4,
+            count: 6,
+        };
+        let v = parse(&ev.to_jsonl(SimTime::ZERO)).expect("valid");
+        assert_eq!(v.get("count").unwrap().as_f64(), Some(6.0));
+        assert_eq!(ev.category(), EventCategory::Control);
+
+        let ev = TraceEvent::RecoveryComplete { latency_ms: 1234.5 };
+        assert!(ev.to_jsonl(SimTime::ZERO).contains("\"latency_ms\":1234.5"));
+
+        let ev = TraceEvent::TupleFailed {
+            tuple: 9,
+            replays: 3,
+        };
+        assert_eq!(ev.category(), EventCategory::Tuple);
+        assert!(ev.to_jsonl(SimTime::ZERO).contains("\"replays\":3"));
     }
 
     #[test]
