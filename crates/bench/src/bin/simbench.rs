@@ -1,0 +1,311 @@
+//! `simbench` — offline, zero-dependency simulator benchmark runner.
+//!
+//! Criterion needs crates.io access, which this environment does not
+//! have, so the throughput trajectory is recorded by this std-only
+//! binary instead: it runs canonical scenarios against the tuple-level
+//! simulator with `std::time::Instant` timers and appends one JSON
+//! record per scenario to a trajectory file (`BENCH_sim.json` at the
+//! repo root by default).
+//!
+//! ```text
+//! simbench [--out PATH] [--label TEXT] [--quick] [--scenario NAME]...
+//! simbench --check PATH
+//! ```
+//!
+//! Record schema (one object per scenario run, newest last):
+//!
+//! ```json
+//! {"scenario":"wordcount","label":"...","quick":false,
+//!  "events":123,"wall_ms":1.5,"events_per_sec":82000.0,
+//!  "peak_queue_depth":400,"completed":100,"emitted":120}
+//! ```
+//!
+//! `--check` validates an emitted file: it must parse as a non-empty
+//! JSON array whose entries carry every schema key — the CI bench-smoke
+//! step runs it after a `--quick` pass.
+
+use std::process::ExitCode;
+use std::time::Instant;
+use tstorm_cluster::ClusterSpec;
+use tstorm_core::{SystemMode, TStormConfig, TStormSystem};
+use tstorm_sim::FaultPlan;
+use tstorm_trace::json::{self, JsonValue, ObjectWriter};
+use tstorm_types::{Mhz, SimTime};
+use tstorm_workloads::throughput::{self, ThroughputParams};
+use tstorm_workloads::wordcount::{self, WordCountParams, WordCountState};
+
+/// Keys every trajectory record must carry (`--check` enforces this).
+const SCHEMA_KEYS: &[&str] = &[
+    "scenario",
+    "label",
+    "quick",
+    "events",
+    "wall_ms",
+    "events_per_sec",
+    "peak_queue_depth",
+    "completed",
+    "emitted",
+];
+
+/// One measured scenario run.
+struct Record {
+    scenario: &'static str,
+    label: String,
+    quick: bool,
+    events: u64,
+    wall_ms: f64,
+    events_per_sec: f64,
+    peak_queue_depth: usize,
+    completed: u64,
+    emitted: u64,
+}
+
+impl Record {
+    fn to_json(&self) -> String {
+        let mut w = ObjectWriter::new();
+        w.str("scenario", self.scenario)
+            .str("label", &self.label)
+            .raw("quick", if self.quick { "true" } else { "false" })
+            .u64("events", self.events)
+            .f64("wall_ms", self.wall_ms)
+            .f64("events_per_sec", self.events_per_sec)
+            .u64("peak_queue_depth", self.peak_queue_depth as u64)
+            .u64("completed", self.completed)
+            .u64("emitted", self.emitted);
+        w.finish()
+    }
+}
+
+struct Options {
+    out: String,
+    label: String,
+    quick: bool,
+    scenarios: Vec<String>,
+    check: Option<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        out: "BENCH_sim.json".to_owned(),
+        label: String::new(),
+        quick: false,
+        scenarios: Vec::new(),
+        check: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--out" => opts.out = value("--out")?,
+            "--label" => opts.label = value("--label")?,
+            "--quick" => opts.quick = true,
+            "--scenario" => opts.scenarios.push(value("--scenario")?),
+            "--check" => opts.check = Some(value("--check")?),
+            "--help" | "-h" => {
+                return Err("usage: simbench [--out PATH] [--label TEXT] [--quick] \
+                     [--scenario wordcount|fault-replay]... | simbench --check PATH"
+                    .to_owned())
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Word Count at the paper's settings: the canonical throughput
+/// scenario — a fields-grouped fan-out with ackers enabled.
+fn run_wordcount(label: &str, quick: bool) -> Record {
+    let duration = if quick { 30 } else { 120 };
+    let cluster = ClusterSpec::homogeneous(10, 4, Mhz::new(8000.0)).expect("valid cluster");
+    let config = TStormConfig::default()
+        .with_mode(SystemMode::TStorm)
+        .with_seed(42);
+    let mut system = TStormSystem::new(cluster, config).expect("valid config");
+    let p = WordCountParams::paper();
+    let topo = wordcount::topology(&p).expect("valid topology");
+    let state = WordCountState::new();
+    state.attach_corpus_producer(SimTime::ZERO, 300.0);
+    let mut f = wordcount::factory(&state);
+    system.submit(&topo, &mut f).expect("submits");
+    system.start().expect("starts");
+
+    let start = Instant::now();
+    system
+        .run_until(SimTime::from_secs(duration))
+        .expect("runs");
+    finish("wordcount", label, quick, start, &system)
+}
+
+/// Fault-plan replay: the Throughput Test with a node crash (plus
+/// restart) and a transient NIC slowdown, exercising the crash /
+/// timeout / replay / recovery paths of the engine.
+fn run_fault_replay(label: &str, quick: bool) -> Record {
+    let duration = if quick { 60 } else { 180 };
+    let cluster = ClusterSpec::homogeneous(6, 4, Mhz::new(8000.0)).expect("valid cluster");
+    let config = TStormConfig::default()
+        .with_mode(SystemMode::TStorm)
+        .with_seed(42);
+    let mut system = TStormSystem::new(cluster, config).expect("valid config");
+    let p = ThroughputParams::paper();
+    let topo = throughput::topology(&p).expect("valid topology");
+    let mut f = throughput::factory(&p, 42);
+    system.submit(&topo, &mut f).expect("submits");
+    system.start().expect("starts");
+    let plan = FaultPlan::from_specs([
+        "node-crash@t=30,node=2,restart=40",
+        "nic-slow@t=15,node=1,factor=4,dur=20",
+    ])
+    .expect("valid plan");
+    system
+        .simulation_mut()
+        .apply_fault_plan(&plan)
+        .expect("applies");
+
+    let start = Instant::now();
+    system
+        .run_until(SimTime::from_secs(duration))
+        .expect("runs");
+    finish("fault-replay", label, quick, start, &system)
+}
+
+fn finish(
+    scenario: &'static str,
+    label: &str,
+    quick: bool,
+    start: Instant,
+    system: &TStormSystem,
+) -> Record {
+    let wall = start.elapsed();
+    let sim = system.simulation();
+    let events = sim.events_processed();
+    let wall_ms = wall.as_secs_f64() * 1e3;
+    Record {
+        scenario,
+        label: label.to_owned(),
+        quick,
+        events,
+        wall_ms,
+        events_per_sec: events as f64 / wall.as_secs_f64().max(1e-9),
+        peak_queue_depth: sim.queue_high_water(),
+        completed: sim.completed(),
+        emitted: sim.emitted(),
+    }
+}
+
+/// Reads an existing trajectory file as raw JSON record strings, so a
+/// new run appends rather than overwrites. Unparseable or non-array
+/// contents restart the trajectory.
+fn read_trajectory(path: &str) -> Vec<String> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    match json::parse(&text) {
+        Some(JsonValue::Array(_)) => {}
+        _ => return Vec::new(),
+    }
+    // Re-split conservatively: every line holding one object.
+    text.lines()
+        .map(str::trim)
+        .map(|l| l.trim_end_matches(','))
+        .filter(|l| l.starts_with('{') && l.ends_with('}'))
+        .map(str::to_owned)
+        .collect()
+}
+
+fn write_trajectory(path: &str, records: &[String]) -> std::io::Result<()> {
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str("  ");
+        out.push_str(r);
+        if i + 1 < records.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    std::fs::write(path, out)
+}
+
+/// Validates a trajectory file: parseable, a non-empty array, every
+/// record carrying every schema key.
+fn check(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let parsed = json::parse(&text).ok_or_else(|| format!("{path}: not valid JSON"))?;
+    let records = parsed
+        .as_array()
+        .ok_or_else(|| format!("{path}: top level must be an array"))?;
+    if records.is_empty() {
+        return Err(format!("{path}: trajectory is empty"));
+    }
+    for (i, rec) in records.iter().enumerate() {
+        let obj = rec
+            .as_object()
+            .ok_or_else(|| format!("{path}: record {i} is not an object"))?;
+        for key in SCHEMA_KEYS {
+            if !obj.contains_key(*key) {
+                return Err(format!("{path}: record {i} is missing key `{key}`"));
+            }
+        }
+    }
+    println!("{path}: {} records, schema ok", records.len());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(path) = &opts.check {
+        return match check(path) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let all = ["wordcount", "fault-replay"];
+    let wanted: Vec<&str> = if opts.scenarios.is_empty() {
+        all.to_vec()
+    } else {
+        opts.scenarios.iter().map(String::as_str).collect()
+    };
+    let mut records = Vec::new();
+    for name in wanted {
+        let rec = match name {
+            "wordcount" => run_wordcount(&opts.label, opts.quick),
+            "fault-replay" => run_fault_replay(&opts.label, opts.quick),
+            other => {
+                eprintln!("error: unknown scenario `{other}` (expected one of {all:?})");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "{:<14} {:>10} events in {:>9.1} ms  ->  {:>10.0} events/s  \
+             (peak queue {}, completed {})",
+            rec.scenario,
+            rec.events,
+            rec.wall_ms,
+            rec.events_per_sec,
+            rec.peak_queue_depth,
+            rec.completed,
+        );
+        records.push(rec);
+    }
+
+    let mut trajectory = read_trajectory(&opts.out);
+    trajectory.extend(records.iter().map(Record::to_json));
+    if let Err(e) = write_trajectory(&opts.out, &trajectory) {
+        eprintln!("error: writing {}: {e}", opts.out);
+        return ExitCode::FAILURE;
+    }
+    println!("trajectory written to {}", opts.out);
+    ExitCode::SUCCESS
+}

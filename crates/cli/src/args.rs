@@ -46,6 +46,9 @@ pub struct RunOptions {
     pub max_replays: Option<u32>,
     /// Suppress the per-window table (summary only).
     pub quiet: bool,
+    /// Print engine hot-path statistics (envelope-pool hit rate, event
+    /// queue high-water mark, allocations avoided) after the run.
+    pub engine_stats: bool,
 }
 
 impl Default for RunOptions {
@@ -68,6 +71,7 @@ impl Default for RunOptions {
             faults: Vec::new(),
             max_replays: None,
             quiet: false,
+            engine_stats: false,
         }
     }
 }
@@ -133,6 +137,7 @@ OPTIONS (run/compare):
     --max-replays N    permanently fail a tuple after N replays
                        [unbounded, like Storm]
     --quiet            summary only
+    --engine-stats     print engine hot-path statistics after the run
 ";
 
 /// Parses a full argument list (excluding `argv[0]`).
@@ -222,6 +227,7 @@ where
             }
             "--max-replays" => opts.max_replays = Some(parse_int(flag, &value(flag)?)?),
             "--quiet" => opts.quiet = true,
+            "--engine-stats" => opts.engine_stats = true,
             other => return Err(ParseError(format!("unknown flag `{other}`"))),
         }
     }
@@ -332,6 +338,20 @@ mod tests {
         assert!(parse(args("run --fault gremlin@t=1,node=0")).is_err());
         assert!(parse(args("run --fault node-crash@node=3")).is_err());
         assert!(parse(args("run --max-replays x")).is_err());
+    }
+
+    #[test]
+    fn parses_engine_stats_flag() {
+        let cmd = parse(args("run --engine-stats --quiet")).expect("parses");
+        let Command::Run(o) = cmd else {
+            panic!("expected run");
+        };
+        assert!(o.engine_stats);
+        assert!(o.quiet);
+        let Command::Run(o) = parse(args("run")).unwrap() else {
+            panic!("expected run");
+        };
+        assert!(!o.engine_stats);
     }
 
     #[test]

@@ -51,6 +51,9 @@ fn main() -> ExitCode {
                     }
                 }
                 println!("{}", outcome.summary(opts.duration_secs));
+                if opts.engine_stats {
+                    println!("{}", outcome.engine_summary());
+                }
                 if let Some(path) = &opts.csv {
                     if let Err(e) = std::fs::write(path, outcome.report.render_csv()) {
                         eprintln!("error: writing {path}: {e}");
@@ -89,6 +92,10 @@ fn main() -> ExitCode {
             }
             println!("Storm:   {}", storm.summary(opts.duration_secs));
             println!("T-Storm: {}", tstorm.summary(opts.duration_secs));
+            if opts.engine_stats {
+                println!("Storm   {}", storm.engine_summary());
+                println!("T-Storm {}", tstorm.engine_summary());
+            }
             let stable = SimTime::from_secs(opts.duration_secs / 2);
             if let Some(row) = ComparisonRow::from_reports(
                 format!("{} gamma={}", opts.topology.name(), opts.gamma),

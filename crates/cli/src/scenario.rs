@@ -65,6 +65,8 @@ pub struct ScenarioOutcome {
     pub recovery_events: u32,
     /// Control-plane decision log.
     pub timeline: Vec<tstorm_core::ControlEvent>,
+    /// Engine hot-path statistics (pool hit rate, queue high-water).
+    pub engine: tstorm_sim::EngineStats,
 }
 
 /// Builds and runs one scenario per the options.
@@ -160,6 +162,7 @@ pub fn run_scenario(opts: &RunOptions) -> Result<ScenarioOutcome> {
         perm_failed: system.simulation().perm_failed(),
         recovery_events: system.recovery_events(),
         timeline: system.timeline().to_vec(),
+        engine: system.simulation().engine_stats(),
     })
 }
 
@@ -234,6 +237,20 @@ impl ScenarioOutcome {
         }
         line
     }
+
+    /// One-line engine hot-path report for `--engine-stats`.
+    #[must_use]
+    pub fn engine_summary(&self) -> String {
+        format!(
+            "engine: pool hit-rate {:.1}% ({} hits, {} misses) | \
+             queue high-water {} | allocations avoided {}",
+            self.engine.pool_hit_rate() * 100.0,
+            self.engine.pool_hits,
+            self.engine.pool_misses,
+            self.engine.queue_high_water,
+            self.engine.allocations_avoided(),
+        )
+    }
 }
 
 #[cfg(test)]
@@ -265,6 +282,20 @@ mod tests {
             assert!(summary.contains("p99"), "{summary}");
             assert!(!summary.contains("n/a"), "{summary}");
         }
+    }
+
+    #[test]
+    fn engine_stats_are_populated() {
+        let outcome = run_scenario(&quick(Topology::Throughput)).expect("runs");
+        assert!(
+            outcome.engine.pool_hits + outcome.engine.pool_misses > 0,
+            "envelopes were sent, so the pool must have been exercised"
+        );
+        assert!(outcome.engine.queue_high_water > 0);
+        assert!(outcome.engine.payload_clones_avoided > 0);
+        let line = outcome.engine_summary();
+        assert!(line.contains("pool hit-rate"), "{line}");
+        assert!(line.contains("queue high-water"), "{line}");
     }
 
     #[test]

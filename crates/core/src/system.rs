@@ -236,10 +236,10 @@ impl TStormSystem {
         let counters = self.sim.drain_counters();
         let failures = counters.failures;
         let mut snap = WindowSnapshot::new(self.config.monitor_period);
-        for (exec, cycles) in counters.executor_cycles {
+        for (exec, cycles) in counters.executor_cycles() {
             snap.record_cpu(exec, cycles);
         }
-        for ((from, to), tuples) in counters.pair_tuples {
+        for (from, to, tuples) in counters.pair_tuples() {
             snap.record_traffic(from, to, tuples);
         }
         self.monitor.ingest(&snap);

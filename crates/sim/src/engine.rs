@@ -6,16 +6,23 @@ use crate::event::{Envelope, EnvelopeKind, Event, EventQueue};
 use crate::fault::{FaultKind, FaultPlan};
 use crate::logic::ExecutorLogic;
 use crate::network::{classify, HopClass, Network};
-use crate::routing::select_tasks;
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use crate::routing::{select_tasks_into, RouteRule};
+use std::collections::{BTreeSet, VecDeque};
+use std::rc::Rc;
 use tstorm_cluster::{Assignment, AssignmentDiff, ClusterSpec};
 use tstorm_metrics::RunReport;
-use tstorm_topology::{ComponentSpec, CostProfile, ExecutionPlan, Grouping, Topology, Value};
+use tstorm_topology::{ComponentSpec, CostProfile, ExecutionPlan, Topology, Value};
 use tstorm_trace::{Observer, TraceEvent};
 use tstorm_types::{
-    Bytes, ComponentId, DetRng, ExecutorId, NodeId, Result, SimTime, SlotId, TStormError,
-    TopologyId, TupleId,
+    Bytes, ComponentId, DetRng, ExecutorId, FxHashSet, NodeId, Result, SimTime, Slab, SlabHandle,
+    SlotId, TStormError, TopologyId, TupleId,
 };
+
+/// Upper bound on recycled envelope boxes retained by the free-list
+/// pool. The pool never holds more boxes than were simultaneously in
+/// flight, but a cap keeps a transient burst from pinning memory for
+/// the rest of a long run.
+const ENVELOPE_POOL_CAP: usize = 1 << 16;
 
 /// Static description of one executor, as exposed to the control plane.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,20 +50,161 @@ pub struct TopologyHandle {
 
 /// Raw counters accumulated since the last drain — the per-window readings
 /// the load monitor consumes.
+///
+/// Executor ids are dense (minted sequentially at submit time), so the
+/// counters are index-addressed: a `Vec<u64>` of cycles per executor and
+/// a flat `n × n` matrix of tuples per directed executor pair. The hot
+/// path increments are a bounds check and an add — no hashing — and
+/// iteration order is deterministic by construction.
 #[derive(Debug, Clone, Default)]
 pub struct SimCounters {
-    /// CPU cycles consumed per executor.
-    pub executor_cycles: HashMap<ExecutorId, u64>,
-    /// Tuples sent per directed executor pair (data and ack messages).
-    pub pair_tuples: HashMap<(ExecutorId, ExecutorId), u64>,
+    /// CPU cycles consumed per executor, indexed by executor id.
+    cycles: Vec<u64>,
+    /// Row-major `n × n` matrix: tuples sent per directed executor pair
+    /// (data and ack messages), `pairs[from * n + to]`.
+    pairs: Vec<u64>,
+    /// Executor count the matrix is sized for.
+    n: usize,
     /// Tuples that timed out during the window.
     pub failures: u64,
 }
 
-/// One outgoing stream edge, resolved for routing.
+impl SimCounters {
+    /// Creates zeroed counters sized for `n` executors.
+    #[must_use]
+    pub fn with_executors(n: usize) -> Self {
+        Self {
+            cycles: vec![0; n],
+            pairs: vec![0; n * n],
+            n,
+            failures: 0,
+        }
+    }
+
+    /// Grows the tables to cover `n` executors, preserving recorded
+    /// values (called when a topology submission adds executors).
+    fn ensure_executors(&mut self, n: usize) {
+        if n <= self.n {
+            return;
+        }
+        let mut pairs = vec![0u64; n * n];
+        for from in 0..self.n {
+            let old_row = from * self.n;
+            let new_row = from * n;
+            pairs[new_row..new_row + self.n]
+                .copy_from_slice(&self.pairs[old_row..old_row + self.n]);
+        }
+        self.pairs = pairs;
+        self.cycles.resize(n, 0);
+        self.n = n;
+    }
+
+    #[inline]
+    fn add_cycles(&mut self, exec: usize, cycles: u64) {
+        self.cycles[exec] += cycles;
+    }
+
+    #[inline]
+    fn add_pair(&mut self, from: usize, to: usize) {
+        self.pairs[from * self.n + to] += 1;
+    }
+
+    /// CPU cycles recorded for one executor this window.
+    #[must_use]
+    pub fn cycles_of(&self, exec: ExecutorId) -> u64 {
+        self.cycles.get(exec.as_usize()).copied().unwrap_or(0)
+    }
+
+    /// Tuples recorded for one directed executor pair this window.
+    #[must_use]
+    pub fn pair(&self, from: ExecutorId, to: ExecutorId) -> u64 {
+        let (f, t) = (from.as_usize(), to.as_usize());
+        if f < self.n && t < self.n {
+            self.pairs[f * self.n + t]
+        } else {
+            0
+        }
+    }
+
+    /// Executors with non-zero CPU this window, in executor-id order.
+    pub fn executor_cycles(&self) -> impl Iterator<Item = (ExecutorId, u64)> + '_ {
+        self.cycles
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(i, c)| (ExecutorId::new(i as u32), *c))
+    }
+
+    /// Directed executor pairs with non-zero traffic this window, in
+    /// row-major (`from`, then `to`) order.
+    pub fn pair_tuples(&self) -> impl Iterator<Item = (ExecutorId, ExecutorId, u64)> + '_ {
+        let n = self.n;
+        self.pairs
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| **t > 0)
+            .map(move |(i, t)| {
+                (
+                    ExecutorId::new((i / n) as u32),
+                    ExecutorId::new((i % n) as u32),
+                    *t,
+                )
+            })
+    }
+
+    /// True if the window recorded no CPU, no traffic, and no failures.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.failures == 0
+            && self.cycles.iter().all(|c| *c == 0)
+            && self.pairs.iter().all(|t| *t == 0)
+    }
+}
+
+/// Hot-path allocation and recycling statistics, exposed through the
+/// `--engine-stats` CLI flag and the bench harness. The backing
+/// counters are plain integer increments on paths that already touch
+/// the counted object, so collection cost is negligible.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Envelope boxes served from the free-list pool.
+    pub pool_hits: u64,
+    /// Envelope boxes that had to be freshly allocated.
+    pub pool_misses: u64,
+    /// Deep payload clones avoided by `Rc` sharing — one per routed
+    /// data envelope (each previously cloned the full value vector).
+    pub payload_clones_avoided: u64,
+    /// Largest number of events ever pending in the event queue.
+    pub queue_high_water: u64,
+}
+
+impl EngineStats {
+    /// Fraction of envelope allocations served from the pool (0 when no
+    /// envelope was ever sent).
+    #[must_use]
+    pub fn pool_hit_rate(&self) -> f64 {
+        let total = self.pool_hits + self.pool_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.pool_hits as f64 / total as f64
+        }
+    }
+
+    /// Heap allocations avoided on the tuple hot path: pooled envelope
+    /// boxes plus payload clones replaced by refcount bumps.
+    #[must_use]
+    pub fn allocations_avoided(&self) -> u64 {
+        self.pool_hits + self.payload_clones_avoided
+    }
+}
+
+/// One outgoing stream edge, resolved for routing. The grouping is
+/// pre-resolved into a `Copy` [`RouteRule`] so no field-name vectors are
+/// cloned per topology submission or touched per tuple.
 struct EdgeRt {
-    grouping: Grouping,
-    key_indices: Vec<usize>,
+    rule: RouteRule,
+    key_indices: Box<[usize]>,
     consumer_tasks: u32,
     /// Global executor hosting each consumer task.
     task_exec: Vec<ExecutorId>,
@@ -67,8 +215,8 @@ struct EdgeRt {
 struct TopoRt {
     id: TopologyId,
     message_timeout: SimTime,
-    /// Outgoing edges per component.
-    out_edges: HashMap<ComponentId, Vec<EdgeRt>>,
+    /// Outgoing edges per component, indexed by dense component id.
+    out_edges: Vec<Vec<EdgeRt>>,
     /// Acker executors (empty when the topology has none).
     ackers: Vec<ExecutorId>,
 }
@@ -78,7 +226,7 @@ struct BusyWork {
     /// The input message (`None` for spout emissions).
     env: Option<Box<Envelope>>,
     /// Tuples produced by the logic, to be routed at completion.
-    outputs: Vec<Vec<Value>>,
+    outputs: Vec<Rc<[Value]>>,
     started_at: SimTime,
     done_at: SimTime,
     /// For spout emissions: how many times this payload was replayed.
@@ -113,20 +261,25 @@ struct ExecRt {
     tick_scheduled: bool,
     /// Time of the most recent emission attempt (rate control).
     last_tick: SimTime,
-    /// Tuples waiting to be replayed, with their replay count.
-    replay_queue: VecDeque<(Vec<Value>, u32)>,
-    /// Per-edge round-robin counters for direct grouping.
-    direct_counters: HashMap<usize, u32>,
+    /// Tuples waiting to be replayed, with their replay count. Payloads
+    /// stay `Rc`-shared with the root that timed out — replays never
+    /// deep-clone values.
+    replay_queue: VecDeque<(Rc<[Value]>, u32)>,
+    /// Per-out-edge round-robin counters for direct grouping, indexed
+    /// by the component's out-edge position.
+    direct_counters: Box<[u32]>,
 }
 
 /// State of one in-flight spout tuple (the ack tree root).
 struct RootState {
+    /// The root tuple id (kept alongside the slab slot for traces).
+    id: TupleId,
     spout: ExecutorId,
     emit_at: SimTime,
     xor: u64,
     init_seen: bool,
     /// Payload retained for replay (empty when replay is disabled).
-    values: Vec<Value>,
+    values: Rc<[Value]>,
     replays: u32,
     /// Acker executor tracking this root, if the topology has ackers.
     acker: Option<ExecutorId>,
@@ -144,9 +297,24 @@ pub struct Simulation {
     network: Network,
     topologies: Vec<TopoRt>,
     executors: Vec<ExecRt>,
-    roots: HashMap<TupleId, RootState>,
+    /// In-flight ack-tree roots: slab storage, addressed by
+    /// generation-checked handles carried in envelopes and timeout
+    /// events — no per-tuple hashing.
+    roots: Slab<RootState>,
     next_tuple: u64,
     next_edge: u64,
+    /// Free list of recycled envelope boxes. The `Box` is the point:
+    /// the pool recycles the heap allocation that `Event::Message`
+    /// carries, so a pool hit is allocation-free.
+    #[allow(clippy::vec_box)]
+    env_pool: Vec<Box<Envelope>>,
+    /// The shared empty payload (control messages, recycled envelopes).
+    empty_values: Rc<[Value]>,
+    /// Scratch buffer reused by every routing task selection.
+    task_scratch: Vec<u32>,
+    pool_hits: u64,
+    pool_misses: u64,
+    payload_clones_avoided: u64,
     /// The assignment currently in force.
     current: Assignment,
     /// Assignment submitted to Nimbus, not yet picked up by supervisors.
@@ -228,9 +396,15 @@ impl Simulation {
             queue: EventQueue::new(),
             topologies: Vec::new(),
             executors: Vec::new(),
-            roots: HashMap::new(),
+            roots: Slab::new(),
             next_tuple: 0,
             next_edge: 0,
+            env_pool: Vec::new(),
+            empty_values: Rc::from(Vec::new()),
+            task_scratch: Vec::new(),
+            pool_hits: 0,
+            pool_misses: 0,
+            payload_clones_avoided: 0,
             current: Assignment::new(),
             pending: None,
             switching_to: None,
@@ -283,6 +457,31 @@ impl Simulation {
         let plan = ExecutionPlan::for_topology(topology);
         let base = self.executors.len() as u32;
         let acker_comp = topology.acker_component();
+        let n_components = topology.components().len();
+
+        // Task → global executor map per component (dense component ids
+        // index straight into a vector).
+        let mut task_exec: Vec<Vec<ExecutorId>> = vec![Vec::new(); n_components];
+        for (i, spec) in plan.executors().iter().enumerate() {
+            let v = &mut task_exec[spec.component.as_usize()];
+            for _ in 0..spec.task_count() {
+                v.push(ExecutorId::new(base + i as u32));
+            }
+        }
+
+        let mut out_edges: Vec<Vec<EdgeRt>> = std::iter::repeat_with(Vec::new)
+            .take(n_components)
+            .collect();
+        for edge in topology.edges() {
+            let consumer = topology.component(edge.to);
+            out_edges[edge.from.as_usize()].push(EdgeRt {
+                rule: RouteRule::from_grouping(&edge.grouping),
+                key_indices: edge.key_indices.as_slice().into(),
+                consumer_tasks: consumer.num_tasks(),
+                task_exec: task_exec[edge.to.as_usize()].clone(),
+                emit_overhead: topology.component(edge.from).cost().emit_overhead_bytes,
+            });
+        }
 
         // Create executors in plan order; global id = base + plan index.
         let mut exec_ids = Vec::with_capacity(plan.len());
@@ -313,30 +512,11 @@ impl Simulation {
                 tick_scheduled: false,
                 last_tick: SimTime::ZERO,
                 replay_queue: VecDeque::new(),
-                direct_counters: HashMap::new(),
+                direct_counters: vec![0u32; out_edges[spec.component.as_usize()].len()]
+                    .into_boxed_slice(),
             });
         }
-
-        // Task → global executor map per component.
-        let mut task_exec: HashMap<ComponentId, Vec<ExecutorId>> = HashMap::new();
-        for (i, spec) in plan.executors().iter().enumerate() {
-            let v = task_exec.entry(spec.component).or_default();
-            for _task in spec.tasks.clone() {
-                v.push(ExecutorId::new(base + i as u32));
-            }
-        }
-
-        let mut out_edges: HashMap<ComponentId, Vec<EdgeRt>> = HashMap::new();
-        for edge in topology.edges() {
-            let consumer = topology.component(edge.to);
-            out_edges.entry(edge.from).or_default().push(EdgeRt {
-                grouping: edge.grouping.clone(),
-                key_indices: edge.key_indices.clone(),
-                consumer_tasks: consumer.num_tasks(),
-                task_exec: task_exec[&edge.to].clone(),
-                emit_overhead: topology.component(edge.from).cost().emit_overhead_bytes,
-            });
-        }
+        self.counters.ensure_executors(self.executors.len());
 
         let ackers = acker_comp
             .map(|c| {
@@ -493,9 +673,24 @@ impl Simulation {
         &self.current
     }
 
-    /// Drains the monitoring counters accumulated since the last call.
+    /// Drains the monitoring counters accumulated since the last call,
+    /// leaving zeroed tables sized for the current executor count.
     pub fn drain_counters(&mut self) -> SimCounters {
-        std::mem::take(&mut self.counters)
+        std::mem::replace(
+            &mut self.counters,
+            SimCounters::with_executors(self.executors.len()),
+        )
+    }
+
+    /// Hot-path allocation/recycling statistics for this run so far.
+    #[must_use]
+    pub fn engine_stats(&self) -> EngineStats {
+        EngineStats {
+            pool_hits: self.pool_hits,
+            pool_misses: self.pool_misses,
+            payload_clones_avoided: self.payload_clones_avoided,
+            queue_high_water: self.queue.high_water() as u64,
+        }
     }
 
     /// Fully-acked tuple count.
@@ -560,6 +755,13 @@ impl Simulation {
         self.events_processed
     }
 
+    /// Largest number of events ever pending in the event queue at once
+    /// (the heap high-water mark).
+    #[must_use]
+    pub fn queue_high_water(&self) -> usize {
+        self.queue.high_water()
+    }
+
     /// Kills a topology: "a Storm 'job' continues on forever, unless it
     /// is killed by its user" (Section II). Its executors stop
     /// immediately, their queues are dropped, in-flight tuples are
@@ -573,24 +775,27 @@ impl Simulation {
             }
             if let Some(work) = self.executors[i].busy.take() {
                 self.release_cpu(work.busy_node);
+                if let Some(env) = work.env {
+                    self.recycle_envelope(env);
+                }
             }
+            self.drain_queue_to_pool(i);
             let e = &mut self.executors[i];
             e.alive = false;
-            e.queue.clear();
             e.epoch += 1; // drop in-flight deliveries
             e.location = None;
             self.current.unassign(ExecutorId::new(i as u32));
         }
         // Forget pending roots originating from the killed topology so
         // their timeouts become no-ops rather than spurious failures.
-        let dead: Vec<TupleId> = self
+        let dead: Vec<SlabHandle> = self
             .roots
             .iter()
             .filter(|(_, r)| self.executors[r.spout.as_usize()].topo_idx == topo_idx)
-            .map(|(id, _)| *id)
+            .map(|(h, _)| h)
             .collect();
-        for id in dead {
-            self.roots.remove(&id);
+        for h in dead {
+            self.roots.remove(h);
         }
         self.recompute_node_stats();
         self.record_usage();
@@ -787,7 +992,7 @@ impl Simulation {
         } else {
             let now = self.clock;
             match &mut self.executors[idx].logic {
-                ExecutorLogic::Spout(s) => s.next_tuple(now).map(|v| (v, 0)),
+                ExecutorLogic::Spout(s) => s.next_tuple(now).map(|v| (Rc::from(v), 0)),
                 _ => None,
             }
         };
@@ -803,7 +1008,7 @@ impl Simulation {
         let busy_node = self.occupy_cpu(idx);
         let service = self.service_time(idx, cycles);
         let done_at = self.clock + service;
-        *self.counters.executor_cycles.entry(id).or_insert(0) += cycles;
+        self.counters.add_cycles(idx, cycles);
         // The root is created at completion time (see on_process_done).
         self.executors[idx].busy = Some(BusyWork {
             env: None,
@@ -837,6 +1042,7 @@ impl Simulation {
             } else {
                 self.dropped_in_flight += 1;
             }
+            self.recycle_envelope(env);
             return;
         }
         let tuple = env.root.map_or(u64::MAX, TupleId::get);
@@ -878,10 +1084,10 @@ impl Simulation {
                     executor: idx as u32,
                 });
         }
-        let mut outputs: Vec<Vec<Value>> = Vec::new();
+        let mut outputs: Vec<Rc<[Value]>> = Vec::new();
         if env.kind == EnvelopeKind::Data {
             if let ExecutorLogic::Bolt(b) = &mut self.executors[idx].logic {
-                b.execute(&env.values, &mut |v| outputs.push(v));
+                b.execute(&env.values, &mut |v| outputs.push(Rc::from(v)));
             }
         }
         let in_bytes: u64 = env.values.iter().map(Value::payload_bytes).sum();
@@ -892,7 +1098,7 @@ impl Simulation {
         let busy_node = self.occupy_cpu(idx);
         let service = self.service_time(idx, cycles);
         let done_at = self.clock + service;
-        *self.counters.executor_cycles.entry(id).or_insert(0) += cycles;
+        self.counters.add_cycles(idx, cycles);
         self.executors[idx].busy = Some(BusyWork {
             env: Some(env),
             outputs,
@@ -932,7 +1138,10 @@ impl Simulation {
 
         match work.env {
             None => self.finish_spout_emission(id, work.outputs, work.replays),
-            Some(env) => self.finish_message(id, &env, work.outputs),
+            Some(env) => {
+                self.finish_message(id, &env, work.outputs);
+                self.recycle_envelope(env);
+            }
         }
 
         // Keep the pipeline moving.
@@ -951,11 +1160,11 @@ impl Simulation {
     fn finish_spout_emission(
         &mut self,
         id: ExecutorId,
-        mut outputs: Vec<Vec<Value>>,
+        mut outputs: Vec<Rc<[Value]>>,
         replays: u32,
     ) {
         let idx = id.as_usize();
-        let values = outputs.pop().unwrap_or_default();
+        let values = outputs.pop().unwrap_or_else(|| self.empty_values.clone());
         let topo_idx = self.executors[idx].topo_idx;
         let root_id = TupleId::new(self.next_tuple);
         self.next_tuple += 1;
@@ -982,53 +1191,71 @@ impl Simulation {
             None
         };
 
+        // Retaining the payload for replay is a refcount bump — the
+        // root and every routed envelope share one allocation.
         let stored_values = if self.config.replay_failed {
             values.clone()
         } else {
-            Vec::new()
+            self.empty_values.clone()
         };
         let emit_at = self.clock;
         let component = self.executors[idx].component;
-        let (xor, count) = self.route_outputs(id, topo_idx, component, Some(root_id), vec![values]);
-
-        self.roots.insert(
-            root_id,
-            RootState {
-                spout: id,
-                emit_at,
-                xor: 0,
-                init_seen: false,
-                values: stored_values,
-                replays,
-                acker,
-                outstanding: count as i64,
-            },
+        // Insert before routing so envelopes can carry the slab handle;
+        // no trace/RNG activity happens here, so emission order is
+        // unchanged relative to routing.
+        let handle = self.roots.insert(RootState {
+            id: root_id,
+            spout: id,
+            emit_at,
+            xor: 0,
+            init_seen: false,
+            values: stored_values,
+            replays,
+            acker,
+            outstanding: 0,
+        });
+        let (xor, count) = self.route_outputs(
+            id,
+            topo_idx,
+            component,
+            Some(root_id),
+            Some(handle),
+            vec![values],
         );
+        if let Some(root) = self.roots.get_mut(handle) {
+            root.outstanding = count as i64;
+        }
 
         if count == 0 {
             // Terminal spout (no consumers): complete instantly.
-            self.complete_root(root_id);
+            self.complete_root(handle);
             return;
         }
 
         if let Some(acker) = acker {
-            self.send_control(id, acker, EnvelopeKind::AckerInit { xor }, root_id);
+            self.send_control(
+                id,
+                acker,
+                EnvelopeKind::AckerInit { xor },
+                root_id,
+                Some(handle),
+            );
         }
         let timeout = self.topologies[topo_idx].message_timeout;
         self.queue
-            .push(emit_at + timeout, Event::TupleTimeout(root_id));
+            .push(emit_at + timeout, Event::TupleTimeout(handle));
     }
 
-    fn finish_message(&mut self, id: ExecutorId, env: &Envelope, outputs: Vec<Vec<Value>>) {
+    fn finish_message(&mut self, id: ExecutorId, env: &Envelope, outputs: Vec<Rc<[Value]>>) {
         let idx = id.as_usize();
         let topo_idx = self.executors[idx].topo_idx;
         match env.kind {
             EnvelopeKind::Data => {
                 let component = self.executors[idx].component;
                 let (new_xor, count) =
-                    self.route_outputs(id, topo_idx, component, env.root, outputs);
-                if let Some(root_id) = env.root {
-                    let (acker, alive) = match self.roots.get_mut(&root_id) {
+                    self.route_outputs(id, topo_idx, component, env.root, env.root_handle, outputs);
+                if let (Some(root_id), Some(handle)) = (env.root, env.root_handle) {
+                    let (acker, alive) = match self.roots.get_mut(handle) {
                         Some(r) => {
                             r.outstanding += count as i64 - 1;
                             (r.acker, true)
@@ -1044,15 +1271,17 @@ impl Simulation {
                                     xor: env.edge_id ^ new_xor,
                                 },
                                 root_id,
+                                Some(handle),
                             );
-                        } else if self.roots.get(&root_id).is_some_and(|r| r.outstanding == 0) {
-                            self.complete_root(root_id);
+                        } else if self.roots.get(handle).is_some_and(|r| r.outstanding == 0) {
+                            self.complete_root(handle);
                         }
                     }
                 }
             }
             EnvelopeKind::AckerInit { xor } | EnvelopeKind::AckerAck { xor } => {
                 let root_id = env.root.expect("acker messages carry a root");
+                let handle = env.root_handle.expect("acker messages carry a root handle");
                 if matches!(env.kind, EnvelopeKind::AckerAck { .. }) {
                     self.observer.emit_with(self.clock, || TraceEvent::Ack {
                         tuple: root_id.get(),
@@ -1066,28 +1295,28 @@ impl Simulation {
                         );
                     });
                 }
-                let done = match self.roots.get_mut(&root_id) {
+                let (done, spout) = match self.roots.get_mut(handle) {
                     Some(r) => {
                         r.xor ^= xor;
                         if matches!(env.kind, EnvelopeKind::AckerInit { .. }) {
                             r.init_seen = true;
                         }
-                        r.init_seen && r.xor == 0
+                        (r.init_seen && r.xor == 0, r.spout)
                     }
-                    None => false, // already timed out
+                    None => (false, id), // already timed out
                 };
                 if done {
-                    let spout = self.roots[&root_id].spout;
-                    self.complete_root(root_id);
-                    self.send_control(id, spout, EnvelopeKind::Complete, root_id);
+                    self.complete_root(handle);
+                    self.send_control(id, spout, EnvelopeKind::Complete, root_id, None);
                 }
             }
             EnvelopeKind::Complete => {}
         }
     }
 
-    fn complete_root(&mut self, root_id: TupleId) {
-        if let Some(root) = self.roots.remove(&root_id) {
+    fn complete_root(&mut self, handle: SlabHandle) {
+        if let Some(root) = self.roots.remove(handle) {
+            let root_id = root.id;
             let latency_ms = (self.clock - root.emit_at).as_millis_f64();
             self.report.record_latency(self.clock, latency_ms);
             self.completed += 1;
@@ -1137,54 +1366,54 @@ impl Simulation {
     /// Routes every output tuple along the producing component's outgoing
     /// edges. Returns the XOR of the new edge ids and the number of
     /// envelopes created.
+    ///
+    /// The per-tuple cost here is the simulator's hottest code: task
+    /// selection fills one reused scratch buffer, and every envelope
+    /// shares the payload `Rc` instead of deep-cloning values.
     fn route_outputs(
         &mut self,
         src: ExecutorId,
         topo_idx: usize,
         component: ComponentId,
         root: Option<TupleId>,
-        outputs: Vec<Vec<Value>>,
+        root_handle: Option<SlabHandle>,
+        outputs: Vec<Rc<[Value]>>,
     ) -> (u64, u64) {
         let mut xor = 0u64;
         let mut count = 0u64;
         if outputs.is_empty() {
             return (xor, count);
         }
-        let n_edges = self.topologies[topo_idx]
-            .out_edges
-            .get(&component)
-            .map_or(0, Vec::len);
+        let comp_idx = component.as_usize();
+        let n_edges = self.topologies[topo_idx].out_edges[comp_idx].len();
+        let mut tasks = std::mem::take(&mut self.task_scratch);
         for values in outputs {
             for edge_idx in 0..n_edges {
-                // Per-edge routing data copied out to appease borrows.
-                let (tasks, overhead) = {
-                    let edge = &self.topologies[topo_idx].out_edges[&component][edge_idx];
-                    let src_idx = src.as_usize();
-                    let counter = self.executors[src_idx]
-                        .direct_counters
-                        .entry(edge_idx)
-                        .or_insert(0);
-                    (
-                        select_tasks(
-                            &edge.grouping,
-                            &edge.key_indices,
-                            &values,
-                            edge.consumer_tasks,
-                            &mut self.rng,
-                            counter,
-                        ),
-                        edge.emit_overhead,
-                    )
+                tasks.clear();
+                let overhead = {
+                    let edge = &self.topologies[topo_idx].out_edges[comp_idx][edge_idx];
+                    let counter = &mut self.executors[src.as_usize()].direct_counters[edge_idx];
+                    select_tasks_into(
+                        edge.rule,
+                        &edge.key_indices,
+                        &values,
+                        edge.consumer_tasks,
+                        &mut self.rng,
+                        counter,
+                        &mut tasks,
+                    );
+                    edge.emit_overhead
                 };
-                for task in tasks {
-                    let dst = self.topologies[topo_idx].out_edges[&component][edge_idx].task_exec
+                let payload: u64 =
+                    values.iter().map(Value::payload_bytes).sum::<u64>() + overhead.get();
+                for &task in &tasks {
+                    let dst = self.topologies[topo_idx].out_edges[comp_idx][edge_idx].task_exec
                         [task as usize];
                     let edge_id = splitmix(self.next_edge.wrapping_add(0x9e37_79b9));
                     self.next_edge += 1;
                     xor ^= edge_id;
                     count += 1;
-                    let payload: u64 =
-                        values.iter().map(Value::payload_bytes).sum::<u64>() + overhead.get();
+                    self.payload_clones_avoided += 1;
                     self.send_envelope(
                         Envelope {
                             values: values.clone(),
@@ -1193,6 +1422,7 @@ impl Simulation {
                             dst_task: task,
                             edge_id,
                             root,
+                            root_handle,
                             dst_epoch: self.executors[dst.as_usize()].epoch,
                             kind: EnvelopeKind::Data,
                         },
@@ -1201,6 +1431,7 @@ impl Simulation {
                 }
             }
         }
+        self.task_scratch = tasks;
         (xor, count)
     }
 
@@ -1210,14 +1441,16 @@ impl Simulation {
         dst: ExecutorId,
         kind: EnvelopeKind,
         root: TupleId,
+        root_handle: Option<SlabHandle>,
     ) {
         let env = Envelope {
-            values: Vec::new(),
+            values: self.empty_values.clone(),
             src,
             dst,
             dst_task: 0,
             edge_id: 0,
             root: Some(root),
+            root_handle,
             dst_epoch: self.executors[dst.as_usize()].epoch,
             kind,
         };
@@ -1232,7 +1465,8 @@ impl Simulation {
             // An endpoint is not placed: the message is lost; anchored
             // roots will time out. An unplaced endpoint after a fault
             // means a crash orphaned it — count the tuple against the
-            // fault rather than as a routine in-flight drop.
+            // fault rather than as a routine in-flight drop. The
+            // envelope was never boxed, so nothing is recycled.
             if self.faults_injected > 0 {
                 self.note_tuple_lost(1);
             } else {
@@ -1240,11 +1474,8 @@ impl Simulation {
             }
             return;
         };
-        *self
-            .counters
-            .pair_tuples
-            .entry((env.src, env.dst))
-            .or_insert(0) += 1;
+        self.counters
+            .add_pair(env.src.as_usize(), env.dst.as_usize());
         let src_node = self.cluster.node_of(src_slot);
         let dst_node = self.cluster.node_of(dst_slot);
         let hop = classify(src_slot.index(), dst_slot.index(), src_node, dst_node);
@@ -1278,13 +1509,46 @@ impl Simulation {
         let at =
             self.network
                 .delivery_time(self.clock, hop, payload, src_node, dst_node, extra_workers);
-        self.queue.push(at, Event::Deliver(Box::new(env)));
+        let boxed = match self.env_pool.pop() {
+            Some(mut b) => {
+                self.pool_hits += 1;
+                *b = env;
+                b
+            }
+            None => {
+                self.pool_misses += 1;
+                Box::new(env)
+            }
+        };
+        self.queue.push(at, Event::Deliver(boxed));
     }
 
-    fn on_timeout(&mut self, root_id: TupleId) {
-        let Some(root) = self.roots.remove(&root_id) else {
-            return; // completed in time
+    /// Returns an envelope box to the free-list pool, releasing its
+    /// payload reference so values are not pinned while pooled.
+    fn recycle_envelope(&mut self, mut env: Box<Envelope>) {
+        if self.env_pool.len() >= ENVELOPE_POOL_CAP {
+            return;
+        }
+        env.values = self.empty_values.clone();
+        self.env_pool.push(env);
+    }
+
+    /// Drops an executor's queued messages into the envelope pool and
+    /// returns how many there were.
+    fn drain_queue_to_pool(&mut self, idx: usize) -> u64 {
+        let mut n = 0u64;
+        while let Some(env) = self.executors[idx].queue.pop_front() {
+            n += 1;
+            self.recycle_envelope(env);
+        }
+        n
+    }
+
+    fn on_timeout(&mut self, handle: SlabHandle) {
+        let Some(root) = self.roots.remove(handle) else {
+            return; // completed in time (generation-checked no-op)
         };
+        let root_id = root.id;
         self.failed += 1;
         self.counters.failures += 1;
         self.report.failed.increment(self.clock);
@@ -1400,10 +1664,13 @@ impl Simulation {
                 if let Some(work) = self.executors[i].busy.take() {
                     // In-service work is lost with the worker.
                     self.release_cpu(work.busy_node);
+                    if let Some(env) = work.env {
+                        self.recycle_envelope(env);
+                    }
                 }
+                self.drain_queue_to_pool(i);
                 let e = &mut self.executors[i];
                 e.epoch += 1;
-                e.queue.clear();
                 if new_slot.is_some() {
                     e.paused_until = Some(ready_at);
                     self.queue.push(ready_at, Event::ExecutorResume(id));
@@ -1508,11 +1775,14 @@ impl Simulation {
         for i in victims {
             if let Some(work) = self.executors[i].busy.take() {
                 self.release_cpu(work.busy_node);
+                if let Some(env) = work.env {
+                    self.recycle_envelope(env);
+                }
             }
+            self.drain_queue_to_pool(i);
             let id = ExecutorId::new(i as u32);
             let e = &mut self.executors[i];
             e.epoch += 1;
-            e.queue.clear();
             e.location = new_slot;
             match new_slot {
                 Some(s) => {
@@ -1617,11 +1887,13 @@ impl Simulation {
             if let Some(work) = self.executors[i].busy.take() {
                 self.release_cpu(work.busy_node);
                 lost += 1;
+                if let Some(env) = work.env {
+                    self.recycle_envelope(env);
+                }
             }
+            lost += self.drain_queue_to_pool(i);
             let e = &mut self.executors[i];
-            lost += e.queue.len() as u64;
             e.epoch += 1;
-            e.queue.clear();
             e.location = None;
             e.paused_until = None;
             self.current.unassign(ExecutorId::new(i as u32));
@@ -1726,15 +1998,15 @@ impl Simulation {
     fn recompute_node_stats(&mut self) {
         let k = self.cluster.num_nodes();
         let mut located = vec![0u32; k];
-        let mut slots_used: HashMap<SlotId, ()> = HashMap::new();
+        let mut slots_used: FxHashSet<SlotId> = FxHashSet::default();
         for e in &self.executors {
             if let Some(slot) = e.location {
                 located[self.cluster.node_of(slot).as_usize()] += 1;
-                slots_used.insert(slot, ());
+                slots_used.insert(slot);
             }
         }
         let mut workers = vec![0u32; k];
-        for slot in slots_used.keys() {
+        for slot in &slots_used {
             workers[self.cluster.node_of(*slot).as_usize()] += 1;
         }
         self.located_count = located;

@@ -1,16 +1,33 @@
 //! The event queue: a time-ordered heap with deterministic tie-breaking.
+//!
+//! The queue is the simulator's innermost loop — every tuple costs
+//! several push/pop round-trips — so the default implementation is a
+//! flat 4-ary min-heap: shallower than a binary heap (log₄ vs log₂
+//! levels), with all four children of a node on one cache line of
+//! entry indices. Ordering is the strict total order `(time, seq)`
+//! where `seq` is the insertion sequence number, so pop order is
+//! *identical* to the previous `BinaryHeap` implementation — heap shape
+//! is unobservable. [`BinaryEventQueue`] keeps the old implementation
+//! as a reference for the `simbench` heap microbenchmark.
 
 use crate::fault::FaultKind;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::rc::Rc;
 use tstorm_topology::Value;
-use tstorm_types::{ExecutorId, NodeId, SimTime, SlotId, TupleId};
+use tstorm_types::{ExecutorId, NodeId, SimTime, SlabHandle, SlotId, TupleId};
 
 /// Routing/acking metadata carried by every in-flight message.
+///
+/// Envelopes are heap-boxed once and recycled through the engine's
+/// free-list pool; the payload is a shared `Rc<[Value]>` so fan-out
+/// (one emit delivered to many consumer tasks) bumps a refcount instead
+/// of deep-cloning the values per destination.
 #[derive(Debug, Clone)]
 pub struct Envelope {
-    /// Tuple payload (empty for acker control messages).
-    pub values: Vec<Value>,
+    /// Tuple payload (empty for acker control messages), shared across
+    /// every destination of the same emit.
+    pub values: Rc<[Value]>,
     /// Producing executor.
     pub src: ExecutorId,
     /// Consuming executor.
@@ -19,8 +36,15 @@ pub struct Envelope {
     pub dst_task: u32,
     /// This edge-tuple's XOR id.
     pub edge_id: u64,
-    /// The spout tuple this message is anchored to, if any.
+    /// The spout tuple this message is anchored to, if any (kept for
+    /// traces and display even after the root's state is gone).
     pub root: Option<TupleId>,
+    /// Slab handle of the anchored root's live state. `None` for
+    /// unanchored messages and for `Complete` notifications, whose root
+    /// state is already retired. Generation-checked on use, so a stale
+    /// handle (root completed/timed out, slot reused) can never touch
+    /// the wrong root.
+    pub root_handle: Option<SlabHandle>,
     /// Restart epoch of the destination executor at send time; a message
     /// addressed to an older epoch was in flight when Storm killed the
     /// worker and is dropped on delivery (Immediate mode only).
@@ -58,8 +82,10 @@ pub enum Event {
     Deliver(Box<Envelope>),
     /// The executor finishes its in-service message.
     ProcessDone(ExecutorId),
-    /// A root tuple's processing timeout fires.
-    TupleTimeout(TupleId),
+    /// A root tuple's processing timeout fires. Carries the root's slab
+    /// handle; if the root completed in time the handle is stale and the
+    /// timeout is a generation-checked no-op.
+    TupleTimeout(SlabHandle),
     /// Supervisors poll for a new assignment.
     SupervisorPoll,
     /// Smooth re-assignment: locations switch to the pending assignment.
@@ -95,6 +121,126 @@ struct Entry {
     event: Event,
 }
 
+impl Entry {
+    /// Strict earliest-first total order: time, then insertion sequence.
+    #[inline]
+    fn before(&self, other: &Self) -> bool {
+        (self.at, self.seq) < (other.at, other.seq)
+    }
+}
+
+/// Fan-out of the d-ary heap. Four keeps the tree shallow while the
+/// worst-case sift-down still scans only a handful of entries.
+const ARITY: usize = 4;
+
+/// A deterministic earliest-first event queue (4-ary min-heap).
+#[derive(Default)]
+pub struct EventQueue {
+    entries: Vec<Entry>,
+    next_seq: u64,
+    high_water: usize,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules an event at `at`.
+    pub fn push(&mut self, at: SimTime, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.entries.push(Entry { at, seq, event });
+        self.sift_up(self.entries.len() - 1);
+        self.high_water = self.high_water.max(self.entries.len());
+    }
+
+    /// Pops the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let last = self.entries.len() - 1;
+        self.entries.swap(0, last);
+        let entry = self.entries.pop().expect("non-empty");
+        if !self.entries.is_empty() {
+            self.sift_down(0);
+        }
+        Some((entry.at, entry.event))
+    }
+
+    /// Time of the earliest pending event.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.entries.first().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Largest number of events ever pending at once — the queue's
+    /// high-water mark, reported by the offline bench harness.
+    #[must_use]
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / ARITY;
+            if self.entries[i].before(&self.entries[parent]) {
+                self.entries.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let len = self.entries.len();
+        loop {
+            let first_child = i * ARITY + 1;
+            if first_child >= len {
+                break;
+            }
+            let mut min = first_child;
+            let end = (first_child + ARITY).min(len);
+            for c in first_child + 1..end {
+                if self.entries[c].before(&self.entries[min]) {
+                    min = c;
+                }
+            }
+            if self.entries[min].before(&self.entries[i]) {
+                self.entries.swap(i, min);
+                i = min;
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for EventQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("pending", &self.entries.len())
+            .field("next_seq", &self.next_seq)
+            .finish()
+    }
+}
+
 impl PartialEq for Entry {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at && self.seq == other.seq
@@ -117,14 +263,16 @@ impl Ord for Entry {
     }
 }
 
-/// A deterministic earliest-first event queue.
+/// The previous `std::collections::BinaryHeap`-backed queue, kept as
+/// the reference implementation the `simbench` heap microbenchmark
+/// compares the 4-ary heap against. Pop order is identical.
 #[derive(Default)]
-pub struct EventQueue {
+pub struct BinaryEventQueue {
     heap: BinaryHeap<Entry>,
     next_seq: u64,
 }
 
-impl EventQueue {
+impl BinaryEventQueue {
     /// Creates an empty queue.
     #[must_use]
     pub fn new() -> Self {
@@ -143,12 +291,6 @@ impl EventQueue {
         self.heap.pop().map(|e| (e.at, e.event))
     }
 
-    /// Time of the earliest pending event.
-    #[must_use]
-    pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.at)
-    }
-
     /// Number of pending events.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -162,11 +304,10 @@ impl EventQueue {
     }
 }
 
-impl std::fmt::Debug for EventQueue {
+impl std::fmt::Debug for BinaryEventQueue {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("EventQueue")
+        f.debug_struct("BinaryEventQueue")
             .field("pending", &self.heap.len())
-            .field("next_seq", &self.next_seq)
             .finish()
     }
 }
@@ -174,6 +315,7 @@ impl std::fmt::Debug for EventQueue {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tstorm_types::DetRng;
 
     #[test]
     fn pops_in_time_order() {
@@ -211,5 +353,46 @@ mod tests {
         q.push(SimTime::from_secs(5), Event::SupervisorPoll);
         assert_eq!(q.peek_time(), Some(SimTime::from_secs(5)));
         assert_eq!(q.len(), 1);
+        assert_eq!(q.high_water(), 1);
+    }
+
+    #[test]
+    fn high_water_tracks_peak_not_current() {
+        let mut q = EventQueue::new();
+        for s in 0..10 {
+            q.push(SimTime::from_secs(s), Event::SupervisorPoll);
+        }
+        for _ in 0..10 {
+            let _ = q.pop();
+        }
+        assert!(q.is_empty());
+        assert_eq!(q.high_water(), 10);
+    }
+
+    #[test]
+    fn quaternary_heap_matches_binary_heap_pop_for_pop() {
+        // Interleaved pushes and pops with heavy time ties: both heaps
+        // must produce the identical (time, seq) pop sequence, because
+        // the engine's determinism contract rides on it.
+        let mut rng = DetRng::seed_from(0xbeef);
+        let mut quad = EventQueue::new();
+        let mut bin = BinaryEventQueue::new();
+        let mut popped = 0usize;
+        let mut pushed = 0usize;
+        while pushed < 5_000 || popped < 5_000 {
+            let push = pushed < 5_000 && (popped >= pushed || rng.below(3) > 0);
+            if push {
+                let at = SimTime::from_micros(rng.below(64) as u64);
+                quad.push(at, Event::SupervisorPoll);
+                bin.push(at, Event::SupervisorPoll);
+                pushed += 1;
+            } else {
+                let a = quad.pop().map(|(t, _)| t);
+                let b = bin.pop().map(|(t, _)| t);
+                assert_eq!(a, b, "pop {popped} diverged");
+                popped += 1;
+            }
+        }
+        assert!(quad.is_empty() && bin.is_empty());
     }
 }

@@ -73,6 +73,6 @@ pub mod network;
 pub mod routing;
 
 pub use config::{CpuConfig, NetworkConfig, ReassignConfig, ReassignMode, SimConfig};
-pub use engine::{ExecutorDescriptor, SimCounters, Simulation, TopologyHandle};
+pub use engine::{EngineStats, ExecutorDescriptor, SimCounters, Simulation, TopologyHandle};
 pub use fault::{FaultEvent, FaultKind, FaultParseError, FaultPlan};
 pub use logic::{BoltLogic, ConstSpout, ExecutorLogic, IdentityBolt, SpoutLogic};

@@ -60,8 +60,48 @@ pub fn key_hash(values: &[Value], key_indices: &[usize]) -> u64 {
     hasher.finish64()
 }
 
+/// A [`Grouping`] resolved for the hot path: the field *names* of a
+/// fields grouping are dropped (task selection only needs the
+/// pre-resolved key indices), so the rule is a plain `Copy` tag and
+/// per-edge routing state carries no heap allocations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteRule {
+    /// One uniformly random consumer task.
+    Shuffle,
+    /// `hash(key fields) mod tasks`.
+    Fields,
+    /// Every consumer task.
+    All,
+    /// Task 0 (the lowest id).
+    Global,
+    /// Producer-chosen; the engine supplies a round-robin counter.
+    Direct,
+}
+
+impl RouteRule {
+    /// Resolves a grouping into its hot-path rule.
+    #[must_use]
+    pub fn from_grouping(grouping: &Grouping) -> Self {
+        match grouping {
+            Grouping::Shuffle => Self::Shuffle,
+            Grouping::Fields(_) => Self::Fields,
+            Grouping::All => Self::All,
+            Grouping::Global => Self::Global,
+            Grouping::Direct => Self::Direct,
+        }
+    }
+}
+
+impl From<&Grouping> for RouteRule {
+    fn from(grouping: &Grouping) -> Self {
+        Self::from_grouping(grouping)
+    }
+}
+
 /// Selects the destination task indices for one emitted tuple on one
-/// stream edge.
+/// stream edge, appending them to `out` (the engine reuses one scratch
+/// buffer across every selection instead of allocating a `Vec` per
+/// routed tuple).
 ///
 /// * `Shuffle` — one uniformly random task (Storm 0.8 semantics: random
 ///   across all consumer tasks, which "guarantees an equal number of
@@ -71,6 +111,33 @@ pub fn key_hash(values: &[Value], key_indices: &[usize]) -> u64 {
 /// * `Global` — task 0 (the lowest id);
 /// * `Direct` — the producer chooses; absent an explicit choice the
 ///   engine supplies a per-edge round-robin counter.
+pub fn select_tasks_into(
+    rule: RouteRule,
+    key_indices: &[usize],
+    values: &[Value],
+    num_tasks: u32,
+    rng: &mut DetRng,
+    direct_counter: &mut u32,
+    out: &mut Vec<u32>,
+) {
+    debug_assert!(num_tasks > 0, "consumer component has no tasks");
+    match rule {
+        RouteRule::Shuffle => out.push(rng.below(num_tasks as usize) as u32),
+        RouteRule::Fields => {
+            out.push((key_hash(values, key_indices) % u64::from(num_tasks)) as u32);
+        }
+        RouteRule::All => out.extend(0..num_tasks),
+        RouteRule::Global => out.push(0),
+        RouteRule::Direct => {
+            let t = *direct_counter % num_tasks;
+            *direct_counter = direct_counter.wrapping_add(1);
+            out.push(t);
+        }
+    }
+}
+
+/// Allocating wrapper around [`select_tasks_into`] for callers outside
+/// the engine's hot loop.
 #[must_use]
 pub fn select_tasks(
     grouping: &Grouping,
@@ -80,20 +147,17 @@ pub fn select_tasks(
     rng: &mut DetRng,
     direct_counter: &mut u32,
 ) -> Vec<u32> {
-    debug_assert!(num_tasks > 0, "consumer component has no tasks");
-    match grouping {
-        Grouping::Shuffle => vec![rng.below(num_tasks as usize) as u32],
-        Grouping::Fields(_) => {
-            vec![(key_hash(values, key_indices) % u64::from(num_tasks)) as u32]
-        }
-        Grouping::All => (0..num_tasks).collect(),
-        Grouping::Global => vec![0],
-        Grouping::Direct => {
-            let t = *direct_counter % num_tasks;
-            *direct_counter = direct_counter.wrapping_add(1);
-            vec![t]
-        }
-    }
+    let mut out = Vec::new();
+    select_tasks_into(
+        RouteRule::from_grouping(grouping),
+        key_indices,
+        values,
+        num_tasks,
+        rng,
+        direct_counter,
+        &mut out,
+    );
+    out
 }
 
 #[cfg(test)]

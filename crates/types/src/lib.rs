@@ -27,15 +27,19 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod hash;
 pub mod ids;
 pub mod rng;
+pub mod slab;
 pub mod time;
 pub mod units;
 
 pub use error::{Result, TStormError};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{
     AssignmentId, ComponentId, ExecutorId, NodeId, SlotId, TaskId, TopologyId, TupleId, WorkerId,
 };
 pub use rng::DetRng;
+pub use slab::{Slab, SlabHandle};
 pub use time::SimTime;
 pub use units::{Bytes, Mhz};

@@ -1,0 +1,328 @@
+//! A slab: index-addressed storage with generation-checked handles.
+//!
+//! The simulator's hottest map — in-flight ack-tree roots — is keyed by
+//! ids the engine mints itself, so a hash map buys nothing over an
+//! array index. A slab stores values in a `Vec`, recycles vacant slots
+//! through a free list, and brands every handle with the slot's
+//! *generation*: removing a value bumps the generation, so a stale
+//! handle held by an in-flight message or a pending timeout event can
+//! never resurrect (or corrupt) a slot's next occupant. Lookups are one
+//! bounds check + one generation compare — no hashing, no probing.
+//!
+//! # Example
+//!
+//! ```
+//! use tstorm_types::Slab;
+//!
+//! let mut slab: Slab<&str> = Slab::new();
+//! let h = slab.insert("root");
+//! assert_eq!(slab.get(h), Some(&"root"));
+//! assert_eq!(slab.remove(h), Some("root"));
+//! // The handle is dead: the slot may be reused, but `h` can't see it.
+//! let h2 = slab.insert("next");
+//! assert_eq!(slab.get(h), None);
+//! assert_eq!(slab.get(h2), Some(&"next"));
+//! ```
+
+/// A generation-branded reference to one slab slot.
+///
+/// Handles are `Copy` and order-comparable (by slot, then generation),
+/// and pack to a `u64` for embedding in compact event payloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SlabHandle {
+    index: u32,
+    generation: u32,
+}
+
+impl SlabHandle {
+    /// The slot index this handle points at.
+    #[must_use]
+    pub const fn index(self) -> u32 {
+        self.index
+    }
+
+    /// The slot generation this handle was minted for.
+    #[must_use]
+    pub const fn generation(self) -> u32 {
+        self.generation
+    }
+
+    /// Packs the handle into a `u64` (index in the low word).
+    #[must_use]
+    pub const fn to_bits(self) -> u64 {
+        (self.generation as u64) << 32 | self.index as u64
+    }
+
+    /// Unpacks a handle previously packed with [`SlabHandle::to_bits`].
+    #[must_use]
+    pub const fn from_bits(bits: u64) -> Self {
+        Self {
+            index: bits as u32,
+            generation: (bits >> 32) as u32,
+        }
+    }
+}
+
+enum Slot<T> {
+    Occupied {
+        generation: u32,
+        value: T,
+    },
+    /// Vacant slot remembering the generation its *next* occupant gets.
+    Vacant {
+        generation: u32,
+    },
+}
+
+/// Index-addressed storage with generation-checked handles and O(1)
+/// insert/lookup/remove. See the module docs for the motivation.
+pub struct Slab<T> {
+    slots: Vec<Slot<T>>,
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Slab<T> {
+    /// Creates an empty slab.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            slots: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Creates an empty slab with room for `capacity` values.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            slots: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of live values.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no values are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Stores a value, reusing a vacant slot when one exists, and
+    /// returns the handle branding this occupancy.
+    pub fn insert(&mut self, value: T) -> SlabHandle {
+        self.len += 1;
+        if let Some(index) = self.free.pop() {
+            let slot = &mut self.slots[index as usize];
+            let generation = match *slot {
+                Slot::Vacant { generation } => generation,
+                Slot::Occupied { .. } => unreachable!("free list points at occupied slot"),
+            };
+            *slot = Slot::Occupied { generation, value };
+            SlabHandle { index, generation }
+        } else {
+            let index = u32::try_from(self.slots.len()).expect("slab exceeds u32 slots");
+            self.slots.push(Slot::Occupied {
+                generation: 0,
+                value,
+            });
+            SlabHandle {
+                index,
+                generation: 0,
+            }
+        }
+    }
+
+    /// The value behind `handle`, unless it was removed (or the slot was
+    /// since reused by a newer occupant).
+    #[must_use]
+    pub fn get(&self, handle: SlabHandle) -> Option<&T> {
+        match self.slots.get(handle.index as usize) {
+            Some(Slot::Occupied { generation, value }) if *generation == handle.generation => {
+                Some(value)
+            }
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the value behind `handle`, with the same
+    /// staleness rules as [`Slab::get`].
+    #[must_use]
+    pub fn get_mut(&mut self, handle: SlabHandle) -> Option<&mut T> {
+        match self.slots.get_mut(handle.index as usize) {
+            Some(Slot::Occupied { generation, value }) if *generation == handle.generation => {
+                Some(value)
+            }
+            _ => None,
+        }
+    }
+
+    /// Removes and returns the value behind `handle`; stale handles are
+    /// a no-op returning `None`. The slot's generation is bumped so the
+    /// removed handle can never match again.
+    pub fn remove(&mut self, handle: SlabHandle) -> Option<T> {
+        let slot = self.slots.get_mut(handle.index as usize)?;
+        match slot {
+            Slot::Occupied { generation, .. } if *generation == handle.generation => {
+                let next = Slot::Vacant {
+                    generation: handle.generation.wrapping_add(1),
+                };
+                let Slot::Occupied { value, .. } = std::mem::replace(slot, next) else {
+                    unreachable!("matched occupied above");
+                };
+                self.len -= 1;
+                self.free.push(handle.index);
+                Some(value)
+            }
+            _ => None,
+        }
+    }
+
+    /// Iterates live values with their handles, in slot order
+    /// (deterministic: independent of insertion history hashing).
+    pub fn iter(&self) -> impl Iterator<Item = (SlabHandle, &T)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| match slot {
+                Slot::Occupied { generation, value } => Some((
+                    SlabHandle {
+                        index: i as u32,
+                        generation: *generation,
+                    },
+                    value,
+                )),
+                Slot::Vacant { .. } => None,
+            })
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Slab<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Slab")
+            .field("len", &self.len)
+            .field("slots", &self.slots.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::DetRng;
+    use std::collections::HashMap;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut slab = Slab::new();
+        let a = slab.insert(10);
+        let b = slab.insert(20);
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.get(a), Some(&10));
+        assert_eq!(slab.get(b), Some(&20));
+        *slab.get_mut(a).unwrap() += 1;
+        assert_eq!(slab.remove(a), Some(11));
+        assert_eq!(slab.remove(a), None, "double remove is a no-op");
+        assert_eq!(slab.len(), 1);
+    }
+
+    #[test]
+    fn generation_reuse_never_resurrects_a_removed_value() {
+        let mut slab = Slab::new();
+        let old = slab.insert("root-0");
+        assert_eq!(slab.remove(old), Some("root-0"));
+        // The freed slot is recycled for the next insert...
+        let new = slab.insert("root-1");
+        assert_eq!(new.index(), old.index());
+        assert_ne!(new.generation(), old.generation());
+        // ...but the stale handle sees nothing, mutates nothing, and
+        // cannot remove the new occupant.
+        assert_eq!(slab.get(old), None);
+        assert!(slab.get_mut(old).is_none());
+        assert_eq!(slab.remove(old), None);
+        assert_eq!(slab.get(new), Some(&"root-1"));
+    }
+
+    #[test]
+    fn handles_pack_and_unpack() {
+        let mut slab = Slab::new();
+        let h = slab.insert(1);
+        let _ = slab.remove(h);
+        let h2 = slab.insert(2);
+        for handle in [h, h2] {
+            assert_eq!(SlabHandle::from_bits(handle.to_bits()), handle);
+        }
+        assert_ne!(h.to_bits(), h2.to_bits());
+    }
+
+    #[test]
+    fn random_ops_agree_with_a_map_model() {
+        // Property test: a slab driven by random insert/remove/get must
+        // behave exactly like a HashMap keyed by handle, and stale
+        // handles must stay dead forever.
+        let mut rng = DetRng::seed_from(0x51ab);
+        let mut slab: Slab<u64> = Slab::new();
+        let mut model: HashMap<u64, u64> = HashMap::new(); // bits -> value
+        let mut dead: Vec<SlabHandle> = Vec::new();
+        let mut next_value = 0u64;
+        for step in 0..10_000 {
+            match rng.below(4) {
+                0 | 1 => {
+                    let h = slab.insert(next_value);
+                    assert!(
+                        model.insert(h.to_bits(), next_value).is_none(),
+                        "step {step}: handle reuse with identical bits"
+                    );
+                    next_value += 1;
+                }
+                2 if !model.is_empty() => {
+                    let keys: Vec<u64> = model.keys().copied().collect();
+                    let bits = keys[rng.below(keys.len())];
+                    let h = SlabHandle::from_bits(bits);
+                    assert_eq!(slab.remove(h), model.remove(&bits));
+                    dead.push(h);
+                }
+                _ => {
+                    for (bits, v) in &model {
+                        assert_eq!(slab.get(SlabHandle::from_bits(*bits)), Some(v));
+                    }
+                }
+            }
+            assert_eq!(slab.len(), model.len(), "step {step}");
+            for h in &dead {
+                assert_eq!(slab.get(*h), None, "step {step}: dead handle sees a value");
+            }
+            // Keep the dead list bounded; staleness is permanent anyway.
+            if dead.len() > 64 {
+                dead.drain(..32);
+            }
+        }
+    }
+
+    #[test]
+    fn iter_walks_slot_order() {
+        let mut slab = Slab::with_capacity(4);
+        let a = slab.insert('a');
+        let b = slab.insert('b');
+        let c = slab.insert('c');
+        let _ = slab.remove(b);
+        let got: Vec<char> = slab.iter().map(|(_, v)| *v).collect();
+        assert_eq!(got, vec!['a', 'c']);
+        let handles: Vec<SlabHandle> = slab.iter().map(|(h, _)| h).collect();
+        assert_eq!(handles, vec![a, c]);
+        assert!(!slab.is_empty());
+    }
+}

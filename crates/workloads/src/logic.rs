@@ -1,12 +1,11 @@
 //! Spout and bolt implementations shared by the workloads.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::rc::Rc;
 use tstorm_sim::{BoltLogic, SpoutLogic};
-use tstorm_substrates::{Document, LogEntry, MongoStore, RedisQueue};
+use tstorm_substrates::{LogEntry, MongoStore, RedisQueue};
 use tstorm_topology::Value;
-use tstorm_types::{DetRng, SimTime};
+use tstorm_types::{DetRng, FxHashMap, SimTime};
 
 /// Shared handle to a Redis-like queue (single-threaded simulation).
 pub type SharedQueue = Rc<RefCell<RedisQueue>>;
@@ -120,7 +119,14 @@ impl BoltLogic for SplitSentenceBolt {
     fn execute(&mut self, input: &[Value], emit: &mut dyn FnMut(Vec<Value>)) {
         if let Some(line) = input[0].as_str() {
             for word in line.split_whitespace() {
-                emit(vec![Value::str(word.to_lowercase())]);
+                // Already-lowercase ASCII words (most of any real corpus)
+                // skip the `to_lowercase` intermediate allocation.
+                let value = if word.is_ascii() && !word.bytes().any(|b| b.is_ascii_uppercase()) {
+                    Value::str(word)
+                } else {
+                    Value::str(word.to_lowercase())
+                };
+                emit(vec![value]);
             }
         }
     }
@@ -131,7 +137,7 @@ impl BoltLogic for SplitSentenceBolt {
 /// each word is counted by exactly one task.
 #[derive(Debug, Default)]
 pub struct WordCountBolt {
-    counts: HashMap<String, u64>,
+    counts: FxHashMap<String, u64>,
 }
 
 impl WordCountBolt {
@@ -151,9 +157,19 @@ impl WordCountBolt {
 impl BoltLogic for WordCountBolt {
     fn execute(&mut self, input: &[Value], emit: &mut dyn FnMut(Vec<Value>)) {
         if let Some(word) = input[0].as_str() {
-            let n = self.counts.entry(word.to_owned()).or_insert(0);
-            *n += 1;
-            emit(vec![Value::str(word), Value::Int(*n as i64)]);
+            // Hit path avoids the `to_owned` the entry API would force.
+            let n = match self.counts.get_mut(word) {
+                Some(n) => {
+                    *n += 1;
+                    *n
+                }
+                None => {
+                    self.counts.insert(word.to_owned(), 1);
+                    1
+                }
+            };
+            // Re-emitting the input value shares its string allocation.
+            emit(vec![input[0].clone(), Value::Int(n as i64)]);
         }
     }
 }
@@ -165,6 +181,8 @@ pub struct MongoUpsertBolt {
     collection: String,
     key_field: String,
     value_field: String,
+    key_buf: String,
+    value_buf: String,
 }
 
 impl MongoUpsertBolt {
@@ -181,6 +199,22 @@ impl MongoUpsertBolt {
             collection: collection.into(),
             key_field: key_field.into(),
             value_field: value_field.into(),
+            key_buf: String::new(),
+            value_buf: String::new(),
+        }
+    }
+}
+
+/// Renders a value the way `Value::to_string` does, but borrowing string
+/// payloads directly and formatting the rest into a reusable buffer.
+fn render<'a>(value: &'a Value, buf: &'a mut String) -> &'a str {
+    use std::fmt::Write as _;
+    match value.as_str() {
+        Some(s) => s,
+        None => {
+            buf.clear();
+            let _ = write!(buf, "{value}");
+            buf
         }
     }
 }
@@ -190,12 +224,13 @@ impl BoltLogic for MongoUpsertBolt {
         let (Some(key), Some(value)) = (input.first(), input.get(1)) else {
             return;
         };
-        let doc = Document::new()
-            .with(self.key_field.clone(), key.to_string())
-            .with(self.value_field.clone(), value.to_string());
-        self.store
-            .borrow_mut()
-            .upsert_by(&self.collection, &self.key_field, doc);
+        self.store.borrow_mut().upsert_kv(
+            &self.collection,
+            &self.key_field,
+            render(key, &mut self.key_buf),
+            &self.value_field,
+            render(value, &mut self.value_buf),
+        );
     }
 }
 
@@ -242,7 +277,7 @@ impl BoltLogic for LogRulesBolt {
 /// emits `(uri, hits)` index updates.
 #[derive(Debug, Default)]
 pub struct IndexerBolt {
-    index: HashMap<String, u64>,
+    index: FxHashMap<String, u64>,
 }
 
 impl IndexerBolt {
@@ -256,9 +291,17 @@ impl IndexerBolt {
 impl BoltLogic for IndexerBolt {
     fn execute(&mut self, input: &[Value], emit: &mut dyn FnMut(Vec<Value>)) {
         if let Some(uri) = input[0].as_str() {
-            let n = self.index.entry(uri.to_owned()).or_insert(0);
-            *n += 1;
-            emit(vec![Value::str(uri), Value::Int(*n as i64)]);
+            let n = match self.index.get_mut(uri) {
+                Some(n) => {
+                    *n += 1;
+                    *n
+                }
+                None => {
+                    self.index.insert(uri.to_owned(), 1);
+                    1
+                }
+            };
+            emit(vec![input[0].clone(), Value::Int(n as i64)]);
         }
     }
 }
@@ -267,7 +310,7 @@ impl BoltLogic for IndexerBolt {
 /// emits `(status, count)` updates.
 #[derive(Debug, Default)]
 pub struct StatusCounterBolt {
-    counts: HashMap<i64, u64>,
+    counts: FxHashMap<i64, u64>,
 }
 
 impl StatusCounterBolt {
