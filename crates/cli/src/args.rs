@@ -44,6 +44,12 @@ pub struct RunOptions {
     /// Maximum replays per tuple before it is permanently failed
     /// (`None` = unbounded, Storm's behaviour).
     pub max_replays: Option<u32>,
+    /// Supervisor heartbeat period in seconds (liveness is derived from
+    /// these heartbeats, never from direct observation).
+    pub heartbeat_secs: u64,
+    /// Per-node jitter fraction on supervisor fetch/heartbeat timers,
+    /// in `[0, 1)`; staggers rollouts across nodes.
+    pub fetch_jitter: f64,
     /// Suppress the per-window table (summary only).
     pub quiet: bool,
     /// Print engine hot-path statistics (envelope-pool hit rate, event
@@ -70,6 +76,8 @@ impl Default for RunOptions {
             prom: None,
             faults: Vec::new(),
             max_replays: None,
+            heartbeat_secs: 5,
+            fetch_jitter: 0.2,
             quiet: false,
             engine_stats: false,
         }
@@ -134,8 +142,12 @@ OPTIONS (run/compare):
                        worker-crash@t=SECS,node=N,slot=S
                        node-crash@t=SECS,node=N[,restart=SECS]
                        nic-slow@t=SECS,node=N,factor=F,dur=SECS
+                       nimbus-crash@t=SECS,dur=SECS
+                       heartbeat-loss@t=SECS,node=N,dur=SECS
     --max-replays N    permanently fail a tuple after N replays
                        [unbounded, like Storm]
+    --heartbeat SECS   supervisor heartbeat period               [5]
+    --fetch-jitter F   per-node fetch/heartbeat jitter in [0,1)  [0.2]
     --quiet            summary only
     --engine-stats     print engine hot-path statistics after the run
 ";
@@ -226,6 +238,20 @@ where
                 opts.faults.push(spec);
             }
             "--max-replays" => opts.max_replays = Some(parse_int(flag, &value(flag)?)?),
+            "--heartbeat" => {
+                opts.heartbeat_secs = u64::from(parse_int(flag, &value(flag)?)?);
+                if opts.heartbeat_secs == 0 {
+                    return Err(ParseError("--heartbeat must be positive".to_owned()));
+                }
+            }
+            "--fetch-jitter" => {
+                opts.fetch_jitter = parse_num(flag, &value(flag)?)?;
+                if !(0.0..1.0).contains(&opts.fetch_jitter) {
+                    return Err(ParseError(
+                        "--fetch-jitter must be within [0, 1)".to_owned(),
+                    ));
+                }
+            }
             "--quiet" => opts.quiet = true,
             "--engine-stats" => opts.engine_stats = true,
             other => return Err(ParseError(format!("unknown flag `{other}`"))),
@@ -337,7 +363,34 @@ mod tests {
         assert!(parse(args("run --fault")).is_err());
         assert!(parse(args("run --fault gremlin@t=1,node=0")).is_err());
         assert!(parse(args("run --fault node-crash@node=3")).is_err());
+        assert!(parse(args("run --fault nimbus-crash@t=100")).is_err());
+        assert!(parse(args("run --fault heartbeat-loss@t=100,dur=30")).is_err());
         assert!(parse(args("run --max-replays x")).is_err());
+    }
+
+    #[test]
+    fn parses_control_plane_flags_and_faults() {
+        let cmd = parse(args(
+            "run --heartbeat 2 --fetch-jitter 0.4 \
+             --fault nimbus-crash@t=100,dur=60 \
+             --fault heartbeat-loss@t=200,node=2,dur=30",
+        ))
+        .expect("parses");
+        let Command::Run(o) = cmd else {
+            panic!("expected run");
+        };
+        assert_eq!(o.heartbeat_secs, 2);
+        assert_eq!(o.fetch_jitter, 0.4);
+        assert_eq!(
+            o.faults,
+            vec![
+                "nimbus-crash@t=100,dur=60".to_owned(),
+                "heartbeat-loss@t=200,node=2,dur=30".to_owned(),
+            ]
+        );
+        assert!(parse(args("run --heartbeat 0")).is_err());
+        assert!(parse(args("run --fetch-jitter 1.0")).is_err());
+        assert!(parse(args("run --fetch-jitter -0.1")).is_err());
     }
 
     #[test]

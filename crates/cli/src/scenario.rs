@@ -67,6 +67,9 @@ pub struct ScenarioOutcome {
     pub timeline: Vec<tstorm_core::ControlEvent>,
     /// Engine hot-path statistics (pool hit rate, queue high-water).
     pub engine: tstorm_sim::EngineStats,
+    /// Control-plane counters (heartbeats, fetches, epochs, death
+    /// declarations, false positives).
+    pub control: tstorm_core::ControlStats,
 }
 
 /// Builds and runs one scenario per the options.
@@ -84,6 +87,8 @@ pub fn run_scenario(opts: &RunOptions) -> Result<ScenarioOutcome> {
     if let Some(cap) = opts.max_replays {
         config.sim.max_replays = cap;
     }
+    config.heartbeat_period = SimTime::from_secs(opts.heartbeat_secs);
+    config.fetch_jitter = opts.fetch_jitter;
     let fault_plan = FaultPlan::from_specs(&opts.faults)
         .map_err(|e| TStormError::invalid_config("--fault", e.to_string()))?;
     let mut system = TStormSystem::new(cluster, config)?;
@@ -163,6 +168,7 @@ pub fn run_scenario(opts: &RunOptions) -> Result<ScenarioOutcome> {
         recovery_events: system.recovery_events(),
         timeline: system.timeline().to_vec(),
         engine: system.simulation().engine_stats(),
+        control: system.control_stats(),
     })
 }
 
@@ -238,17 +244,26 @@ impl ScenarioOutcome {
         line
     }
 
-    /// One-line engine hot-path report for `--engine-stats`.
+    /// Two-line engine report for `--engine-stats`: the hot-path
+    /// statistics plus the control-plane counters.
     #[must_use]
     pub fn engine_summary(&self) -> String {
         format!(
             "engine: pool hit-rate {:.1}% ({} hits, {} misses) | \
-             queue high-water {} | allocations avoided {}",
+             queue high-water {} | allocations avoided {}\n\
+             control: heartbeats {} sent, {} missed | fetches {} | \
+             epochs applied {} | declared dead {} | false-positive reassignments {}",
             self.engine.pool_hit_rate() * 100.0,
             self.engine.pool_hits,
             self.engine.pool_misses,
             self.engine.queue_high_water,
             self.engine.allocations_avoided(),
+            self.control.heartbeats_sent,
+            self.control.heartbeats_missed,
+            self.control.fetches,
+            self.control.epochs_applied,
+            self.control.nodes_declared_dead,
+            self.control.false_positive_reassignments,
         )
     }
 }
@@ -296,6 +311,64 @@ mod tests {
         let line = outcome.engine_summary();
         assert!(line.contains("pool hit-rate"), "{line}");
         assert!(line.contains("queue high-water"), "{line}");
+        assert!(line.contains("heartbeats"), "{line}");
+        assert!(
+            outcome.control.heartbeats_sent > 0,
+            "supervisors heartbeat throughout the run"
+        );
+    }
+
+    #[test]
+    fn heartbeat_loss_produces_false_positive_and_reconciles() {
+        let opts = RunOptions {
+            faults: vec!["heartbeat-loss@t=100,node=2,dur=40".to_owned()],
+            duration_secs: 300,
+            ..quick(Topology::Throughput)
+        };
+        let outcome = run_scenario(&opts).expect("runs");
+        assert_eq!(outcome.faults_injected, 1);
+        assert!(
+            outcome.control.nodes_declared_dead >= 1,
+            "muted heartbeats must cross the miss threshold"
+        );
+        assert!(
+            outcome.control.false_positive_reassignments >= 1,
+            "the healthy node was reassigned away, then reconciled: {:?}",
+            outcome.control
+        );
+    }
+
+    #[test]
+    fn nimbus_crash_suppresses_recovery_until_restore() {
+        // Nimbus is down for 30..150; a node dies at 60. Recovery must
+        // be visibly suppressed during the outage and happen after it.
+        let opts = RunOptions {
+            faults: vec![
+                "nimbus-crash@t=30,dur=120".to_owned(),
+                "node-crash@t=60,node=3".to_owned(),
+            ],
+            duration_secs: 240,
+            ..quick(Topology::Throughput)
+        };
+        let outcome = run_scenario(&opts).expect("runs");
+        let suppressed = outcome
+            .timeline
+            .iter()
+            .any(|e| matches!(e, tstorm_core::ControlEvent::NimbusSuppressed { .. }));
+        assert!(
+            suppressed,
+            "recovery attempts during the outage must be logged as suppressed"
+        );
+        let published_in_window = outcome.timeline.iter().any(|e| {
+            matches!(e, tstorm_core::ControlEvent::SchedulePublished { at, .. }
+                if (SimTime::from_secs(30)..SimTime::from_secs(150)).contains(at))
+        });
+        assert!(!published_in_window, "no publications while Nimbus is down");
+        let published_after = outcome.timeline.iter().any(|e| {
+            matches!(e, tstorm_core::ControlEvent::SchedulePublished { at, .. }
+                if *at >= SimTime::from_secs(150))
+        });
+        assert!(published_after, "recovery proceeds once Nimbus is back");
     }
 
     #[test]

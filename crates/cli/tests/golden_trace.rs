@@ -66,6 +66,37 @@ fn fault_plan_trace_is_byte_identical_across_runs() {
 }
 
 #[test]
+fn control_plane_fault_trace_is_byte_identical_across_runs() {
+    // The control-plane faults exercise the heartbeat/liveness machinery:
+    // a healthy node is falsely declared dead and reassigned, and a
+    // nimbus outage defers generations — all of it on jittered, staggered
+    // per-supervisor timers that must replay byte-identically.
+    let opts = RunOptions {
+        topology: Topology::Throughput,
+        duration_secs: 200,
+        seed: 23,
+        quiet: true,
+        faults: vec![
+            "heartbeat-loss@t=60,node=2,dur=40".to_owned(),
+            "nimbus-crash@t=130,dur=30".to_owned(),
+        ],
+        ..RunOptions::default()
+    };
+    let a = trace_bytes(&opts, "ctrl-a");
+    let b = trace_bytes(&opts, "ctrl-b");
+    assert!(a.lines_count() > 100);
+    let text = std::str::from_utf8(&a).expect("traces are UTF-8 JSONL");
+    assert!(
+        text.contains("node_declared_dead") && text.contains("node_reconciled"),
+        "the heartbeat-loss window should surface a declaration and a reconciliation"
+    );
+    assert_eq!(
+        a, b,
+        "same-seed control-fault traces must be byte-identical"
+    );
+}
+
+#[test]
 fn different_seeds_give_different_traces() {
     // Sanity check that the byte comparison has teeth: a seed change
     // must actually move the trace.

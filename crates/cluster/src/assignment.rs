@@ -270,6 +270,40 @@ impl Assignment {
     }
 }
 
+/// An [`Assignment`] stamped with the schedule-store epoch under which it
+/// was published.
+///
+/// The paper's components communicate through a shared DB; a schedule read
+/// from that DB is only meaningful together with its version. Supervisors
+/// compare their locally applied epoch against the published one to decide
+/// whether a fetch actually carries news, and stale reads (an epoch older
+/// than the latest publish) are detectable instead of silently rolling a
+/// cluster backwards.
+///
+/// Epoch `0` is reserved for the initial assignment installed at topology
+/// submission; every store publish afterwards uses a strictly increasing
+/// epoch.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VersionedAssignment {
+    /// Monotonically increasing publish version.
+    pub epoch: u64,
+    /// The executor-to-slot mapping published under that epoch.
+    pub assignment: Assignment,
+}
+
+impl VersionedAssignment {
+    /// Wraps an assignment with its publish epoch.
+    pub fn new(epoch: u64, assignment: Assignment) -> Self {
+        Self { epoch, assignment }
+    }
+
+    /// True when this publication supersedes a reader that has applied
+    /// `applied_epoch` — i.e. a fetch would carry new information.
+    pub fn is_newer_than(&self, applied_epoch: u64) -> bool {
+        self.epoch > applied_epoch
+    }
+}
+
 impl FromIterator<(ExecutorId, SlotId)> for Assignment {
     fn from_iter<I: IntoIterator<Item = (ExecutorId, SlotId)>>(iter: I) -> Self {
         Self {

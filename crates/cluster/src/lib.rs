@@ -32,5 +32,5 @@
 pub mod assignment;
 pub mod spec;
 
-pub use assignment::{Assignment, AssignmentDiff, ExecutorCtx};
+pub use assignment::{Assignment, AssignmentDiff, ExecutorCtx, VersionedAssignment};
 pub use spec::{ClusterSpec, NodeSpec, SlotInfo};

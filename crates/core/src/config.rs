@@ -74,6 +74,19 @@ pub struct TStormConfig {
     /// timing out; without a cooldown the fast path would regenerate (and
     /// restart the rollout) on every monitoring window.
     pub overload_cooldown: SimTime,
+    /// Interval at which each node's supervisor heartbeats to Nimbus.
+    /// Liveness is heartbeat-derived: Nimbus never observes node health
+    /// directly, only this stream.
+    pub heartbeat_period: SimTime,
+    /// Consecutive heartbeat periods a node may go silent before Nimbus
+    /// declares it dead and excludes it from scheduling.
+    pub heartbeat_miss_threshold: u32,
+    /// Per-node jitter fraction applied to every supervisor fetch (and
+    /// heartbeat) interval, in `[0, 1)`. Non-zero jitter staggers the
+    /// nodes so a rollout is applied node by node rather than in one
+    /// synchronized step — different nodes briefly run different
+    /// assignment epochs, as in real Storm.
+    pub fetch_jitter: f64,
     /// Underlying simulator configuration.
     pub sim: SimConfig,
 }
@@ -95,6 +108,9 @@ impl Default for TStormConfig {
             overload_fast_path: true,
             improvement_threshold: 0.1,
             overload_cooldown: SimTime::from_secs(60),
+            heartbeat_period: SimTime::from_secs(5),
+            heartbeat_miss_threshold: 3,
+            fetch_jitter: 0.2,
             sim: SimConfig::default(),
         }
     }
@@ -179,6 +195,24 @@ impl TStormConfig {
                 "monitor/fetch/generation periods must be non-zero",
             ));
         }
+        if self.heartbeat_period == SimTime::ZERO {
+            return Err(TStormError::invalid_config(
+                "heartbeat_period",
+                "must be non-zero",
+            ));
+        }
+        if self.heartbeat_miss_threshold == 0 {
+            return Err(TStormError::invalid_config(
+                "heartbeat_miss_threshold",
+                "must be at least 1",
+            ));
+        }
+        if !(0.0..1.0).contains(&self.fetch_jitter) {
+            return Err(TStormError::invalid_config(
+                "fetch_jitter",
+                "must be within [0, 1)",
+            ));
+        }
         Ok(())
     }
 }
@@ -220,6 +254,21 @@ mod tests {
         assert!(c.validate().is_err());
         let c = TStormConfig {
             monitor_period: SimTime::ZERO,
+            ..TStormConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = TStormConfig {
+            heartbeat_period: SimTime::ZERO,
+            ..TStormConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = TStormConfig {
+            heartbeat_miss_threshold: 0,
+            ..TStormConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = TStormConfig {
+            fetch_jitter: 1.0,
             ..TStormConfig::default()
         };
         assert!(c.validate().is_err());

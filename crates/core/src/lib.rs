@@ -14,7 +14,15 @@
 //!    assignment in Nimbus; supervisors roll it out with the smooth
 //!    re-assignment protocol of Section IV-D.
 //!
-//! [`TStormSystem`] drives that control loop against a
+//! The control plane is explicit: the generator publishes epoch-stamped
+//! schedules into a [`ScheduleStore`]; [`Nimbus`] fetches them, owns the
+//! scheduler registry, and derives node liveness purely from supervisor
+//! heartbeats; per-node [`Supervisor`] state machines heartbeat and
+//! fetch/apply their node's slice on jittered, phase-staggered timers —
+//! so a rollout lands node by node and different nodes briefly run
+//! different assignment epochs, as in a real Storm cluster.
+//!
+//! [`TStormSystem`] wires those components over a
 //! [`tstorm_sim::Simulation`]; [`SystemMode`] selects between plain Storm
 //! (default scheduler, no monitoring, disruptive re-assignment) and
 //! T-Storm — the comparison every figure of Section V draws.
@@ -51,9 +59,15 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod nimbus;
+pub mod store;
+pub mod supervisor;
 pub mod system;
 pub mod timeline;
 
 pub use config::{EstimatorKind, SystemMode, TStormConfig};
+pub use nimbus::{ControlStats, Nimbus};
+pub use store::{ScheduleStore, StoredSchedule};
+pub use supervisor::{HeartbeatOutcome, Supervisor};
 pub use system::TStormSystem;
 pub use timeline::{render_timeline, ControlEvent};

@@ -1,7 +1,21 @@
-//! The assembled system: simulator + monitors + schedule generator +
-//! custom scheduler, with overload recovery and hot-swapping.
+//! The assembled system: simulator + monitors + explicit control plane.
+//!
+//! This module is wiring. The decisions live in the control-plane
+//! components it connects through the simulated timeline:
+//!
+//! - [`Nimbus`] owns the scheduler registry, the active algorithm, and
+//!   heartbeat-derived liveness (generation/recovery decisions);
+//! - the [`ScheduleStore`] carries epoch-stamped publications from the
+//!   generator to Nimbus;
+//! - per-node [`Supervisor`] state machines heartbeat to Nimbus and
+//!   fetch/apply their node's slice of the cluster assignment on
+//!   jittered, phase-staggered timers — a rollout is *not* atomic, and
+//!   different nodes briefly run different assignment epochs.
 
 use crate::config::{EstimatorKind, SystemMode, TStormConfig};
+use crate::nimbus::{ControlStats, Nimbus, Reconciliation};
+use crate::store::ScheduleStore;
+use crate::supervisor::{HeartbeatOutcome, Supervisor};
 use crate::timeline::ControlEvent;
 use std::collections::{BTreeMap, BTreeSet};
 use tstorm_cluster::{Assignment, ClusterSpec};
@@ -9,13 +23,13 @@ use tstorm_metrics::RunReport;
 use tstorm_monitor::{HoltLinearEstimator, LoadMonitor, OverloadDetector, WindowSnapshot};
 use tstorm_sched::{
     AssignmentQuality, ExecutorInfo, RoundRobinScheduler, SchedParams, Scheduler,
-    SchedulerRegistry, SchedulingInput, SwappableScheduler,
+    SchedulerRegistry, SchedulingInput,
 };
 use tstorm_sim::{ExecutorLogic, Simulation, TopologyHandle};
 use tstorm_topology::{ComponentSpec, Topology};
 use tstorm_trace::{Observer, TraceEvent};
 use tstorm_types::{
-    AssignmentId, ComponentId, ExecutorId, Result, SimTime, TStormError, TopologyId,
+    AssignmentId, ComponentId, ExecutorId, NodeId, Result, SimTime, TStormError, TopologyId,
 };
 
 /// A running T-Storm (or plain Storm) deployment over the simulator.
@@ -29,13 +43,14 @@ pub struct TStormSystem {
     sim: Simulation,
     monitor: LoadMonitor,
     detector: OverloadDetector,
-    registry: SchedulerRegistry,
-    scheduler: SwappableScheduler,
+    /// The cluster master: scheduler ownership + heartbeat liveness.
+    nimbus: Nimbus,
+    /// The schedule store between generator and Nimbus.
+    store: ScheduleStore,
+    /// One supervisor state machine per worker node.
+    supervisors: Vec<Supervisor>,
     workers_requested: BTreeMap<TopologyId, u32>,
     component_edges: Vec<(TopologyId, ComponentId, ComponentId)>,
-    /// The schedule store between generator and custom scheduler.
-    published: Option<(AssignmentId, Assignment)>,
-    applied_id: Option<AssignmentId>,
     next_monitor: SimTime,
     next_fetch: SimTime,
     next_generate: SimTime,
@@ -75,7 +90,14 @@ impl TStormSystem {
     pub fn new(cluster: ClusterSpec, config: TStormConfig) -> Result<Self> {
         config.validate()?;
         let registry = SchedulerRegistry::with_builtins();
-        let scheduler = SwappableScheduler::new(registry.create(&config.scheduler)?);
+        // Plain Storm installs its own default scheduler; recovery then
+        // re-runs whatever is installed (which a hot swap may replace),
+        // in either mode.
+        let initial = match config.mode {
+            SystemMode::StormDefault => "storm-default",
+            SystemMode::TStorm => config.scheduler.as_str(),
+        };
+        let nimbus = Nimbus::new(registry, initial, cluster.num_nodes())?;
         let detector = OverloadDetector::new(
             config.overload_cpu_threshold,
             config.overload_failure_threshold,
@@ -90,15 +112,29 @@ impl TStormSystem {
                 }))
             }
         };
+        let num_nodes = cluster.num_nodes();
+        let supervisors = cluster
+            .nodes()
+            .iter()
+            .map(|n| {
+                Supervisor::new(
+                    n.id,
+                    num_nodes,
+                    config.sim.seed,
+                    config.heartbeat_period,
+                    config.sim.reassign.supervisor_poll,
+                    config.fetch_jitter,
+                )
+            })
+            .collect();
         Ok(Self {
             monitor,
             detector,
-            registry,
-            scheduler,
+            nimbus,
+            store: ScheduleStore::new(),
+            supervisors,
             workers_requested: BTreeMap::new(),
             component_edges: Vec::new(),
-            published: None,
-            applied_id: None,
             next_monitor: config.monitor_period,
             next_fetch: config.fetch_period,
             next_generate: config.generation_period,
@@ -164,7 +200,7 @@ impl TStormSystem {
         Ok(handle)
     }
 
-    /// Computes and applies the initial assignment.
+    /// Computes and applies the initial assignment (epoch 0).
     ///
     /// Storm uses its default scheduler. T-Storm uses the modified
     /// default of Section IV-C — `N*_w = min(Nu, Nw)` workers, at most one
@@ -191,8 +227,9 @@ impl TStormSystem {
     }
 
     /// Advances the system to the given virtual time, interleaving the
-    /// data plane (simulation) with the control plane (monitor ticks,
-    /// schedule generation, schedule fetches).
+    /// data plane (simulation) with the control plane: monitor ticks,
+    /// schedule generation, Nimbus's store fetches, and every
+    /// supervisor's heartbeat/fetch timers.
     ///
     /// # Errors
     ///
@@ -206,29 +243,134 @@ impl TStormSystem {
             ));
         }
         loop {
+            let tstorm = self.config.mode == SystemMode::TStorm;
             let mut next = self.next_monitor;
-            if self.config.mode == SystemMode::TStorm {
+            if tstorm {
                 next = next.min(self.next_fetch).min(self.next_generate);
+            }
+            for sup in &self.supervisors {
+                next = next.min(sup.next_event(tstorm));
             }
             if next > until {
                 self.sim.run_until(until);
                 return Ok(());
             }
             self.sim.run_until(next);
-            if self.sim.now() >= self.next_monitor {
+            let now = self.sim.now();
+            if now >= self.next_monitor {
                 self.monitor_tick()?;
                 self.next_monitor += self.config.monitor_period;
             }
-            if self.config.mode == SystemMode::TStorm {
-                if self.sim.now() >= self.next_generate {
+            if tstorm {
+                if now >= self.next_generate {
                     self.generate(false)?;
                     self.next_generate += self.config.generation_period;
                 }
-                if self.sim.now() >= self.next_fetch {
-                    self.fetch();
+                if now >= self.next_fetch {
+                    self.nimbus_fetch();
                     self.next_fetch += self.config.fetch_period;
                 }
             }
+            self.supervisor_round(now)?;
+        }
+    }
+
+    /// Drives every supervisor whose timer is due at `now`, in node
+    /// order (deterministic). Heartbeats run in both modes — liveness is
+    /// always heartbeat-derived — while store-driven fetch/apply only
+    /// exists under T-Storm (plain Storm has no schedule store).
+    fn supervisor_round(&mut self, now: SimTime) -> Result<()> {
+        let fetch_enabled = self.config.mode == SystemMode::TStorm;
+        for i in 0..self.supervisors.len() {
+            let node = self.supervisors[i].node();
+            let node_live = self.sim.cluster().is_node_live(node);
+            let muted = self.sim.heartbeat_suppressed(node);
+            match self.supervisors[i].poll_heartbeat(now, node_live, muted) {
+                Some(HeartbeatOutcome::Sent { was_down }) => {
+                    self.observer
+                        .emit_with(now, || TraceEvent::HeartbeatSent { node: node.index() });
+                    self.observer.metrics(|m| {
+                        m.inc_counter(
+                            "tstorm_heartbeats_sent_total",
+                            "Supervisor heartbeats that reached Nimbus",
+                            &[],
+                            1,
+                        );
+                    });
+                    if let Some(rec) = self.nimbus.record_heartbeat(node, now, was_down) {
+                        self.note_reconciliation(now, rec);
+                    }
+                }
+                Some(HeartbeatOutcome::Missed) => {
+                    self.observer.metrics(|m| {
+                        m.inc_counter(
+                            "tstorm_heartbeats_missed_total",
+                            "Supervisor heartbeat ticks that never reached Nimbus",
+                            &[],
+                            1,
+                        );
+                    });
+                }
+                None => {}
+            }
+            if fetch_enabled {
+                let target = self.nimbus.cluster_epoch();
+                if let Some(epoch) = self.supervisors[i].poll_fetch(now, node_live, target) {
+                    self.observer
+                        .emit_with(now, || TraceEvent::SupervisorFetch {
+                            node: node.index(),
+                            epoch,
+                        });
+                    let assignment = self
+                        .nimbus
+                        .cluster_assignment()
+                        .expect("a non-zero epoch implies an installed assignment")
+                        .assignment
+                        .clone();
+                    self.sim.apply_assignment_for_node(node, &assignment);
+                    self.observer.emit_with(now, || TraceEvent::EpochApplied {
+                        node: node.index(),
+                        epoch,
+                    });
+                    self.observer.metrics(|m| {
+                        m.inc_counter(
+                            "tstorm_supervisor_fetches_total",
+                            "Supervisor fetches that picked up a new assignment epoch",
+                            &[],
+                            1,
+                        );
+                        m.inc_counter(
+                            "tstorm_epochs_applied_total",
+                            "Assignment epochs applied across all supervisors",
+                            &[],
+                            1,
+                        );
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn note_reconciliation(&mut self, now: SimTime, rec: Reconciliation) {
+        self.timeline.push(ControlEvent::NodeReconciled {
+            at: now,
+            node: rec.node,
+            false_positive: rec.false_positive,
+        });
+        self.observer.emit_with(now, || TraceEvent::NodeReconciled {
+            node: rec.node.index(),
+            false_positive: rec.false_positive,
+        });
+        if rec.false_positive {
+            self.observer.metrics(|m| {
+                m.inc_counter(
+                    "tstorm_false_positive_reassignments_total",
+                    "Healthy nodes reassigned away under a heartbeat-loss death declaration",
+                    &[],
+                    1,
+                );
+            });
         }
     }
 
@@ -256,6 +398,8 @@ impl TStormSystem {
                 }
             });
         }
+
+        self.sweep_liveness()?;
 
         if self.config.mode == SystemMode::TStorm && self.config.overload_fast_path {
             let cooled_down = self
@@ -308,30 +452,83 @@ impl TStormSystem {
         Ok(())
     }
 
+    /// Nimbus's liveness sweep: any node silent for the configured
+    /// number of heartbeat periods is declared dead and a forced
+    /// generation moves its executors to the surviving nodes. The
+    /// declaration is new information, so it bypasses the recovery
+    /// cooldown. A crashed Nimbus declares nothing — liveness freezes
+    /// for the duration of the outage.
+    fn sweep_liveness(&mut self) -> Result<()> {
+        if self.sim.nimbus_down() {
+            return Ok(());
+        }
+        let now = self.sim.now();
+        let declared = self.nimbus.update_liveness(
+            now,
+            self.config.heartbeat_period,
+            self.config.heartbeat_miss_threshold,
+        );
+        if declared.is_empty() {
+            return Ok(());
+        }
+        for d in &declared {
+            self.timeline.push(ControlEvent::NodeDeclaredDead {
+                at: now,
+                node: d.node,
+                missed: d.missed,
+            });
+            self.observer
+                .emit_with(now, || TraceEvent::NodeDeclaredDead {
+                    node: d.node.index(),
+                    missed: u64::from(d.missed),
+                });
+            self.observer.metrics(|m| {
+                m.inc_counter(
+                    "tstorm_nodes_declared_dead_total",
+                    "Nodes Nimbus declared dead from heartbeat silence",
+                    &[],
+                    1,
+                );
+            });
+        }
+        self.last_recovery_generate = Some(now);
+        match self.config.mode {
+            SystemMode::TStorm => self.generate(true)?,
+            SystemMode::StormDefault => self.storm_reschedule()?,
+        }
+        Ok(())
+    }
+
     /// Crash recovery: executors whose worker died under a fault plan
     /// sit unassigned until the control plane re-places them. Nimbus
-    /// notices the dead slots at the next monitoring round, re-runs the
-    /// active scheduler against the shrunken cluster, and rolls the new
-    /// assignment out through the normal publish/fetch path (T-Storm)
-    /// or directly (plain Storm, which has no schedule store).
+    /// notices at the next monitoring round and re-runs the *installed*
+    /// scheduler — whatever a hot swap may have made current — against
+    /// its believed-live cluster, rolling the result out through the
+    /// store (T-Storm) or directly (plain Storm, which has no store).
     fn recover_lost_executors(&mut self) -> Result<()> {
         let unplaced = self.sim.unplaced_executors();
         if unplaced == 0 {
             return Ok(());
         }
-        // A recovery schedule already published but not yet fetched:
-        // let that rollout land before rescheduling again.
-        if let Some((id, _)) = &self.published {
-            if self.config.mode == SystemMode::TStorm && self.applied_id != Some(*id) {
-                return Ok(());
-            }
+        // A recovery rollout already in flight (published-but-unfetched,
+        // or fetched but not yet applied by every reachable supervisor):
+        // let it land before rescheduling again.
+        if self.config.mode == SystemMode::TStorm && self.rollout_in_flight() {
+            return Ok(());
         }
-        // Fetched-but-still-rolling-out (worker startup): space retries
-        // so one crash does not force a regeneration every tick.
+        // Space retries so one crash does not force a regeneration every
+        // tick while workers start and the backlog drains.
         let cooled_down = self
             .last_recovery_generate
             .is_none_or(|t| self.sim.now() >= t + self.config.overload_cooldown);
         if !cooled_down {
+            return Ok(());
+        }
+        if self.sim.nimbus_down() {
+            self.timeline.push(ControlEvent::NimbusSuppressed {
+                at: self.sim.now(),
+                action: "recovery".to_owned(),
+            });
             return Ok(());
         }
         self.recovery_events += 1;
@@ -342,36 +539,64 @@ impl TStormSystem {
         });
         match self.config.mode {
             SystemMode::TStorm => self.generate(true)?,
-            SystemMode::StormDefault => {
-                let mut sched = RoundRobinScheduler::storm_default();
-                let input = self.scheduling_input();
-                let assignment = sched.schedule(&input)?;
-                if !self.sim.current_assignment().diff(&assignment).is_empty() {
-                    self.sim.submit_assignment(&assignment);
-                    self.prune_stale_estimates();
-                }
-            }
+            SystemMode::StormDefault => self.storm_reschedule()?,
+        }
+        Ok(())
+    }
+
+    /// Whether a published schedule has not yet reached every supervisor
+    /// that can still apply it (nodes Nimbus believes dead, or that are
+    /// genuinely down, are not waited for).
+    fn rollout_in_flight(&self) -> bool {
+        if self.store.has_unfetched() {
+            return true;
+        }
+        let target = self.nimbus.cluster_epoch();
+        self.supervisors.iter().any(|s| {
+            s.applied_epoch() < target
+                && !self.nimbus.is_declared_dead(s.node())
+                && self.sim.cluster().is_node_live(s.node())
+        })
+    }
+
+    /// Plain Storm's recovery path: re-run the installed scheduler and
+    /// hand the result straight to the supervisors (no store, no
+    /// epochs — Storm 0.8 rewrites cluster state atomically).
+    fn storm_reschedule(&mut self) -> Result<()> {
+        let input = self.scheduling_input();
+        let assignment = self.nimbus.schedule(&input)?;
+        if !self.sim.current_assignment().diff(&assignment).is_empty() {
+            self.sim.submit_assignment(&assignment);
+            self.prune_stale_estimates();
         }
         Ok(())
     }
 
     /// One schedule-generator round: read estimates, run the (swappable)
-    /// algorithm, and publish the result if it is a genuine improvement
-    /// (or `force` is set, as during overload recovery).
+    /// algorithm, and publish the result to the store if it is a genuine
+    /// improvement (or `force` is set, as during overload recovery).
+    /// While Nimbus is down nothing is generated at all.
     fn generate(&mut self, force: bool) -> Result<()> {
+        if self.sim.nimbus_down() {
+            self.timeline.push(ControlEvent::NimbusSuppressed {
+                at: self.sim.now(),
+                action: "generation".to_owned(),
+            });
+            return Ok(());
+        }
         if self.monitor.db().windows_ingested() == 0 {
             return Ok(()); // no runtime information yet
         }
         let input = self.scheduling_input();
         let sched_started = self.observer.is_enabled().then(std::time::Instant::now);
-        let assignment = self.scheduler.schedule(&input)?;
+        let assignment = self.nimbus.schedule(&input)?;
         let elapsed_us = sched_started.map(|t| t.elapsed().as_micros() as u64);
         if let Some(us) = elapsed_us {
             self.observer.metrics(|m| {
                 m.observe(
                     "tstorm_schedule_runtime_us",
                     "Wall-clock runtime of one scheduler invocation",
-                    &[("algorithm", &self.scheduler.current_name())],
+                    &[("algorithm", &self.nimbus.scheduler_name())],
                     us as f64,
                 );
             });
@@ -379,7 +604,7 @@ impl TStormSystem {
         if self.observer.is_enabled() {
             let quality = AssignmentQuality::evaluate(&assignment, &input);
             let at = self.sim.now();
-            let algorithm = self.scheduler.current_name();
+            let algorithm = self.nimbus.scheduler_name();
             let wall = self.trace_wall_time.then_some(elapsed_us).flatten();
             self.observer
                 .emit_with(at, || TraceEvent::ScheduleGenerated {
@@ -411,13 +636,17 @@ impl TStormSystem {
         }
         let id = AssignmentId::from_timestamp_micros(self.sim.now().as_micros());
         let quality = AssignmentQuality::evaluate(&assignment, &input);
+        let epoch =
+            self.store
+                .publish(id, assignment, self.sim.now(), self.nimbus.scheduler_name());
+        self.nimbus.note_publish();
         self.timeline.push(ControlEvent::SchedulePublished {
             at: self.sim.now(),
             id,
+            epoch,
             nodes_used: quality.nodes_used,
             inter_node_traffic: quality.inter_node_traffic,
         });
-        self.published = Some((id, assignment));
         self.generations += 1;
         Ok(())
     }
@@ -438,19 +667,21 @@ impl TStormSystem {
         new.nodes_used < current.nodes_used && new.inter_node_traffic <= current.inter_node_traffic
     }
 
-    /// One custom-scheduler round: fetch the latest published schedule
-    /// and hand it to Nimbus (the simulator) if it is new.
-    fn fetch(&mut self) {
-        if let Some((id, assignment)) = &self.published {
-            if self.applied_id != Some(*id) {
-                self.sim.submit_assignment(assignment);
-                self.applied_id = Some(*id);
-                self.timeline.push(ControlEvent::ScheduleFetched {
-                    at: self.sim.now(),
-                    id: *id,
-                });
-                self.prune_stale_estimates();
-            }
+    /// One custom-scheduler round: Nimbus fetches the latest publication
+    /// from the store — if there is news and Nimbus is up — and installs
+    /// it as the cluster assignment for the supervisors to pick up.
+    fn nimbus_fetch(&mut self) {
+        if self.sim.nimbus_down() {
+            return;
+        }
+        if let Some(fetched) = self.store.fetch() {
+            self.nimbus.install(fetched.versioned.clone());
+            self.timeline.push(ControlEvent::ScheduleFetched {
+                at: self.sim.now(),
+                id: fetched.id,
+                epoch: fetched.versioned.epoch,
+            });
+            self.prune_stale_estimates();
         }
     }
 
@@ -497,15 +728,14 @@ impl TStormSystem {
         for (topo, workers) in &self.workers_requested {
             params = params.with_workers(*topo, *workers);
         }
-        // The *simulator's* cluster view carries node liveness; the
-        // system's own copy is the static shape from construction.
-        SchedulingInput::new(
-            self.sim.cluster().clone(),
-            executors,
-            db.traffic_matrix(),
-            params,
-        )
-        .with_component_edges(self.component_edges.clone())
+        // Liveness in the scheduler's view is Nimbus's *belief*, not
+        // ground truth: a crashed node stays schedulable until its
+        // heartbeat silence crosses the miss threshold, and a healthy
+        // node under a (false) death declaration is excluded.
+        let mut cluster = self.sim.cluster().clone();
+        self.nimbus.apply_liveness_view(&mut cluster);
+        SchedulingInput::new(cluster, executors, db.traffic_matrix(), params)
+            .with_component_edges(self.component_edges.clone())
     }
 
     /// Storm's `rebalance` command: changes a topology's requested
@@ -513,8 +743,9 @@ impl TStormSystem {
     /// mode-appropriate initial scheduler. T-Storm itself uses this to
     /// enforce `N*_w = min(Nu, Nw)` at submission (Section IV-C: "we use
     /// Storm's command rebalance to enforce this setting"); exposing it
-    /// lets operators resize topologies at runtime. The rollout follows
-    /// the configured re-assignment semantics (smooth under T-Storm).
+    /// lets operators resize topologies at runtime. Under T-Storm the
+    /// result is published through the store and rolls out node by node;
+    /// plain Storm rewrites the assignment directly.
     ///
     /// # Errors
     ///
@@ -534,8 +765,19 @@ impl TStormSystem {
         };
         let input = self.scheduling_input();
         let assignment = initial.schedule(&input)?;
-        let id = AssignmentId::from_timestamp_micros(self.sim.now().as_micros());
-        self.published = Some((id, assignment));
+        match self.config.mode {
+            SystemMode::TStorm => {
+                let id = AssignmentId::from_timestamp_micros(self.sim.now().as_micros());
+                self.store
+                    .publish(id, assignment, self.sim.now(), "rebalance");
+                self.nimbus.note_publish();
+            }
+            SystemMode::StormDefault => {
+                if !self.sim.current_assignment().diff(&assignment).is_empty() {
+                    self.sim.submit_assignment(&assignment);
+                }
+            }
+        }
         self.timeline.push(ControlEvent::Rebalanced {
             at: self.sim.now(),
             topology: handle.id,
@@ -561,13 +803,23 @@ impl TStormSystem {
     }
 
     /// Replaces the scheduling algorithm at runtime — no restart, no
-    /// resubmission (Section IV-C's hot-swapping).
+    /// resubmission (Section IV-C's hot-swapping). A schedule the old
+    /// algorithm published but nobody fetched yet is discarded: the next
+    /// fetch must never roll out the replaced algorithm's plan.
     ///
     /// # Errors
     ///
     /// Returns [`TStormError::UnknownScheduler`] for unregistered names.
     pub fn swap_scheduler(&mut self, name: &str) -> Result<()> {
-        self.scheduler.swap_from_registry(&self.registry, name)?;
+        self.nimbus.swap_scheduler(name)?;
+        if let Some(dropped) = self.store.discard_unfetched() {
+            self.timeline.push(ControlEvent::ScheduleDiscarded {
+                at: self.sim.now(),
+                id: dropped.id,
+                epoch: dropped.versioned.epoch,
+                reason: format!("algorithm hot-swapped to `{name}` before fetch"),
+            });
+        }
         self.timeline.push(ControlEvent::SchedulerSwapped {
             at: self.sim.now(),
             name: name.to_owned(),
@@ -585,7 +837,7 @@ impl TStormSystem {
         name: impl Into<String>,
         factory: impl Fn() -> Box<dyn Scheduler> + Send + Sync + 'static,
     ) {
-        self.registry.register(name, factory);
+        self.nimbus.register_scheduler(name, factory);
     }
 
     /// Adjusts the consolidation factor γ on the fly; the next generation
@@ -617,7 +869,7 @@ impl TStormSystem {
     /// The name of the scheduling algorithm currently installed.
     #[must_use]
     pub fn scheduler_name(&self) -> String {
-        self.scheduler.current_name()
+        self.nimbus.scheduler_name()
     }
 
     /// Read access to the simulation (metrics, counters, time).
@@ -637,6 +889,49 @@ impl TStormSystem {
     #[must_use]
     pub fn monitor(&self) -> &LoadMonitor {
         &self.monitor
+    }
+
+    /// Read access to Nimbus (liveness beliefs, installed scheduler).
+    #[must_use]
+    pub fn nimbus(&self) -> &Nimbus {
+        &self.nimbus
+    }
+
+    /// Read access to the schedule store (epochs, fetch watermark).
+    #[must_use]
+    pub fn schedule_store(&self) -> &ScheduleStore {
+        &self.store
+    }
+
+    /// Epoch of the most recent publication (0 = only the initial
+    /// assignment exists).
+    #[must_use]
+    pub fn published_epoch(&self) -> u64 {
+        self.store.latest_epoch()
+    }
+
+    /// The assignment epoch each node currently runs, in node order.
+    /// During a rollout these disagree — that is the point.
+    #[must_use]
+    pub fn applied_epochs(&self) -> Vec<(NodeId, u64)> {
+        self.supervisors
+            .iter()
+            .map(|s| (s.node(), s.applied_epoch()))
+            .collect()
+    }
+
+    /// Aggregated control-plane counters (heartbeats, fetches, epochs,
+    /// death declarations, false positives).
+    #[must_use]
+    pub fn control_stats(&self) -> ControlStats {
+        let mut stats = self.nimbus.stats();
+        for sup in &self.supervisors {
+            stats.heartbeats_sent += sup.heartbeats_sent();
+            stats.heartbeats_missed += sup.heartbeats_missed();
+            stats.fetches += sup.fetches();
+            stats.epochs_applied += sup.epochs_applied();
+        }
+        stats
     }
 
     /// Number of schedules the generator published.

@@ -28,6 +28,8 @@ pub enum ControlEvent {
         at: SimTime,
         /// The schedule's id (its timestamp).
         id: AssignmentId,
+        /// The store epoch the schedule was published under.
+        epoch: u64,
         /// Worker nodes the schedule uses.
         nodes_used: usize,
         /// Estimated inter-node traffic of the schedule (tuples/s).
@@ -46,6 +48,20 @@ pub enum ControlEvent {
         at: SimTime,
         /// Which schedule.
         id: AssignmentId,
+        /// Its store epoch, now visible to the supervisors.
+        epoch: u64,
+    },
+    /// A published-but-unfetched schedule was dropped from the store
+    /// (e.g. its algorithm was hot-swapped out before any fetch).
+    ScheduleDiscarded {
+        /// When.
+        at: SimTime,
+        /// The discarded schedule.
+        id: AssignmentId,
+        /// Its (now dead) store epoch.
+        epoch: u64,
+        /// Why it was discarded.
+        reason: String,
     },
     /// The scheduling algorithm was hot-swapped.
     SchedulerSwapped {
@@ -86,6 +102,36 @@ pub enum ControlEvent {
         /// The new requested worker count.
         workers: u32,
     },
+    /// Nimbus missed enough consecutive heartbeats to declare a node
+    /// dead; the node is excluded from scheduling until reconciled.
+    NodeDeclaredDead {
+        /// When.
+        at: SimTime,
+        /// The node declared dead.
+        node: NodeId,
+        /// Heartbeat periods missed at declaration time.
+        missed: u32,
+    },
+    /// A declared-dead node's heartbeats resumed and Nimbus took it
+    /// back into the schedulable set.
+    NodeReconciled {
+        /// When.
+        at: SimTime,
+        /// The reconciled node.
+        node: NodeId,
+        /// True when the node had never actually failed: the death
+        /// declaration (and any reassignment made under it) was a
+        /// heartbeat-loss false positive.
+        false_positive: bool,
+    },
+    /// A control-plane action was skipped because Nimbus itself was
+    /// down (a `nimbus-crash` fault window).
+    NimbusSuppressed {
+        /// When.
+        at: SimTime,
+        /// The action that did not happen (`generation`, `recovery`, ...).
+        action: String,
+    },
 }
 
 impl ControlEvent {
@@ -97,11 +143,15 @@ impl ControlEvent {
             | ControlEvent::SchedulePublished { at, .. }
             | ControlEvent::ScheduleSuppressed { at, .. }
             | ControlEvent::ScheduleFetched { at, .. }
+            | ControlEvent::ScheduleDiscarded { at, .. }
             | ControlEvent::SchedulerSwapped { at, .. }
             | ControlEvent::GammaChanged { at, .. }
             | ControlEvent::TopologyKilled { at, .. }
             | ControlEvent::RecoveryTriggered { at, .. }
-            | ControlEvent::Rebalanced { at, .. } => *at,
+            | ControlEvent::Rebalanced { at, .. }
+            | ControlEvent::NodeDeclaredDead { at, .. }
+            | ControlEvent::NodeReconciled { at, .. }
+            | ControlEvent::NimbusSuppressed { at, .. } => *at,
         }
     }
 }
@@ -122,24 +172,35 @@ impl fmt::Display for ControlEvent {
             ControlEvent::SchedulePublished {
                 at,
                 id,
+                epoch,
                 nodes_used,
                 inter_node_traffic,
             } => write!(
                 f,
-                "[{:>6}s] schedule {id} published: {nodes_used} node(s), \
+                "[{:>6}s] schedule {id} published as epoch {epoch}: {nodes_used} node(s), \
                  {inter_node_traffic:.1} tuples/s inter-node",
                 at.as_secs()
             ),
             ControlEvent::ScheduleSuppressed { at, reason } => {
                 write!(f, "[{:>6}s] schedule suppressed: {reason}", at.as_secs())
             }
-            ControlEvent::ScheduleFetched { at, id } => {
+            ControlEvent::ScheduleFetched { at, id, epoch } => {
                 write!(
                     f,
-                    "[{:>6}s] schedule {id} fetched into Nimbus",
+                    "[{:>6}s] schedule {id} (epoch {epoch}) fetched into Nimbus",
                     at.as_secs()
                 )
             }
+            ControlEvent::ScheduleDiscarded {
+                at,
+                id,
+                epoch,
+                reason,
+            } => write!(
+                f,
+                "[{:>6}s] schedule {id} (epoch {epoch}) discarded unfetched: {reason}",
+                at.as_secs()
+            ),
             ControlEvent::SchedulerSwapped { at, name } => {
                 write!(
                     f,
@@ -167,6 +228,28 @@ impl fmt::Display for ControlEvent {
                 "[{:>6}s] {topology} rebalanced to {workers} worker(s)",
                 at.as_secs()
             ),
+            ControlEvent::NodeDeclaredDead { at, node, missed } => write!(
+                f,
+                "[{:>6}s] {node} declared dead after {missed} missed heartbeat(s)",
+                at.as_secs()
+            ),
+            ControlEvent::NodeReconciled {
+                at,
+                node,
+                false_positive,
+            } => write!(
+                f,
+                "[{:>6}s] {node} reconciled: heartbeats resumed{}",
+                at.as_secs(),
+                if *false_positive {
+                    " (false-positive death declaration)"
+                } else {
+                    ""
+                }
+            ),
+            ControlEvent::NimbusSuppressed { at, action } => {
+                write!(f, "[{:>6}s] {action} skipped: Nimbus is down", at.as_secs())
+            }
         }
     }
 }
@@ -206,6 +289,7 @@ mod tests {
             ControlEvent::SchedulePublished {
                 at: SimTime::from_secs(100),
                 id: AssignmentId::from_timestamp_micros(100_000_000),
+                epoch: 1,
                 nodes_used: 5,
                 inter_node_traffic: 123.4,
             },
@@ -216,6 +300,13 @@ mod tests {
             ControlEvent::ScheduleFetched {
                 at: SimTime::from_secs(110),
                 id: AssignmentId::from_timestamp_micros(100_000_000),
+                epoch: 1,
+            },
+            ControlEvent::ScheduleDiscarded {
+                at: SimTime::from_secs(115),
+                id: AssignmentId::from_timestamp_micros(100_000_000),
+                epoch: 1,
+                reason: "scheduler swapped".to_owned(),
             },
             ControlEvent::SchedulerSwapped {
                 at: SimTime::from_secs(150),
@@ -229,6 +320,20 @@ mod tests {
                 at: SimTime::from_secs(410),
                 unplaced: 4,
             },
+            ControlEvent::NodeDeclaredDead {
+                at: SimTime::from_secs(420),
+                node: NodeId::new(3),
+                missed: 3,
+            },
+            ControlEvent::NodeReconciled {
+                at: SimTime::from_secs(450),
+                node: NodeId::new(3),
+                false_positive: true,
+            },
+            ControlEvent::NimbusSuppressed {
+                at: SimTime::from_secs(460),
+                action: "generation".to_owned(),
+            },
         ];
         let text = render_timeline(&events);
         assert_eq!(text.lines().count(), events.len());
@@ -236,5 +341,10 @@ mod tests {
         assert!(text.contains("suppressed"));
         assert!(text.contains("t-storm-ls"));
         assert!(text.contains("4 orphaned executor(s)"));
+        assert!(text.contains("epoch 1"));
+        assert!(text.contains("discarded unfetched"));
+        assert!(text.contains("declared dead after 3 missed heartbeat(s)"));
+        assert!(text.contains("false-positive"));
+        assert!(text.contains("Nimbus is down"));
     }
 }

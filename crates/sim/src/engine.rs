@@ -199,6 +199,10 @@ impl EngineStats {
     }
 }
 
+/// What a per-node assignment apply would change: executors moving onto
+/// the node (with their target slot) and executors leaving it.
+type NodeSliceChanges = (Vec<(ExecutorId, SlotId)>, Vec<ExecutorId>);
+
 /// One outgoing stream edge, resolved for routing. The grouping is
 /// pre-resolved into a `Copy` [`RouteRule`] so no field-name vectors are
 /// cloned per topology submission or touched per tuple.
@@ -321,6 +325,16 @@ pub struct Simulation {
     pending: Option<Assignment>,
     /// Smooth transition in progress: target assignment.
     switching_to: Option<Assignment>,
+    /// Per-node smooth transition in progress: the target assignment one
+    /// node's supervisor is rolling out while its workers pre-start.
+    /// Other nodes may be running a different epoch at the same time.
+    node_switching_to: Vec<Option<Assignment>>,
+    /// True while a [`FaultKind::NimbusCrash`] window is open: the
+    /// control plane must not generate schedules or run recovery.
+    nimbus_down: bool,
+    /// Per-node heartbeat suppression from [`FaultKind::HeartbeatLoss`]:
+    /// the node is healthy but its heartbeats never reach Nimbus.
+    heartbeat_muted: Vec<bool>,
     /// Executors located per node.
     located_count: Vec<u32>,
     /// Executors currently in service per node (CPU sharing is over
@@ -408,6 +422,9 @@ impl Simulation {
             current: Assignment::new(),
             pending: None,
             switching_to: None,
+            node_switching_to: vec![None; k],
+            nimbus_down: false,
+            heartbeat_muted: vec![false; k],
             located_count: vec![0; k],
             node_busy: vec![0; k],
             workers_on_node: vec![0; k],
@@ -627,6 +644,164 @@ impl Simulation {
         self.pending = Some(assignment.clone());
     }
 
+    /// Applies the slice of `target` that one node's supervisor is
+    /// responsible for, leaving every other node on whatever epoch it
+    /// last applied — the per-node half of a staggered rollout.
+    ///
+    /// The node picks up executors whose *new* slot lives on it
+    /// (including executors currently unplaced or hosted elsewhere) and
+    /// retires executors it currently hosts that `target` no longer
+    /// places anywhere. Executors moving *off* this node to another one
+    /// are left alone: the destination node's own apply collects them,
+    /// so mid-rollout the cluster briefly runs a mix of epochs, as real
+    /// Storm supervisors do.
+    ///
+    /// Returns `true` when the slice actually changed placements (which
+    /// also counts as a reassignment); a no-op apply — the node was
+    /// already running its slice of `target` — returns `false`.
+    pub fn apply_assignment_for_node(&mut self, node: NodeId, target: &Assignment) -> bool {
+        if self.node_slice_changes(node, target).is_none() {
+            return false;
+        }
+        self.reassignments += 1;
+        match self.config.reassign.mode {
+            ReassignMode::Immediate => self.node_rollout_immediate(node, target),
+            ReassignMode::Smooth => self.node_rollout_smooth(node, target),
+        }
+        true
+    }
+
+    /// The executors a per-node apply would touch: `(incoming, retired)`
+    /// — or `None` when the node already runs its slice of `target`.
+    fn node_slice_changes(&self, node: NodeId, target: &Assignment) -> Option<NodeSliceChanges> {
+        let mut incoming = Vec::new();
+        let mut retired = Vec::new();
+        for (i, e) in self.executors.iter().enumerate() {
+            if !e.alive {
+                continue;
+            }
+            let id = ExecutorId::new(i as u32);
+            let new_slot = target.slot_of(id);
+            match new_slot {
+                Some(s) if self.cluster.node_of(s) == node => {
+                    if e.location != Some(s) {
+                        incoming.push((id, s));
+                    }
+                }
+                None => {
+                    if e.location.is_some_and(|s| self.cluster.node_of(s) == node) {
+                        retired.push(id);
+                    }
+                }
+                Some(_) => {} // moving to (or staying on) another node
+            }
+        }
+        if incoming.is_empty() && retired.is_empty() {
+            None
+        } else {
+            Some((incoming, retired))
+        }
+    }
+
+    /// Immediate-mode per-node apply: the node's supervisor kills and
+    /// restarts the affected workers right away; their queued work is
+    /// lost (Storm 0.8 semantics, but scoped to one node).
+    fn node_rollout_immediate(&mut self, node: NodeId, target: &Assignment) {
+        let Some((incoming, retired)) = self.node_slice_changes(node, target) else {
+            return;
+        };
+        let before = self.current.clone();
+        let old_slots = before.slots_used();
+        let ready_at = self.clock + self.config.reassign.worker_startup;
+        for &(id, slot) in &incoming {
+            let i = id.as_usize();
+            if let Some(work) = self.executors[i].busy.take() {
+                self.release_cpu(work.busy_node);
+                if let Some(env) = work.env {
+                    self.recycle_envelope(env);
+                }
+            }
+            self.drain_queue_to_pool(i);
+            let e = &mut self.executors[i];
+            e.epoch += 1;
+            e.location = Some(slot);
+            e.paused_until = Some(ready_at);
+            self.current.assign(id, slot);
+            self.queue.push(ready_at, Event::ExecutorResume(id));
+        }
+        for &id in &retired {
+            let i = id.as_usize();
+            if let Some(work) = self.executors[i].busy.take() {
+                self.release_cpu(work.busy_node);
+                if let Some(env) = work.env {
+                    self.recycle_envelope(env);
+                }
+            }
+            self.drain_queue_to_pool(i);
+            let e = &mut self.executors[i];
+            e.epoch += 1;
+            e.location = None;
+            e.paused_until = None;
+            self.current.unassign(id);
+        }
+        let diff = before.diff(&self.current);
+        self.note_assignment_change(&old_slots, &diff);
+        self.recompute_node_stats();
+        self.record_usage();
+    }
+
+    /// Smooth-mode per-node apply (Section IV-D, scoped to one node):
+    /// the node's new workers pre-start, every spout halts until they
+    /// are ready, and the node's locations switch in one step once the
+    /// startup delay elapses.
+    fn node_rollout_smooth(&mut self, node: NodeId, target: &Assignment) {
+        let switch_at = self.clock + self.config.reassign.worker_startup;
+        let resume_at = switch_at + self.config.reassign.spout_halt_extra;
+        for e in &mut self.executors {
+            if e.is_spout && e.alive {
+                e.spout_halt_until = e.spout_halt_until.max(resume_at);
+            }
+        }
+        self.node_switching_to[node.as_usize()] = Some(target.clone());
+        self.queue.push(switch_at, Event::NodeLocationSwitch(node));
+    }
+
+    /// One node's smooth switch fires: apply its pending slice. The
+    /// slice is recomputed against the *current* state so interleaved
+    /// applies from other nodes (possibly of newer epochs) stay sound.
+    fn on_node_location_switch(&mut self, node: NodeId) {
+        let Some(target) = self.node_switching_to[node.as_usize()].take() else {
+            return;
+        };
+        let Some((incoming, retired)) = self.node_slice_changes(node, &target) else {
+            return;
+        };
+        let before = self.current.clone();
+        let old_slots = before.slots_used();
+        for &(id, slot) in &incoming {
+            self.executors[id.as_usize()].location = Some(slot);
+            self.current.assign(id, slot);
+        }
+        for &id in &retired {
+            self.executors[id.as_usize()].location = None;
+            self.current.unassign(id);
+        }
+        let diff = before.diff(&self.current);
+        self.note_assignment_change(&old_slots, &diff);
+        self.recompute_node_stats();
+        self.record_usage();
+        // Kick the relocated executors awake under their new placement.
+        for &(id, _) in &incoming {
+            let i = id.as_usize();
+            if self.is_available(i) {
+                self.try_start(id);
+                if self.executors[i].is_spout {
+                    self.schedule_tick(id, self.executors[i].spout_halt_until);
+                }
+            }
+        }
+    }
+
     /// Runs the simulation until the given virtual time.
     pub fn run_until(&mut self, until: SimTime) {
         while let Some(t) = self.queue.peek_time() {
@@ -827,19 +1002,22 @@ impl Simulation {
     /// or node-local slot outside the cluster.
     pub fn apply_fault_plan(&mut self, plan: &FaultPlan) -> Result<()> {
         for event in plan.events() {
-            let node = event.kind.node();
-            if node.as_usize() >= self.cluster.num_nodes() {
-                return Err(TStormError::invalid_config(
-                    "--fault",
-                    format!(
-                        "{} targets node {node}, but the cluster has {} nodes",
-                        event.kind.name(),
-                        self.cluster.num_nodes()
-                    ),
-                ));
+            if let Some(node) = event.kind.node() {
+                if node.as_usize() >= self.cluster.num_nodes() {
+                    return Err(TStormError::invalid_config(
+                        "--fault",
+                        format!(
+                            "{} targets node {node}, but the cluster has {} nodes",
+                            event.kind.name(),
+                            self.cluster.num_nodes()
+                        ),
+                    ));
+                }
             }
             match event.kind {
-                FaultKind::WorkerCrash { local_slot, .. } => {
+                FaultKind::WorkerCrash {
+                    node, local_slot, ..
+                } => {
                     let slots = self.cluster.node(node).num_slots;
                     if local_slot >= slots {
                         return Err(TStormError::invalid_config(
@@ -848,14 +1026,24 @@ impl Simulation {
                         ));
                     }
                 }
-                FaultKind::NodeCrash { restart_after, .. } => {
+                FaultKind::NodeCrash {
+                    node,
+                    restart_after,
+                } => {
                     if let Some(after) = restart_after {
                         self.queue.push(event.at + after, Event::NodeRestart(node));
                     }
                 }
-                FaultKind::NicSlowdown { duration, .. } => {
+                FaultKind::NicSlowdown { node, duration, .. } => {
                     self.queue
                         .push(event.at + duration, Event::NicRestore(node));
+                }
+                FaultKind::NimbusCrash { duration } => {
+                    self.queue.push(event.at + duration, Event::NimbusRestore);
+                }
+                FaultKind::HeartbeatLoss { node, duration } => {
+                    self.queue
+                        .push(event.at + duration, Event::HeartbeatRestore(node));
                 }
             }
             self.queue.push(event.at, Event::Fault(event.kind.clone()));
@@ -868,6 +1056,20 @@ impl Simulation {
     #[must_use]
     pub fn cluster(&self) -> &ClusterSpec {
         &self.cluster
+    }
+
+    /// True while a [`FaultKind::NimbusCrash`] window is open — the
+    /// control plane must make no generation/recovery decisions.
+    #[must_use]
+    pub fn nimbus_down(&self) -> bool {
+        self.nimbus_down
+    }
+
+    /// True while a [`FaultKind::HeartbeatLoss`] window mutes this
+    /// node's heartbeat stream (the node itself keeps working).
+    #[must_use]
+    pub fn heartbeat_suppressed(&self, node: NodeId) -> bool {
+        self.heartbeat_muted[node.as_usize()]
     }
 
     /// Live executors the current assignment does not place anywhere —
@@ -951,6 +1153,9 @@ impl Simulation {
             Event::Fault(kind) => self.on_fault(&kind),
             Event::NodeRestart(node) => self.on_node_restart(node),
             Event::NicRestore(node) => self.on_nic_restore(node),
+            Event::NodeLocationSwitch(node) => self.on_node_location_switch(node),
+            Event::NimbusRestore => self.on_nimbus_restore(),
+            Event::HeartbeatRestore(node) => self.on_heartbeat_restore(node),
         }
     }
 
@@ -1808,9 +2013,9 @@ impl Simulation {
         self.faults_injected += 1;
         let node = kind.node();
         let worker = match kind {
-            FaultKind::WorkerCrash { local_slot, .. } => self
+            FaultKind::WorkerCrash { node, local_slot } => self
                 .cluster
-                .slots_of(node)
+                .slots_of(*node)
                 .nth(*local_slot as usize)
                 .map(|s| s.slot.index()),
             _ => None,
@@ -1819,7 +2024,7 @@ impl Simulation {
         self.observer
             .emit_with(self.clock, || TraceEvent::FaultInjected {
                 kind: name.to_owned(),
-                node: node.index(),
+                node: node.map(|n| n.index()),
                 worker,
             });
         self.observer.metrics(|m| {
@@ -1831,10 +2036,10 @@ impl Simulation {
             );
         });
         match kind {
-            FaultKind::WorkerCrash { local_slot, .. } => {
+            FaultKind::WorkerCrash { node, local_slot } => {
                 let slot = self
                     .cluster
-                    .slots_of(node)
+                    .slots_of(*node)
                     .nth(*local_slot as usize)
                     .map(|s| s.slot)
                     .expect("validated by apply_fault_plan");
@@ -1844,19 +2049,25 @@ impl Simulation {
                 self.recompute_node_stats();
                 self.record_usage();
             }
-            FaultKind::NodeCrash { .. } => {
-                self.cluster.set_node_live(node, false);
+            FaultKind::NodeCrash { node, .. } => {
+                self.cluster.set_node_live(*node, false);
                 self.recovery_fault_at = Some(self.clock);
                 self.recovery_reassigned = false;
-                let slots: Vec<SlotId> = self.cluster.slots_of(node).map(|s| s.slot).collect();
+                let slots: Vec<SlotId> = self.cluster.slots_of(*node).map(|s| s.slot).collect();
                 for slot in slots {
                     self.crash_slot(slot);
                 }
                 self.recompute_node_stats();
                 self.record_usage();
             }
-            FaultKind::NicSlowdown { factor, .. } => {
-                self.network.set_slow_factor(node, *factor);
+            FaultKind::NicSlowdown { node, factor, .. } => {
+                self.network.set_slow_factor(*node, *factor);
+            }
+            FaultKind::NimbusCrash { .. } => {
+                self.nimbus_down = true;
+            }
+            FaultKind::HeartbeatLoss { node, .. } => {
+                self.heartbeat_muted[node.as_usize()] = true;
             }
         }
     }
@@ -1922,7 +2133,31 @@ impl Simulation {
         self.observer
             .emit_with(self.clock, || TraceEvent::FaultInjected {
                 kind: "node_restart".to_owned(),
-                node: node.index(),
+                node: Some(node.index()),
+                worker: None,
+            });
+    }
+
+    /// A Nimbus-crash window ends: the control plane may generate and
+    /// recover again from its next decision point onwards.
+    fn on_nimbus_restore(&mut self) {
+        self.nimbus_down = false;
+        self.observer
+            .emit_with(self.clock, || TraceEvent::FaultInjected {
+                kind: "nimbus_restored".to_owned(),
+                node: None,
+                worker: None,
+            });
+    }
+
+    /// A heartbeat-loss window ends: the node's next heartbeat reaches
+    /// Nimbus again and reconciliation can begin.
+    fn on_heartbeat_restore(&mut self, node: NodeId) {
+        self.heartbeat_muted[node.as_usize()] = false;
+        self.observer
+            .emit_with(self.clock, || TraceEvent::FaultInjected {
+                kind: "heartbeat_restored".to_owned(),
+                node: Some(node.index()),
                 worker: None,
             });
     }
@@ -1933,7 +2168,7 @@ impl Simulation {
         self.observer
             .emit_with(self.clock, || TraceEvent::FaultInjected {
                 kind: "nic_restored".to_owned(),
-                node: node.index(),
+                node: Some(node.index()),
                 worker: None,
             });
     }

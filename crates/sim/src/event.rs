@@ -113,6 +113,15 @@ pub enum Event {
     NodeRestart(NodeId),
     /// A transient NIC slowdown ends.
     NicRestore(NodeId),
+    /// Smooth per-node re-assignment: one node's workers finished
+    /// pre-starting and that node alone switches to its pending slice.
+    /// Other nodes may still be running an older assignment epoch.
+    NodeLocationSwitch(NodeId),
+    /// Nimbus comes back after a [`FaultKind::NimbusCrash`] window.
+    NimbusRestore,
+    /// A [`FaultKind::HeartbeatLoss`] window ends: the node's heartbeat
+    /// stream reaches Nimbus again.
+    HeartbeatRestore(NodeId),
 }
 
 struct Entry {

@@ -14,10 +14,18 @@
 //! node-crash@t=400,node=3                 kill a whole node
 //! node-crash@t=400,node=3,restart=120     ... node rejoins 120 s later
 //! nic-slow@t=100,node=2,factor=4,dur=60   4x slower NIC for 60 s
+//! nimbus-crash@t=100,dur=60               Nimbus down for 60 s
+//! heartbeat-loss@t=100,node=2,dur=30      node 2's heartbeats lost 30 s
 //! ```
 //!
 //! `t`, `restart` and `dur` are virtual seconds (fractions allowed);
 //! `slot` is the node-local slot index.
+//!
+//! The last two are *control-plane* faults: they leave the data plane
+//! untouched and instead degrade the Nimbus/supervisor coordination
+//! layer — no schedule generations or recovery while Nimbus is down,
+//! and a muted heartbeat stream makes Nimbus falsely declare a healthy
+//! node dead until heartbeats resume.
 
 use std::fmt;
 use tstorm_types::{NodeId, SimTime};
@@ -51,6 +59,23 @@ pub enum FaultKind {
         /// How long the slowdown lasts.
         duration: SimTime,
     },
+    /// Nimbus itself goes down: no schedule generations, store fetches
+    /// or recovery decisions happen until it comes back. Data-plane
+    /// workers and supervisors keep running whatever they last applied.
+    NimbusCrash {
+        /// How long Nimbus stays down.
+        duration: SimTime,
+    },
+    /// The heartbeat stream from one (otherwise healthy) node is lost
+    /// for `duration`. If the outage outlasts the miss threshold,
+    /// Nimbus falsely declares the node dead and reassigns its
+    /// executors; when heartbeats resume the node is reconciled.
+    HeartbeatLoss {
+        /// The node whose heartbeats go missing.
+        node: NodeId,
+        /// How long the heartbeat stream stays muted.
+        duration: SimTime,
+    },
 }
 
 impl FaultKind {
@@ -61,16 +86,21 @@ impl FaultKind {
             FaultKind::WorkerCrash { .. } => "worker_crash",
             FaultKind::NodeCrash { .. } => "node_crash",
             FaultKind::NicSlowdown { .. } => "nic_slowdown",
+            FaultKind::NimbusCrash { .. } => "nimbus_crash",
+            FaultKind::HeartbeatLoss { .. } => "heartbeat_loss",
         }
     }
 
-    /// The node the fault targets.
+    /// The node the fault targets, if it targets one at all: a Nimbus
+    /// crash hits the master, not any worker node.
     #[must_use]
-    pub fn node(&self) -> NodeId {
+    pub fn node(&self) -> Option<NodeId> {
         match self {
             FaultKind::WorkerCrash { node, .. }
             | FaultKind::NodeCrash { node, .. }
-            | FaultKind::NicSlowdown { node, .. } => *node,
+            | FaultKind::NicSlowdown { node, .. }
+            | FaultKind::HeartbeatLoss { node, .. } => Some(*node),
+            FaultKind::NimbusCrash { .. } => None,
         }
     }
 }
@@ -187,9 +217,17 @@ pub fn parse_spec(spec: &str) -> Result<FaultEvent, FaultParseError> {
                 duration: fields.time("dur")?,
             }
         }
+        "nimbus-crash" => FaultKind::NimbusCrash {
+            duration: fields.time("dur")?,
+        },
+        "heartbeat-loss" => FaultKind::HeartbeatLoss {
+            node: fields.node()?,
+            duration: fields.time("dur")?,
+        },
         other => {
             return Err(err(format!(
-                "unknown fault kind `{other}` (expected worker-crash, node-crash or nic-slow)"
+                "unknown fault kind `{other}` (expected worker-crash, node-crash, nic-slow, \
+                 nimbus-crash or heartbeat-loss)"
             )))
         }
     };
@@ -332,7 +370,32 @@ mod tests {
             }
         );
         assert_eq!(e.kind.name(), "nic_slowdown");
-        assert_eq!(e.kind.node(), NodeId::new(2));
+        assert_eq!(e.kind.node(), Some(NodeId::new(2)));
+    }
+
+    #[test]
+    fn parses_control_plane_faults() {
+        let e = parse_spec("nimbus-crash@t=100,dur=60").expect("parses");
+        assert_eq!(e.at, SimTime::from_secs(100));
+        assert_eq!(
+            e.kind,
+            FaultKind::NimbusCrash {
+                duration: SimTime::from_secs(60)
+            }
+        );
+        assert_eq!(e.kind.name(), "nimbus_crash");
+        assert_eq!(e.kind.node(), None, "nimbus crash targets no worker node");
+
+        let e = parse_spec("heartbeat-loss@t=100,node=2,dur=30").expect("parses");
+        assert_eq!(
+            e.kind,
+            FaultKind::HeartbeatLoss {
+                node: NodeId::new(2),
+                duration: SimTime::from_secs(30)
+            }
+        );
+        assert_eq!(e.kind.name(), "heartbeat_loss");
+        assert_eq!(e.kind.node(), Some(NodeId::new(2)));
     }
 
     #[test]
@@ -350,6 +413,10 @@ mod tests {
             "nic-slow@t=1,node=0,factor=0.5,dur=9", // factor < 1
             "worker-crash@t=1,node=0,slot=x",       // non-integer slot
             "node-crash@t=1,node",                  // key without value
+            "nimbus-crash@t=1",                     // missing dur
+            "nimbus-crash@t=1,node=0,dur=5",        // nimbus has no node
+            "heartbeat-loss@t=1,node=0",            // missing dur
+            "heartbeat-loss@t=1,dur=5",             // missing node
         ] {
             let err = parse_spec(bad).expect_err(bad);
             assert!(err.to_string().contains(bad), "{err}");

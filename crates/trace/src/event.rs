@@ -257,10 +257,12 @@ pub enum TraceEvent {
     /// A scheduled fault from the fault plan fired.
     FaultInjected {
         /// Fault kind (`worker_crash`, `node_crash`, `nic_slowdown`,
-        /// `node_restart`, `nic_restored`).
+        /// `nimbus_crash`, `heartbeat_loss`, `node_restart`,
+        /// `nic_restored`, `nimbus_restored`, `heartbeat_restored`).
         kind: String,
-        /// Targeted node index.
-        node: u32,
+        /// Targeted node index; `None` for master-level faults
+        /// (`nimbus_crash`, `nimbus_restored`).
+        node: Option<u32>,
         /// Targeted worker slot, for worker-level faults.
         worker: Option<u32>,
     },
@@ -276,6 +278,42 @@ pub enum TraceEvent {
     RecoveryComplete {
         /// Fault-to-first-completion latency in milliseconds.
         latency_ms: f64,
+    },
+    /// A supervisor's periodic heartbeat reached Nimbus.
+    HeartbeatSent {
+        /// Heartbeating node.
+        node: u32,
+    },
+    /// A supervisor fetched a schedule epoch it had not applied yet.
+    SupervisorFetch {
+        /// Fetching node.
+        node: u32,
+        /// The schedule-store epoch picked up.
+        epoch: u64,
+    },
+    /// A supervisor finished applying its slice of a schedule epoch.
+    EpochApplied {
+        /// Applying node.
+        node: u32,
+        /// The epoch now in force on that node.
+        epoch: u64,
+    },
+    /// Nimbus missed enough consecutive heartbeats to declare the node
+    /// dead and exclude it from scheduling.
+    NodeDeclaredDead {
+        /// The node declared dead.
+        node: u32,
+        /// Consecutive heartbeat periods missed at declaration time.
+        missed: u64,
+    },
+    /// A declared-dead node's heartbeats resumed: Nimbus reconciles it
+    /// back into the schedulable set.
+    NodeReconciled {
+        /// The reconciled node.
+        node: u32,
+        /// True when the node never actually went down — the declaration
+        /// (and any reassignment made under it) was a false positive.
+        false_positive: bool,
     },
 }
 
@@ -305,6 +343,11 @@ impl TraceEvent {
             TraceEvent::FaultInjected { .. } => "fault_injected",
             TraceEvent::ExecutorsReassigned { .. } => "executors_reassigned",
             TraceEvent::RecoveryComplete { .. } => "recovery_complete",
+            TraceEvent::HeartbeatSent { .. } => "heartbeat",
+            TraceEvent::SupervisorFetch { .. } => "supervisor_fetch",
+            TraceEvent::EpochApplied { .. } => "epoch_applied",
+            TraceEvent::NodeDeclaredDead { .. } => "node_declared_dead",
+            TraceEvent::NodeReconciled { .. } => "node_reconciled",
         }
     }
 
@@ -332,7 +375,12 @@ impl TraceEvent {
             | TraceEvent::GammaChanged { .. }
             | TraceEvent::FaultInjected { .. }
             | TraceEvent::ExecutorsReassigned { .. }
-            | TraceEvent::RecoveryComplete { .. } => EventCategory::Control,
+            | TraceEvent::RecoveryComplete { .. }
+            | TraceEvent::HeartbeatSent { .. }
+            | TraceEvent::SupervisorFetch { .. }
+            | TraceEvent::EpochApplied { .. }
+            | TraceEvent::NodeDeclaredDead { .. }
+            | TraceEvent::NodeReconciled { .. } => EventCategory::Control,
         }
     }
 
@@ -437,7 +485,10 @@ impl TraceEvent {
                 o.u64("tuple", *tuple).u64("replays", *replays);
             }
             TraceEvent::FaultInjected { kind, node, worker } => {
-                o.str("kind", kind).u64("node", u64::from(*node));
+                o.str("kind", kind);
+                if let Some(n) = node {
+                    o.u64("node", u64::from(*n));
+                }
                 if let Some(w) = worker {
                     o.u64("worker", u64::from(*w));
                 }
@@ -447,6 +498,25 @@ impl TraceEvent {
             }
             TraceEvent::RecoveryComplete { latency_ms } => {
                 o.f64("latency_ms", *latency_ms);
+            }
+            TraceEvent::HeartbeatSent { node } => {
+                o.u64("node", u64::from(*node));
+            }
+            TraceEvent::SupervisorFetch { node, epoch }
+            | TraceEvent::EpochApplied { node, epoch } => {
+                o.u64("node", u64::from(*node)).u64("epoch", *epoch);
+            }
+            TraceEvent::NodeDeclaredDead { node, missed } => {
+                o.u64("node", u64::from(*node)).u64("missed", *missed);
+            }
+            TraceEvent::NodeReconciled {
+                node,
+                false_positive,
+            } => {
+                o.u64("node", u64::from(*node)).raw(
+                    "false_positive",
+                    if *false_positive { "true" } else { "false" },
+                );
             }
         }
         o.finish()
@@ -508,7 +578,7 @@ mod tests {
     fn fault_events_serialise_with_fixed_fields() {
         let ev = TraceEvent::FaultInjected {
             kind: "node_crash".into(),
-            node: 3,
+            node: Some(3),
             worker: None,
         };
         let line = ev.to_jsonl(SimTime::from_secs(400));
@@ -520,10 +590,22 @@ mod tests {
 
         let ev = TraceEvent::FaultInjected {
             kind: "worker_crash".into(),
-            node: 1,
+            node: Some(1),
             worker: Some(0),
         };
         assert!(ev.to_jsonl(SimTime::ZERO).contains("\"worker\":0"));
+
+        // Master-level faults carry no node field at all.
+        let ev = TraceEvent::FaultInjected {
+            kind: "nimbus_crash".into(),
+            node: None,
+            worker: None,
+        };
+        let line = ev.to_jsonl(SimTime::from_secs(100));
+        assert_eq!(
+            line,
+            "{\"t\":100000000,\"type\":\"fault_injected\",\"kind\":\"nimbus_crash\"}"
+        );
 
         let ev = TraceEvent::ExecutorsReassigned {
             version: 4,
@@ -542,6 +624,42 @@ mod tests {
         };
         assert_eq!(ev.category(), EventCategory::Tuple);
         assert!(ev.to_jsonl(SimTime::ZERO).contains("\"replays\":3"));
+    }
+
+    #[test]
+    fn control_plane_events_serialise_with_fixed_fields() {
+        let ev = TraceEvent::HeartbeatSent { node: 4 };
+        assert_eq!(
+            ev.to_jsonl(SimTime::from_secs(5)),
+            "{\"t\":5000000,\"type\":\"heartbeat\",\"node\":4}"
+        );
+        assert_eq!(ev.category(), EventCategory::Control);
+
+        let ev = TraceEvent::SupervisorFetch { node: 2, epoch: 7 };
+        assert_eq!(
+            ev.to_jsonl(SimTime::ZERO),
+            "{\"t\":0,\"type\":\"supervisor_fetch\",\"node\":2,\"epoch\":7}"
+        );
+
+        let ev = TraceEvent::EpochApplied { node: 2, epoch: 7 };
+        assert!(ev.to_jsonl(SimTime::ZERO).contains("\"epoch\":7"));
+        assert_eq!(ev.category(), EventCategory::Control);
+
+        let ev = TraceEvent::NodeDeclaredDead { node: 3, missed: 3 };
+        assert_eq!(
+            ev.to_jsonl(SimTime::ZERO),
+            "{\"t\":0,\"type\":\"node_declared_dead\",\"node\":3,\"missed\":3}"
+        );
+
+        let ev = TraceEvent::NodeReconciled {
+            node: 3,
+            false_positive: true,
+        };
+        assert_eq!(
+            ev.to_jsonl(SimTime::ZERO),
+            "{\"t\":0,\"type\":\"node_reconciled\",\"node\":3,\"false_positive\":true}"
+        );
+        assert!(!ev.category().is_sampled(), "control events never sampled");
     }
 
     #[test]
