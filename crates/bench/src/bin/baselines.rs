@@ -6,15 +6,19 @@
 //!
 //! Usage: `baselines [duration_secs] [seed]` (defaults: 600, 42).
 
+use std::process::ExitCode;
 use tstorm_bench::experiments::{cluster10, paper_config};
+use tstorm_bench::fig_args_or_exit;
 use tstorm_core::{SystemMode, TStormSystem};
 use tstorm_types::SimTime;
 use tstorm_workloads::throughput::{self, ThroughputParams};
 
-fn main() {
-    let mut args = std::env::args().skip(1);
-    let duration: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(600);
-    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(42);
+fn main() -> ExitCode {
+    let args = match fig_args_or_exit("baselines", 600, 42) {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    let (duration, seed) = (args.duration_secs, args.seed);
     let stable = SimTime::from_secs(duration / 2);
 
     println!(
@@ -57,4 +61,5 @@ fn main() {
          min(Nu, Nw) initial assignment; differences isolate the re-scheduling\n\
          algorithm itself."
     );
+    ExitCode::SUCCESS
 }

@@ -4,12 +4,16 @@
 //! Usage: `fig2 [duration_secs] [seed]` (defaults: 500, 42 — the paper
 //! ran this experiment for 500 s).
 
+use std::process::ExitCode;
 use tstorm_bench::experiments::{fig2, render_outcome};
+use tstorm_bench::fig_args_or_exit;
 
-fn main() {
-    let mut args = std::env::args().skip(1);
-    let duration: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(500);
-    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(42);
+fn main() -> ExitCode {
+    let args = match fig_args_or_exit("fig2", 500, 42) {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    let (duration, seed) = (args.duration_secs, args.seed);
 
     println!("Fig. 2 reproduction: chain topology, three placements, {duration}s\n");
     let outcomes = fig2(duration, seed);
@@ -30,4 +34,5 @@ fn main() {
         (b - a) / a * 100.0,
         (c - a) / a * 100.0
     );
+    ExitCode::SUCCESS
 }

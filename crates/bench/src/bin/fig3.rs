@@ -5,12 +5,16 @@
 //! Usage: `fig3 [duration_secs] [seed]` (defaults: 180, 42 — the paper
 //! plots 180 s).
 
+use std::process::ExitCode;
 use tstorm_bench::experiments::{fig3, render_outcome};
+use tstorm_bench::fig_args_or_exit;
 
-fn main() {
-    let mut args = std::env::args().skip(1);
-    let duration: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(180);
-    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(42);
+fn main() -> ExitCode {
+    let args = match fig_args_or_exit("fig3", 180, 42) {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    let (duration, seed) = (args.duration_secs, args.seed);
 
     println!("Fig. 3 reproduction: overloaded single node, {duration}s\n");
     let outcome = fig3(duration, seed);
@@ -19,4 +23,5 @@ fn main() {
     for (t, n) in outcome.report.failed.cumulative() {
         println!("  {:>5}s  {:>8} failed (cumulative)", t.as_secs(), n);
     }
+    ExitCode::SUCCESS
 }

@@ -3,15 +3,19 @@
 //!
 //! Usage: `fig6 [duration_secs] [seed]` (defaults: 1000, 42).
 
+use std::process::ExitCode;
 use tstorm_bench::experiments::{fig6, render_outcome};
+use tstorm_bench::fig_args_or_exit;
 use tstorm_core::SystemMode;
 use tstorm_metrics::ComparisonRow;
 use tstorm_types::SimTime;
 
-fn main() {
-    let mut args = std::env::args().skip(1);
-    let duration: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(1000);
-    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(42);
+fn main() -> ExitCode {
+    let args = match fig_args_or_exit("fig6", 1000, 42) {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    let (duration, seed) = (args.duration_secs, args.seed);
     let stable = SimTime::from_secs(duration / 2);
 
     println!("Fig. 6 reproduction: Word Count, {duration}s\n");
@@ -31,4 +35,5 @@ fn main() {
     }
     println!("{}", ComparisonRow::render_table(&rows));
     println!("Paper: 49% / 42% / 35% speedup at gamma 1 / 1.8 / 2.2 (10 / 7 / 5 nodes).");
+    ExitCode::SUCCESS
 }

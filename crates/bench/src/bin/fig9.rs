@@ -4,12 +4,16 @@
 //!
 //! Usage: `fig9 [duration_secs] [seed]` (defaults: 1000, 42).
 
+use std::process::ExitCode;
 use tstorm_bench::experiments::{fig9, render_outcome};
+use tstorm_bench::fig_args_or_exit;
 
-fn main() {
-    let mut args = std::env::args().skip(1);
-    let duration: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(1000);
-    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(42);
+fn main() -> ExitCode {
+    let args = match fig_args_or_exit("fig9", 1000, 42) {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    let (duration, seed) = (args.duration_secs, args.seed);
 
     println!("Fig. 9 reproduction: Word Count overload recovery, {duration}s\n");
     let outcome = fig9(duration, seed);
@@ -18,4 +22,5 @@ fn main() {
     for (t, n) in outcome.report.nodes_used.steps() {
         println!("  t={:>5}s  {} node(s)", t.as_secs(), n);
     }
+    ExitCode::SUCCESS
 }

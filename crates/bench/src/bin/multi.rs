@@ -60,11 +60,14 @@ fn run(mode: SystemMode, duration: u64, seed: u64) {
     );
 }
 
-fn main() {
-    let mut args = std::env::args().skip(1);
-    let duration: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(600);
-    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(42);
+fn main() -> std::process::ExitCode {
+    let args = match tstorm_bench::fig_args_or_exit("multi", 600, 42) {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    let (duration, seed) = (args.duration_secs, args.seed);
     println!("Two concurrent topologies (Throughput Test + Word Count), {duration}s:\n");
     run(SystemMode::StormDefault, duration, seed);
     run(SystemMode::TStorm, duration, seed);
+    std::process::ExitCode::SUCCESS
 }

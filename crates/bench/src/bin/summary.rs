@@ -4,13 +4,17 @@
 //!
 //! Usage: `summary [duration_secs] [seed]` (defaults: 1000, 42).
 
+use std::process::ExitCode;
 use tstorm_bench::experiments::headline;
+use tstorm_bench::fig_args_or_exit;
 use tstorm_metrics::ComparisonRow;
 
-fn main() {
-    let mut args = std::env::args().skip(1);
-    let duration: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(1000);
-    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(42);
+fn main() -> ExitCode {
+    let args = match fig_args_or_exit("summary", 1000, 42) {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    let (duration, seed) = (args.duration_secs, args.seed);
 
     println!("Headline comparison over {duration}s (stable half counted):\n");
     let rows = headline(duration, seed);
@@ -26,4 +30,5 @@ fn main() {
         avg_node_saving * 100.0
     );
     println!("Paper abstract: >84% speedup (light) and 27% (heavy) with 30% fewer worker nodes.");
+    ExitCode::SUCCESS
 }

@@ -1,8 +1,21 @@
 //! Table II — the common experimental settings, rendered from the live
 //! configuration defaults.
+//!
+//! Usage: `tables` (no arguments).
 
+use std::process::ExitCode;
 use tstorm_bench::experiments::table2;
 
-fn main() {
+fn main() -> ExitCode {
+    let extra: Vec<String> = std::env::args().skip(1).collect();
+    if extra.iter().any(|a| a == "--help" || a == "-h") {
+        println!("usage: tables\n\nRenders Table II from the live configuration defaults.");
+        return ExitCode::SUCCESS;
+    }
+    if !extra.is_empty() {
+        eprintln!("tables: unexpected argument(s) {extra:?}\nusage: tables");
+        return ExitCode::from(2);
+    }
     println!("{}", table2());
+    ExitCode::SUCCESS
 }

@@ -3,7 +3,7 @@
 use tstorm_cluster::{Assignment, ClusterSpec};
 use tstorm_core::{SystemMode, TStormConfig, TStormSystem};
 use tstorm_metrics::{ComparisonRow, RunReport};
-use tstorm_sim::{SimConfig, Simulation};
+use tstorm_sim::{FaultPlan, SimConfig, Simulation};
 use tstorm_types::{Mhz, SimTime, SlotId};
 use tstorm_workloads::chain::{self, ChainParams};
 use tstorm_workloads::logstream::{self, LogStreamParams, LogStreamState};
@@ -164,59 +164,144 @@ pub fn fig3(duration_secs: u64, seed: u64) -> ExperimentOutcome {
 // Figs. 5, 6, 8 — the three applications, Storm vs T-Storm, γ sweeps
 // ---------------------------------------------------------------------
 
-/// Fig. 5: the Throughput Test topology (10 nodes, 40 workers, 45
-/// executors) under the given system and consolidation factor.
+/// The three full applications of Section V, runnable through one shared
+/// entry point ([`run_app`]) by both the per-figure binaries and the
+/// multi-seed sweep harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppWorkload {
+    /// Fig. 5: Throughput Test (10 nodes, 40 workers, 45 executors).
+    Throughput,
+    /// Fig. 6: Word Count fed from the corpus queue (20 workers).
+    WordCount,
+    /// Fig. 8: Log Stream Processing fed IIS log lines (28 executors).
+    LogStream,
+}
+
+impl AppWorkload {
+    /// The stable lowercase name used in grid labels and CLI flags.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            AppWorkload::Throughput => "throughput",
+            AppWorkload::WordCount => "wordcount",
+            AppWorkload::LogStream => "logstream",
+        }
+    }
+
+    /// Parses the CLI/grid name.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "throughput" => Some(AppWorkload::Throughput),
+            "wordcount" => Some(AppWorkload::WordCount),
+            "logstream" => Some(AppWorkload::LogStream),
+            _ => None,
+        }
+    }
+}
+
+/// Runs one application end-to-end on the paper testbed under the given
+/// system/γ/seed, with an optional deterministic fault plan — the shared
+/// scenario runner behind [`fig5`], [`fig6`], [`fig8`] and the sweep
+/// harness.
+///
+/// The system (and the `Rc`-based simulator inside it) is constructed,
+/// driven and dropped entirely within the calling thread; only the
+/// returned [`ExperimentOutcome`] (plain owned data) crosses thread
+/// boundaries in multi-threaded callers.
 #[must_use]
-pub fn fig5(mode: SystemMode, gamma: f64, duration_secs: u64, seed: u64) -> ExperimentOutcome {
-    let params = ThroughputParams::paper();
-    let topo = throughput::topology(&params).expect("valid");
+pub fn run_app(
+    workload: AppWorkload,
+    mode: SystemMode,
+    gamma: f64,
+    duration_secs: u64,
+    seed: u64,
+    faults: &FaultPlan,
+) -> ExperimentOutcome {
     let mut system =
         TStormSystem::new(cluster10(), paper_config(mode, gamma, seed)).expect("valid config");
-    let mut factory = throughput::factory(&params, seed);
-    system.submit(&topo, &mut factory).expect("submits");
+    // Workload state handles must outlive the run.
+    let _wc_state: Option<WordCountState>;
+    let _ls_state: Option<LogStreamState>;
+    match workload {
+        AppWorkload::Throughput => {
+            let params = ThroughputParams::paper();
+            let topo = throughput::topology(&params).expect("valid");
+            let mut factory = throughput::factory(&params, seed);
+            system.submit(&topo, &mut factory).expect("submits");
+        }
+        AppWorkload::WordCount => {
+            let params = WordCountParams::paper();
+            let topo = wordcount::topology(&params).expect("valid");
+            let state = WordCountState::new();
+            state.attach_corpus_producer(SimTime::ZERO, WORDCOUNT_LINES_PER_SEC);
+            let mut factory = wordcount::factory(&state);
+            system.submit(&topo, &mut factory).expect("submits");
+            _wc_state = Some(state);
+        }
+        AppWorkload::LogStream => {
+            let params = LogStreamParams::paper();
+            let topo = logstream::topology(&params).expect("valid");
+            let state = LogStreamState::new();
+            state.attach_log_producer(SimTime::ZERO, LOGSTREAM_LINES_PER_SEC, seed ^ 0xa5a5);
+            let mut factory = logstream::factory(&state);
+            system.submit(&topo, &mut factory).expect("submits");
+            _ls_state = Some(state);
+        }
+    }
     system.start().expect("starts");
+    if !faults.is_empty() {
+        system
+            .simulation_mut()
+            .apply_fault_plan(faults)
+            .expect("applies fault plan");
+    }
     system
         .run_until(SimTime::from_secs(duration_secs))
         .expect("runs");
     ExperimentOutcome::from_system(mode_label(mode, gamma), &system)
+}
+
+/// Fig. 5: the Throughput Test topology (10 nodes, 40 workers, 45
+/// executors) under the given system and consolidation factor.
+#[must_use]
+pub fn fig5(mode: SystemMode, gamma: f64, duration_secs: u64, seed: u64) -> ExperimentOutcome {
+    run_app(
+        AppWorkload::Throughput,
+        mode,
+        gamma,
+        duration_secs,
+        seed,
+        &FaultPlan::new(),
+    )
 }
 
 /// Fig. 6: the Word Count topology (10 nodes, 20 workers, 20 executors)
 /// fed from the corpus queue.
 #[must_use]
 pub fn fig6(mode: SystemMode, gamma: f64, duration_secs: u64, seed: u64) -> ExperimentOutcome {
-    let params = WordCountParams::paper();
-    let topo = wordcount::topology(&params).expect("valid");
-    let state = WordCountState::new();
-    state.attach_corpus_producer(SimTime::ZERO, WORDCOUNT_LINES_PER_SEC);
-    let mut system =
-        TStormSystem::new(cluster10(), paper_config(mode, gamma, seed)).expect("valid config");
-    let mut factory = wordcount::factory(&state);
-    system.submit(&topo, &mut factory).expect("submits");
-    system.start().expect("starts");
-    system
-        .run_until(SimTime::from_secs(duration_secs))
-        .expect("runs");
-    ExperimentOutcome::from_system(mode_label(mode, gamma), &system)
+    run_app(
+        AppWorkload::WordCount,
+        mode,
+        gamma,
+        duration_secs,
+        seed,
+        &FaultPlan::new(),
+    )
 }
 
 /// Fig. 8: the Log Stream Processing topology (10 nodes, 20 workers, 28
 /// executors) fed LogStash-style IIS log lines.
 #[must_use]
 pub fn fig8(mode: SystemMode, gamma: f64, duration_secs: u64, seed: u64) -> ExperimentOutcome {
-    let params = LogStreamParams::paper();
-    let topo = logstream::topology(&params).expect("valid");
-    let state = LogStreamState::new();
-    state.attach_log_producer(SimTime::ZERO, LOGSTREAM_LINES_PER_SEC, seed ^ 0xa5a5);
-    let mut system =
-        TStormSystem::new(cluster10(), paper_config(mode, gamma, seed)).expect("valid config");
-    let mut factory = logstream::factory(&state);
-    system.submit(&topo, &mut factory).expect("submits");
-    system.start().expect("starts");
-    system
-        .run_until(SimTime::from_secs(duration_secs))
-        .expect("runs");
-    ExperimentOutcome::from_system(mode_label(mode, gamma), &system)
+    run_app(
+        AppWorkload::LogStream,
+        mode,
+        gamma,
+        duration_secs,
+        seed,
+        &FaultPlan::new(),
+    )
 }
 
 // ---------------------------------------------------------------------

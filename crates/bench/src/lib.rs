@@ -25,6 +25,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod args;
 pub mod experiments;
+pub mod sweep;
 
+pub use args::{fig_args_or_exit, FigArgs};
 pub use experiments::{ExperimentOutcome, PAPER_RUN_SECS};

@@ -1,0 +1,352 @@
+//! Statistical aggregation over repeated trials of one scenario.
+//!
+//! The paper (and the related R-Storm / heterogeneous-cluster
+//! evaluations) report mean ± variance across repeated runs; a single
+//! seed is one sample. This module turns a set of per-seed
+//! [`RunReport`]s for the same grid cell into summary statistics —
+//! mean, sample standard deviation, min/max and a 95 % confidence
+//! interval — over the report's scalar metrics and latency quantiles.
+//!
+//! Determinism contract: every function here is a pure fold over its
+//! inputs in the order given. Callers that collect trials by trial
+//! index (not completion order) therefore get bit-identical aggregates
+//! regardless of how many threads produced the reports.
+
+use crate::report::RunReport;
+use std::fmt::Write as _;
+use tstorm_types::SimTime;
+
+/// Summary statistics of one scalar metric over repeated trials.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleStats {
+    /// Number of trials that produced a value for this metric.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (`n − 1` denominator; 0 for one trial).
+    pub stddev: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Half-width of the 95 % confidence interval of the mean
+    /// (`1.96·s/√n`, normal approximation — exact only for large `n`,
+    /// but comparable across cells at equal trial counts).
+    pub ci95: f64,
+}
+
+impl SampleStats {
+    /// Computes stats over `samples`, ignoring non-finite entries.
+    /// Returns `None` when no finite sample remains.
+    #[must_use]
+    pub fn from_samples(samples: &[f64]) -> Option<Self> {
+        let finite: Vec<f64> = samples.iter().copied().filter(|v| v.is_finite()).collect();
+        if finite.is_empty() {
+            return None;
+        }
+        let n = finite.len();
+        let mean = finite.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            finite.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let stddev = var.sqrt();
+        let (mut min, mut max) = (finite[0], finite[0]);
+        for v in &finite[1..] {
+            min = min.min(*v);
+            max = max.max(*v);
+        }
+        Some(Self {
+            n,
+            mean,
+            stddev,
+            min,
+            max,
+            ci95: 1.96 * stddev / (n as f64).sqrt(),
+        })
+    }
+}
+
+/// The error cases of aggregate construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AggregateError {
+    /// Two cells carry the same label: silently merging or shadowing
+    /// them would corrupt the output table, so this is rejected.
+    DuplicateLabel(String),
+    /// A cell was given no reports at all.
+    EmptyCell(String),
+}
+
+impl std::fmt::Display for AggregateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AggregateError::DuplicateLabel(l) => {
+                write!(f, "duplicate cell label `{l}`: every cell must be unique")
+            }
+            AggregateError::EmptyCell(l) => write!(f, "cell `{l}` has no reports"),
+        }
+    }
+}
+
+impl std::error::Error for AggregateError {}
+
+/// The scalar metrics extracted from each [`RunReport`], in the fixed
+/// order they appear in tables and the JSON artifact.
+pub const AGGREGATE_METRICS: &[&str] = &[
+    "mean_proc_ms",
+    "p50_ms",
+    "p99_ms",
+    "completed",
+    "emitted",
+    "failed",
+    "perm_failed",
+    "tuples_lost",
+    "replays",
+    "final_nodes",
+    "invalid_latency_samples",
+];
+
+/// Extracts the [`AGGREGATE_METRICS`] scalars from one report.
+/// `stable_from` bounds the paper's "counting measurements after NNN s"
+/// window for the mean processing time. Metrics without data yield
+/// `None`.
+#[must_use]
+pub fn report_scalars(
+    report: &RunReport,
+    stable_from: SimTime,
+) -> Vec<(&'static str, Option<f64>)> {
+    vec![
+        ("mean_proc_ms", report.mean_proc_time_after(stable_from)),
+        ("p50_ms", report.latency_quantile(0.5)),
+        ("p99_ms", report.latency_quantile(0.99)),
+        ("completed", Some(report.completed as f64)),
+        ("emitted", Some(report.emitted as f64)),
+        ("failed", Some(report.failed.total() as f64)),
+        ("perm_failed", Some(report.perm_failed as f64)),
+        ("tuples_lost", Some(report.tuples_lost as f64)),
+        ("replays", Some(report.replays as f64)),
+        ("final_nodes", report.final_nodes_used().map(f64::from)),
+        (
+            "invalid_latency_samples",
+            Some(report.invalid_latency_samples() as f64),
+        ),
+    ]
+}
+
+/// The aggregate of all trials of one grid cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportAggregate {
+    /// The cell label (unique within a sweep).
+    pub label: String,
+    /// Number of trials aggregated.
+    pub trials: usize,
+    /// Stats per metric, in [`AGGREGATE_METRICS`] order. `None` when no
+    /// trial produced a finite value for that metric.
+    pub metrics: Vec<(&'static str, Option<SampleStats>)>,
+}
+
+impl ReportAggregate {
+    /// Aggregates one cell's reports (one per seed, in trial order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AggregateError::EmptyCell`] when `reports` is empty.
+    pub fn from_reports(
+        label: impl Into<String>,
+        reports: &[&RunReport],
+        stable_from: SimTime,
+    ) -> Result<Self, AggregateError> {
+        let label = label.into();
+        if reports.is_empty() {
+            return Err(AggregateError::EmptyCell(label));
+        }
+        let per_report: Vec<Vec<(&'static str, Option<f64>)>> = reports
+            .iter()
+            .map(|r| report_scalars(r, stable_from))
+            .collect();
+        let metrics = AGGREGATE_METRICS
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                let samples: Vec<f64> = per_report
+                    .iter()
+                    .filter_map(|scalars| scalars[i].1)
+                    .collect();
+                (*name, SampleStats::from_samples(&samples))
+            })
+            .collect();
+        Ok(Self {
+            label,
+            trials: reports.len(),
+            metrics,
+        })
+    }
+
+    /// Looks up one metric's stats by name.
+    #[must_use]
+    pub fn stat(&self, name: &str) -> Option<&SampleStats> {
+        self.metrics
+            .iter()
+            .find(|(n, _)| *n == name)
+            .and_then(|(_, s)| s.as_ref())
+    }
+}
+
+/// Aggregates many cells at once, enforcing label uniqueness — the
+/// grid-level companion of [`ReportAggregate::from_reports`].
+///
+/// # Errors
+///
+/// Returns [`AggregateError::DuplicateLabel`] when two cells share a
+/// label and [`AggregateError::EmptyCell`] when a cell has no reports.
+pub fn aggregate_cells(
+    cells: &[(String, Vec<&RunReport>)],
+    stable_from: SimTime,
+) -> Result<Vec<ReportAggregate>, AggregateError> {
+    for (i, (label, _)) in cells.iter().enumerate() {
+        if cells[..i].iter().any(|(other, _)| other == label) {
+            return Err(AggregateError::DuplicateLabel(label.clone()));
+        }
+    }
+    cells
+        .iter()
+        .map(|(label, reports)| ReportAggregate::from_reports(label.clone(), reports, stable_from))
+        .collect()
+}
+
+/// Renders aggregates as an aligned comparison table: one row per cell,
+/// `mean ± ci95` for the headline latency metrics plus completion and
+/// node-usage columns.
+#[must_use]
+pub fn render_aggregate_table(aggregates: &[ReportAggregate]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<38} {:>6} {:>22} {:>22} {:>14} {:>9}",
+        "cell", "trials", "mean proc (ms)", "p99 (ms)", "completed", "nodes"
+    );
+    let fmt_stat = |s: Option<&SampleStats>, digits: usize| -> String {
+        match s {
+            Some(s) => format!("{:.digits$} ± {:.digits$}", s.mean, s.ci95),
+            None => "-".to_owned(),
+        }
+    };
+    for a in aggregates {
+        let _ = writeln!(
+            out,
+            "{:<38} {:>6} {:>22} {:>22} {:>14} {:>9}",
+            a.label,
+            a.trials,
+            fmt_stat(a.stat("mean_proc_ms"), 3),
+            fmt_stat(a.stat("p99_ms"), 3),
+            fmt_stat(a.stat("completed"), 1),
+            fmt_stat(a.stat("final_nodes"), 1),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_with(label: &str, latencies: &[(u64, f64)], nodes: u32) -> RunReport {
+        let mut r = RunReport::new(label);
+        for (sec, v) in latencies {
+            r.record_latency(SimTime::from_secs(*sec), *v);
+        }
+        r.nodes_used.record(SimTime::ZERO, nodes);
+        r.completed = latencies.len() as u64;
+        r.emitted = latencies.len() as u64;
+        r
+    }
+
+    #[test]
+    fn sample_stats_match_hand_computation() {
+        let s = SampleStats::from_samples(&[2.0, 4.0, 6.0]).unwrap();
+        assert_eq!(s.n, 3);
+        assert!((s.mean - 4.0).abs() < 1e-12);
+        assert!((s.stddev - 2.0).abs() < 1e-12); // var = (4+0+4)/2 = 4
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 6.0);
+        assert!((s.ci95 - 1.96 * 2.0 / 3f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_stats_single_sample_has_zero_spread() {
+        let s = SampleStats::from_samples(&[7.5]).unwrap();
+        assert_eq!(s.n, 1);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.ci95, 0.0);
+        assert_eq!(s.min, 7.5);
+        assert_eq!(s.max, 7.5);
+    }
+
+    #[test]
+    fn sample_stats_skip_non_finite() {
+        let s = SampleStats::from_samples(&[1.0, f64::NAN, 3.0, f64::INFINITY]).unwrap();
+        assert_eq!(s.n, 2);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!(SampleStats::from_samples(&[f64::NAN]).is_none());
+        assert!(SampleStats::from_samples(&[]).is_none());
+    }
+
+    #[test]
+    fn aggregate_covers_scalars_and_quantiles() {
+        let a = report_with("cell", &[(100, 10.0), (130, 20.0)], 10);
+        let b = report_with("cell", &[(100, 30.0), (130, 40.0)], 8);
+        let agg =
+            ReportAggregate::from_reports("cell", &[&a, &b], SimTime::ZERO).expect("aggregates");
+        assert_eq!(agg.trials, 2);
+        let completed = agg.stat("completed").expect("has completed");
+        assert!((completed.mean - 2.0).abs() < 1e-12);
+        let nodes = agg.stat("final_nodes").expect("has nodes");
+        assert!((nodes.mean - 9.0).abs() < 1e-12);
+        assert!(agg.stat("mean_proc_ms").is_some());
+        assert!(agg.stat("p99_ms").is_some());
+    }
+
+    #[test]
+    fn empty_cell_is_rejected() {
+        assert_eq!(
+            ReportAggregate::from_reports("x", &[], SimTime::ZERO),
+            Err(AggregateError::EmptyCell("x".to_owned()))
+        );
+    }
+
+    #[test]
+    fn duplicate_labels_are_rejected_not_merged() {
+        let a = report_with("gamma=1.7", &[(0, 1.0)], 1);
+        let b = report_with("gamma=1.7", &[(0, 2.0)], 2);
+        let cells = vec![
+            ("gamma=1.7".to_owned(), vec![&a]),
+            ("gamma=1.7".to_owned(), vec![&b]),
+        ];
+        assert_eq!(
+            aggregate_cells(&cells, SimTime::ZERO),
+            Err(AggregateError::DuplicateLabel("gamma=1.7".to_owned()))
+        );
+    }
+
+    #[test]
+    fn aggregation_is_order_independent_per_cell_set() {
+        let a = report_with("c1", &[(0, 1.0)], 1);
+        let b = report_with("c2", &[(0, 2.0)], 2);
+        let cells = vec![("c1".to_owned(), vec![&a]), ("c2".to_owned(), vec![&b])];
+        let aggs = aggregate_cells(&cells, SimTime::ZERO).expect("aggregates");
+        assert_eq!(aggs.len(), 2);
+        assert_eq!(aggs[0].label, "c1");
+        assert_eq!(aggs[1].label, "c2");
+    }
+
+    #[test]
+    fn table_renders_mean_plus_minus_ci() {
+        let a = report_with("cell-a", &[(0, 8.0)], 3);
+        let agg = ReportAggregate::from_reports("cell-a", &[&a], SimTime::ZERO).unwrap();
+        let table = render_aggregate_table(&[agg]);
+        assert!(table.contains("cell-a"));
+        assert!(table.contains('±'));
+        assert!(table.contains("3.0"));
+    }
+}

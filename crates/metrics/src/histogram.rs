@@ -33,6 +33,7 @@ const NUM_BUCKETS: usize = 114;
 pub struct LogHistogram {
     counts: Vec<u64>,
     total: u64,
+    invalid: u64,
 }
 
 impl LogHistogram {
@@ -42,15 +43,21 @@ impl LogHistogram {
         Self {
             counts: vec![0; NUM_BUCKETS],
             total: 0,
+            invalid: 0,
         }
     }
 
-    fn bucket_of(value: f64) -> usize {
+    /// The bucket holding `value`, or `None` for samples the histogram
+    /// cannot represent (NaN, ±∞, zero, negative). Folding those into
+    /// bucket 0 would make them indistinguishable from genuine ~1 µs
+    /// latencies and poison the low quantiles, so they are quarantined
+    /// into the [`invalid`](Self::invalid) counter instead.
+    fn bucket_of(value: f64) -> Option<usize> {
         if !value.is_finite() || value <= 0.0 {
-            return 0;
+            return None;
         }
         let idx = ((value.log2() - MIN_LOG2) * BUCKETS_PER_OCTAVE).floor();
-        idx.clamp(0.0, (NUM_BUCKETS - 1) as f64) as usize
+        Some(idx.clamp(0.0, (NUM_BUCKETS - 1) as f64) as usize)
     }
 
     /// Representative (geometric-mean) value of a bucket.
@@ -59,16 +66,30 @@ impl LogHistogram {
         2f64.powf(low + 0.5 / BUCKETS_PER_OCTAVE)
     }
 
-    /// Records one value.
+    /// Records one value. Non-finite or non-positive samples do not enter
+    /// any bucket (they would corrupt the quantiles); they are counted in
+    /// [`invalid`](Self::invalid) instead.
     pub fn record(&mut self, value: f64) {
-        self.counts[Self::bucket_of(value)] += 1;
-        self.total += 1;
+        match Self::bucket_of(value) {
+            Some(idx) => {
+                self.counts[idx] += 1;
+                self.total += 1;
+            }
+            None => self.invalid += 1,
+        }
     }
 
-    /// Number of recorded values.
+    /// Number of recorded values that entered a bucket.
     #[must_use]
     pub fn count(&self) -> u64 {
         self.total
+    }
+
+    /// Number of rejected samples (NaN, ±∞, zero, negative) — excluded
+    /// from every quantile.
+    #[must_use]
+    pub fn invalid(&self) -> u64 {
+        self.invalid
     }
 
     /// The `q`-quantile (`0 < q <= 1`), or `None` if empty.
@@ -124,6 +145,7 @@ impl LogHistogram {
             *a += b;
         }
         self.total += other.total;
+        self.invalid += other.invalid;
     }
 
     /// True if nothing was recorded.
@@ -180,14 +202,36 @@ mod tests {
     }
 
     #[test]
-    fn extreme_values_clamp() {
+    fn invalid_samples_are_quarantined() {
         let mut h = LogHistogram::new();
         h.record(0.0);
         h.record(-5.0);
         h.record(f64::INFINITY);
-        h.record(1e12);
-        assert_eq!(h.count(), 4);
+        h.record(f64::NAN);
+        h.record(1e12); // finite and positive: clamps to the top bucket
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.invalid(), 4);
         assert!(h.quantile(1.0).is_some());
+    }
+
+    #[test]
+    fn poisoned_series_leaves_quantiles_unchanged() {
+        let mut clean = LogHistogram::new();
+        let mut poisoned = LogHistogram::new();
+        for i in 1..=100 {
+            clean.record(f64::from(i));
+            poisoned.record(f64::from(i));
+        }
+        for _ in 0..1000 {
+            poisoned.record(f64::NAN);
+            poisoned.record(f64::NEG_INFINITY);
+            poisoned.record(0.0);
+            poisoned.record(-1.0);
+        }
+        assert_eq!(poisoned.quantile(0.5), clean.quantile(0.5));
+        assert_eq!(poisoned.quantile(0.01), clean.quantile(0.01));
+        assert_eq!(poisoned.count(), clean.count());
+        assert_eq!(poisoned.invalid(), 4000);
     }
 
     #[test]
@@ -195,10 +239,13 @@ mod tests {
         let mut a = LogHistogram::new();
         let mut b = LogHistogram::new();
         a.record(1.0);
+        a.record(f64::NAN);
         b.record(100.0);
         b.record(100.0);
+        b.record(-3.0);
         a.merge(&b);
         assert_eq!(a.count(), 3);
+        assert_eq!(a.invalid(), 2);
         let p99 = a.quantile(0.99).unwrap();
         assert!(p99 > 50.0);
     }

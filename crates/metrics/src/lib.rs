@@ -12,7 +12,10 @@
 //!   of worker nodes in use, the `#Nodes=…` annotations of Figs. 5–10);
 //! * [`RunReport`] — a named bundle of the above for one run, with aligned
 //!   table and CSV rendering plus the comparison helpers used to compute
-//!   the paper's headline speedups.
+//!   the paper's headline speedups;
+//! * [`aggregate`] — mean / stddev / min / max / 95 % CI over repeated
+//!   trials of the same scenario (the multi-seed sweep backbone), with
+//!   duplicate-label rejection.
 //!
 //! # Example
 //!
@@ -31,12 +34,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod aggregate;
 pub mod counter;
 pub mod histogram;
 pub mod report;
 pub mod series;
 pub mod step;
 
+pub use aggregate::{
+    aggregate_cells, render_aggregate_table, AggregateError, ReportAggregate, SampleStats,
+    AGGREGATE_METRICS,
+};
 pub use counter::WindowedCounter;
 pub use histogram::LogHistogram;
 pub use report::{sparkline, ComparisonRow, RunReport};

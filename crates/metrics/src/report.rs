@@ -87,6 +87,14 @@ impl RunReport {
         self.latency_hist.quantile(q)
     }
 
+    /// Latency samples rejected as unrepresentable (NaN, ±∞, zero,
+    /// negative) — quarantined by the histogram instead of poisoning the
+    /// low quantiles.
+    #[must_use]
+    pub fn invalid_latency_samples(&self) -> u64 {
+        self.latency_hist.invalid()
+    }
+
     /// Renders the 1-minute series as an aligned text table, one row per
     /// window: time, avg proc time (ms), samples, failed.
     #[must_use]
@@ -128,6 +136,13 @@ impl RunReport {
             self.emitted,
             self.final_nodes_used()
         );
+        if self.invalid_latency_samples() > 0 {
+            let _ = writeln!(
+                out,
+                "invalid_latency_samples={} (rejected from quantiles)",
+                self.invalid_latency_samples()
+            );
+        }
         if self.tuples_lost > 0 || self.perm_failed > 0 || !self.recovery_latency_ms.is_empty() {
             let recoveries: Vec<String> = self
                 .recovery_latency_ms
@@ -295,6 +310,16 @@ mod tests {
         let table = faulty.render_table();
         assert!(table.contains("faults: lost=12 replays=9 perm_failed=2"));
         assert!(table.contains("1500.0ms"));
+    }
+
+    #[test]
+    fn invalid_latency_samples_surface_in_table() {
+        let mut r = report("x", &[(0, 2.0)], 1);
+        assert!(!r.render_table().contains("invalid_latency_samples"));
+        r.latency_hist.record(f64::NAN);
+        r.latency_hist.record(-1.0);
+        assert_eq!(r.invalid_latency_samples(), 2);
+        assert!(r.render_table().contains("invalid_latency_samples=2"));
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{
     AssignmentId, ComponentId, ExecutorId, NodeId, SlotId, TaskId, TopologyId, TupleId, WorkerId,
 };
-pub use rng::DetRng;
+pub use rng::{derive_seed, DetRng};
 pub use slab::{Slab, SlabHandle};
 pub use time::SimTime;
 pub use units::{Bytes, Mhz};
