@@ -9,6 +9,7 @@
 //!
 //! ```text
 //! simbench [--out PATH] [--label TEXT] [--quick] [--scenario NAME]...
+//!          [--guard BASELINE [--tolerance F]]
 //! simbench --check PATH
 //! ```
 //!
@@ -17,12 +18,17 @@
 //! ```json
 //! {"scenario":"wordcount","label":"...","quick":false,
 //!  "events":123,"wall_ms":1.5,"events_per_sec":82000.0,
-//!  "peak_queue_depth":400,"completed":100,"emitted":120}
+//!  "peak_queue_depth":400,"completed":100,"emitted":120,
+//!  "seed":42,"duration_secs":120,"nodes":10,"slots_per_node":4,
+//!  "workspace_version":"0.1.0"}
 //! ```
 //!
 //! `--check` validates an emitted file: it must parse as a non-empty
 //! JSON array whose entries carry every schema key — the CI bench-smoke
-//! step runs it after a `--quick` pass.
+//! step runs it after a `--quick` pass. `--guard` is the observability
+//! overhead guard: fresh spans-off measurements must stay within
+//! `--tolerance` (default 10%) of the best committed events/s per
+//! scenario in the baseline trajectory.
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -35,6 +41,8 @@ use tstorm_workloads::throughput::{self, ThroughputParams};
 use tstorm_workloads::wordcount::{self, WordCountParams, WordCountState};
 
 /// Keys every trajectory record must carry (`--check` enforces this).
+/// The provenance keys (seed through workspace_version) pin the run
+/// configuration so a trajectory entry can be reproduced.
 const SCHEMA_KEYS: &[&str] = &[
     "scenario",
     "label",
@@ -45,6 +53,11 @@ const SCHEMA_KEYS: &[&str] = &[
     "peak_queue_depth",
     "completed",
     "emitted",
+    "seed",
+    "duration_secs",
+    "nodes",
+    "slots_per_node",
+    "workspace_version",
 ];
 
 /// One measured scenario run.
@@ -58,6 +71,10 @@ struct Record {
     peak_queue_depth: usize,
     completed: u64,
     emitted: u64,
+    seed: u64,
+    duration_secs: u64,
+    nodes: u32,
+    slots_per_node: u32,
 }
 
 impl Record {
@@ -71,7 +88,12 @@ impl Record {
             .f64("events_per_sec", self.events_per_sec)
             .u64("peak_queue_depth", self.peak_queue_depth as u64)
             .u64("completed", self.completed)
-            .u64("emitted", self.emitted);
+            .u64("emitted", self.emitted)
+            .u64("seed", self.seed)
+            .u64("duration_secs", self.duration_secs)
+            .u64("nodes", u64::from(self.nodes))
+            .u64("slots_per_node", u64::from(self.slots_per_node))
+            .str("workspace_version", env!("CARGO_PKG_VERSION"));
         w.finish()
     }
 }
@@ -82,6 +104,8 @@ struct Options {
     quick: bool,
     scenarios: Vec<String>,
     check: Option<String>,
+    guard: Option<String>,
+    tolerance: f64,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -91,6 +115,8 @@ fn parse_args() -> Result<Options, String> {
         quick: false,
         scenarios: Vec::new(),
         check: None,
+        guard: None,
+        tolerance: 0.10,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -103,9 +129,19 @@ fn parse_args() -> Result<Options, String> {
             "--quick" => opts.quick = true,
             "--scenario" => opts.scenarios.push(value("--scenario")?),
             "--check" => opts.check = Some(value("--check")?),
+            "--guard" => opts.guard = Some(value("--guard")?),
+            "--tolerance" => {
+                opts.tolerance = value("--tolerance")?
+                    .parse()
+                    .map_err(|_| "--tolerance must be a number".to_owned())?;
+                if !(0.0..1.0).contains(&opts.tolerance) {
+                    return Err("--tolerance must be within [0, 1)".to_owned());
+                }
+            }
             "--help" | "-h" => {
                 return Err("usage: simbench [--out PATH] [--label TEXT] [--quick] \
-                     [--scenario wordcount|fault-replay]... | simbench --check PATH"
+                     [--scenario wordcount|fault-replay]... \
+                     [--guard BASELINE [--tolerance F]] | simbench --check PATH"
                     .to_owned())
             }
             other => return Err(format!("unknown flag `{other}`")),
@@ -118,10 +154,11 @@ fn parse_args() -> Result<Options, String> {
 /// scenario — a fields-grouped fan-out with ackers enabled.
 fn run_wordcount(label: &str, quick: bool) -> Record {
     let duration = if quick { 30 } else { 120 };
-    let cluster = ClusterSpec::homogeneous(10, 4, Mhz::new(8000.0)).expect("valid cluster");
+    let (nodes, slots, seed) = (10, 4, 42);
+    let cluster = ClusterSpec::homogeneous(nodes, slots, Mhz::new(8000.0)).expect("valid cluster");
     let config = TStormConfig::default()
         .with_mode(SystemMode::TStorm)
-        .with_seed(42);
+        .with_seed(seed);
     let mut system = TStormSystem::new(cluster, config).expect("valid config");
     let p = WordCountParams::paper();
     let topo = wordcount::topology(&p).expect("valid topology");
@@ -135,7 +172,19 @@ fn run_wordcount(label: &str, quick: bool) -> Record {
     system
         .run_until(SimTime::from_secs(duration))
         .expect("runs");
-    finish("wordcount", label, quick, start, &system)
+    finish(
+        "wordcount",
+        label,
+        quick,
+        start,
+        &system,
+        Provenance {
+            seed,
+            duration_secs: duration,
+            nodes,
+            slots_per_node: slots,
+        },
+    )
 }
 
 /// Fault-plan replay: the Throughput Test with a node crash (plus
@@ -143,10 +192,11 @@ fn run_wordcount(label: &str, quick: bool) -> Record {
 /// timeout / replay / recovery paths of the engine.
 fn run_fault_replay(label: &str, quick: bool) -> Record {
     let duration = if quick { 60 } else { 180 };
-    let cluster = ClusterSpec::homogeneous(6, 4, Mhz::new(8000.0)).expect("valid cluster");
+    let (nodes, slots, seed) = (6, 4, 42);
+    let cluster = ClusterSpec::homogeneous(nodes, slots, Mhz::new(8000.0)).expect("valid cluster");
     let config = TStormConfig::default()
         .with_mode(SystemMode::TStorm)
-        .with_seed(42);
+        .with_seed(seed);
     let mut system = TStormSystem::new(cluster, config).expect("valid config");
     let p = ThroughputParams::paper();
     let topo = throughput::topology(&p).expect("valid topology");
@@ -167,7 +217,27 @@ fn run_fault_replay(label: &str, quick: bool) -> Record {
     system
         .run_until(SimTime::from_secs(duration))
         .expect("runs");
-    finish("fault-replay", label, quick, start, &system)
+    finish(
+        "fault-replay",
+        label,
+        quick,
+        start,
+        &system,
+        Provenance {
+            seed,
+            duration_secs: duration,
+            nodes,
+            slots_per_node: slots,
+        },
+    )
+}
+
+/// The run configuration stamped into each trajectory record.
+struct Provenance {
+    seed: u64,
+    duration_secs: u64,
+    nodes: u32,
+    slots_per_node: u32,
 }
 
 fn finish(
@@ -176,6 +246,7 @@ fn finish(
     quick: bool,
     start: Instant,
     system: &TStormSystem,
+    provenance: Provenance,
 ) -> Record {
     let wall = start.elapsed();
     let sim = system.simulation();
@@ -191,6 +262,10 @@ fn finish(
         peak_queue_depth: sim.queue_high_water(),
         completed: sim.completed(),
         emitted: sim.emitted(),
+        seed: provenance.seed,
+        duration_secs: provenance.duration_secs,
+        nodes: provenance.nodes,
+        slots_per_node: provenance.slots_per_node,
     }
 }
 
@@ -253,6 +328,54 @@ fn check(path: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// The observability overhead guard: with spans and the recorder off
+/// (their default), fresh measurements must stay within `tolerance` of
+/// the best committed events/s per scenario in `baseline_path`. Only
+/// baseline records with the *same* `quick` flag are comparable —
+/// quick runs carry proportionally more warmup, so their throughput
+/// sits well below a full run's.
+fn guard(records: &[Record], baseline_path: &str, tolerance: f64) -> Result<(), String> {
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
+    let parsed = json::parse(&text).ok_or_else(|| format!("{baseline_path}: not valid JSON"))?;
+    let baseline = parsed
+        .as_array()
+        .ok_or_else(|| format!("{baseline_path}: top level must be an array"))?;
+    for rec in records {
+        let quick_matches =
+            |b: &&JsonValue| matches!(b.get("quick"), Some(JsonValue::Bool(q)) if *q == rec.quick);
+        let best = baseline
+            .iter()
+            .filter(|b| b.get("scenario").and_then(|s| s.as_str()) == Some(rec.scenario))
+            .filter(quick_matches)
+            .filter_map(|b| b.get("events_per_sec").and_then(|v| v.as_f64()))
+            .fold(f64::NAN, f64::max);
+        if best.is_nan() {
+            return Err(format!(
+                "{baseline_path}: no baseline record for scenario `{}` with quick={}",
+                rec.scenario, rec.quick
+            ));
+        }
+        let floor = best * (1.0 - tolerance);
+        if rec.events_per_sec < floor {
+            return Err(format!(
+                "overhead guard: {} ran at {:.0} events/s, more than {:.0}% below \
+                 the committed baseline {:.0} events/s (floor {:.0})",
+                rec.scenario,
+                rec.events_per_sec,
+                tolerance * 100.0,
+                best,
+                floor,
+            ));
+        }
+        println!(
+            "guard: {:<14} {:>10.0} events/s vs baseline {:>10.0} (floor {:>10.0}) ok",
+            rec.scenario, rec.events_per_sec, best, floor,
+        );
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(o) => o,
@@ -298,6 +421,13 @@ fn main() -> ExitCode {
             rec.completed,
         );
         records.push(rec);
+    }
+
+    if let Some(baseline) = &opts.guard {
+        if let Err(e) = guard(&records, baseline, opts.tolerance) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
     }
 
     let mut trajectory = read_trajectory(&opts.out);

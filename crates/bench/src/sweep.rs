@@ -525,6 +525,9 @@ pub fn render_sweep_json(results: &SweepResults) -> String {
     let mut o = ObjectWriter::new();
     o.str("tool", "tstorm-sweep")
         .u64("schema_version", 1)
+        .str("workspace_version", env!("CARGO_PKG_VERSION"))
+        // The fixed Section V cluster every trial runs on.
+        .str("cluster", "homogeneous 10 nodes x 4 slots @ 8000 MHz")
         .raw(
             "workloads",
             &str_list(grid.workloads.iter().map(|w| w.name()).collect()),

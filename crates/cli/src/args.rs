@@ -55,6 +55,18 @@ pub struct RunOptions {
     /// Print engine hot-path statistics (envelope-pool hit rate, event
     /// queue high-water mark, allocations avoided) after the run.
     pub engine_stats: bool,
+    /// Print the engine hot-path statistics as one machine-readable
+    /// JSON object after the run.
+    pub engine_stats_json: bool,
+    /// Collect per-tuple span trees and print the critical-path
+    /// latency breakdown after the run.
+    pub spans: bool,
+    /// Stream a flight recording (windowed cluster state, scheduler
+    /// decisions, control events, critical-path summary) to this path.
+    /// Implies `--spans`.
+    pub flight_recorder: Option<String>,
+    /// Record and print the scheduler's per-placement decision records.
+    pub explain: bool,
 }
 
 impl Default for RunOptions {
@@ -80,6 +92,10 @@ impl Default for RunOptions {
             fetch_jitter: 0.2,
             quiet: false,
             engine_stats: false,
+            engine_stats_json: false,
+            spans: false,
+            flight_recorder: None,
+            explain: false,
         }
     }
 }
@@ -150,6 +166,12 @@ OPTIONS (run/compare):
     --fetch-jitter F   per-node fetch/heartbeat jitter in [0,1)  [0.2]
     --quiet            summary only
     --engine-stats     print engine hot-path statistics after the run
+    --engine-stats-json  print the same statistics as one JSON object
+    --spans            collect span trees; print the critical-path
+                       latency breakdown after the run
+    --flight-recorder PATH  stream a flight recording (JSONL) of the
+                       run; implies --spans. Render it with `inspect`
+    --explain          record and print scheduler decision records
 ";
 
 /// Parses a full argument list (excluding `argv[0]`).
@@ -254,6 +276,13 @@ where
             }
             "--quiet" => opts.quiet = true,
             "--engine-stats" => opts.engine_stats = true,
+            "--engine-stats-json" => opts.engine_stats_json = true,
+            "--spans" => opts.spans = true,
+            "--flight-recorder" => {
+                opts.flight_recorder = Some(value(flag)?);
+                opts.spans = true;
+            }
+            "--explain" => opts.explain = true,
             other => return Err(ParseError(format!("unknown flag `{other}`"))),
         }
     }
@@ -421,5 +450,30 @@ mod tests {
         assert_eq!(o.trace_filter.as_deref(), Some("tuple,control"));
         assert_eq!(o.trace_sample, 10);
         assert_eq!(o.prom.as_deref(), Some("m.prom"));
+    }
+
+    #[test]
+    fn parses_span_and_recorder_flags() {
+        let Command::Run(o) = parse(args("run --spans --explain --engine-stats-json")).unwrap()
+        else {
+            panic!("expected run");
+        };
+        assert!(o.spans);
+        assert!(o.explain);
+        assert!(o.engine_stats_json);
+        assert!(o.flight_recorder.is_none());
+
+        let Command::Run(o) = parse(args("run --flight-recorder run.jsonl")).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(o.flight_recorder.as_deref(), Some("run.jsonl"));
+        assert!(o.spans, "--flight-recorder implies --spans");
+
+        assert!(parse(args("run --flight-recorder")).is_err());
+
+        let Command::Run(o) = parse(args("run")).unwrap() else {
+            panic!("expected run");
+        };
+        assert!(!o.spans && !o.explain && !o.engine_stats_json);
     }
 }

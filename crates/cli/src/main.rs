@@ -54,6 +54,15 @@ fn main() -> ExitCode {
                 if opts.engine_stats {
                     println!("{}", outcome.engine_summary());
                 }
+                if opts.engine_stats_json {
+                    println!("{}", outcome.engine_stats_json());
+                }
+                if let Some(spans) = &outcome.spans_summary {
+                    print!("{spans}");
+                }
+                if let Some(explanations) = &outcome.explanations {
+                    print!("{explanations}");
+                }
                 if let Some(path) = &opts.csv {
                     if let Err(e) = std::fs::write(path, outcome.report.render_csv()) {
                         eprintln!("error: writing {path}: {e}");
@@ -66,6 +75,10 @@ fn main() -> ExitCode {
                 }
                 if let Some(path) = &opts.prom {
                     println!("metrics written to {path}");
+                }
+                if let Some(path) = &opts.flight_recorder {
+                    let lines = outcome.recorder_lines.unwrap_or(0);
+                    println!("flight recording written to {path} ({lines} lines)");
                 }
                 ExitCode::SUCCESS
             }
@@ -95,6 +108,16 @@ fn main() -> ExitCode {
             if opts.engine_stats {
                 println!("Storm   {}", storm.engine_summary());
                 println!("T-Storm {}", tstorm.engine_summary());
+            }
+            if opts.engine_stats_json {
+                println!("{}", storm.engine_stats_json());
+                println!("{}", tstorm.engine_stats_json());
+            }
+            if let Some(spans) = &tstorm.spans_summary {
+                print!("T-Storm {spans}");
+            }
+            if let Some(explanations) = &tstorm.explanations {
+                print!("{explanations}");
             }
             let stable = SimTime::from_secs(opts.duration_secs / 2);
             if let Some(row) = ComparisonRow::from_reports(

@@ -4,10 +4,11 @@ use crate::args::RunOptions;
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use tstorm_cluster::ClusterSpec;
-use tstorm_core::{TStormConfig, TStormSystem};
+use tstorm_core::{SystemMode, TStormConfig, TStormSystem};
 use tstorm_metrics::RunReport;
 use tstorm_sim::FaultPlan;
-use tstorm_trace::{JsonlWriter, Observer, TraceFilter};
+use tstorm_trace::json::ObjectWriter;
+use tstorm_trace::{FlightRecorder, JsonlWriter, Observer, TraceFilter};
 use tstorm_types::{Mhz, Result, SimTime, TStormError};
 use tstorm_workloads::chain::{self, ChainParams};
 use tstorm_workloads::logstream::{self, LogStreamParams, LogStreamState};
@@ -70,6 +71,12 @@ pub struct ScenarioOutcome {
     /// Control-plane counters (heartbeats, fetches, epochs, death
     /// declarations, false positives).
     pub control: tstorm_core::ControlStats,
+    /// Critical-path summary tables (`--spans`).
+    pub spans_summary: Option<String>,
+    /// Rendered scheduler decision records (`--explain`).
+    pub explanations: Option<String>,
+    /// Lines the flight recorder wrote (`--flight-recorder`).
+    pub recorder_lines: Option<u64>,
 }
 
 /// Builds and runs one scenario per the options.
@@ -95,6 +102,41 @@ pub fn run_scenario(opts: &RunOptions) -> Result<ScenarioOutcome> {
     let observer = build_observer(opts)?;
     if observer.is_enabled() {
         system.set_observer(observer.clone());
+    }
+    if opts.spans {
+        system.enable_spans();
+    }
+    // A recording is a complete black box: capture decision records
+    // whenever a recorder is attached; `--explain` only controls
+    // whether they are also printed.
+    if opts.explain || opts.flight_recorder.is_some() {
+        system.set_explain(true);
+    }
+    if let Some(path) = &opts.flight_recorder {
+        let file = File::create(path).map_err(|e| {
+            TStormError::invalid_config("--flight-recorder", format!("cannot create {path}: {e}"))
+        })?;
+        let mut recorder =
+            FlightRecorder::new(Box::new(BufWriter::new(file)) as Box<dyn Write + Send>);
+        recorder.meta(|o| {
+            o.str("scenario", opts.topology.name())
+                .u64("seed", opts.seed)
+                .str(
+                    "mode",
+                    match opts.mode {
+                        SystemMode::StormDefault => "storm",
+                        SystemMode::TStorm => "t-storm",
+                    },
+                )
+                .str("scheduler", &opts.scheduler)
+                .f64("gamma", opts.gamma)
+                .u64("nodes", u64::from(opts.nodes))
+                .u64("slots_per_node", u64::from(opts.slots))
+                .u64("duration_secs", opts.duration_secs)
+                .f64("rate", opts.rate)
+                .str("workspace_version", env!("CARGO_PKG_VERSION"));
+        });
+        system.set_flight_recorder(recorder);
     }
 
     match opts.topology {
@@ -131,6 +173,7 @@ pub fn run_scenario(opts: &RunOptions) -> Result<ScenarioOutcome> {
     system.start()?;
     system.simulation_mut().apply_fault_plan(&fault_plan)?;
     system.run_until(SimTime::from_secs(opts.duration_secs))?;
+    let recorder_lines = system.finish_recording();
 
     if observer.is_enabled() {
         observer
@@ -169,7 +212,30 @@ pub fn run_scenario(opts: &RunOptions) -> Result<ScenarioOutcome> {
         timeline: system.timeline().to_vec(),
         engine: system.simulation().engine_stats(),
         control: system.control_stats(),
+        spans_summary: system
+            .simulation()
+            .spans()
+            .map(tstorm_trace::CriticalPathCollector::render_summary),
+        explanations: opts.explain.then(|| render_explanations(&system)),
+        recorder_lines,
     })
+}
+
+/// Renders every captured scheduler decision record, epoch-stamped.
+fn render_explanations(system: &TStormSystem) -> String {
+    let mut out = String::new();
+    for (epoch, at, explanation) in system.explanations() {
+        out.push_str(&format!(
+            "epoch {epoch} @ {:.1}s ({} placements):\n{}",
+            at.as_micros() as f64 / 1e6,
+            explanation.decisions.len(),
+            explanation.render(),
+        ));
+    }
+    if out.is_empty() {
+        out.push_str("no scheduler decisions were recorded\n");
+    }
+    out
 }
 
 /// Builds the observer the options ask for: a JSONL sink for
@@ -265,6 +331,20 @@ impl ScenarioOutcome {
             self.control.nodes_declared_dead,
             self.control.false_positive_reassignments,
         )
+    }
+
+    /// The engine hot-path statistics as one machine-readable JSON
+    /// object (`--engine-stats-json`), deterministic key order.
+    #[must_use]
+    pub fn engine_stats_json(&self) -> String {
+        let mut o = ObjectWriter::new();
+        o.u64("pool_hits", self.engine.pool_hits)
+            .u64("pool_misses", self.engine.pool_misses)
+            .f64("pool_hit_rate", self.engine.pool_hit_rate())
+            .u64("payload_clones_avoided", self.engine.payload_clones_avoided)
+            .u64("allocations_avoided", self.engine.allocations_avoided())
+            .u64("queue_high_water", self.engine.queue_high_water);
+        o.finish()
     }
 }
 

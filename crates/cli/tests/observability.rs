@@ -1,0 +1,128 @@
+//! Acceptance tests for the observability plane: the critical-path sum
+//! invariant on a golden wordcount run, flight-recorder determinism,
+//! and inertness of the features when disabled.
+
+use tstorm_cli::{run_scenario, RunOptions, ScenarioTopology};
+use tstorm_cluster::ClusterSpec;
+use tstorm_core::{SystemMode, TStormConfig, TStormSystem};
+use tstorm_trace::{parse_recording, JsonValue};
+use tstorm_types::{Mhz, SimTime};
+use tstorm_workloads::wordcount::{self, WordCountParams, WordCountState};
+
+/// The golden wordcount run: every retained per-root breakdown's
+/// queue + service + network components must sum exactly (telescoping,
+/// no rounding slack needed) to the measured completion latency.
+#[test]
+fn critical_path_components_sum_to_latency() {
+    let cluster = ClusterSpec::homogeneous(10, 4, Mhz::new(8000.0)).expect("valid cluster");
+    let config = TStormConfig::default()
+        .with_mode(SystemMode::TStorm)
+        .with_seed(42);
+    let mut system = TStormSystem::new(cluster, config).expect("valid config");
+    system.enable_spans();
+    let p = WordCountParams::paper();
+    let topo = wordcount::topology(&p).expect("valid topology");
+    let state = WordCountState::new();
+    state.attach_corpus_producer(SimTime::ZERO, 150.0);
+    let mut f = wordcount::factory(&state);
+    system.submit(&topo, &mut f).expect("submits");
+    system.start().expect("starts");
+    system.run_until(SimTime::from_secs(120)).expect("runs");
+
+    let spans = system.simulation().spans().expect("spans enabled");
+    let totals = spans.totals();
+    assert!(totals.roots > 1000, "wordcount completes plenty of roots");
+    assert_eq!(
+        totals.queue_us + totals.service_us + totals.network_us,
+        totals.latency_us,
+        "aggregate components must sum to aggregate latency"
+    );
+    assert!(!spans.breakdowns().is_empty());
+    for b in spans.breakdowns() {
+        assert_eq!(
+            b.queue_us + b.service_us + b.network_us,
+            b.latency_us,
+            "root {:?}: critical-path components must sum to its completion latency",
+            b.tuple
+        );
+        assert!(b.segments > 0);
+    }
+}
+
+fn recorded_opts(path: &std::path::Path) -> RunOptions {
+    RunOptions {
+        topology: ScenarioTopology::WordCount,
+        duration_secs: 60,
+        rate: 100.0,
+        spans: true,
+        explain: true,
+        flight_recorder: Some(path.to_string_lossy().into_owned()),
+        quiet: true,
+        ..RunOptions::default()
+    }
+}
+
+/// Same-seed runs must produce byte-identical recordings, and the
+/// artifact must parse with provenance and windowed state intact.
+#[test]
+fn flight_recordings_are_deterministic_and_parse() {
+    let dir = std::env::temp_dir().join("tstorm-cli-recorder-test");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let (a, b) = (dir.join("a.jsonl"), dir.join("b.jsonl"));
+    let outcome = run_scenario(&recorded_opts(&a)).expect("runs");
+    run_scenario(&recorded_opts(&b)).expect("runs");
+
+    let text_a = std::fs::read_to_string(&a).expect("recording a");
+    let text_b = std::fs::read_to_string(&b).expect("recording b");
+    assert_eq!(
+        text_a, text_b,
+        "same-seed recordings must be byte-identical"
+    );
+    assert_eq!(
+        outcome.recorder_lines,
+        Some(text_a.lines().count() as u64),
+        "reported line count matches the artifact"
+    );
+    assert!(outcome.spans_summary.is_some());
+    assert!(outcome.explanations.is_some());
+
+    let run = parse_recording(&text_a).expect("artifact parses");
+    assert_eq!(
+        run.meta.get("scenario").and_then(JsonValue::as_str),
+        Some("wordcount")
+    );
+    assert_eq!(run.meta.get("seed").and_then(JsonValue::as_f64), Some(42.0));
+    assert!(run.meta.get("workspace_version").is_some());
+    assert!(
+        !run.lines_of("window").is_empty(),
+        "monitor ticks must produce window lines"
+    );
+    assert!(
+        !run.lines_of("decision").is_empty(),
+        "the initial assignment is an epoch-0 decision"
+    );
+    let cp = run.lines_of("critical_path");
+    assert_eq!(cp.len(), 1, "one closing critical_path line");
+    let summary = cp[0].get("summary").expect("summary object");
+    let roots = summary.get("roots").and_then(JsonValue::as_f64).unwrap();
+    assert!(roots > 0.0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// With the features off, the outcome carries no observability state:
+/// the engine ran the span-free hot path.
+#[test]
+fn observability_is_inert_when_disabled() {
+    let opts = RunOptions {
+        topology: ScenarioTopology::WordCount,
+        duration_secs: 60,
+        rate: 100.0,
+        quiet: true,
+        ..RunOptions::default()
+    };
+    let outcome = run_scenario(&opts).expect("runs");
+    assert!(outcome.spans_summary.is_none());
+    assert!(outcome.explanations.is_none());
+    assert!(outcome.recorder_lines.is_none());
+    assert!(outcome.completed > 100);
+}

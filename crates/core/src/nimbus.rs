@@ -131,6 +131,19 @@ impl Nimbus {
         self.scheduler.current_name()
     }
 
+    /// Turns per-placement decision recording on or off for the active
+    /// algorithm (and any algorithm hot-swapped in later).
+    pub fn set_explain(&self, on: bool) {
+        self.scheduler.set_explain_shared(on);
+    }
+
+    /// Takes the decision records of the most recent
+    /// [`Nimbus::schedule`] call, if any were recorded.
+    #[must_use]
+    pub fn take_explanation(&self) -> Option<tstorm_sched::ScheduleExplanation> {
+        self.scheduler.take_explanation_shared()
+    }
+
     /// Hot-swaps the active algorithm from the registry.
     ///
     /// # Errors

@@ -10,6 +10,7 @@
 //! at topology submission, before the store has seen any publish.
 
 use tstorm_cluster::{Assignment, VersionedAssignment};
+use tstorm_sched::ScheduleExplanation;
 use tstorm_types::{AssignmentId, SimTime};
 
 /// One published schedule, as stored in the shared DB.
@@ -23,6 +24,9 @@ pub struct StoredSchedule {
     pub published_at: SimTime,
     /// Name of the algorithm that produced it.
     pub algorithm: String,
+    /// The scheduler's decision records for this publication, when
+    /// explanation was enabled at generation time.
+    pub explanation: Option<ScheduleExplanation>,
 }
 
 /// The shared schedule DB between generator and Nimbus.
@@ -49,13 +53,16 @@ impl ScheduleStore {
     }
 
     /// Publishes a schedule, stamping it with the next epoch, and
-    /// returns that epoch.
+    /// returns that epoch. `explanation` carries the scheduler's
+    /// decision records when explanation is enabled, so a reader can
+    /// reconstruct *why* the epoch's placements were made.
     pub fn publish(
         &mut self,
         id: AssignmentId,
         assignment: Assignment,
         at: SimTime,
         algorithm: impl Into<String>,
+        explanation: Option<ScheduleExplanation>,
     ) -> u64 {
         self.last_epoch += 1;
         self.publishes += 1;
@@ -64,6 +71,7 @@ impl ScheduleStore {
             versioned: VersionedAssignment::new(self.last_epoch, assignment),
             published_at: at,
             algorithm: algorithm.into(),
+            explanation,
         });
         self.last_epoch
     }
@@ -151,7 +159,23 @@ mod tests {
             Assignment::new(),
             SimTime::from_secs(at_secs),
             "test",
+            None,
         )
+    }
+
+    #[test]
+    fn explanation_rides_the_publication() {
+        let mut store = ScheduleStore::new();
+        store.publish(
+            AssignmentId::from_timestamp_micros(1_000_000),
+            Assignment::new(),
+            SimTime::from_secs(1),
+            "t-storm",
+            Some(ScheduleExplanation::new("t-storm")),
+        );
+        let fetched = store.fetch().expect("publication");
+        let ex = fetched.explanation.expect("explanation persisted");
+        assert_eq!(ex.algorithm, "t-storm");
     }
 
     #[test]

@@ -22,12 +22,13 @@ use tstorm_cluster::{Assignment, ClusterSpec};
 use tstorm_metrics::RunReport;
 use tstorm_monitor::{HoltLinearEstimator, LoadMonitor, OverloadDetector, WindowSnapshot};
 use tstorm_sched::{
-    AssignmentQuality, ExecutorInfo, RoundRobinScheduler, SchedParams, Scheduler,
-    SchedulerRegistry, SchedulingInput,
+    AssignmentQuality, ExecutorInfo, RoundRobinScheduler, SchedParams, ScheduleExplanation,
+    Scheduler, SchedulerRegistry, SchedulingInput,
 };
-use tstorm_sim::{ExecutorLogic, Simulation, TopologyHandle};
+use tstorm_sim::{ExecutorLogic, SimCounters, Simulation, TopologyHandle};
 use tstorm_topology::{ComponentSpec, Topology};
-use tstorm_trace::{Observer, TraceEvent};
+use tstorm_trace::json::{write_escaped, ObjectWriter};
+use tstorm_trace::{FlightRecorder, Observer, TraceEvent};
 use tstorm_types::{
     AssignmentId, ComponentId, ExecutorId, NodeId, Result, SimTime, TStormError, TopologyId,
 };
@@ -66,6 +67,17 @@ pub struct TStormSystem {
     /// default: wall time is nondeterministic and would break
     /// byte-identical traces; the metrics histogram gets it either way).
     trace_wall_time: bool,
+    /// Whether schedulers record per-placement decisions.
+    explain: bool,
+    /// Every explanation captured this run: (store epoch, when,
+    /// records). Epoch 0 marks schedules that bypassed the store (the
+    /// initial assignment, plain-Storm rewrites).
+    explanations: Vec<(u64, SimTime, ScheduleExplanation)>,
+    /// The run flight recorder, when attached.
+    recorder: Option<FlightRecorder<Box<dyn std::io::Write + Send>>>,
+    /// Timeline events already streamed to the recorder as `control`
+    /// lines.
+    recorded_timeline: usize,
 }
 
 impl std::fmt::Debug for TStormSystem {
@@ -147,6 +159,10 @@ impl TStormSystem {
             timeline: Vec::new(),
             observer: Observer::disabled(),
             trace_wall_time: false,
+            explain: false,
+            explanations: Vec::new(),
+            recorder: None,
+            recorded_timeline: 0,
             cluster,
             config,
             sim,
@@ -175,6 +191,205 @@ impl TStormSystem {
     #[must_use]
     pub fn observer(&self) -> &Observer {
         &self.observer
+    }
+
+    /// Enables span collection and critical-path analysis in the data
+    /// plane (see [`Simulation::enable_spans`]).
+    pub fn enable_spans(&mut self) {
+        self.sim.enable_spans();
+    }
+
+    /// Turns scheduler decision recording on or off. When on, every
+    /// schedule call — generation, initial assignment, rebalance,
+    /// recovery — captures a [`ScheduleExplanation`] that is persisted
+    /// through the store and retrievable via
+    /// [`TStormSystem::explanations`].
+    pub fn set_explain(&mut self, on: bool) {
+        self.explain = on;
+        self.nimbus.set_explain(on);
+    }
+
+    /// Every scheduler explanation captured so far, as (store epoch,
+    /// virtual time, records). Epoch 0 marks schedules that bypassed
+    /// the store (the initial assignment, plain-Storm rewrites).
+    #[must_use]
+    pub fn explanations(&self) -> &[(u64, SimTime, ScheduleExplanation)] {
+        &self.explanations
+    }
+
+    /// Attaches a flight recorder. The caller writes the leading `meta`
+    /// line (it owns run provenance); the system streams `window`,
+    /// `decision` and `control` lines while running, and
+    /// [`TStormSystem::finish_recording`] appends the final
+    /// `critical_path` line.
+    pub fn set_flight_recorder(
+        &mut self,
+        recorder: FlightRecorder<Box<dyn std::io::Write + Send>>,
+    ) {
+        self.recorder = Some(recorder);
+    }
+
+    /// Flushes pending control-plane lines, writes the closing
+    /// `critical_path` line (when spans are enabled) and detaches the
+    /// recorder, returning the total lines it wrote. `None` when no
+    /// recorder was attached.
+    pub fn finish_recording(&mut self) -> Option<u64> {
+        self.flush_control_lines();
+        let now = self.sim.now();
+        let spans_json = self
+            .sim
+            .spans()
+            .map(tstorm_trace::CriticalPathCollector::to_json);
+        let mut recorder = self.recorder.take()?;
+        if let Some(json) = spans_json {
+            recorder.line("critical_path", now, |o| {
+                o.raw("summary", &json);
+            });
+        }
+        let _ = recorder.flush();
+        Some(recorder.lines_written())
+    }
+
+    /// Streams timeline events the recorder has not seen yet as
+    /// `control` lines.
+    fn flush_control_lines(&mut self) {
+        let Some(recorder) = self.recorder.as_mut() else {
+            return;
+        };
+        for event in &self.timeline[self.recorded_timeline..] {
+            recorder.line("control", event.at(), |o| {
+                o.str("event", control_event_kind(event))
+                    .str("detail", &event.to_string());
+            });
+        }
+        self.recorded_timeline = self.timeline.len();
+    }
+
+    /// Captures the active scheduler's decision records (when explain
+    /// is on), stamps them with `epoch`, and streams them to the
+    /// recorder. Returns a clone for the store.
+    fn record_explanation(
+        &mut self,
+        epoch: u64,
+        explanation: Option<ScheduleExplanation>,
+    ) -> Option<ScheduleExplanation> {
+        let explanation = explanation?;
+        let at = self.sim.now();
+        if let Some(recorder) = self.recorder.as_mut() {
+            recorder.line("decision", at, |o| {
+                o.u64("epoch", epoch)
+                    .str("algorithm", &explanation.algorithm)
+                    .f64("objective", explanation.total_objective())
+                    .raw("notes", &strings_json(&explanation.notes))
+                    .raw("decisions", &decisions_json(&explanation));
+            });
+        }
+        self.explanations.push((epoch, at, explanation.clone()));
+        Some(explanation)
+    }
+
+    /// One `window` recorder line: per-executor load estimates, per-node
+    /// CPU and NIC egress, the deepest input queues, the heaviest
+    /// traffic pairs, and where Nimbus's liveness belief diverges from
+    /// ground truth.
+    fn record_window(&mut self, counters: &SimCounters) {
+        const TOP_K: usize = 8;
+        let at = self.sim.now();
+
+        let mut loads: Vec<(ExecutorId, tstorm_types::Mhz)> =
+            self.monitor.db().executor_loads().into_iter().collect();
+        loads.sort_by_key(|(e, _)| *e);
+        let mut executors = String::from("[");
+        for (i, (exec, load)) in loads.iter().enumerate() {
+            if i > 0 {
+                executors.push(',');
+            }
+            let mut o = ObjectWriter::new();
+            o.str("id", &exec.to_string()).f64("mhz", load.get());
+            executors.push_str(&o.finish());
+        }
+        executors.push(']');
+
+        let utilisations = self.node_utilisations();
+        let mut nodes = String::from("[");
+        for (i, node) in self.cluster.nodes().iter().enumerate() {
+            if i > 0 {
+                nodes.push(',');
+            }
+            let cpu = utilisations
+                .iter()
+                .find(|(n, _)| *n == node.id.index())
+                .map_or(0.0, |(_, u)| *u);
+            let mut o = ObjectWriter::new();
+            o.str("id", &node.id.to_string())
+                .f64("cpu", cpu)
+                .u64("nic_tx_bytes", counters.node_tx_bytes(node.id));
+            nodes.push_str(&o.finish());
+        }
+        nodes.push(']');
+
+        let mut depths = self.sim.queue_depths();
+        depths.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        depths.truncate(TOP_K);
+        let mut queues = String::from("[");
+        for (i, (exec, depth)) in depths.iter().enumerate() {
+            if i > 0 {
+                queues.push(',');
+            }
+            let mut o = ObjectWriter::new();
+            o.str("id", &exec.to_string()).u64("depth", *depth as u64);
+            queues.push_str(&o.finish());
+        }
+        queues.push(']');
+
+        let mut heavy: Vec<(ExecutorId, ExecutorId, u64)> = counters.pair_tuples().collect();
+        heavy.sort_by(|a, b| b.2.cmp(&a.2).then((a.0, a.1).cmp(&(b.0, b.1))));
+        heavy.truncate(TOP_K);
+        let mut pairs = String::from("[");
+        for (i, (from, to, tuples)) in heavy.iter().enumerate() {
+            if i > 0 {
+                pairs.push(',');
+            }
+            let mut o = ObjectWriter::new();
+            o.str("from", &from.to_string())
+                .str("to", &to.to_string())
+                .u64("tuples", *tuples);
+            pairs.push_str(&o.finish());
+        }
+        pairs.push(']');
+
+        // Nodes where Nimbus's heartbeat-derived belief contradicts the
+        // simulator's ground truth, in either direction.
+        let mut diverged = String::from("[");
+        let mut any = false;
+        for node in self.cluster.nodes() {
+            let believed_dead = self.nimbus.is_declared_dead(node.id);
+            let truly_live = self.sim.cluster().is_node_live(node.id);
+            if believed_dead == truly_live {
+                if any {
+                    diverged.push(',');
+                }
+                any = true;
+                let mut o = ObjectWriter::new();
+                o.str("id", &node.id.to_string())
+                    .str("belief", if believed_dead { "dead" } else { "alive" })
+                    .str("truth", if truly_live { "alive" } else { "dead" });
+                diverged.push_str(&o.finish());
+            }
+        }
+        diverged.push(']');
+
+        let queue_high_water = self.sim.queue_high_water() as u64;
+        if let Some(recorder) = self.recorder.as_mut() {
+            recorder.line("window", at, |o| {
+                o.raw("executors", &executors)
+                    .raw("nodes", &nodes)
+                    .raw("queues", &queues)
+                    .u64("event_queue_high_water", queue_high_water)
+                    .raw("top_pairs", &pairs)
+                    .raw("belief_divergence", &diverged);
+            });
+        }
     }
 
     /// Submits a topology with its logic factory. Storm applications port
@@ -219,8 +434,10 @@ impl TStormSystem {
             SystemMode::StormDefault => Box::new(RoundRobinScheduler::storm_default()),
             SystemMode::TStorm => Box::new(RoundRobinScheduler::tstorm_initial()),
         };
+        initial.set_explain(self.explain);
         let input = self.scheduling_input();
         let assignment = initial.schedule(&input)?;
+        self.record_explanation(0, initial.take_explanation());
         self.sim.apply_assignment(&assignment);
         self.started = true;
         Ok(())
@@ -253,6 +470,7 @@ impl TStormSystem {
             }
             if next > until {
                 self.sim.run_until(until);
+                self.flush_control_lines();
                 return Ok(());
             }
             self.sim.run_until(next);
@@ -272,6 +490,7 @@ impl TStormSystem {
                 }
             }
             self.supervisor_round(now)?;
+            self.flush_control_lines();
         }
     }
 
@@ -385,6 +604,9 @@ impl TStormSystem {
             snap.record_traffic(from, to, tuples);
         }
         self.monitor.ingest(&snap);
+        if self.recorder.is_some() {
+            self.record_window(&counters);
+        }
         if self.observer.is_enabled() {
             let utilisations = self.node_utilisations();
             self.observer.metrics(|m| {
@@ -565,7 +787,9 @@ impl TStormSystem {
     fn storm_reschedule(&mut self) -> Result<()> {
         let input = self.scheduling_input();
         let assignment = self.nimbus.schedule(&input)?;
+        let explanation = self.nimbus.take_explanation();
         if !self.sim.current_assignment().diff(&assignment).is_empty() {
+            self.record_explanation(0, explanation);
             self.sim.submit_assignment(&assignment);
             self.prune_stale_estimates();
         }
@@ -590,6 +814,7 @@ impl TStormSystem {
         let input = self.scheduling_input();
         let sched_started = self.observer.is_enabled().then(std::time::Instant::now);
         let assignment = self.nimbus.schedule(&input)?;
+        let explanation = self.nimbus.take_explanation();
         let elapsed_us = sched_started.map(|t| t.elapsed().as_micros() as u64);
         if let Some(us) = elapsed_us {
             self.observer.metrics(|m| {
@@ -636,9 +861,15 @@ impl TStormSystem {
         }
         let id = AssignmentId::from_timestamp_micros(self.sim.now().as_micros());
         let quality = AssignmentQuality::evaluate(&assignment, &input);
-        let epoch =
-            self.store
-                .publish(id, assignment, self.sim.now(), self.nimbus.scheduler_name());
+        let epoch = self.store.latest_epoch() + 1;
+        let explanation = self.record_explanation(epoch, explanation);
+        let epoch = self.store.publish(
+            id,
+            assignment,
+            self.sim.now(),
+            self.nimbus.scheduler_name(),
+            explanation,
+        );
         self.nimbus.note_publish();
         self.timeline.push(ControlEvent::SchedulePublished {
             at: self.sim.now(),
@@ -763,17 +994,21 @@ impl TStormSystem {
             SystemMode::StormDefault => Box::new(RoundRobinScheduler::storm_default()),
             SystemMode::TStorm => Box::new(RoundRobinScheduler::tstorm_initial()),
         };
+        initial.set_explain(self.explain);
         let input = self.scheduling_input();
         let assignment = initial.schedule(&input)?;
         match self.config.mode {
             SystemMode::TStorm => {
                 let id = AssignmentId::from_timestamp_micros(self.sim.now().as_micros());
+                let epoch = self.store.latest_epoch() + 1;
+                let explanation = self.record_explanation(epoch, initial.take_explanation());
                 self.store
-                    .publish(id, assignment, self.sim.now(), "rebalance");
+                    .publish(id, assignment, self.sim.now(), "rebalance", explanation);
                 self.nimbus.note_publish();
             }
             SystemMode::StormDefault => {
                 if !self.sim.current_assignment().diff(&assignment).is_empty() {
+                    self.record_explanation(0, initial.take_explanation());
                     self.sim.submit_assignment(&assignment);
                 }
             }
@@ -964,4 +1199,61 @@ impl TStormSystem {
     pub fn timeline(&self) -> &[ControlEvent] {
         &self.timeline
     }
+}
+
+/// The snake_case discriminator a [`ControlEvent`] gets in `control`
+/// recorder lines.
+fn control_event_kind(event: &ControlEvent) -> &'static str {
+    match event {
+        ControlEvent::OverloadDetected { .. } => "overload_detected",
+        ControlEvent::SchedulePublished { .. } => "schedule_published",
+        ControlEvent::ScheduleSuppressed { .. } => "schedule_suppressed",
+        ControlEvent::ScheduleFetched { .. } => "schedule_fetched",
+        ControlEvent::ScheduleDiscarded { .. } => "schedule_discarded",
+        ControlEvent::SchedulerSwapped { .. } => "scheduler_swapped",
+        ControlEvent::GammaChanged { .. } => "gamma_changed",
+        ControlEvent::TopologyKilled { .. } => "topology_killed",
+        ControlEvent::RecoveryTriggered { .. } => "recovery_triggered",
+        ControlEvent::Rebalanced { .. } => "rebalanced",
+        ControlEvent::NodeDeclaredDead { .. } => "node_declared_dead",
+        ControlEvent::NodeReconciled { .. } => "node_reconciled",
+        ControlEvent::NimbusSuppressed { .. } => "nimbus_suppressed",
+    }
+}
+
+/// A JSON array of strings.
+fn strings_json(items: &[String]) -> String {
+    let mut out = String::from("[");
+    for (i, s) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_escaped(&mut out, s);
+    }
+    out.push(']');
+    out
+}
+
+/// A JSON array of one object per placement decision.
+fn decisions_json(explanation: &ScheduleExplanation) -> String {
+    let mut out = String::from("[");
+    for (i, d) in explanation.decisions.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let mut o = ObjectWriter::new();
+        o.str("executor", &d.executor.to_string())
+            .str("slot", &d.slot.to_string())
+            .str("node", &d.node.to_string())
+            .f64("load_mhz", d.load_mhz)
+            .f64("traffic_total", d.traffic_total)
+            .f64("objective_delta", d.objective_delta)
+            .str("tie_break", &d.tie_break);
+        if let Some(r) = &d.relaxation {
+            o.str("relaxation", r);
+        }
+        out.push_str(&o.finish());
+    }
+    out.push(']');
+    out
 }

@@ -24,6 +24,7 @@
 //! to the default round-robin for that scheduling round. The fallback can
 //! be disabled with [`AnielloOnlineScheduler::without_fallback`].
 
+use crate::explain::{decisions_from_assignment, ScheduleExplanation};
 use crate::problem::SchedulingInput;
 use crate::roundrobin::RoundRobinScheduler;
 use crate::Scheduler;
@@ -32,14 +33,17 @@ use tstorm_cluster::Assignment;
 use tstorm_types::{ComponentId, ExecutorId, Result, SlotId, TStormError, TopologyId};
 
 /// The DEBS'13 *offline* scheduler: topology-graph-based worker packing.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct AnielloOfflineScheduler;
+#[derive(Debug, Clone, Default)]
+pub struct AnielloOfflineScheduler {
+    explain: bool,
+    explanation: Option<ScheduleExplanation>,
+}
 
 impl AnielloOfflineScheduler {
     /// Creates the scheduler.
     #[must_use]
     pub fn new() -> Self {
-        Self
+        Self::default()
     }
 }
 
@@ -48,7 +52,16 @@ impl Scheduler for AnielloOfflineScheduler {
         "aniello-offline"
     }
 
+    fn set_explain(&mut self, on: bool) {
+        self.explain = on;
+    }
+
+    fn take_explanation(&mut self) -> Option<ScheduleExplanation> {
+        self.explanation.take()
+    }
+
     fn schedule(&mut self, input: &SchedulingInput) -> Result<Assignment> {
+        self.explanation = None;
         let mut assignment = Assignment::new();
         let mut slot_taken = dead_slots_taken(input);
 
@@ -117,14 +130,30 @@ impl Scheduler for AnielloOfflineScheduler {
                 }
             }
         }
+        if self.explain {
+            let mut explanation = ScheduleExplanation::new(self.name());
+            explanation.notes.push(
+                "graph-based packing: same executor index across adjacent \
+                 components shares a worker; runtime traffic ignored"
+                    .to_owned(),
+            );
+            explanation.decisions = decisions_from_assignment(
+                input,
+                &assignment,
+                "topology-graph pairing, traffic-oblivious",
+            );
+            self.explanation = Some(explanation);
+        }
         Ok(assignment)
     }
 }
 
 /// The DEBS'13 *online* scheduler: two-phase traffic-greedy packing.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct AnielloOnlineScheduler {
     fallback_to_default: bool,
+    explain: bool,
+    explanation: Option<ScheduleExplanation>,
 }
 
 impl AnielloOnlineScheduler {
@@ -134,6 +163,8 @@ impl AnielloOnlineScheduler {
     pub fn new() -> Self {
         Self {
             fallback_to_default: true,
+            explain: false,
+            explanation: None,
         }
     }
 
@@ -157,11 +188,36 @@ impl Scheduler for AnielloOnlineScheduler {
         "aniello-online"
     }
 
+    fn set_explain(&mut self, on: bool) {
+        self.explain = on;
+    }
+
+    fn take_explanation(&mut self) -> Option<ScheduleExplanation> {
+        self.explanation.take()
+    }
+
     fn schedule(&mut self, input: &SchedulingInput) -> Result<Assignment> {
+        self.explanation = None;
         // Reproduced quirk: with no traffic data at all, the original
         // implementation used Storm's default scheduler.
         if self.fallback_to_default && input.traffic.is_empty() {
-            return RoundRobinScheduler::storm_default().schedule(input);
+            let mut fallback = RoundRobinScheduler::storm_default();
+            let assignment = fallback.schedule(input)?;
+            if self.explain {
+                let mut explanation = ScheduleExplanation::new(self.name());
+                explanation.notes.push(
+                    "no recorded traffic: fell back to Storm's default \
+                     round-robin scheduler (reproduced DEBS'13 quirk)"
+                        .to_owned(),
+                );
+                explanation.decisions = decisions_from_assignment(
+                    input,
+                    &assignment,
+                    "default-scheduler fallback, traffic-blind",
+                );
+                self.explanation = Some(explanation);
+            }
+            return Ok(assignment);
         }
 
         let mut assignment = Assignment::new();
@@ -204,6 +260,18 @@ impl Scheduler for AnielloOnlineScheduler {
                 let w = worker_of[pos];
                 assignment.assign(input.executors[*idx].id, worker_slots[w]);
             }
+        }
+        if self.explain {
+            let mut explanation = ScheduleExplanation::new(self.name());
+            explanation.notes.push(
+                "two-phase greedy: heaviest executor pairs packed into \
+                 workers under a balance cap, then heaviest worker pairs \
+                 placed onto nodes"
+                    .to_owned(),
+            );
+            explanation.decisions =
+                decisions_from_assignment(input, &assignment, "measured-traffic greedy pairing");
+            self.explanation = Some(explanation);
         }
         Ok(assignment)
     }

@@ -53,6 +53,7 @@
 #![warn(missing_docs)]
 
 pub mod aniello;
+pub mod explain;
 pub mod local_search;
 pub mod optimal;
 pub mod problem;
@@ -62,6 +63,7 @@ pub mod roundrobin;
 pub mod tstorm;
 
 pub use aniello::{AnielloOfflineScheduler, AnielloOnlineScheduler};
+pub use explain::{PlacementDecision, ScheduleExplanation};
 pub use local_search::LocalSearchScheduler;
 pub use optimal::{optimal_assignment, optimality_gap};
 pub use problem::{ExecutorInfo, SchedParams, SchedulingInput, TrafficMatrix};
@@ -89,4 +91,15 @@ pub trait Scheduler: Send {
     /// satisfying the scheduler's hard constraints exists (e.g. more
     /// topologies than slots).
     fn schedule(&mut self, input: &SchedulingInput) -> Result<Assignment>;
+
+    /// Turns per-placement decision recording on or off. Off by default;
+    /// schedulers that do not record decisions ignore the flag.
+    fn set_explain(&mut self, _on: bool) {}
+
+    /// Takes the decision records of the most recent
+    /// [`Scheduler::schedule`] call. Returns `None` when explanation is
+    /// disabled, unsupported, or already taken.
+    fn take_explanation(&mut self) -> Option<ScheduleExplanation> {
+        None
+    }
 }

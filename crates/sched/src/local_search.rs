@@ -12,6 +12,7 @@
 //! was designed for — `SchedulerRegistry::with_builtins` registers it as
 //! `"t-storm-ls"`.
 
+use crate::explain::ScheduleExplanation;
 use crate::problem::SchedulingInput;
 use crate::tstorm::TStormScheduler;
 use crate::Scheduler;
@@ -24,6 +25,8 @@ use tstorm_types::{ExecutorId, Mhz, NodeId, Result, SlotId, TopologyId};
 pub struct LocalSearchScheduler {
     max_passes: u32,
     last_improvement: f64,
+    explain: bool,
+    explanation: Option<ScheduleExplanation>,
 }
 
 impl LocalSearchScheduler {
@@ -34,6 +37,8 @@ impl LocalSearchScheduler {
         Self {
             max_passes: 8,
             last_improvement: 0.0,
+            explain: false,
+            explanation: None,
         }
     }
 
@@ -166,8 +171,19 @@ impl Scheduler for LocalSearchScheduler {
         "t-storm-ls"
     }
 
+    fn set_explain(&mut self, on: bool) {
+        self.explain = on;
+    }
+
+    fn take_explanation(&mut self) -> Option<ScheduleExplanation> {
+        self.explanation.take()
+    }
+
     fn schedule(&mut self, input: &SchedulingInput) -> Result<Assignment> {
-        let mut assignment = TStormScheduler::new().schedule(input)?;
+        self.explanation = None;
+        let mut greedy = TStormScheduler::new();
+        greedy.set_explain(self.explain);
+        let mut assignment = greedy.schedule(input)?;
         self.last_improvement = 0.0;
         let mut occ = Occupancy::build(input, &assignment);
 
@@ -226,6 +242,30 @@ impl Scheduler for LocalSearchScheduler {
             if !improved {
                 break;
             }
+        }
+        if self.explain {
+            let mut explanation = greedy
+                .take_explanation()
+                .unwrap_or_else(|| ScheduleExplanation::new(self.name()));
+            explanation.algorithm = self.name().to_owned();
+            // Rewrite decisions the hill-climb moved away from their
+            // greedy slot.
+            for d in &mut explanation.decisions {
+                let Some(slot) = assignment.slot_of(d.executor) else {
+                    continue;
+                };
+                if slot != d.slot {
+                    d.slot = slot;
+                    d.node = input.cluster.node_of(slot);
+                    d.tie_break.push_str("; relocated by local search");
+                }
+            }
+            explanation.notes.push(format!(
+                "local search removed {:.1} tuples/s of inter-node traffic \
+                 after the greedy pass",
+                self.last_improvement
+            ));
+            self.explanation = Some(explanation);
         }
         Ok(assignment)
     }

@@ -14,12 +14,14 @@
 //!   of the system.
 
 use crate::aniello::{AnielloOfflineScheduler, AnielloOnlineScheduler};
+use crate::explain::ScheduleExplanation;
 use crate::local_search::LocalSearchScheduler;
 use crate::problem::SchedulingInput;
 use crate::roundrobin::RoundRobinScheduler;
 use crate::tstorm::TStormScheduler;
 use crate::Scheduler;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::sync::{Mutex, PoisonError};
 use tstorm_cluster::Assignment;
@@ -116,6 +118,9 @@ impl Default for SchedulerRegistry {
 pub struct SwappableScheduler {
     inner: Arc<Mutex<Box<dyn Scheduler>>>,
     current: Arc<Mutex<String>>,
+    /// Whether decision recording is on; survives [`Self::swap`] so an
+    /// operator-initiated algorithm change keeps producing explanations.
+    explain: Arc<AtomicBool>,
 }
 
 impl std::fmt::Debug for SwappableScheduler {
@@ -137,11 +142,13 @@ impl SwappableScheduler {
         Self {
             inner: Arc::new(Mutex::new(scheduler)),
             current: Arc::new(Mutex::new(name)),
+            explain: Arc::new(AtomicBool::new(false)),
         }
     }
 
-    /// Replaces the algorithm.
-    pub fn swap(&self, scheduler: Box<dyn Scheduler>) {
+    /// Replaces the algorithm, carrying the explain flag over.
+    pub fn swap(&self, mut scheduler: Box<dyn Scheduler>) {
+        scheduler.set_explain(self.explain.load(Ordering::Relaxed));
         *self.current.lock().unwrap_or_else(PoisonError::into_inner) = scheduler.name().to_owned();
         *self.inner.lock().unwrap_or_else(PoisonError::into_inner) = scheduler;
     }
@@ -177,6 +184,25 @@ impl SwappableScheduler {
             .unwrap_or_else(PoisonError::into_inner)
             .schedule(input)
     }
+
+    /// Turns decision recording on or off for the installed algorithm
+    /// (and any algorithm installed later via [`Self::swap`]).
+    pub fn set_explain_shared(&self, on: bool) {
+        self.explain.store(on, Ordering::Relaxed);
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .set_explain(on);
+    }
+
+    /// Takes the decision records of the most recent schedule call, if
+    /// the installed algorithm recorded any.
+    pub fn take_explanation_shared(&self) -> Option<ScheduleExplanation> {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take_explanation()
+    }
 }
 
 impl Scheduler for SwappableScheduler {
@@ -186,6 +212,14 @@ impl Scheduler for SwappableScheduler {
 
     fn schedule(&mut self, input: &SchedulingInput) -> Result<Assignment> {
         SwappableScheduler::schedule(self, input)
+    }
+
+    fn set_explain(&mut self, on: bool) {
+        self.set_explain_shared(on);
+    }
+
+    fn take_explanation(&mut self) -> Option<ScheduleExplanation> {
+        self.take_explanation_shared()
     }
 }
 
@@ -304,6 +338,22 @@ mod tests {
             Box::new(SwappableScheduler::new(Box::new(TStormScheduler::new())));
         assert_eq!(s.name(), "swappable");
         assert!(s.schedule(&input()).is_ok());
+    }
+
+    #[test]
+    fn explain_flag_survives_swap() {
+        let swappable = SwappableScheduler::new(Box::new(RoundRobinScheduler::storm_default()));
+        swappable.set_explain_shared(true);
+        let registry = SchedulerRegistry::with_builtins();
+        swappable
+            .swap_from_registry(&registry, "t-storm")
+            .expect("swap works");
+        swappable.schedule(&input()).expect("feasible");
+        let ex = swappable
+            .take_explanation_shared()
+            .expect("explanation survives swap");
+        assert_eq!(ex.algorithm, "t-storm");
+        assert_eq!(ex.decisions.len(), 4);
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! slots, so that executors of a topology land on at most one slot per
 //! node from the very first assignment.
 
+use crate::explain::{decisions_from_assignment, ScheduleExplanation};
 use crate::problem::SchedulingInput;
 use crate::Scheduler;
 use std::collections::BTreeMap;
@@ -19,9 +20,11 @@ use tstorm_cluster::Assignment;
 use tstorm_types::{NodeId, Result, SlotId, TStormError, TopologyId};
 
 /// The round-robin scheduler, in two flavours.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct RoundRobinScheduler {
     one_worker_per_node: bool,
+    explain: bool,
+    explanation: Option<ScheduleExplanation>,
 }
 
 impl RoundRobinScheduler {
@@ -32,6 +35,8 @@ impl RoundRobinScheduler {
     pub fn storm_default() -> Self {
         Self {
             one_worker_per_node: false,
+            explain: false,
+            explanation: None,
         }
     }
 
@@ -42,6 +47,8 @@ impl RoundRobinScheduler {
     pub fn tstorm_initial() -> Self {
         Self {
             one_worker_per_node: true,
+            explain: false,
+            explanation: None,
         }
     }
 }
@@ -61,7 +68,17 @@ impl Scheduler for RoundRobinScheduler {
         }
     }
 
+    fn set_explain(&mut self, on: bool) {
+        self.explain = on;
+    }
+
+    fn take_explanation(&mut self) -> Option<ScheduleExplanation> {
+        self.explanation.take()
+    }
+
     fn schedule(&mut self, input: &SchedulingInput) -> Result<Assignment> {
+        self.explanation = None;
+        let mut explanation = self.explain.then(|| ScheduleExplanation::new(self.name()));
         let cluster = &input.cluster;
         let mut assignment = Assignment::new();
         // Slots already taken, globally across topologies. Dead nodes'
@@ -143,6 +160,13 @@ impl Scheduler for RoundRobinScheduler {
                     format!("could not allocate any worker for {topology}"),
                 ));
             }
+            if let Some(explanation) = explanation.as_mut() {
+                explanation.notes.push(format!(
+                    "{topology}: {} workers allocated (requested {requested}, \
+                     {free_slots} free slots, {nodes_with_free} nodes with free slots)",
+                    worker_slots.len(),
+                ));
+            }
 
             // Round-robin executors over the topology's workers.
             for (i, exec_idx) in execs.iter().enumerate() {
@@ -151,6 +175,15 @@ impl Scheduler for RoundRobinScheduler {
             }
         }
 
+        if let Some(mut explanation) = explanation.take() {
+            let phase = if self.one_worker_per_node {
+                "round-robin over one worker per node, traffic-blind"
+            } else {
+                "round-robin over evenly spread workers, traffic-blind"
+            };
+            explanation.decisions = decisions_from_assignment(input, &assignment, phase);
+            self.explanation = Some(explanation);
+        }
         Ok(assignment)
     }
 }
@@ -296,6 +329,22 @@ mod tests {
         let mut s = RoundRobinScheduler::storm_default();
         // First topology takes the only slot; the second cannot be placed.
         assert!(s.schedule(&input).is_err());
+    }
+
+    #[test]
+    fn explanation_covers_every_executor() {
+        let input = input(5, 2, 10, 10);
+        let mut s = RoundRobinScheduler::storm_default();
+        s.set_explain(true);
+        s.schedule(&input).expect("feasible");
+        let ex = s.take_explanation().expect("explanation recorded");
+        assert_eq!(ex.decisions.len(), 10);
+        assert!(ex.notes.iter().any(|n| n.contains("workers allocated")));
+        assert!(ex
+            .decisions
+            .iter()
+            .all(|d| d.tie_break.contains("traffic-blind")));
+        assert!(s.take_explanation().is_none());
     }
 
     #[test]

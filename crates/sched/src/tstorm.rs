@@ -30,6 +30,7 @@
 //! `O(Ne·Ns)` plus `O(|traffic|)` total for incremental cost maintenance —
 //! matching the paper's `O(Ne log Ne + Ne·Ns)`.
 
+use crate::explain::{PlacementDecision, ScheduleExplanation};
 use crate::problem::SchedulingInput;
 use crate::Scheduler;
 use std::collections::HashMap;
@@ -40,6 +41,8 @@ use tstorm_types::{ExecutorId, Mhz, NodeId, Result, SlotId, TStormError, Topolog
 #[derive(Debug, Clone, Default)]
 pub struct TStormScheduler {
     relaxations: Vec<String>,
+    explain: bool,
+    explanation: Option<ScheduleExplanation>,
 }
 
 impl TStormScheduler {
@@ -194,8 +197,18 @@ impl Scheduler for TStormScheduler {
         "t-storm"
     }
 
+    fn set_explain(&mut self, on: bool) {
+        self.explain = on;
+    }
+
+    fn take_explanation(&mut self) -> Option<ScheduleExplanation> {
+        self.explanation.take()
+    }
+
     fn schedule(&mut self, input: &SchedulingInput) -> Result<Assignment> {
         self.relaxations.clear();
+        self.explanation = None;
+        let mut explanation = self.explain.then(|| ScheduleExplanation::new(self.name()));
         let cap_count = input.node_executor_cap();
         let mut state = State::new(input);
 
@@ -223,7 +236,8 @@ impl Scheduler for TStormScheduler {
         let mut assignment = Assignment::new();
         for idx in order {
             let info = &input.executors[idx];
-            let mut chosen: Option<SlotId> = None;
+            let mut chosen: Option<Candidate> = None;
+            let mut relaxation: Option<String> = None;
             for strictness in [
                 Strictness::Full,
                 Strictness::NoCap,
@@ -240,17 +254,21 @@ impl Scheduler for TStormScheduler {
                 if chosen.is_some() {
                     match strictness {
                         Strictness::Full => {}
-                        Strictness::NoCap => self
-                            .relaxations
-                            .push(format!("{}: executor cap {cap_count} relaxed", info.id)),
-                        Strictness::StructuralOnly => self
-                            .relaxations
-                            .push(format!("{}: node capacity relaxed", info.id)),
+                        Strictness::NoCap => {
+                            let msg = format!("{}: executor cap {cap_count} relaxed", info.id);
+                            relaxation = Some(msg.clone());
+                            self.relaxations.push(msg);
+                        }
+                        Strictness::StructuralOnly => {
+                            let msg = format!("{}: node capacity relaxed", info.id);
+                            relaxation = Some(msg.clone());
+                            self.relaxations.push(msg);
+                        }
                     }
                     break;
                 }
             }
-            let Some(slot) = chosen else {
+            let Some(candidate) = chosen else {
                 return Err(TStormError::infeasible(
                     self.name(),
                     format!(
@@ -259,11 +277,43 @@ impl Scheduler for TStormScheduler {
                     ),
                 ));
             };
-            state.place(info.id, info.load, info.topology, slot);
-            assignment.assign(info.id, slot);
+            if let Some(explanation) = explanation.as_mut() {
+                explanation.decisions.push(PlacementDecision {
+                    executor: info.id,
+                    slot: candidate.slot,
+                    node: input.cluster.node_of(candidate.slot),
+                    load_mhz: info.load.get(),
+                    // `+ 0.0` normalizes -0.0 for serialization.
+                    traffic_total: totals[idx] + 0.0,
+                    objective_delta: candidate.cost + 0.0,
+                    tie_break: if candidate.fresh_node {
+                        "min incremental inter-node cost; opened a fresh node".to_owned()
+                    } else {
+                        "min incremental inter-node cost; consolidated onto occupied node"
+                            .to_owned()
+                    },
+                    relaxation,
+                });
+            }
+            state.place(info.id, info.load, info.topology, candidate.slot);
+            assignment.assign(info.id, candidate.slot);
+        }
+        if let Some(mut explanation) = explanation.take() {
+            explanation.notes.extend(self.relaxations.iter().cloned());
+            self.explanation = Some(explanation);
         }
         Ok(assignment)
     }
+}
+
+/// A winning slot plus the facts that made it win, kept for decision
+/// records.
+struct Candidate {
+    slot: SlotId,
+    /// Incremental inter-node traffic of the placement (tuples/s).
+    cost: f64,
+    /// Whether the chosen node held no executors before this placement.
+    fresh_node: bool,
 }
 
 /// Line 5 of Algorithm 1: the feasible slot with minimum incremental
@@ -276,7 +326,7 @@ fn best_slot(
     load: Mhz,
     cap_count: usize,
     strictness: Strictness,
-) -> Option<SlotId> {
+) -> Option<Candidate> {
     // Comparison key: lower cost first; on ties prefer nodes already in
     // use (`fresh_node == false` sorts first), then lower node id.
     let mut best: Option<((f64, bool, NodeId), SlotId)> = None;
@@ -301,7 +351,11 @@ fn best_slot(
             best = Some((key, slot));
         }
     }
-    best.map(|(_, slot)| slot)
+    best.map(|((cost, fresh_node, _), slot)| Candidate {
+        slot,
+        cost,
+        fresh_node,
+    })
 }
 
 #[cfg(test)]
@@ -520,6 +574,43 @@ mod tests {
         let mut s = TStormScheduler::new();
         let a = s.schedule(&input).expect("feasible");
         assert_eq!(a.slot_of(e(0)), a.slot_of(e(1)), "{a:?}");
+    }
+
+    #[test]
+    fn explanation_decisions_sum_to_final_objective() {
+        let input = chain_input(8, 4, 4, 2.0, 50.0);
+        let mut s = TStormScheduler::new();
+        s.set_explain(true);
+        let a = s.schedule(&input).expect("feasible");
+        let ex = s.take_explanation().expect("explanation recorded");
+        assert_eq!(ex.algorithm, "t-storm");
+        assert_eq!(ex.decisions.len(), 8);
+        // Each inter-node pair is charged exactly once — when its second
+        // endpoint is placed — so the incremental deltas telescope to the
+        // final objective.
+        let q = AssignmentQuality::evaluate(&a, &input);
+        assert!(
+            (ex.total_objective() - q.inter_node_traffic).abs() < 1e-9,
+            "sum {} vs objective {}",
+            ex.total_objective(),
+            q.inter_node_traffic
+        );
+        // Explanation is take-once and off by default.
+        assert!(s.take_explanation().is_none());
+        s.set_explain(false);
+        s.schedule(&input).expect("feasible");
+        assert!(s.take_explanation().is_none());
+    }
+
+    #[test]
+    fn explanation_reports_relaxations() {
+        let input = chain_input(6, 2, 4, 0.1, 10.0);
+        let mut s = TStormScheduler::new();
+        s.set_explain(true);
+        s.schedule(&input).expect("feasible via relaxation");
+        let ex = s.take_explanation().expect("explanation recorded");
+        assert!(ex.decisions.iter().any(|d| d.relaxation.is_some()));
+        assert!(ex.notes.iter().any(|n| n.contains("cap")));
     }
 
     #[test]

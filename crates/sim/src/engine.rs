@@ -12,7 +12,7 @@ use std::rc::Rc;
 use tstorm_cluster::{Assignment, AssignmentDiff, ClusterSpec};
 use tstorm_metrics::RunReport;
 use tstorm_topology::{ComponentSpec, CostProfile, ExecutionPlan, Topology, Value};
-use tstorm_trace::{Observer, TraceEvent};
+use tstorm_trace::{extend_span, CriticalPathCollector, Observer, SpanChain, SpanSeg, TraceEvent};
 use tstorm_types::{
     Bytes, ComponentId, DetRng, ExecutorId, FxHashSet, NodeId, Result, SimTime, Slab, SlabHandle,
     SlotId, TStormError, TopologyId, TupleId,
@@ -65,6 +65,10 @@ pub struct SimCounters {
     pairs: Vec<u64>,
     /// Executor count the matrix is sized for.
     n: usize,
+    /// Bytes sent over inter-node hops per source node — the NIC egress
+    /// reading the flight recorder turns into per-window utilization.
+    /// Grown lazily to the highest sending node index.
+    node_tx: Vec<u64>,
     /// Tuples that timed out during the window.
     pub failures: u64,
 }
@@ -77,6 +81,7 @@ impl SimCounters {
             cycles: vec![0; n],
             pairs: vec![0; n * n],
             n,
+            node_tx: Vec::new(),
             failures: 0,
         }
     }
@@ -107,6 +112,20 @@ impl SimCounters {
     #[inline]
     fn add_pair(&mut self, from: usize, to: usize) {
         self.pairs[from * self.n + to] += 1;
+    }
+
+    #[inline]
+    fn add_node_tx(&mut self, node: usize, bytes: u64) {
+        if node >= self.node_tx.len() {
+            self.node_tx.resize(node + 1, 0);
+        }
+        self.node_tx[node] += bytes;
+    }
+
+    /// Inter-node bytes sent from one node this window.
+    #[must_use]
+    pub fn node_tx_bytes(&self, node: NodeId) -> u64 {
+        self.node_tx.get(node.as_usize()).copied().unwrap_or(0)
     }
 
     /// CPU cycles recorded for one executor this window.
@@ -223,6 +242,9 @@ struct TopoRt {
     out_edges: Vec<Vec<EdgeRt>>,
     /// Acker executors (empty when the topology has none).
     ackers: Vec<ExecutorId>,
+    /// Component display names, indexed by dense component id — the
+    /// labels the critical-path collector aggregates under.
+    component_names: Vec<Box<str>>,
 }
 
 /// Work currently in service at an executor.
@@ -235,6 +257,9 @@ struct BusyWork {
     done_at: SimTime,
     /// For spout emissions: how many times this payload was replayed.
     replays: u32,
+    /// For replayed spout emissions: when the timeout queued the payload
+    /// for replay (the wait becomes a replay span segment).
+    replay_queued_at: Option<SimTime>,
     /// Node whose busy-count this work holds (releases on completion,
     /// even if the executor relocates mid-service).
     busy_node: usize,
@@ -265,10 +290,10 @@ struct ExecRt {
     tick_scheduled: bool,
     /// Time of the most recent emission attempt (rate control).
     last_tick: SimTime,
-    /// Tuples waiting to be replayed, with their replay count. Payloads
-    /// stay `Rc`-shared with the root that timed out — replays never
-    /// deep-clone values.
-    replay_queue: VecDeque<(Rc<[Value]>, u32)>,
+    /// Tuples waiting to be replayed, with their replay count and the
+    /// time the timeout queued them. Payloads stay `Rc`-shared with the
+    /// root that timed out — replays never deep-clone values.
+    replay_queue: VecDeque<(Rc<[Value]>, u32, SimTime)>,
     /// Per-out-edge round-robin counters for direct grouping, indexed
     /// by the component's out-edge position.
     direct_counters: Box<[u32]>,
@@ -289,6 +314,14 @@ struct RootState {
     acker: Option<ExecutorId>,
     /// For acker-less topologies: outstanding anchored tuples.
     outstanding: i64,
+}
+
+/// Causal context an emit inherits from its producer: the ack-tree
+/// root it is anchored to and the span chain built so far.
+struct Lineage<'a> {
+    root: Option<TupleId>,
+    root_handle: Option<SlabHandle>,
+    chain: &'a SpanChain,
 }
 
 /// The discrete-event simulation of one Storm cluster.
@@ -352,6 +385,10 @@ pub struct Simulation {
     worker_failures: u32,
     events_processed: u64,
     observer: Observer,
+    /// Streaming critical-path analyzer. `None` (the default) keeps the
+    /// span plane fully inert: envelopes carry a `None` chain, nothing
+    /// allocates, and every instrumentation site is one pointer check.
+    spans: Option<Box<CriticalPathCollector>>,
     /// Monotonic version of applied assignments (for trace events).
     assignment_version: u64,
     /// Fault-plan events fired so far.
@@ -438,6 +475,7 @@ impl Simulation {
             worker_failures: 0,
             events_processed: 0,
             observer: Observer::disabled(),
+            spans: None,
             assignment_version: 0,
             faults_injected: 0,
             tuples_lost: 0,
@@ -458,6 +496,35 @@ impl Simulation {
     /// untraced runs behave bit-identically to uninstrumented builds.
     pub fn set_observer(&mut self, observer: Observer) {
         self.observer = observer;
+    }
+
+    /// Enables causal span collection: every tuple lineage grows a chain
+    /// of queue/service/network/replay segments, and each completed root
+    /// feeds the streaming [`CriticalPathCollector`]. Executors of
+    /// already-submitted topologies are labelled with their component
+    /// names; later submissions label themselves. Idempotent.
+    pub fn enable_spans(&mut self) {
+        if self.spans.is_some() {
+            return;
+        }
+        let mut collector = Box::new(CriticalPathCollector::new());
+        for (i, e) in self.executors.iter().enumerate() {
+            let name = &self.topologies[e.topo_idx].component_names[e.component.as_usize()];
+            collector.set_label(ExecutorId::new(i as u32), name);
+        }
+        self.spans = Some(collector);
+    }
+
+    /// The critical-path collector, when span collection is enabled.
+    #[must_use]
+    pub fn spans(&self) -> Option<&CriticalPathCollector> {
+        self.spans.as_deref()
+    }
+
+    /// True when span collection is enabled.
+    #[must_use]
+    pub fn spans_enabled(&self) -> bool {
+        self.spans.is_some()
     }
 
     /// Submits a topology; executors are created but remain unassigned
@@ -551,7 +618,18 @@ impl Simulation {
             message_timeout: topology.message_timeout(),
             out_edges,
             ackers,
+            component_names: topology
+                .components()
+                .iter()
+                .map(|c| c.name().into())
+                .collect(),
         });
+        if let Some(spans) = self.spans.as_mut() {
+            for (i, spec) in plan.executors().iter().enumerate() {
+                let name = &self.topologies[topo_idx].component_names[spec.component.as_usize()];
+                spans.set_label(ExecutorId::new(base + i as u32), name);
+            }
+        }
 
         TopologyHandle {
             id: topo_id,
@@ -1191,17 +1269,18 @@ impl Simulation {
             return;
         }
         // Fetch a payload: replays first, then the source.
-        let payload = if let Some((values, replays)) = self.executors[idx].replay_queue.pop_front()
+        let payload = if let Some((values, replays, queued_at)) =
+            self.executors[idx].replay_queue.pop_front()
         {
-            Some((values, replays))
+            Some((values, replays, Some(queued_at)))
         } else {
             let now = self.clock;
             match &mut self.executors[idx].logic {
-                ExecutorLogic::Spout(s) => s.next_tuple(now).map(|v| (Rc::from(v), 0)),
+                ExecutorLogic::Spout(s) => s.next_tuple(now).map(|v| (Rc::from(v), 0, None)),
                 _ => None,
             }
         };
-        let Some((values, replays)) = payload else {
+        let Some((values, replays, replay_queued_at)) = payload else {
             self.schedule_tick(id, self.clock + self.config.spout_idle_retry);
             return;
         };
@@ -1221,6 +1300,7 @@ impl Simulation {
             started_at: self.clock,
             done_at,
             replays,
+            replay_queued_at,
             busy_node,
         });
         self.queue.push(done_at, Event::ProcessDone(id));
@@ -1235,7 +1315,7 @@ impl Simulation {
         }
     }
 
-    fn on_deliver(&mut self, env: Box<Envelope>) {
+    fn on_deliver(&mut self, mut env: Box<Envelope>) {
         let idx = env.dst.as_usize();
         if env.dst_epoch != self.executors[idx].epoch {
             // The destination worker was killed while this message was in
@@ -1251,6 +1331,7 @@ impl Simulation {
             return;
         }
         let tuple = env.root.map_or(u64::MAX, TupleId::get);
+        env.delivered_at = self.clock;
         self.executors[idx].queue.push_back(env);
         let depth = self.executors[idx].queue.len() as u64;
         self.observer
@@ -1310,6 +1391,7 @@ impl Simulation {
             started_at: self.clock,
             done_at,
             replays: 0,
+            replay_queued_at: None,
             busy_node,
         });
         self.queue.push(done_at, Event::ProcessDone(id));
@@ -1342,9 +1424,22 @@ impl Simulation {
         }
 
         match work.env {
-            None => self.finish_spout_emission(id, work.outputs, work.replays),
+            None => {
+                self.finish_spout_emission(id, work.outputs, work.replays, work.replay_queued_at);
+            }
             Some(env) => {
-                self.finish_message(id, &env, work.outputs);
+                let chain = if self.spans.is_some() {
+                    // Attribute the wait since delivery and the service
+                    // interval to this executor on the node that ran it.
+                    let node = NodeId::new(work.busy_node as u32);
+                    let queued = work.started_at.saturating_sub(env.delivered_at).as_micros();
+                    let serviced = work.done_at.saturating_sub(work.started_at).as_micros();
+                    let c = extend_span(&env.chain, SpanSeg::queue(id, node, queued));
+                    extend_span(&c, SpanSeg::service(id, node, serviced))
+                } else {
+                    None
+                };
+                self.finish_message(id, &env, work.outputs, chain);
                 self.recycle_envelope(env);
             }
         }
@@ -1367,6 +1462,7 @@ impl Simulation {
         id: ExecutorId,
         mut outputs: Vec<Rc<[Value]>>,
         replays: u32,
+        replay_queued_at: Option<SimTime>,
     ) {
         let idx = id.as_usize();
         let values = outputs.pop().unwrap_or_else(|| self.empty_values.clone());
@@ -1419,12 +1515,29 @@ impl Simulation {
             acker,
             outstanding: 0,
         });
+        // A replayed emission seeds its chain with the replay wait
+        // (timeout → re-emission); the root's latency interval itself
+        // starts here at `emit_at`, so the replay segment sits outside
+        // the queue+service+network sum.
+        let mut chain: SpanChain = None;
+        if self.spans.is_some() {
+            if let Some(queued_at) = replay_queued_at {
+                let node = self.executors[idx]
+                    .location
+                    .map_or(NodeId::new(0), |s| self.cluster.node_of(s));
+                let waited = emit_at.saturating_sub(queued_at).as_micros();
+                chain = extend_span(&None, SpanSeg::replay(id, node, waited));
+            }
+        }
         let (xor, count) = self.route_outputs(
             id,
             topo_idx,
             component,
-            Some(root_id),
-            Some(handle),
+            Lineage {
+                root: Some(root_id),
+                root_handle: Some(handle),
+                chain: &chain,
+            },
             vec![values],
         );
         if let Some(root) = self.roots.get_mut(handle) {
@@ -1433,7 +1546,7 @@ impl Simulation {
 
         if count == 0 {
             // Terminal spout (no consumers): complete instantly.
-            self.complete_root(handle);
+            self.complete_root(handle, &chain);
             return;
         }
 
@@ -1444,6 +1557,7 @@ impl Simulation {
                 EnvelopeKind::AckerInit { xor },
                 root_id,
                 Some(handle),
+                chain,
             );
         }
         let timeout = self.topologies[topo_idx].message_timeout;
@@ -1451,14 +1565,29 @@ impl Simulation {
             .push(emit_at + timeout, Event::TupleTimeout(handle));
     }
 
-    fn finish_message(&mut self, id: ExecutorId, env: &Envelope, outputs: Vec<Rc<[Value]>>) {
+    fn finish_message(
+        &mut self,
+        id: ExecutorId,
+        env: &Envelope,
+        outputs: Vec<Rc<[Value]>>,
+        chain: SpanChain,
+    ) {
         let idx = id.as_usize();
         let topo_idx = self.executors[idx].topo_idx;
         match env.kind {
             EnvelopeKind::Data => {
                 let component = self.executors[idx].component;
-                let (new_xor, count) =
-                    self.route_outputs(id, topo_idx, component, env.root, env.root_handle, outputs);
+                let (new_xor, count) = self.route_outputs(
+                    id,
+                    topo_idx,
+                    component,
+                    Lineage {
+                        root: env.root,
+                        root_handle: env.root_handle,
+                        chain: &chain,
+                    },
+                    outputs,
+                );
                 if let (Some(root_id), Some(handle)) = (env.root, env.root_handle) {
                     let (acker, alive) = match self.roots.get_mut(handle) {
                         Some(r) => {
@@ -1477,9 +1606,10 @@ impl Simulation {
                                 },
                                 root_id,
                                 Some(handle),
+                                chain,
                             );
                         } else if self.roots.get(handle).is_some_and(|r| r.outstanding == 0) {
-                            self.complete_root(handle);
+                            self.complete_root(handle, &chain);
                         }
                     }
                 }
@@ -1511,18 +1641,21 @@ impl Simulation {
                     None => (false, id), // already timed out
                 };
                 if done {
-                    self.complete_root(handle);
-                    self.send_control(id, spout, EnvelopeKind::Complete, root_id, None);
+                    self.complete_root(handle, &chain);
+                    self.send_control(id, spout, EnvelopeKind::Complete, root_id, None, None);
                 }
             }
             EnvelopeKind::Complete => {}
         }
     }
 
-    fn complete_root(&mut self, handle: SlabHandle) {
+    fn complete_root(&mut self, handle: SlabHandle, chain: &SpanChain) {
         if let Some(root) = self.roots.remove(handle) {
             let root_id = root.id;
             let latency_ms = (self.clock - root.emit_at).as_millis_f64();
+            if let Some(spans) = self.spans.as_mut() {
+                spans.observe_root(root_id, root.emit_at, self.clock, chain);
+            }
             self.report.record_latency(self.clock, latency_ms);
             self.completed += 1;
             self.observer
@@ -1574,16 +1707,21 @@ impl Simulation {
     ///
     /// The per-tuple cost here is the simulator's hottest code: task
     /// selection fills one reused scratch buffer, and every envelope
-    /// shares the payload `Rc` instead of deep-cloning values.
+    /// shares the payload `Rc` instead of deep-cloning values. Every
+    /// created envelope inherits the producer's [`Lineage`].
     fn route_outputs(
         &mut self,
         src: ExecutorId,
         topo_idx: usize,
         component: ComponentId,
-        root: Option<TupleId>,
-        root_handle: Option<SlabHandle>,
+        lineage: Lineage<'_>,
         outputs: Vec<Rc<[Value]>>,
     ) -> (u64, u64) {
+        let Lineage {
+            root,
+            root_handle,
+            chain,
+        } = lineage;
         let mut xor = 0u64;
         let mut count = 0u64;
         if outputs.is_empty() {
@@ -1630,6 +1768,8 @@ impl Simulation {
                             root_handle,
                             dst_epoch: self.executors[dst.as_usize()].epoch,
                             kind: EnvelopeKind::Data,
+                            chain: chain.clone(),
+                            delivered_at: SimTime::ZERO,
                         },
                         Bytes::new(payload),
                     );
@@ -1647,6 +1787,7 @@ impl Simulation {
         kind: EnvelopeKind,
         root: TupleId,
         root_handle: Option<SlabHandle>,
+        chain: SpanChain,
     ) {
         let env = Envelope {
             values: self.empty_values.clone(),
@@ -1658,11 +1799,13 @@ impl Simulation {
             root_handle,
             dst_epoch: self.executors[dst.as_usize()].epoch,
             kind,
+            chain,
+            delivered_at: SimTime::ZERO,
         };
         self.send_envelope(env, Bytes::new(20));
     }
 
-    fn send_envelope(&mut self, env: Envelope, payload: Bytes) {
+    fn send_envelope(&mut self, mut env: Envelope, payload: Bytes) {
         let (Some(src_slot), Some(dst_slot)) = (
             self.executors[env.src.as_usize()].location,
             self.executors[env.dst.as_usize()].location,
@@ -1711,9 +1854,20 @@ impl Simulation {
             HopClass::IntraWorker => 0,
             _ => self.workers_on_node[dst_node.as_usize()].saturating_sub(1),
         };
+        if matches!(hop, HopClass::InterNode) {
+            self.counters
+                .add_node_tx(src_node.as_usize(), payload.get());
+        }
         let at =
             self.network
                 .delivery_time(self.clock, hop, payload, src_node, dst_node, extra_workers);
+        if self.spans.is_some() {
+            let micros = at.saturating_sub(self.clock).as_micros();
+            env.chain = extend_span(
+                &env.chain,
+                SpanSeg::network(env.src, src_node, env.dst, dst_node, trace_hop(hop), micros),
+            );
+        }
         let boxed = match self.env_pool.pop() {
             Some(mut b) => {
                 self.pool_hits += 1;
@@ -1735,6 +1889,7 @@ impl Simulation {
             return;
         }
         env.values = self.empty_values.clone();
+        env.chain = None;
         self.env_pool.push(env);
     }
 
@@ -1774,9 +1929,11 @@ impl Simulation {
         {
             let spout_idx = root.spout.as_usize();
             self.replays_triggered += 1;
-            self.executors[spout_idx]
-                .replay_queue
-                .push_back((root.values, root.replays + 1));
+            self.executors[spout_idx].replay_queue.push_back((
+                root.values,
+                root.replays + 1,
+                self.clock,
+            ));
             self.observer.emit_with(self.clock, || TraceEvent::Replay {
                 tuple: root_id.get(),
             });

@@ -15,6 +15,7 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::rc::Rc;
 use tstorm_topology::Value;
+use tstorm_trace::SpanChain;
 use tstorm_types::{ExecutorId, NodeId, SimTime, SlabHandle, SlotId, TupleId};
 
 /// Routing/acking metadata carried by every in-flight message.
@@ -51,6 +52,13 @@ pub struct Envelope {
     pub dst_epoch: u32,
     /// What the message is.
     pub kind: EnvelopeKind,
+    /// Causal span chain from the root's emit up to (and including) the
+    /// network hop that carried this message. `None` whenever span
+    /// collection is disabled, so the inert path never allocates.
+    pub chain: SpanChain,
+    /// When the envelope entered the destination executor's input queue;
+    /// the gap to service start is the queue span.
+    pub delivered_at: SimTime,
 }
 
 /// Message kinds: data tuples and the ack-tree control messages.

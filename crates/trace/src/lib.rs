@@ -42,11 +42,18 @@
 pub mod event;
 pub mod json;
 pub mod observer;
+pub mod recorder;
 pub mod registry;
 pub mod sink;
+pub mod span;
 
 pub use event::{EventCategory, HopClass, TraceEvent};
 pub use json::JsonValue;
 pub use observer::{Observer, ObserverBuilder, SharedSink, TraceFilter};
+pub use recorder::{parse_recording, FlightRecorder, RecordedRun, FLIGHT_RECORDER_VERSION};
 pub use registry::{MetricKind, MetricsRegistry};
 pub use sink::{JsonlWriter, NullSink, RingBufferSink, TraceSink};
+pub use span::{
+    extend as extend_span, sum_by_kind, CriticalPathCollector, PathTotals, RootBreakdown,
+    SpanChain, SpanKind, SpanLink, SpanSeg,
+};

@@ -472,6 +472,71 @@ mod tests {
     }
 
     #[test]
+    fn prometheus_exposition_golden() {
+        // Conformance golden: the exact exposition text is pinned so
+        // any drift in headers, label escaping, bucket cumulation or
+        // the closing `+Inf` bucket fails loudly.
+        let mut r = MetricsRegistry::new();
+        r.inc_counter(
+            "tstorm_tuples_total",
+            "tuples routed, line1\nline2 with \\slash",
+            &[("path", "a\"quote\\slash\nnewline")],
+            7,
+        );
+        r.set_gauge("tstorm_nodes_used", "nodes in use", &[], 4.0);
+        for v in [1.0, 1.0, 100.0] {
+            r.observe(
+                "tstorm_latency_ms",
+                "complete latency",
+                &[("topo", "wc")],
+                v,
+            );
+        }
+        let golden = "\
+# HELP tstorm_latency_ms complete latency
+# TYPE tstorm_latency_ms histogram
+tstorm_latency_ms_bucket{topo=\"wc\",le=\"1.189207115002721\"} 2
+tstorm_latency_ms_bucket{topo=\"wc\",le=\"107.63474115247546\"} 3
+tstorm_latency_ms_bucket{topo=\"wc\",le=\"+Inf\"} 3
+tstorm_latency_ms_sum{topo=\"wc\"} 102
+tstorm_latency_ms_count{topo=\"wc\"} 3
+# HELP tstorm_nodes_used nodes in use
+# TYPE tstorm_nodes_used gauge
+tstorm_nodes_used 4
+# HELP tstorm_tuples_total tuples routed, line1\\nline2 with \\\\slash
+# TYPE tstorm_tuples_total counter
+tstorm_tuples_total{path=\"a\\\"quote\\\\slash\\nnewline\"} 7
+";
+        assert_eq!(r.render_prometheus(), golden);
+    }
+
+    #[test]
+    fn histogram_buckets_end_with_inf_and_are_cumulative_for_every_series() {
+        let mut r = MetricsRegistry::new();
+        r.observe("h_ms", "hist", &[("k", "a")], 1.0);
+        r.observe("h_ms", "hist", &[("k", "b")], 5.0);
+        let text = r.render_prometheus();
+        for series in ["a", "b"] {
+            let buckets: Vec<&str> = text
+                .lines()
+                .filter(|l| l.starts_with("h_ms_bucket") && l.contains(&format!("k=\"{series}\"")))
+                .collect();
+            assert!(
+                buckets.last().unwrap().contains(r#"le="+Inf""#),
+                "series {series} must close with +Inf: {text}"
+            );
+            let counts: Vec<u64> = buckets
+                .iter()
+                .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+                .collect();
+            assert!(
+                counts.windows(2).all(|w| w[0] <= w[1]),
+                "bucket counts must be cumulative: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
     fn empty_registry_renders_empty() {
         let r = MetricsRegistry::new();
         assert!(r.is_empty());
