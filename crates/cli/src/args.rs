@@ -44,6 +44,10 @@ pub struct RunOptions {
     /// Maximum replays per tuple before it is permanently failed
     /// (`None` = unbounded, Storm's behaviour).
     pub max_replays: Option<u32>,
+    /// Transfer-batching threshold: outbound tuples coalesce per
+    /// (source, destination) executor pair until a batch holds this
+    /// many. `1` (the default) keeps the original per-tuple path.
+    pub batch_size: u32,
     /// Supervisor heartbeat period in seconds (liveness is derived from
     /// these heartbeats, never from direct observation).
     pub heartbeat_secs: u64,
@@ -88,6 +92,7 @@ impl Default for RunOptions {
             prom: None,
             faults: Vec::new(),
             max_replays: None,
+            batch_size: 1,
             heartbeat_secs: 5,
             fetch_jitter: 0.2,
             quiet: false,
@@ -162,6 +167,8 @@ OPTIONS (run/compare):
                        heartbeat-loss@t=SECS,node=N,dur=SECS
     --max-replays N    permanently fail a tuple after N replays
                        [unbounded, like Storm]
+    --batch-size N     coalesce outbound tuples per (src, dst) executor
+                       pair into batches of N transfers  [1 = off]
     --heartbeat SECS   supervisor heartbeat period               [5]
     --fetch-jitter F   per-node fetch/heartbeat jitter in [0,1)  [0.2]
     --quiet            summary only
@@ -260,6 +267,12 @@ where
                 opts.faults.push(spec);
             }
             "--max-replays" => opts.max_replays = Some(parse_int(flag, &value(flag)?)?),
+            "--batch-size" => {
+                opts.batch_size = parse_int(flag, &value(flag)?)?;
+                if opts.batch_size == 0 {
+                    return Err(ParseError("--batch-size must be positive".to_owned()));
+                }
+            }
             "--heartbeat" => {
                 opts.heartbeat_secs = u64::from(parse_int(flag, &value(flag)?)?);
                 if opts.heartbeat_secs == 0 {
@@ -365,6 +378,20 @@ mod tests {
         assert!(parse(args("run --duration 0")).is_err());
         assert!(parse(args("run --trace-sample 0")).is_err());
         assert!(parse(args("run --trace-filter tuple,bogus")).is_err());
+        assert!(parse(args("run --batch-size 0")).is_err());
+        assert!(parse(args("run --batch-size nope")).is_err());
+    }
+
+    #[test]
+    fn parses_batch_size() {
+        let Command::Run(o) = parse(args("run --batch-size 16")).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(o.batch_size, 16);
+        let Command::Run(o) = parse(args("run")).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(o.batch_size, 1, "batching is opt-in");
     }
 
     #[test]

@@ -94,6 +94,7 @@ pub fn run_scenario(opts: &RunOptions) -> Result<ScenarioOutcome> {
     if let Some(cap) = opts.max_replays {
         config.sim.max_replays = cap;
     }
+    config.sim.batch_size = opts.batch_size;
     config.heartbeat_period = SimTime::from_secs(opts.heartbeat_secs);
     config.fetch_jitter = opts.fetch_jitter;
     let fault_plan = FaultPlan::from_specs(&opts.faults)
@@ -316,7 +317,7 @@ impl ScenarioOutcome {
     pub fn engine_summary(&self) -> String {
         format!(
             "engine: pool hit-rate {:.1}% ({} hits, {} misses) | \
-             queue high-water {} | allocations avoided {}\n\
+             queue high-water {} | allocations avoided {} | clock inversions {}\n\
              control: heartbeats {} sent, {} missed | fetches {} | \
              epochs applied {} | declared dead {} | false-positive reassignments {}",
             self.engine.pool_hit_rate() * 100.0,
@@ -324,6 +325,7 @@ impl ScenarioOutcome {
             self.engine.pool_misses,
             self.engine.queue_high_water,
             self.engine.allocations_avoided(),
+            self.engine.clock_inversions,
             self.control.heartbeats_sent,
             self.control.heartbeats_missed,
             self.control.fetches,
@@ -343,7 +345,8 @@ impl ScenarioOutcome {
             .f64("pool_hit_rate", self.engine.pool_hit_rate())
             .u64("payload_clones_avoided", self.engine.payload_clones_avoided)
             .u64("allocations_avoided", self.engine.allocations_avoided())
-            .u64("queue_high_water", self.engine.queue_high_water);
+            .u64("queue_high_water", self.engine.queue_high_water)
+            .u64("clock_inversions", self.engine.clock_inversions);
         o.finish()
     }
 }
@@ -388,10 +391,17 @@ mod tests {
         );
         assert!(outcome.engine.queue_high_water > 0);
         assert!(outcome.engine.payload_clones_avoided > 0);
+        assert_eq!(
+            outcome.engine.clock_inversions, 0,
+            "a healthy run never produces an out-of-order span timestamp pair"
+        );
         let line = outcome.engine_summary();
         assert!(line.contains("pool hit-rate"), "{line}");
         assert!(line.contains("queue high-water"), "{line}");
+        assert!(line.contains("clock inversions"), "{line}");
         assert!(line.contains("heartbeats"), "{line}");
+        let json = outcome.engine_stats_json();
+        assert!(json.contains("\"clock_inversions\":0"), "{json}");
         assert!(
             outcome.control.heartbeats_sent > 0,
             "supervisors heartbeat throughout the run"
@@ -449,6 +459,17 @@ mod tests {
                 if *at >= SimTime::from_secs(150))
         });
         assert!(published_after, "recovery proceeds once Nimbus is back");
+    }
+
+    #[test]
+    fn batched_run_completes_and_stays_clean() {
+        let opts = RunOptions {
+            batch_size: 8,
+            ..quick(Topology::WordCount)
+        };
+        let outcome = run_scenario(&opts).expect("runs");
+        assert!(outcome.completed > 100, "{}", outcome.completed);
+        assert_eq!(outcome.engine.clock_inversions, 0);
     }
 
     #[test]

@@ -92,14 +92,16 @@ impl LogHistogram {
         self.invalid
     }
 
-    /// The `q`-quantile (`0 < q <= 1`), or `None` if empty.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `q` is outside `(0, 1]`.
+    /// The `q`-quantile, or `None` if the histogram is empty or `q` is
+    /// not a valid quantile. Valid quantiles lie in `(0, 1]`; anything
+    /// else — including `NaN`, which fails every comparison — has no
+    /// defined rank, so asking for one returns `None` rather than a
+    /// silently wrong bucket edge.
     #[must_use]
     pub fn quantile(&self, q: f64) -> Option<f64> {
-        assert!(q > 0.0 && q <= 1.0, "quantile must be in (0, 1], got {q}");
+        if q.is_nan() || q <= 0.0 || q > 1.0 {
+            return None;
+        }
         if self.total == 0 {
             return None;
         }
@@ -251,8 +253,22 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "quantile must be in")]
-    fn invalid_quantile_panics() {
-        let _ = LogHistogram::new().quantile(0.0);
+    fn out_of_range_quantiles_are_none() {
+        // A populated histogram must still refuse invalid `q`: the old
+        // assert documented `(0, 1]` but never enforced it, so an
+        // out-of-range `q` silently returned a bucket edge.
+        let mut h = LogHistogram::new();
+        for i in 1..=100 {
+            h.record(f64::from(i));
+        }
+        assert_eq!(h.quantile(0.0), None, "q = 0 has no rank");
+        assert_eq!(h.quantile(-0.5), None, "negative q has no rank");
+        assert_eq!(h.quantile(1.0 + f64::EPSILON), None, "q just above 1");
+        assert_eq!(h.quantile(1.5), None, "q well above 1");
+        assert_eq!(h.quantile(f64::NAN), None, "NaN is not a quantile");
+        assert_eq!(h.quantile(f64::INFINITY), None);
+        // The boundaries of the valid range still work.
+        assert!(h.quantile(f64::MIN_POSITIVE).is_some());
+        assert!(h.quantile(1.0).is_some());
     }
 }

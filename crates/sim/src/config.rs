@@ -148,6 +148,14 @@ pub struct SimConfig {
     /// bound runaway feedback. A tuple that exhausts its replays is
     /// counted permanently failed and traced as `tuple_failed`.
     pub max_replays: u32,
+    /// Transfer batching threshold: outbound tuples are coalesced per
+    /// (source executor, destination executor) pair into one batch
+    /// envelope flushed when it holds this many tuples, when the
+    /// producing executor goes idle at a service-completion boundary,
+    /// or when the batch ages past `batch_size` completions. `1` (the
+    /// default) disables staging entirely and takes the original
+    /// per-tuple send path, preserving pre-batching semantics exactly.
+    pub batch_size: u32,
 }
 
 impl Default for SimConfig {
@@ -160,6 +168,7 @@ impl Default for SimConfig {
             spout_idle_retry: SimTime::from_millis(5),
             replay_failed: true,
             max_replays: u32::MAX,
+            batch_size: 1,
         }
     }
 }
@@ -176,6 +185,14 @@ impl SimConfig {
     #[must_use]
     pub fn with_reassign_mode(mut self, mode: ReassignMode) -> Self {
         self.reassign.mode = mode;
+        self
+    }
+
+    /// Builder-style transfer-batching threshold override. A value of
+    /// `0` is treated as `1` (batching disabled) by the engine.
+    #[must_use]
+    pub fn with_batch_size(mut self, batch_size: u32) -> Self {
+        self.batch_size = batch_size;
         self
     }
 }
@@ -212,9 +229,18 @@ mod tests {
     fn builders_override() {
         let c = SimConfig::default()
             .with_seed(7)
-            .with_reassign_mode(ReassignMode::Immediate);
+            .with_reassign_mode(ReassignMode::Immediate)
+            .with_batch_size(16);
         assert_eq!(c.seed, 7);
         assert_eq!(c.reassign.mode, ReassignMode::Immediate);
+        assert_eq!(c.batch_size, 16);
+    }
+
+    #[test]
+    fn batching_is_off_by_default() {
+        // batch_size == 1 must preserve pre-batching semantics exactly,
+        // so it has to be the default.
+        assert_eq!(SimConfig::default().batch_size, 1);
     }
 
     #[test]

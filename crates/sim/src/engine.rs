@@ -2,11 +2,11 @@
 //! supervisors and metrics, driven by a deterministic event queue.
 
 use crate::config::{ReassignMode, SimConfig};
-use crate::event::{Envelope, EnvelopeKind, Event, EventQueue};
+use crate::event::{BatchEnvelope, Envelope, EnvelopeKind, Event, EventQueue};
 use crate::fault::{FaultKind, FaultPlan};
 use crate::logic::ExecutorLogic;
 use crate::network::{classify, HopClass, Network};
-use crate::routing::{select_tasks_into, RouteRule};
+use crate::routing::{group_tasks_by_destination, select_tasks_into, RouteRule};
 use std::collections::{BTreeSet, VecDeque};
 use std::rc::Rc;
 use tstorm_cluster::{Assignment, AssignmentDiff, ClusterSpec};
@@ -18,11 +18,21 @@ use tstorm_types::{
     SlotId, TStormError, TopologyId, TupleId,
 };
 
-/// Upper bound on recycled envelope boxes retained by the free-list
-/// pool. The pool never holds more boxes than were simultaneously in
-/// flight, but a cap keeps a transient burst from pinning memory for
-/// the rest of a long run.
+/// Upper bound on recycled boxes retained by each free-list pool (the
+/// per-tuple envelope pool and the batch-envelope pool). A pool never
+/// holds more boxes than were simultaneously in flight, but a cap keeps
+/// a transient burst from pinning memory for the rest of a long run.
 const ENVELOPE_POOL_CAP: usize = 1 << 16;
+
+/// How many of the source executor's completions an open (not yet
+/// full) batch may survive before the age guard flushes it, as a
+/// multiple of `batch_size`. Sized for fan-out: an executor spreading
+/// its output over `F` destination pairs feeds each pair roughly once
+/// per `F` completions, so any `F ≤ BATCH_MAX_AGE_FACTOR` still fills
+/// whole batches while the executor stays busy; a pair whose traffic
+/// dries up entirely holds tuples for at most `batch_size × factor`
+/// completions (and everything flushes the moment the executor idles).
+const BATCH_MAX_AGE_FACTOR: u64 = 8;
 
 /// Static description of one executor, as exposed to the control plane.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -186,15 +196,21 @@ impl SimCounters {
 /// the counted object, so collection cost is negligible.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
-    /// Envelope boxes served from the free-list pool.
+    /// Transfer boxes (per-tuple envelopes and batch envelopes) served
+    /// from the free-list pools.
     pub pool_hits: u64,
-    /// Envelope boxes that had to be freshly allocated.
+    /// Transfer boxes that had to be freshly allocated.
     pub pool_misses: u64,
     /// Deep payload clones avoided by `Rc` sharing — one per routed
     /// data envelope (each previously cloned the full value vector).
     pub payload_clones_avoided: u64,
     /// Largest number of events ever pending in the event queue.
     pub queue_high_water: u64,
+    /// Span-duration subtractions whose end preceded their start. Always
+    /// zero in a healthy run: a non-zero count means some scheduling
+    /// path produced an out-of-order timestamp pair that the old
+    /// `saturating_sub` arithmetic would have silently clamped to 0µs.
+    pub clock_inversions: u64,
 }
 
 impl EngineStats {
@@ -297,6 +313,15 @@ struct ExecRt {
     /// Per-out-edge round-robin counters for direct grouping, indexed
     /// by the component's out-edge position.
     direct_counters: Box<[u32]>,
+    /// Open outbound batches, one per destination executor, in
+    /// first-touch order. Empty whenever `batch_size` is 1 — the
+    /// unbatched path never stages. The list stays tiny (bounded by the
+    /// component's fan-out), so a linear scan beats any map.
+    #[allow(clippy::vec_box)]
+    pending: Vec<Box<BatchEnvelope>>,
+    /// Service completions finished by this executor — the age base for
+    /// the batch flush guard.
+    completions: u64,
 }
 
 /// State of one in-flight spout tuple (the ack tree root).
@@ -345,6 +370,16 @@ pub struct Simulation {
     /// carries, so a pool hit is allocation-free.
     #[allow(clippy::vec_box)]
     env_pool: Vec<Box<Envelope>>,
+    /// Free list of recycled batch envelopes — the transfer pool of the
+    /// batched path. Recycling keeps each box *and* its tuple vector's
+    /// capacity, so a steady-state flush allocates nothing.
+    #[allow(clippy::vec_box)]
+    batch_pool: Vec<Box<BatchEnvelope>>,
+    /// Free list of recycled output buffers: every service start needs a
+    /// `Vec` to collect the handler's emissions, and routing drains it —
+    /// recycling the allocation removes a malloc/free pair from every
+    /// serviced tuple.
+    outputs_pool: Vec<Vec<Rc<[Value]>>>,
     /// The shared empty payload (control messages, recycled envelopes).
     empty_values: Rc<[Value]>,
     /// Scratch buffer reused by every routing task selection.
@@ -352,6 +387,9 @@ pub struct Simulation {
     pool_hits: u64,
     pool_misses: u64,
     payload_clones_avoided: u64,
+    /// Span subtractions whose end preceded their start (see
+    /// [`EngineStats::clock_inversions`]).
+    clock_inversions: u64,
     /// The assignment currently in force.
     current: Assignment,
     /// Assignment submitted to Nimbus, not yet picked up by supervisors.
@@ -451,11 +489,14 @@ impl Simulation {
             next_tuple: 0,
             next_edge: 0,
             env_pool: Vec::new(),
+            batch_pool: Vec::new(),
+            outputs_pool: Vec::new(),
             empty_values: Rc::from(Vec::new()),
             task_scratch: Vec::new(),
             pool_hits: 0,
             pool_misses: 0,
             payload_clones_avoided: 0,
+            clock_inversions: 0,
             current: Assignment::new(),
             pending: None,
             switching_to: None,
@@ -598,6 +639,8 @@ impl Simulation {
                 replay_queue: VecDeque::new(),
                 direct_counters: vec![0u32; out_edges[spec.component.as_usize()].len()]
                     .into_boxed_slice(),
+                pending: Vec::new(),
+                completions: 0,
             });
         }
         self.counters.ensure_executors(self.executors.len());
@@ -800,6 +843,7 @@ impl Simulation {
                 }
             }
             self.drain_queue_to_pool(i);
+            self.drop_pending_outbound(i);
             let e = &mut self.executors[i];
             e.epoch += 1;
             e.location = Some(slot);
@@ -816,6 +860,7 @@ impl Simulation {
                 }
             }
             self.drain_queue_to_pool(i);
+            self.drop_pending_outbound(i);
             let e = &mut self.executors[i];
             e.epoch += 1;
             e.location = None;
@@ -943,6 +988,7 @@ impl Simulation {
             pool_misses: self.pool_misses,
             payload_clones_avoided: self.payload_clones_avoided,
             queue_high_water: self.queue.high_water() as u64,
+            clock_inversions: self.clock_inversions,
         }
     }
 
@@ -1003,6 +1049,12 @@ impl Simulation {
 
     /// Total simulation events processed — the simulator's work measure
     /// (used by throughput benchmarks and performance diagnostics).
+    ///
+    /// Counted in *logical* events: a delivered batch of `n` tuples
+    /// counts as `n`, exactly what `n` unbatched deliveries would have
+    /// counted, so the measure stays comparable across `batch_size`
+    /// settings and events-per-second directly reflects batching's
+    /// wall-clock savings.
     #[must_use]
     pub fn events_processed(&self) -> u64 {
         self.events_processed
@@ -1033,6 +1085,7 @@ impl Simulation {
                 }
             }
             self.drain_queue_to_pool(i);
+            self.drop_pending_outbound(i);
             let e = &mut self.executors[i];
             e.alive = false;
             e.epoch += 1; // drop in-flight deliveries
@@ -1219,6 +1272,7 @@ impl Simulation {
         match event {
             Event::SpoutTick(id) => self.on_spout_tick(id),
             Event::Deliver(env) => self.on_deliver(env),
+            Event::DeliverBatch(batch) => self.on_deliver_batch(batch),
             Event::ProcessDone(id) => self.on_process_done(id),
             Event::TupleTimeout(root) => self.on_timeout(root),
             Event::SupervisorPoll => self.on_supervisor_poll(),
@@ -1294,9 +1348,11 @@ impl Simulation {
         let done_at = self.clock + service;
         self.counters.add_cycles(idx, cycles);
         // The root is created at completion time (see on_process_done).
+        let mut outputs = self.outputs_pool.pop().unwrap_or_default();
+        outputs.push(values);
         self.executors[idx].busy = Some(BusyWork {
             env: None,
-            outputs: vec![values],
+            outputs,
             started_at: self.clock,
             done_at,
             replays,
@@ -1370,7 +1426,7 @@ impl Simulation {
                     executor: idx as u32,
                 });
         }
-        let mut outputs: Vec<Rc<[Value]>> = Vec::new();
+        let mut outputs: Vec<Rc<[Value]>> = self.outputs_pool.pop().unwrap_or_default();
         if env.kind == EnvelopeKind::Data {
             if let ExecutorLogic::Bolt(b) = &mut self.executors[idx].logic {
                 b.execute(&env.values, &mut |v| outputs.push(Rc::from(v)));
@@ -1408,6 +1464,7 @@ impl Simulation {
             return;
         }
         self.release_cpu(work.busy_node);
+        self.executors[idx].completions += 1;
 
         {
             let tuple = work
@@ -1432,8 +1489,8 @@ impl Simulation {
                     // Attribute the wait since delivery and the service
                     // interval to this executor on the node that ran it.
                     let node = NodeId::new(work.busy_node as u32);
-                    let queued = work.started_at.saturating_sub(env.delivered_at).as_micros();
-                    let serviced = work.done_at.saturating_sub(work.started_at).as_micros();
+                    let queued = self.span_micros(work.started_at, env.delivered_at);
+                    let serviced = self.span_micros(work.done_at, work.started_at);
                     let c = extend_span(&env.chain, SpanSeg::queue(id, node, queued));
                     extend_span(&c, SpanSeg::service(id, node, serviced))
                 } else {
@@ -1454,6 +1511,12 @@ impl Simulation {
             let next =
                 self.executors[idx].last_tick + SimTime::from_micros((jittered as u64).max(1));
             self.schedule_tick(id, next);
+        }
+        // A service completion is the flush boundary of the batching
+        // layer: everything this completion staged (and anything older)
+        // is re-examined against the flush policy now.
+        if self.config.batch_size > 1 {
+            self.flush_at_boundary(idx);
         }
     }
 
@@ -1525,10 +1588,12 @@ impl Simulation {
                 let node = self.executors[idx]
                     .location
                     .map_or(NodeId::new(0), |s| self.cluster.node_of(s));
-                let waited = emit_at.saturating_sub(queued_at).as_micros();
+                let waited = self.span_micros(emit_at, queued_at);
                 chain = extend_span(&None, SpanSeg::replay(id, node, waited));
             }
         }
+        outputs.clear();
+        outputs.push(values);
         let (xor, count) = self.route_outputs(
             id,
             topo_idx,
@@ -1538,8 +1603,9 @@ impl Simulation {
                 root_handle: Some(handle),
                 chain: &chain,
             },
-            vec![values],
+            &mut outputs,
         );
+        self.recycle_outputs(outputs);
         if let Some(root) = self.roots.get_mut(handle) {
             root.outstanding = count as i64;
         }
@@ -1569,7 +1635,7 @@ impl Simulation {
         &mut self,
         id: ExecutorId,
         env: &Envelope,
-        outputs: Vec<Rc<[Value]>>,
+        mut outputs: Vec<Rc<[Value]>>,
         chain: SpanChain,
     ) {
         let idx = id.as_usize();
@@ -1586,7 +1652,7 @@ impl Simulation {
                         root_handle: env.root_handle,
                         chain: &chain,
                     },
-                    outputs,
+                    &mut outputs,
                 );
                 if let (Some(root_id), Some(handle)) = (env.root, env.root_handle) {
                     let (acker, alive) = match self.roots.get_mut(handle) {
@@ -1647,6 +1713,7 @@ impl Simulation {
             }
             EnvelopeKind::Complete => {}
         }
+        self.recycle_outputs(outputs);
     }
 
     fn complete_root(&mut self, handle: SlabHandle, chain: &SpanChain) {
@@ -1715,7 +1782,7 @@ impl Simulation {
         topo_idx: usize,
         component: ComponentId,
         lineage: Lineage<'_>,
-        outputs: Vec<Rc<[Value]>>,
+        outputs: &mut Vec<Rc<[Value]>>,
     ) -> (u64, u64) {
         let Lineage {
             root,
@@ -1729,8 +1796,9 @@ impl Simulation {
         }
         let comp_idx = component.as_usize();
         let n_edges = self.topologies[topo_idx].out_edges[comp_idx].len();
+        let batching = self.config.batch_size > 1;
         let mut tasks = std::mem::take(&mut self.task_scratch);
-        for values in outputs {
+        for values in outputs.drain(..) {
             for edge_idx in 0..n_edges {
                 tasks.clear();
                 let overhead = {
@@ -1745,6 +1813,15 @@ impl Simulation {
                         counter,
                         &mut tasks,
                     );
+                    if batching && tasks.len() > 1 {
+                        // Make same-destination tasks adjacent so each
+                        // pending batch is touched once per emit. Safe
+                        // under batching only: reordering changes trace
+                        // and edge-id assignment order (the XOR total is
+                        // order-independent).
+                        let task_exec = &edge.task_exec;
+                        group_tasks_by_destination(&mut tasks, |t| task_exec[t as usize].index());
+                    }
                     edge.emit_overhead
                 };
                 let payload: u64 =
@@ -1757,22 +1834,25 @@ impl Simulation {
                     xor ^= edge_id;
                     count += 1;
                     self.payload_clones_avoided += 1;
-                    self.send_envelope(
-                        Envelope {
-                            values: values.clone(),
-                            src,
-                            dst,
-                            dst_task: task,
-                            edge_id,
-                            root,
-                            root_handle,
-                            dst_epoch: self.executors[dst.as_usize()].epoch,
-                            kind: EnvelopeKind::Data,
-                            chain: chain.clone(),
-                            delivered_at: SimTime::ZERO,
-                        },
-                        Bytes::new(payload),
-                    );
+                    let env = Envelope {
+                        values: values.clone(),
+                        src,
+                        dst,
+                        dst_task: task,
+                        edge_id,
+                        root,
+                        root_handle,
+                        dst_epoch: self.executors[dst.as_usize()].epoch,
+                        kind: EnvelopeKind::Data,
+                        chain: chain.clone(),
+                        delivered_at: SimTime::ZERO,
+                        staged_at: SimTime::ZERO,
+                    };
+                    if batching {
+                        self.stage_tuple(env, Bytes::new(payload));
+                    } else {
+                        self.send_envelope(env, Bytes::new(payload));
+                    }
                 }
             }
         }
@@ -1801,8 +1881,13 @@ impl Simulation {
             kind,
             chain,
             delivered_at: SimTime::ZERO,
+            staged_at: SimTime::ZERO,
         };
-        self.send_envelope(env, Bytes::new(20));
+        if self.config.batch_size > 1 {
+            self.stage_tuple(env, Bytes::new(20));
+        } else {
+            self.send_envelope(env, Bytes::new(20));
+        }
     }
 
     fn send_envelope(&mut self, mut env: Envelope, payload: Bytes) {
@@ -1862,7 +1947,7 @@ impl Simulation {
             self.network
                 .delivery_time(self.clock, hop, payload, src_node, dst_node, extra_workers);
         if self.spans.is_some() {
-            let micros = at.saturating_sub(self.clock).as_micros();
+            let micros = self.span_micros(at, self.clock);
             env.chain = extend_span(
                 &env.chain,
                 SpanSeg::network(env.src, src_node, env.dst, dst_node, trace_hop(hop), micros),
@@ -1880,6 +1965,297 @@ impl Simulation {
             }
         };
         self.queue.push(at, Event::Deliver(boxed));
+    }
+
+    /// Stages one tuple into its (source, destination) pending batch —
+    /// the batched counterpart of [`Simulation::send_envelope`], taken
+    /// whenever `batch_size > 1`. Per-tuple bookkeeping that the
+    /// unbatched path performs at send time (placement check, traffic
+    /// counters, transfer trace, NIC egress attribution) happens here
+    /// at stage time; only the wire trip itself is deferred to flush.
+    fn stage_tuple(&mut self, mut env: Envelope, payload: Bytes) {
+        let (Some(src_slot), Some(dst_slot)) = (
+            self.executors[env.src.as_usize()].location,
+            self.executors[env.dst.as_usize()].location,
+        ) else {
+            // Same rule as the unbatched path: an unplaced endpoint
+            // means the message is lost before it ever leaves.
+            if self.faults_injected > 0 {
+                self.note_tuple_lost(1);
+            } else {
+                self.dropped_in_flight += 1;
+            }
+            return;
+        };
+        self.counters
+            .add_pair(env.src.as_usize(), env.dst.as_usize());
+        let src_node = self.cluster.node_of(src_slot);
+        let dst_node = self.cluster.node_of(dst_slot);
+        let hop = classify(src_slot.index(), dst_slot.index(), src_node, dst_node);
+        self.observer
+            .emit_with(self.clock, || TraceEvent::TupleTransfer {
+                tuple: env.root.map_or(u64::MAX, TupleId::get),
+                from_executor: env.src.index(),
+                to_executor: env.dst.index(),
+                hop: trace_hop(hop),
+                bytes: payload.get(),
+            });
+        self.observer.metrics(|m| {
+            let labels = [("hop", trace_hop(hop).label())];
+            m.inc_counter(
+                "tstorm_transfers_total",
+                "Tuple transfers by locality class",
+                &labels,
+                1,
+            );
+            m.inc_counter(
+                "tstorm_transfer_bytes_total",
+                "Bytes transferred by locality class",
+                &labels,
+                payload.get(),
+            );
+        });
+        if matches!(hop, HopClass::InterNode) {
+            self.counters
+                .add_node_tx(src_node.as_usize(), payload.get());
+        }
+        env.staged_at = self.clock;
+        let src_idx = env.src.as_usize();
+        let pos = self.executors[src_idx]
+            .pending
+            .iter()
+            .position(|b| b.dst == env.dst);
+        let pos = match pos {
+            Some(p) => p,
+            None => {
+                let opened = self.executors[src_idx].completions;
+                let mut batch = match self.batch_pool.pop() {
+                    Some(b) => {
+                        self.pool_hits += 1;
+                        b
+                    }
+                    None => {
+                        self.pool_misses += 1;
+                        Box::new(BatchEnvelope {
+                            src: env.src,
+                            dst: env.dst,
+                            payload_bytes: 0,
+                            opened_at_completion: 0,
+                            tuples: Vec::new(),
+                        })
+                    }
+                };
+                batch.src = env.src;
+                batch.dst = env.dst;
+                batch.payload_bytes = 0;
+                batch.opened_at_completion = opened;
+                debug_assert!(batch.tuples.is_empty(), "pooled batch not recycled clean");
+                self.executors[src_idx].pending.push(batch);
+                self.executors[src_idx].pending.len() - 1
+            }
+        };
+        let batch = &mut self.executors[src_idx].pending[pos];
+        batch.payload_bytes += payload.get();
+        batch.tuples.push(env);
+        if batch.tuples.len() >= self.config.batch_size as usize {
+            let full = self.executors[src_idx].pending.remove(pos);
+            self.flush_batch(full);
+        }
+    }
+
+    /// Ships one batch: a single event-queue entry and a single network
+    /// [`Network::batch_delivery_time`] computation carry every staged
+    /// tuple. The hop is re-classified from the endpoints' *current*
+    /// placement (a smooth rollout may have moved them since staging),
+    /// and each tuple's network span segment covers its own
+    /// `staged_at → delivery` interval so critical-path components keep
+    /// summing to root latency exactly.
+    fn flush_batch(&mut self, mut batch: Box<BatchEnvelope>) {
+        let (Some(src_slot), Some(dst_slot)) = (
+            self.executors[batch.src.as_usize()].location,
+            self.executors[batch.dst.as_usize()].location,
+        ) else {
+            // An endpoint lost its placement between staging and flush:
+            // every staged tuple is lost, under the same fault-vs-churn
+            // attribution the unbatched path applies at send time.
+            let n = batch.tuples.len() as u64;
+            if self.faults_injected > 0 {
+                self.note_tuple_lost(n);
+            } else {
+                self.dropped_in_flight += n;
+            }
+            self.recycle_batch(batch);
+            return;
+        };
+        let src_node = self.cluster.node_of(src_slot);
+        let dst_node = self.cluster.node_of(dst_slot);
+        let hop = classify(src_slot.index(), dst_slot.index(), src_node, dst_node);
+        let extra_workers = match hop {
+            HopClass::IntraWorker => 0,
+            _ => self.workers_on_node[dst_node.as_usize()].saturating_sub(1),
+        };
+        let at = self.network.batch_delivery_time(
+            self.clock,
+            hop,
+            Bytes::new(batch.payload_bytes),
+            src_node,
+            dst_node,
+            extra_workers,
+        );
+        if self.spans.is_some() {
+            // Fan the batch's one network trip back out per tuple.
+            for i in 0..batch.tuples.len() {
+                let micros = self.span_micros(at, batch.tuples[i].staged_at);
+                let t = &mut batch.tuples[i];
+                t.chain = extend_span(
+                    &t.chain,
+                    SpanSeg::network(t.src, src_node, t.dst, dst_node, trace_hop(hop), micros),
+                );
+            }
+        }
+        self.queue.push(at, Event::DeliverBatch(batch));
+    }
+
+    /// Applies the flush policy at one executor's service-completion
+    /// boundary: if the executor went idle, everything pending flushes
+    /// (nothing would otherwise re-examine it); while it stays busy,
+    /// only batches older than [`BATCH_MAX_AGE_FACTOR`] × `batch_size`
+    /// completions flush, bounding how long a stalled pair can hold
+    /// tuples back while leaving room for fan-out: a pair that receives
+    /// only one tuple in `F` of the executor's emissions still fills a
+    /// whole batch as long as `F ≤ BATCH_MAX_AGE_FACTOR`.
+    fn flush_at_boundary(&mut self, idx: usize) {
+        if self.executors[idx].pending.is_empty() {
+            return;
+        }
+        if self.executors[idx].busy.is_none() {
+            let mut pending = std::mem::take(&mut self.executors[idx].pending);
+            for batch in pending.drain(..) {
+                self.flush_batch(batch);
+            }
+            // Hand the (now empty) buffer back to keep its capacity.
+            self.executors[idx].pending = pending;
+            return;
+        }
+        let completions = self.executors[idx].completions;
+        let max_age = u64::from(self.config.batch_size.max(1)) * BATCH_MAX_AGE_FACTOR;
+        let mut i = 0;
+        while i < self.executors[idx].pending.len() {
+            let age =
+                completions.saturating_sub(self.executors[idx].pending[i].opened_at_completion);
+            if age >= max_age {
+                let batch = self.executors[idx].pending.remove(i);
+                self.flush_batch(batch);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// A batch arrives: every tuple it carries joins the destination's
+    /// input queue at once, under the same epoch check the unbatched
+    /// path applies per delivery.
+    fn on_deliver_batch(&mut self, mut batch: Box<BatchEnvelope>) {
+        // `run_until` counted one event for the pop; the remaining
+        // tuples keep `events_processed` a *logical* measure that is
+        // comparable across batch sizes.
+        self.events_processed += (batch.tuples.len() as u64).saturating_sub(1);
+        let idx = batch.dst.as_usize();
+        for mut env in batch.tuples.drain(..) {
+            if env.dst_epoch != self.executors[idx].epoch {
+                if self.faults_injected > 0 && self.executors[idx].location.is_none() {
+                    self.note_tuple_lost(1);
+                } else {
+                    self.dropped_in_flight += 1;
+                }
+                continue;
+            }
+            let tuple = env.root.map_or(u64::MAX, TupleId::get);
+            env.delivered_at = self.clock;
+            let boxed = match self.env_pool.pop() {
+                Some(mut b) => {
+                    self.pool_hits += 1;
+                    *b = env;
+                    b
+                }
+                None => {
+                    self.pool_misses += 1;
+                    Box::new(env)
+                }
+            };
+            self.executors[idx].queue.push_back(boxed);
+            let depth = self.executors[idx].queue.len() as u64;
+            self.observer
+                .emit_with(self.clock, || TraceEvent::QueueEnter {
+                    tuple,
+                    executor: idx as u32,
+                    depth,
+                });
+        }
+        self.recycle_batch(batch);
+        let id = ExecutorId::new(idx as u32);
+        if self.is_available(idx) && self.executors[idx].busy.is_none() {
+            self.try_start(id);
+        }
+    }
+
+    /// Returns a batch box to the batch pool, releasing its tuples'
+    /// payload references so values are not pinned while pooled. The
+    /// tuple vector keeps its capacity — the recycled allocation is the
+    /// point of the pool.
+    fn recycle_batch(&mut self, mut batch: Box<BatchEnvelope>) {
+        if self.batch_pool.len() >= ENVELOPE_POOL_CAP {
+            return;
+        }
+        batch.tuples.clear();
+        batch.payload_bytes = 0;
+        self.batch_pool.push(batch);
+    }
+
+    /// Drops an executor's staged-but-unflushed outbound batches and
+    /// returns how many tuples they held — the batching counterpart of
+    /// [`Simulation::drain_queue_to_pool`]: a killed worker's outbound
+    /// buffer dies with it.
+    fn drop_pending_outbound(&mut self, idx: usize) -> u64 {
+        if self.executors[idx].pending.is_empty() {
+            return 0;
+        }
+        let mut n = 0u64;
+        let mut pending = std::mem::take(&mut self.executors[idx].pending);
+        for batch in pending.drain(..) {
+            n += batch.tuples.len() as u64;
+            self.recycle_batch(batch);
+        }
+        self.executors[idx].pending = pending;
+        n
+    }
+
+    /// Checked span-duration subtraction: `end - start` in µs. A healthy
+    /// run never sees `end < start`; if it happens, the inversion is
+    /// counted (surfaced via `--engine-stats`) instead of being silently
+    /// clamped, and debug builds assert.
+    fn span_micros(&mut self, end: SimTime, start: SimTime) -> u64 {
+        if end >= start {
+            (end - start).as_micros()
+        } else {
+            debug_assert!(
+                false,
+                "clock inversion: span ends at {end:?} before it starts at {start:?}"
+            );
+            self.clock_inversions += 1;
+            0
+        }
+    }
+
+    /// Returns a drained output buffer to the pool, dropping any
+    /// leftover payload references so values are not pinned while
+    /// pooled. The vector keeps its capacity.
+    fn recycle_outputs(&mut self, mut outputs: Vec<Rc<[Value]>>) {
+        if self.outputs_pool.len() >= ENVELOPE_POOL_CAP {
+            return;
+        }
+        outputs.clear();
+        self.outputs_pool.push(outputs);
     }
 
     /// Returns an envelope box to the free-list pool, releasing its
@@ -2031,6 +2407,7 @@ impl Simulation {
                     }
                 }
                 self.drain_queue_to_pool(i);
+                self.drop_pending_outbound(i);
                 let e = &mut self.executors[i];
                 e.epoch += 1;
                 if new_slot.is_some() {
@@ -2142,6 +2519,7 @@ impl Simulation {
                 }
             }
             self.drain_queue_to_pool(i);
+            self.drop_pending_outbound(i);
             let id = ExecutorId::new(i as u32);
             let e = &mut self.executors[i];
             e.epoch += 1;
@@ -2169,14 +2547,20 @@ impl Simulation {
     fn on_fault(&mut self, kind: &FaultKind) {
         self.faults_injected += 1;
         let node = kind.node();
-        let worker = match kind {
-            FaultKind::WorkerCrash { node, local_slot } => self
-                .cluster
-                .slots_of(*node)
-                .nth(*local_slot as usize)
-                .map(|s| s.slot.index()),
+        // Resolve a worker crash's slot exactly once: the `FaultInjected`
+        // trace event and the crash below must name the same slot, and
+        // `slots_of(..).nth(..)` is an O(slots) walk.
+        let crashed_slot = match kind {
+            FaultKind::WorkerCrash { node, local_slot } => Some(
+                self.cluster
+                    .slots_of(*node)
+                    .nth(*local_slot as usize)
+                    .map(|s| s.slot)
+                    .expect("validated by apply_fault_plan"),
+            ),
             _ => None,
         };
+        let worker = crashed_slot.map(|s| s.index());
         let name = kind.name();
         self.observer
             .emit_with(self.clock, || TraceEvent::FaultInjected {
@@ -2193,13 +2577,8 @@ impl Simulation {
             );
         });
         match kind {
-            FaultKind::WorkerCrash { node, local_slot } => {
-                let slot = self
-                    .cluster
-                    .slots_of(*node)
-                    .nth(*local_slot as usize)
-                    .map(|s| s.slot)
-                    .expect("validated by apply_fault_plan");
+            FaultKind::WorkerCrash { .. } => {
+                let slot = crashed_slot.expect("resolved above for the trace event");
                 self.recovery_fault_at = Some(self.clock);
                 self.recovery_reassigned = false;
                 self.crash_slot(slot);
@@ -2260,6 +2639,7 @@ impl Simulation {
                 }
             }
             lost += self.drain_queue_to_pool(i);
+            lost += self.drop_pending_outbound(i);
             let e = &mut self.executors[i];
             e.epoch += 1;
             e.location = None;

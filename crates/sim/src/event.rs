@@ -59,6 +59,37 @@ pub struct Envelope {
     /// When the envelope entered the destination executor's input queue;
     /// the gap to service start is the queue span.
     pub delivered_at: SimTime,
+    /// When the tuple left its producer (entered a pending batch or, on
+    /// the unbatched path, went straight on the wire). The per-tuple
+    /// network span segment covers `staged_at → delivery`, so span
+    /// components keep summing to root latency exactly even when one
+    /// batch envelope carries many tuples staged at different times.
+    pub staged_at: SimTime,
+}
+
+/// A coalesced transfer: every tuple staged by one (source executor,
+/// destination executor) pair since the batch was opened, shipped as a
+/// single event-queue entry with one network `delivery_time`
+/// computation.
+///
+/// Layout is struct-of-arrays-friendly: the per-batch scalars
+/// (endpoints, byte total, age) live inline while the variable-length
+/// tuple payloads sit in one contiguous `Vec<Envelope>` whose capacity
+/// the engine recycles through its batch pool.
+#[derive(Debug)]
+pub struct BatchEnvelope {
+    /// Producing executor (one per batch — batches never mix sources).
+    pub src: ExecutorId,
+    /// Consuming executor (one per batch — the coalescing key).
+    pub dst: ExecutorId,
+    /// Sum of the staged tuples' payload bytes; the wire cost of the
+    /// batch is this total plus a *single* frame header.
+    pub payload_bytes: u64,
+    /// Producer's service-completion count when the batch was opened;
+    /// the flush age guard compares against the current count.
+    pub opened_at_completion: u64,
+    /// The staged tuples, in staging order.
+    pub tuples: Vec<Envelope>,
 }
 
 /// Message kinds: data tuples and the ack-tree control messages.
@@ -88,6 +119,9 @@ pub enum Event {
     SpoutTick(ExecutorId),
     /// A message arrives at its destination executor.
     Deliver(Box<Envelope>),
+    /// A coalesced batch of messages arrives at its destination
+    /// executor; every tuple inside joins the input queue at once.
+    DeliverBatch(Box<BatchEnvelope>),
     /// The executor finishes its in-service message.
     ProcessDone(ExecutorId),
     /// A root tuple's processing timeout fires. Carries the root's slab

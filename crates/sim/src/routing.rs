@@ -136,6 +136,27 @@ pub fn select_tasks_into(
     }
 }
 
+/// Stably groups a just-selected destination task list so tasks hosted
+/// by the same consumer executor become adjacent — the transfer-batching
+/// layer then touches each (source, destination) pending batch once per
+/// emit instead of re-scanning it per task.
+///
+/// `dest_of` maps a task index to its hosting executor's key. The sort
+/// is a stable in-place insertion sort: task lists are tiny (one entry
+/// for every grouping except `All`, whose task→executor map is already
+/// non-decreasing), so the common cases are a no-op scan with no
+/// allocation. Ties keep their selection order, preserving per-pair
+/// FIFO delivery.
+pub fn group_tasks_by_destination<K: Ord>(tasks: &mut [u32], mut dest_of: impl FnMut(u32) -> K) {
+    for i in 1..tasks.len() {
+        let mut j = i;
+        while j > 0 && dest_of(tasks[j - 1]) > dest_of(tasks[j]) {
+            tasks.swap(j - 1, j);
+            j -= 1;
+        }
+    }
+}
+
 /// Allocating wrapper around [`select_tasks_into`] for callers outside
 /// the engine's hot loop.
 #[must_use]
@@ -257,6 +278,26 @@ mod tests {
             .map(|_| select_tasks(&Grouping::Direct, &[], &values("x"), 3, &mut rng, &mut rr)[0])
             .collect();
         assert_eq!(picks, vec![0, 1, 2, 0, 1]);
+    }
+
+    #[test]
+    fn grouping_by_destination_is_stable() {
+        // Tasks 0..6 hosted by executors [1, 0, 1, 0, 2, 0]: grouping
+        // makes same-executor tasks adjacent while preserving their
+        // relative (selection) order within each destination.
+        let hosts = [1u32, 0, 1, 0, 2, 0];
+        let mut tasks = vec![0u32, 1, 2, 3, 4, 5];
+        group_tasks_by_destination(&mut tasks, |t| hosts[t as usize]);
+        assert_eq!(tasks, vec![1, 3, 5, 0, 2, 4]);
+    }
+
+    #[test]
+    fn grouping_already_grouped_is_identity() {
+        // The `All` grouping selects 0..n with a non-decreasing
+        // task→executor map — grouping must not reorder it.
+        let mut tasks = vec![0u32, 1, 2, 3, 4];
+        group_tasks_by_destination(&mut tasks, |t| t / 2);
+        assert_eq!(tasks, vec![0, 1, 2, 3, 4]);
     }
 
     #[test]

@@ -24,6 +24,14 @@
 //! Replay segments measure re-emission wait and sit *outside* that
 //! telescoped interval (latency is counted from the re-emission).
 //!
+//! Transfer batching preserves the invariant: when the engine coalesces
+//! several tuples into one batch envelope, the batch's single network
+//! delivery is fanned back out into one [`SpanKind::Network`] segment
+//! *per tuple*, each spanning that tuple's staging instant to the shared
+//! batch delivery instant. A tuple that waited inside an open batch
+//! therefore charges the wait to its network segment, and every chain
+//! still telescopes emit → completion exactly.
+//!
 //! Everything here is deterministic: aggregation uses ordered maps and
 //! integer arithmetic only, so same-seed runs render byte-identical
 //! summaries.
@@ -682,6 +690,43 @@ mod tests {
             classes[0].get("class").unwrap().as_str(),
             Some("inter_node")
         );
+    }
+
+    #[test]
+    fn batched_delivery_fans_out_per_tuple_segments() {
+        // Two tuples staged into the same batch at different instants
+        // (t=100 and t=150) and delivered together at t=600: the fan-out
+        // gives each its own network segment (500 µs and 450 µs), so both
+        // chains still telescope to their own emit → completion latency.
+        let mut c = CriticalPathCollector::new();
+        let service = extend(&None, SpanSeg::service(e(0), n(0), 100));
+        let first = extend(
+            &service,
+            SpanSeg::network(e(0), n(0), e(1), n(1), HopClass::InterNode, 500),
+        );
+        let second = extend(
+            &service,
+            SpanSeg::network(e(0), n(0), e(1), n(1), HopClass::InterNode, 450),
+        );
+        c.observe_root(
+            TupleId::new(1),
+            SimTime::ZERO,
+            SimTime::from_micros(600),
+            &first,
+        );
+        c.observe_root(
+            TupleId::new(2),
+            SimTime::from_micros(50),
+            SimTime::from_micros(600),
+            &second,
+        );
+        let t = c.totals();
+        assert_eq!(t.roots, 2);
+        assert_eq!(t.latency_us, 600 + 550);
+        assert_eq!(t.queue_us + t.service_us + t.network_us, 600 + 550);
+        for b in c.breakdowns() {
+            assert_eq!(b.queue_us + b.service_us + b.network_us, b.latency_us);
+        }
     }
 
     #[test]

@@ -14,7 +14,9 @@
 //!   counter bolts, and two Mongo sinks;
 //!
 //! plus [`chain`], the Section III micro-topology used for Observations 1
-//! and 2 (one spout, four chained bolts, five ackers).
+//! and 2 (one spout, four chained bolts, five ackers), and [`transfer`],
+//! a deliberately network-bound fan-out micro-benchmark (not from the
+//! paper) used by the bench suite's transfer-batching A/B.
 //!
 //! Each module exposes a parameter struct with the paper's defaults, a
 //! `topology()` constructor and a `factory()` producing the executor
@@ -30,9 +32,11 @@ pub mod chain;
 pub mod logic;
 pub mod logstream;
 pub mod throughput;
+pub mod transfer;
 pub mod wordcount;
 
 pub use chain::ChainParams;
 pub use logstream::LogStreamParams;
 pub use throughput::ThroughputParams;
+pub use transfer::TransferParams;
 pub use wordcount::WordCountParams;

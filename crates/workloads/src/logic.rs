@@ -103,6 +103,44 @@ impl SpoutLogic for QueueSpout {
     }
 }
 
+/// A bolt that re-emits every input tuple `copies` times — the
+/// transfer-density benchmark's load multiplier. One cheap service
+/// completion produces a burst of identical small tuples, so the
+/// downstream edge carries far more traffic than the spout emits and
+/// the pipeline's bottleneck becomes tuple *transfer*, not tuple
+/// processing.
+#[derive(Debug, Clone, Copy)]
+pub struct FanOutBolt {
+    copies: u32,
+    forwarded: u64,
+}
+
+impl FanOutBolt {
+    /// Creates a bolt duplicating each input `copies` times.
+    #[must_use]
+    pub fn new(copies: u32) -> Self {
+        Self {
+            copies,
+            forwarded: 0,
+        }
+    }
+
+    /// Tuples emitted so far.
+    #[must_use]
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded
+    }
+}
+
+impl BoltLogic for FanOutBolt {
+    fn execute(&mut self, input: &[Value], emit: &mut dyn FnMut(Vec<Value>)) {
+        for _ in 0..self.copies {
+            emit(input.to_vec());
+        }
+        self.forwarded += u64::from(self.copies);
+    }
+}
+
 /// Word Count's SplitSentence bolt: splits a line into lowercased words.
 #[derive(Debug, Default)]
 pub struct SplitSentenceBolt;
@@ -351,6 +389,17 @@ mod tests {
         let mut other = RandomStringSpout::new(10_240, 2);
         let c = other.next_tuple(SimTime::ZERO).unwrap();
         assert_ne!(a[1], c[1]);
+    }
+
+    #[test]
+    fn fan_out_bolt_duplicates_inputs() {
+        let mut b = FanOutBolt::new(4);
+        let mut out = Vec::new();
+        let input = vec![Value::Int(7)];
+        b.execute(&input, &mut |v| out.push(v));
+        assert_eq!(out.len(), 4);
+        assert!(out.iter().all(|v| v == &input));
+        assert_eq!(b.forwarded(), 4);
     }
 
     #[test]
