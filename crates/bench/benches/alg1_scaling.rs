@@ -41,12 +41,39 @@ fn chain_input(ne: u32, nodes: u32, slots_per_node: u32) -> SchedulingInput {
     )
 }
 
+/// Reduces roughly 5% of the executor loads so a repeated solve is a
+/// load-only delta — the shape the incremental replay is built for.
+fn perturb_loads(input: &mut SchedulingInput, seed: u64) {
+    let mut state = seed.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+    for e in &mut input.executors {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        if (state >> 33) as f64 / (1u64 << 31) as f64 * 2.0 < 0.05 {
+            *e = ExecutorInfo::new(e.id, e.topology, e.component, Mhz::new(e.load.get() * 0.9));
+        }
+    }
+}
+
+// The small sizes run on the Fig. 2 cluster shape (10×4); the large
+// ones use the scale-100 shape (100×4) so the 10k point is feasible.
+const NE_SWEEP: [(u32, u32); 7] = [
+    (45, 10),
+    (90, 10),
+    (180, 10),
+    (360, 10),
+    (720, 10),
+    (5_000, 100),
+    (10_000, 100),
+];
+
 fn bench_ne_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("alg1/ne_scaling");
-    for ne in [45u32, 90, 180, 360, 720] {
-        let input = chain_input(ne, 10, 4);
+    for (ne, nodes) in NE_SWEEP {
+        let input = chain_input(ne, nodes, 4);
         group.bench_with_input(BenchmarkId::from_parameter(ne), &input, |b, input| {
             let mut sched = TStormScheduler::new();
+            sched.set_incremental(false);
             b.iter(|| black_box(sched.schedule(black_box(input)).expect("feasible")));
         });
     }
@@ -60,11 +87,38 @@ fn bench_ns_scaling(c: &mut Criterion) {
         let ns = nodes * 4;
         group.bench_with_input(BenchmarkId::from_parameter(ns), &input, |b, input| {
             let mut sched = TStormScheduler::new();
+            sched.set_incremental(false);
             b.iter(|| black_box(sched.schedule(black_box(input)).expect("feasible")));
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_ne_scaling, bench_ns_scaling);
+/// Full solve vs incremental replay on load-only perturbations. The
+/// `alg1bench` binary prints the same comparison with std timers for
+/// environments where criterion is stubbed out.
+fn bench_incremental_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alg1/incremental");
+    for (ne, nodes) in [(720u32, 10u32), (5_000, 100), (10_000, 100)] {
+        let mut input = chain_input(ne, nodes, 4);
+        let mut sched = TStormScheduler::new();
+        sched.schedule(&input).expect("feasible");
+        let mut seed = 0u64;
+        group.bench_function(&format!("replay/{ne}"), |b| {
+            b.iter(|| {
+                seed += 1;
+                perturb_loads(&mut input, seed);
+                black_box(sched.schedule(black_box(&input)).expect("feasible"))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ne_scaling,
+    bench_ns_scaling,
+    bench_incremental_replay
+);
 criterion_main!(benches);

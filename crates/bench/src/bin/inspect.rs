@@ -28,6 +28,26 @@ use tstorm_trace::{parse_recording, JsonValue, RecordedRun};
 /// Sections in render order; `--section` picks a subset.
 const SECTIONS: &[&str] = &["breakdown", "heatmap", "timeline", "windows"];
 
+/// Per-table row cap. A scale recording (100+ nodes, 10k+ executors)
+/// carries far more components/edges than a terminal table can hold;
+/// tables keep the heaviest rows and say how many were dropped.
+const MAX_TABLE_ROWS: usize = 16;
+
+/// Heatmap dimension cap: above this many nodes only the busiest are
+/// drawn, with a note counting the hops outside the shown sub-grid.
+const MAX_HEATMAP_NODES: usize = 24;
+
+/// Appends the dropped-rows note when a table was truncated.
+fn note_dropped(out: &mut String, total: usize, metric: &str) {
+    if total > MAX_TABLE_ROWS {
+        let _ = writeln!(
+            out,
+            "  … {} more rows dropped (showing top {MAX_TABLE_ROWS} by {metric})",
+            total - MAX_TABLE_ROWS,
+        );
+    }
+}
+
 fn main() -> ExitCode {
     let mut path: Option<String> = None;
     let mut sections: Vec<String> = Vec::new();
@@ -182,12 +202,16 @@ fn render_breakdown(run: &RecordedRun) -> String {
     }
 
     if let Some(components) = summary.get("components").and_then(JsonValue::as_array) {
+        // Heaviest first: a scale recording carries more component rows
+        // than a table can hold, so order by critical-path time.
+        let mut rows: Vec<&JsonValue> = components.iter().collect();
+        rows.sort_by_key(|c| std::cmp::Reverse(u(c, "queue_us") + u(c, "service_us")));
         let _ = writeln!(
             out,
             "\n  {:<18} {:>10} {:>12} {:>12}",
             "component", "segments", "queue(ms)", "service(ms)"
         );
-        for c in components {
+        for c in rows.iter().take(MAX_TABLE_ROWS) {
             let _ = writeln!(
                 out,
                 "  {:<18} {:>10} {:>12.3} {:>12.3}",
@@ -197,14 +221,17 @@ fn render_breakdown(run: &RecordedRun) -> String {
                 u(c, "service_us") as f64 / 1e3,
             );
         }
+        note_dropped(&mut out, rows.len(), "queue+service time");
     }
     if let Some(edges) = summary.get("edges").and_then(JsonValue::as_array) {
+        let mut rows: Vec<&JsonValue> = edges.iter().collect();
+        rows.sort_by_key(|e| std::cmp::Reverse(u(e, "network_us")));
         let _ = writeln!(
             out,
             "\n  {:<24} {:>8} {:>12} {:>12}",
             "edge", "hops", "network(ms)", "inter-node"
         );
-        for e in edges {
+        for e in rows.iter().take(MAX_TABLE_ROWS) {
             let hops = u(e, "hops");
             let inter = if hops == 0 {
                 0.0
@@ -220,6 +247,7 @@ fn render_breakdown(run: &RecordedRun) -> String {
                 inter,
             );
         }
+        note_dropped(&mut out, rows.len(), "network time");
     }
     if let Some(classes) = summary.get("hop_classes").and_then(JsonValue::as_array) {
         let _ = writeln!(
@@ -268,17 +296,51 @@ fn render_heatmap(run: &RecordedRun) -> String {
     for (from, to, hops) in cells {
         grid[from as usize * n + to as usize] += hops;
     }
-    let peak = grid.iter().copied().max().unwrap_or(0).max(1);
+    // A scale recording has too many nodes for a full matrix: keep the
+    // busiest rows/columns and account for the hops left out.
+    let mut shown: Vec<usize> = (0..n).collect();
+    if n > MAX_HEATMAP_NODES {
+        let mut volume: Vec<(u64, usize)> = (0..n)
+            .map(|k| ((0..n).map(|j| grid[k * n + j] + grid[j * n + k]).sum(), k))
+            .collect();
+        volume.sort_by_key(|&(v, k)| (std::cmp::Reverse(v), k));
+        shown = volume
+            .iter()
+            .take(MAX_HEATMAP_NODES)
+            .map(|&(_, k)| k)
+            .collect();
+        shown.sort_unstable();
+        let total: u64 = grid.iter().sum();
+        let mut kept = 0u64;
+        for &r in &shown {
+            for &c in &shown {
+                kept += grid[r * n + c];
+            }
+        }
+        let _ = writeln!(
+            out,
+            "  showing the {} busiest of {} nodes; {} hops fall outside the shown sub-grid",
+            shown.len(),
+            n,
+            total - kept,
+        );
+    }
+    let mut peak = 1u64;
+    for &r in &shown {
+        for &c in &shown {
+            peak = peak.max(grid[r * n + c]);
+        }
+    }
     // Shade ramp, darkest last; zero stays blank.
     const RAMP: &[char] = &['.', ':', '-', '=', '+', '*', '#', '@'];
     out.push_str("        ");
-    for col in 0..n {
+    for &col in &shown {
         let _ = write!(out, "{col:>6}");
     }
     out.push('\n');
-    for row in 0..n {
+    for &row in &shown {
         let _ = write!(out, "  n{row:<4} ");
-        for col in 0..n {
+        for &col in &shown {
             let hops = grid[row * n + col];
             if hops == 0 {
                 out.push_str("     .");
@@ -556,6 +618,82 @@ mod tests {
         // Mean of 0.5 and 0.25.
         assert!(out.contains("37.5%"), "{out}");
         assert!(out.contains("31"), "{out}");
+    }
+
+    /// A scale-shaped recording: more nodes than the heatmap cap and
+    /// more components than the table cap.
+    fn scale_recording() -> RecordedRun {
+        let mut components = String::from("[");
+        for i in 0..30 {
+            if i > 0 {
+                components.push(',');
+            }
+            components.push_str(&format!(
+                r#"{{"component":"bolt{i}","segments":10,"queue_us":{},"service_us":1000}}"#,
+                (30 - i) * 1000,
+            ));
+        }
+        components.push(']');
+        // Node i talks to node i+1; node 0 -> 1 dominates.
+        let mut pairs = String::from("[");
+        for i in 0..30u64 {
+            if i > 0 {
+                pairs.push(',');
+            }
+            let hops = if i == 0 { 1000 } else { 10 };
+            pairs.push_str(&format!(
+                r#"{{"from":{i},"to":{},"hops":{hops},"network_us":100}}"#,
+                i + 1,
+            ));
+        }
+        pairs.push(']');
+        let summary = format!(
+            r#"{{"roots":10,"latency_us":50000,"max_latency_us":9000,"queue_us":20000,"service_us":20000,"network_us":10000,"components":{components},"node_pairs":{pairs}}}"#,
+        );
+        let mut rec = FlightRecorder::new(Vec::new());
+        rec.meta(|o| {
+            o.str("scenario", "scale-100").u64("seed", 42);
+        });
+        rec.line("critical_path", SimTime::from_secs(60), |o| {
+            o.raw("summary", &summary);
+        });
+        let bytes = rec.into_inner().unwrap();
+        parse_recording(&String::from_utf8(bytes).unwrap()).expect("synthetic recording parses")
+    }
+
+    #[test]
+    fn breakdown_truncates_to_top_rows_with_a_note() {
+        let out = render_breakdown(&scale_recording());
+        // Heaviest component (bolt0, 30k us queue) survives; the
+        // lightest (bolt29) is dropped, and the note counts the rest.
+        assert!(out.contains("bolt0"), "{out}");
+        assert!(!out.contains("bolt29"), "{out}");
+        assert!(
+            out.contains("… 14 more rows dropped (showing top 16 by queue+service time)"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn heatmap_truncates_to_busiest_nodes_with_a_note() {
+        let out = render_heatmap(&scale_recording());
+        assert!(out.contains("showing the 24 busiest of 31 nodes"), "{out}");
+        // The dominant pair's hops stay in the shown sub-grid.
+        assert!(out.contains("1000"), "{out}");
+        // 31 nodes carry 1000 + 29*10 = 1290 hops; the busiest 24 keep
+        // all heavy cells, the dropped note accounts for the remainder.
+        assert!(
+            out.contains("hops fall outside the shown sub-grid"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn small_runs_render_the_full_matrix_without_notes() {
+        let out = render_heatmap(&recording());
+        assert!(!out.contains("busiest"), "{out}");
+        let bd = render_breakdown(&recording());
+        assert!(!bd.contains("rows dropped"), "{bd}");
     }
 
     #[test]

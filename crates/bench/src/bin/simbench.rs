@@ -39,11 +39,14 @@
 
 use std::process::ExitCode;
 use std::time::Instant;
+use tstorm_cli::args::ScaleClass;
+use tstorm_cli::scenario::{scale_chain_params, scale_cluster};
 use tstorm_cluster::ClusterSpec;
 use tstorm_core::{SystemMode, TStormConfig, TStormSystem};
-use tstorm_sim::FaultPlan;
+use tstorm_sim::{FaultPlan, PairBackend};
 use tstorm_trace::json::{self, JsonValue, ObjectWriter};
 use tstorm_types::{Mhz, SimTime};
+use tstorm_workloads::chain;
 use tstorm_workloads::throughput::{self, ThroughputParams};
 use tstorm_workloads::transfer::{self, TransferParams};
 use tstorm_workloads::wordcount::{self, WordCountParams, WordCountState};
@@ -85,6 +88,12 @@ struct Record {
     nodes: u32,
     slots_per_node: u32,
     batch_size: u32,
+    /// Pair-traffic store A/B annotations, stamped only by the scale
+    /// scenarios. Extra keys beyond `SCHEMA_KEYS` — `--check` requires
+    /// every schema key but tolerates additions, so older records stay
+    /// valid.
+    pair_backend: Option<&'static str>,
+    pair_state_bytes: Option<u64>,
 }
 
 impl Record {
@@ -105,6 +114,12 @@ impl Record {
             .u64("slots_per_node", u64::from(self.slots_per_node))
             .u64("batch_size", u64::from(self.batch_size))
             .str("workspace_version", env!("CARGO_PKG_VERSION"));
+        if let Some(backend) = self.pair_backend {
+            w.str("pair_backend", backend);
+        }
+        if let Some(bytes) = self.pair_state_bytes {
+            w.u64("pair_state_bytes", bytes);
+        }
         w.finish()
     }
 }
@@ -177,7 +192,8 @@ fn parse_args() -> Result<Options, String> {
             }
             "--help" | "-h" => {
                 return Err("usage: simbench [--out PATH] [--label TEXT] [--quick] \
-                     [--scenario wordcount|fault-replay|overload]... \
+                     [--scenario wordcount|fault-replay|overload\
+                     |scale-{100,500}-{sparse,dense}]... \
                      [--batch-size N[,N]...] [--repeat K] \
                      [--guard BASELINE [--tolerance F]] | simbench --check PATH"
                     .to_owned())
@@ -359,7 +375,67 @@ fn finish(
         nodes: provenance.nodes,
         slots_per_node: provenance.slots_per_node,
         batch_size: provenance.batch_size,
+        pair_backend: None,
+        pair_state_bytes: None,
     }
+}
+
+/// The `--scale` scenario family as a pair-backend A/B: the chain
+/// preset on the heterogeneous scale cluster (scale-100 is 100 nodes /
+/// 10,200 executors), run once per backend under distinct scenario
+/// names so the best-per-cell dedup and the overhead guard treat the
+/// arms as separate cells. Each record carries `pair_backend` and the
+/// high-water `pair_state_bytes`, which is the headline number: dense
+/// holds `Ne²` cells (~832 MB at scale-100) while sparse holds only
+/// the observed pairs.
+fn run_scale(
+    scenario: &'static str,
+    class: ScaleClass,
+    backend: PairBackend,
+    label: &str,
+    quick: bool,
+    batch_size: u32,
+) -> Record {
+    let duration = if quick { 15 } else { 60 };
+    let seed = 42;
+    let cluster = scale_cluster(class).expect("valid cluster");
+    let mut config = TStormConfig::default()
+        .with_mode(SystemMode::TStorm)
+        .with_seed(seed);
+    config.sim.batch_size = batch_size;
+    config.sim.pair_backend = backend;
+    let mut system = TStormSystem::new(cluster, config).expect("valid config");
+    let p = scale_chain_params(class);
+    let topo = chain::topology(&p).expect("valid topology");
+    let mut f = chain::factory(&p, seed);
+    system.submit(&topo, &mut f).expect("submits");
+    system.start().expect("starts");
+
+    let start = Instant::now();
+    system
+        .run_until(SimTime::from_secs(duration))
+        .expect("runs");
+    let mut rec = finish(
+        scenario,
+        label,
+        quick,
+        start,
+        &system,
+        Provenance {
+            seed,
+            duration_secs: duration,
+            nodes: class.nodes(),
+            slots_per_node: class.slots(),
+            batch_size,
+        },
+    );
+    let stats = system.simulation().engine_stats();
+    rec.pair_backend = Some(match backend {
+        PairBackend::Dense => "dense",
+        PairBackend::Sparse => "sparse",
+    });
+    rec.pair_state_bytes = Some(stats.pair_state_bytes);
+    rec
 }
 
 /// Reads an existing trajectory file as raw JSON record strings, so a
@@ -521,12 +597,35 @@ fn main() -> ExitCode {
     for rep in 0..opts.repeat {
         for &batch_size in &opts.batch_sizes {
             for name in &wanted {
+                let scale = |s, c, b| run_scale(s, c, b, &opts.label, opts.quick, batch_size);
                 let rec = match *name {
                     "wordcount" => run_wordcount(&opts.label, opts.quick, batch_size),
                     "fault-replay" => run_fault_replay(&opts.label, opts.quick, batch_size),
                     "overload" => run_overload(&opts.label, opts.quick, batch_size),
+                    // The scale family is opt-in (not part of the
+                    // default set): a scale-100 run moves ~10k executors
+                    // and the dense arm materialises the full Ne² matrix.
+                    "scale-100-sparse" => scale(
+                        "scale-100-sparse",
+                        ScaleClass::Scale100,
+                        PairBackend::Sparse,
+                    ),
+                    "scale-100-dense" => {
+                        scale("scale-100-dense", ScaleClass::Scale100, PairBackend::Dense)
+                    }
+                    "scale-500-sparse" => scale(
+                        "scale-500-sparse",
+                        ScaleClass::Scale500,
+                        PairBackend::Sparse,
+                    ),
+                    "scale-500-dense" => {
+                        scale("scale-500-dense", ScaleClass::Scale500, PairBackend::Dense)
+                    }
                     other => {
-                        eprintln!("error: unknown scenario `{other}` (expected one of {all:?})");
+                        eprintln!(
+                            "error: unknown scenario `{other}` (expected one of {all:?} \
+                             or scale-{{100,500}}-{{sparse,dense}})"
+                        );
                         return ExitCode::FAILURE;
                     }
                 };

@@ -3,6 +3,58 @@
 use crate::scenario::Topology;
 use std::fmt;
 use tstorm_core::SystemMode;
+use tstorm_sim::PairBackend;
+
+/// A `--scale` preset: a named large-cluster shape with heterogeneous
+/// CPU and NIC classes and a wide chain workload sized to ≥10k
+/// executors. Selecting one overrides `--topology`, `--nodes` and
+/// `--slots`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleClass {
+    /// 100 nodes × 4 slots, ~10k executors.
+    Scale100,
+    /// 500 nodes × 4 slots, ~12k executors.
+    Scale500,
+}
+
+impl ScaleClass {
+    /// The preset's CLI spelling.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Scale100 => "scale-100",
+            Self::Scale500 => "scale-500",
+        }
+    }
+
+    /// Worker nodes in the preset cluster.
+    #[must_use]
+    pub fn nodes(self) -> u32 {
+        match self {
+            Self::Scale100 => 100,
+            Self::Scale500 => 500,
+        }
+    }
+
+    /// Slots per node in the preset cluster.
+    #[must_use]
+    pub fn slots(self) -> u32 {
+        4
+    }
+
+    /// Parses the CLI spelling.
+    ///
+    /// # Errors
+    ///
+    /// Returns the unknown token back for the caller's error message.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "scale-100" => Ok(Self::Scale100),
+            "scale-500" => Ok(Self::Scale500),
+            other => Err(other.to_owned()),
+        }
+    }
+}
 
 /// Everything `tstorm run`/`compare` accept.
 #[derive(Debug, Clone, PartialEq)]
@@ -71,6 +123,12 @@ pub struct RunOptions {
     pub flight_recorder: Option<String>,
     /// Record and print the scheduler's per-placement decision records.
     pub explain: bool,
+    /// Large-cluster preset; overrides topology/nodes/slots with a
+    /// heterogeneous scale scenario.
+    pub scale: Option<ScaleClass>,
+    /// Pair-traffic counter backend override (`None` = engine default,
+    /// which is sparse).
+    pub pair_backend: Option<PairBackend>,
 }
 
 impl Default for RunOptions {
@@ -101,6 +159,8 @@ impl Default for RunOptions {
             spans: false,
             flight_recorder: None,
             explain: false,
+            scale: None,
+            pair_backend: None,
         }
     }
 }
@@ -179,6 +239,11 @@ OPTIONS (run/compare):
     --flight-recorder PATH  stream a flight recording (JSONL) of the
                        run; implies --spans. Render it with `inspect`
     --explain          record and print scheduler decision records
+    --scale scale-100|scale-500  large-cluster preset: heterogeneous
+                       CPU (4/8/16 GHz classes) and NIC (1/10 Gbps)
+                       nodes with a wide chain topology of 10k+
+                       executors; overrides --topology/--nodes/--slots
+    --pair-backend dense|sparse  pair-traffic counter backend [sparse]
 ";
 
 /// Parses a full argument list (excluding `argv[0]`).
@@ -296,6 +361,25 @@ where
                 opts.spans = true;
             }
             "--explain" => opts.explain = true,
+            "--scale" => {
+                let spec = value(flag)?;
+                opts.scale = Some(ScaleClass::parse(&spec).map_err(|tok| {
+                    ParseError(format!(
+                        "--scale: unknown preset `{tok}` (scale-100|scale-500)"
+                    ))
+                })?);
+            }
+            "--pair-backend" => {
+                opts.pair_backend = Some(match value(flag)?.as_str() {
+                    "dense" => PairBackend::Dense,
+                    "sparse" => PairBackend::Sparse,
+                    other => {
+                        return Err(ParseError(format!(
+                            "--pair-backend: unknown backend `{other}` (dense|sparse)"
+                        )))
+                    }
+                });
+            }
             other => return Err(ParseError(format!("unknown flag `{other}`"))),
         }
     }
@@ -477,6 +561,41 @@ mod tests {
         assert_eq!(o.trace_filter.as_deref(), Some("tuple,control"));
         assert_eq!(o.trace_sample, 10);
         assert_eq!(o.prom.as_deref(), Some("m.prom"));
+    }
+
+    #[test]
+    fn parses_scale_and_pair_backend_flags() {
+        let Command::Run(o) = parse(args("run --scale scale-100")).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(o.scale, Some(ScaleClass::Scale100));
+        assert_eq!(o.pair_backend, None);
+
+        let Command::Run(o) = parse(args("run --scale scale-500 --pair-backend dense")).unwrap()
+        else {
+            panic!("expected run");
+        };
+        assert_eq!(o.scale, Some(ScaleClass::Scale500));
+        assert_eq!(o.pair_backend, Some(PairBackend::Dense));
+
+        let Command::Run(o) = parse(args("run --pair-backend sparse")).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(o.pair_backend, Some(PairBackend::Sparse));
+
+        assert!(parse(args("run --scale scale-9000")).is_err());
+        assert!(parse(args("run --scale")).is_err());
+        assert!(parse(args("run --pair-backend hashbrown")).is_err());
+    }
+
+    #[test]
+    fn scale_presets_have_expected_shapes() {
+        assert_eq!(ScaleClass::Scale100.name(), "scale-100");
+        assert_eq!(ScaleClass::Scale100.nodes(), 100);
+        assert_eq!(ScaleClass::Scale500.nodes(), 500);
+        assert_eq!(ScaleClass::Scale500.slots(), 4);
+        assert_eq!(ScaleClass::parse("scale-100"), Ok(ScaleClass::Scale100));
+        assert!(ScaleClass::parse("mega").is_err());
     }
 
     #[test]

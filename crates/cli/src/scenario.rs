@@ -1,6 +1,6 @@
 //! Scenario construction and execution for the CLI.
 
-use crate::args::RunOptions;
+use crate::args::{RunOptions, ScaleClass};
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use tstorm_cluster::ClusterSpec;
@@ -41,6 +41,57 @@ impl Topology {
     }
 }
 
+/// CPU speed classes (MHz) cycled over scale-preset nodes: 2, 4 and
+/// 8 GHz dual-socket boxes. The mix averages out near the homogeneous
+/// default, but forces the capacity constraint to discriminate.
+const SCALE_CPU_CLASSES: [f64; 3] = [4000.0, 8000.0, 16000.0];
+
+/// NIC speed classes (bits/s) cycled over scale-preset nodes: half the
+/// fleet on 1 Gbps, half on 10 Gbps.
+const SCALE_NIC_CLASSES: [u64; 2] = [1_000_000_000, 10_000_000_000];
+
+/// The cluster behind a `--scale` preset: heterogeneous CPU and NIC
+/// classes as first-class per-node dimensions.
+///
+/// # Errors
+///
+/// Propagates cluster validation failures.
+pub fn scale_cluster(class: ScaleClass) -> Result<ClusterSpec> {
+    let cpu: Vec<Mhz> = SCALE_CPU_CLASSES.iter().copied().map(Mhz::new).collect();
+    ClusterSpec::heterogeneous(class.nodes(), class.slots(), &cpu, &SCALE_NIC_CLASSES)
+}
+
+/// The workload behind a `--scale` preset: a wide chain sized to ≥10k
+/// executors. Spout pacing is slowed (200 ms) so tuple volume grows
+/// with duration, not with executor count — the presets stress the
+/// *state* hot paths (pair counters, stats DB, Algorithm 1), not raw
+/// event throughput.
+#[must_use]
+pub fn scale_chain_params(class: ScaleClass) -> ChainParams {
+    match class {
+        // 64 + 10*1000 + 136 = 10,200 executors on 100 nodes.
+        ScaleClass::Scale100 => ChainParams {
+            spouts: 64,
+            bolts: 10,
+            bolt_parallelism: 1000,
+            ackers: 136,
+            workers: 400,
+            tuple_bytes: 1024,
+            emit_interval_ms: 200,
+        },
+        // 128 + 12*1000 + 260 = 12,388 executors on 500 nodes.
+        ScaleClass::Scale500 => ChainParams {
+            spouts: 128,
+            bolts: 12,
+            bolt_parallelism: 1000,
+            ackers: 260,
+            workers: 2000,
+            tuple_bytes: 1024,
+            emit_interval_ms: 200,
+        },
+    }
+}
+
 /// What one scenario run produced.
 #[derive(Debug, Clone)]
 pub struct ScenarioOutcome {
@@ -56,6 +107,9 @@ pub struct ScenarioOutcome {
     pub failed: u64,
     /// Completed tuples.
     pub completed: u64,
+    /// Spout emissions (including replays) — the conservation budget
+    /// every other tuple counter must stay within.
+    pub emitted: u64,
     /// Faults injected from the fault plan.
     pub faults_injected: u32,
     /// Tuples dropped (queued or in flight) by crashes.
@@ -85,7 +139,10 @@ pub struct ScenarioOutcome {
 ///
 /// Propagates configuration, topology and scheduling errors.
 pub fn run_scenario(opts: &RunOptions) -> Result<ScenarioOutcome> {
-    let cluster = ClusterSpec::homogeneous(opts.nodes, opts.slots, Mhz::new(8000.0))?;
+    let cluster = match opts.scale {
+        Some(class) => scale_cluster(class)?,
+        None => ClusterSpec::homogeneous(opts.nodes, opts.slots, Mhz::new(8000.0))?,
+    };
     let mut config = TStormConfig::default()
         .with_mode(opts.mode)
         .with_gamma(opts.gamma)
@@ -93,6 +150,9 @@ pub fn run_scenario(opts: &RunOptions) -> Result<ScenarioOutcome> {
         .with_scheduler(&opts.scheduler);
     if let Some(cap) = opts.max_replays {
         config.sim.max_replays = cap;
+    }
+    if let Some(backend) = opts.pair_backend {
+        config.sim.pair_backend = backend;
     }
     config.sim.batch_size = opts.batch_size;
     config.heartbeat_period = SimTime::from_secs(opts.heartbeat_secs);
@@ -120,54 +180,66 @@ pub fn run_scenario(opts: &RunOptions) -> Result<ScenarioOutcome> {
         let mut recorder =
             FlightRecorder::new(Box::new(BufWriter::new(file)) as Box<dyn Write + Send>);
         recorder.meta(|o| {
-            o.str("scenario", opts.topology.name())
-                .u64("seed", opts.seed)
-                .str(
-                    "mode",
-                    match opts.mode {
-                        SystemMode::StormDefault => "storm",
-                        SystemMode::TStorm => "t-storm",
-                    },
-                )
-                .str("scheduler", &opts.scheduler)
-                .f64("gamma", opts.gamma)
-                .u64("nodes", u64::from(opts.nodes))
-                .u64("slots_per_node", u64::from(opts.slots))
-                .u64("duration_secs", opts.duration_secs)
-                .f64("rate", opts.rate)
-                .str("workspace_version", env!("CARGO_PKG_VERSION"));
+            o.str(
+                "scenario",
+                opts.scale.map_or(opts.topology.name(), ScaleClass::name),
+            )
+            .u64("seed", opts.seed)
+            .str(
+                "mode",
+                match opts.mode {
+                    SystemMode::StormDefault => "storm",
+                    SystemMode::TStorm => "t-storm",
+                },
+            )
+            .str("scheduler", &opts.scheduler)
+            .f64("gamma", opts.gamma)
+            .u64("nodes", u64::from(opts.nodes))
+            .u64("slots_per_node", u64::from(opts.slots))
+            .u64("duration_secs", opts.duration_secs)
+            .f64("rate", opts.rate)
+            .str("workspace_version", env!("CARGO_PKG_VERSION"));
         });
         system.set_flight_recorder(recorder);
     }
 
-    match opts.topology {
-        Topology::Throughput => {
-            let p = ThroughputParams::paper();
-            let topo = throughput::topology(&p)?;
-            let mut f = throughput::factory(&p, opts.seed);
-            system.submit(&topo, &mut f)?;
-        }
-        Topology::Chain => {
-            let p = ChainParams::fig2();
-            let topo = chain::topology(&p)?;
-            let mut f = chain::factory(&p, opts.seed);
-            system.submit(&topo, &mut f)?;
-        }
-        Topology::WordCount => {
-            let p = WordCountParams::paper();
-            let topo = wordcount::topology(&p)?;
-            let state = WordCountState::new();
-            state.attach_corpus_producer(SimTime::ZERO, opts.rate);
-            let mut f = wordcount::factory(&state);
-            system.submit(&topo, &mut f)?;
-        }
-        Topology::LogStream => {
-            let p = LogStreamParams::paper();
-            let topo = logstream::topology(&p)?;
-            let state = LogStreamState::new();
-            state.attach_log_producer(SimTime::ZERO, opts.rate, opts.seed ^ 0xa5a5);
-            let mut f = logstream::factory(&state);
-            system.submit(&topo, &mut f)?;
+    if let Some(class) = opts.scale {
+        // A scale preset replaces the selected workload with its own
+        // wide chain (the preset names the whole scenario).
+        let p = scale_chain_params(class);
+        let topo = chain::topology(&p)?;
+        let mut f = chain::factory(&p, opts.seed);
+        system.submit(&topo, &mut f)?;
+    } else {
+        match opts.topology {
+            Topology::Throughput => {
+                let p = ThroughputParams::paper();
+                let topo = throughput::topology(&p)?;
+                let mut f = throughput::factory(&p, opts.seed);
+                system.submit(&topo, &mut f)?;
+            }
+            Topology::Chain => {
+                let p = ChainParams::fig2();
+                let topo = chain::topology(&p)?;
+                let mut f = chain::factory(&p, opts.seed);
+                system.submit(&topo, &mut f)?;
+            }
+            Topology::WordCount => {
+                let p = WordCountParams::paper();
+                let topo = wordcount::topology(&p)?;
+                let state = WordCountState::new();
+                state.attach_corpus_producer(SimTime::ZERO, opts.rate);
+                let mut f = wordcount::factory(&state);
+                system.submit(&topo, &mut f)?;
+            }
+            Topology::LogStream => {
+                let p = LogStreamParams::paper();
+                let topo = logstream::topology(&p)?;
+                let state = LogStreamState::new();
+                state.attach_log_producer(SimTime::ZERO, opts.rate, opts.seed ^ 0xa5a5);
+                let mut f = logstream::factory(&state);
+                system.submit(&topo, &mut f)?;
+            }
         }
     }
 
@@ -195,7 +267,7 @@ pub fn run_scenario(opts: &RunOptions) -> Result<ScenarioOutcome> {
 
     let label = format!(
         "{} / {} (gamma={})",
-        opts.topology.name(),
+        opts.scale.map_or(opts.topology.name(), ScaleClass::name),
         system.scheduler_name(),
         opts.gamma
     );
@@ -206,6 +278,7 @@ pub fn run_scenario(opts: &RunOptions) -> Result<ScenarioOutcome> {
         overload_events: system.overload_events(),
         failed: system.simulation().failed(),
         completed: system.simulation().completed(),
+        emitted: system.simulation().emitted(),
         faults_injected: system.simulation().faults_injected(),
         tuples_lost: system.simulation().tuples_lost(),
         perm_failed: system.simulation().perm_failed(),
@@ -317,7 +390,8 @@ impl ScenarioOutcome {
     pub fn engine_summary(&self) -> String {
         format!(
             "engine: pool hit-rate {:.1}% ({} hits, {} misses) | \
-             queue high-water {} | allocations avoided {} | clock inversions {}\n\
+             queue high-water {} | allocations avoided {} | clock inversions {} | \
+             pair-state bytes {} ({} pairs observed)\n\
              control: heartbeats {} sent, {} missed | fetches {} | \
              epochs applied {} | declared dead {} | false-positive reassignments {}",
             self.engine.pool_hit_rate() * 100.0,
@@ -326,6 +400,8 @@ impl ScenarioOutcome {
             self.engine.queue_high_water,
             self.engine.allocations_avoided(),
             self.engine.clock_inversions,
+            self.engine.pair_state_bytes,
+            self.engine.pairs_observed,
             self.control.heartbeats_sent,
             self.control.heartbeats_missed,
             self.control.fetches,
@@ -346,7 +422,9 @@ impl ScenarioOutcome {
             .u64("payload_clones_avoided", self.engine.payload_clones_avoided)
             .u64("allocations_avoided", self.engine.allocations_avoided())
             .u64("queue_high_water", self.engine.queue_high_water)
-            .u64("clock_inversions", self.engine.clock_inversions);
+            .u64("clock_inversions", self.engine.clock_inversions)
+            .u64("pair_state_bytes", self.engine.pair_state_bytes)
+            .u64("pairs_observed", self.engine.pairs_observed);
         o.finish()
     }
 }

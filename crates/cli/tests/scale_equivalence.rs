@@ -1,0 +1,250 @@
+//! Sparse-vs-dense pair-backend equivalence, and conservation at scale.
+//!
+//! The sparse pair-traffic store is a pure representation change: for
+//! any scenario, seed and fault plan, both backends must produce the
+//! same report scalars, the same `pair_tuples()` contents, and — the
+//! strongest form of the contract — byte-identical JSONL traces. These
+//! tests pin that on the word-count, fault-replay and overload-recovery
+//! scenarios, then check tuple conservation on the scale-100 preset
+//! (100 heterogeneous nodes, 10,200 executors).
+
+use tstorm_cli::args::{RunOptions, ScaleClass};
+use tstorm_cli::scenario::{run_scenario, ScenarioOutcome, Topology};
+use tstorm_cluster::ClusterSpec;
+use tstorm_core::{SystemMode, TStormConfig, TStormSystem};
+use tstorm_sim::PairBackend;
+use tstorm_trace::{JsonlWriter, Observer};
+use tstorm_types::{Mhz, SimTime};
+use tstorm_workloads::wordcount::{self, WordCountParams, WordCountState};
+
+fn tmp_path(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("tstorm-scale-equivalence-test");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir.join(format!("{tag}.jsonl"))
+}
+
+/// Runs the scenario on the given backend with a JSONL trace attached;
+/// returns the outcome and the raw trace bytes.
+fn run_with(opts: &RunOptions, backend: PairBackend, tag: &str) -> (ScenarioOutcome, Vec<u8>) {
+    let path = tmp_path(tag);
+    let mut opts = opts.clone();
+    opts.pair_backend = Some(backend);
+    opts.trace = Some(path.to_string_lossy().into_owned());
+    let outcome = run_scenario(&opts).expect("scenario runs");
+    let bytes = std::fs::read(&path).expect("trace file");
+    let _ = std::fs::remove_file(&path);
+    (outcome, bytes)
+}
+
+/// Every deterministic scalar of the outcome must match across
+/// backends; only the pair-state footprint statistics may differ.
+fn assert_scalars_equal(sparse: &ScenarioOutcome, dense: &ScenarioOutcome, what: &str) {
+    assert_eq!(sparse.completed, dense.completed, "{what}: completed");
+    assert_eq!(sparse.failed, dense.failed, "{what}: failed");
+    assert_eq!(sparse.emitted, dense.emitted, "{what}: emitted");
+    assert_eq!(sparse.generations, dense.generations, "{what}: generations");
+    assert_eq!(
+        sparse.reassignments, dense.reassignments,
+        "{what}: reassignments"
+    );
+    assert_eq!(
+        sparse.overload_events, dense.overload_events,
+        "{what}: overload events"
+    );
+    assert_eq!(sparse.tuples_lost, dense.tuples_lost, "{what}: lost");
+    assert_eq!(sparse.perm_failed, dense.perm_failed, "{what}: perm-failed");
+    assert_eq!(
+        sparse.engine.pairs_observed, dense.engine.pairs_observed,
+        "{what}: both backends must observe the same pair set"
+    );
+}
+
+#[test]
+fn wordcount_is_identical_across_backends() {
+    let opts = RunOptions {
+        topology: Topology::WordCount,
+        duration_secs: 60,
+        rate: 100.0,
+        seed: 42,
+        quiet: true,
+        ..RunOptions::default()
+    };
+    let (sparse, sparse_trace) = run_with(&opts, PairBackend::Sparse, "wc-sparse");
+    let (dense, dense_trace) = run_with(&opts, PairBackend::Dense, "wc-dense");
+    assert_scalars_equal(&sparse, &dense, "wordcount");
+    assert!(sparse_trace.iter().filter(|&&b| b == b'\n').count() > 100);
+    assert_eq!(
+        sparse_trace, dense_trace,
+        "word-count traces must be byte-identical across pair backends"
+    );
+}
+
+#[test]
+fn fault_replay_is_identical_across_backends() {
+    let opts = RunOptions {
+        topology: Topology::Throughput,
+        duration_secs: 120,
+        seed: 23,
+        quiet: true,
+        faults: vec![
+            "node-crash@t=40,node=2,restart=40".to_owned(),
+            "nic-slow@t=20,node=1,factor=4,dur=20".to_owned(),
+        ],
+        ..RunOptions::default()
+    };
+    let (sparse, sparse_trace) = run_with(&opts, PairBackend::Sparse, "fault-sparse");
+    let (dense, dense_trace) = run_with(&opts, PairBackend::Dense, "fault-dense");
+    assert_eq!(sparse.faults_injected, 2);
+    assert_scalars_equal(&sparse, &dense, "fault replay");
+    assert_eq!(
+        sparse_trace, dense_trace,
+        "fault-replay traces must be byte-identical across pair backends"
+    );
+}
+
+/// The Fig. 9 overload-recovery experiment (word count squeezed into
+/// one node, two concurrent corpus streams, then detected and spread),
+/// run directly so the overload fast path is genuinely exercised.
+fn overload_run(backend: PairBackend, tag: &str) -> (TStormSystem, Vec<u8>) {
+    let params = WordCountParams::overload();
+    let topo = wordcount::topology(&params).expect("valid");
+    let state = WordCountState::new();
+    state.attach_corpus_producer(SimTime::ZERO, 200.0);
+    state.attach_corpus_producer(SimTime::ZERO, 200.0);
+    let mut config = TStormConfig::default()
+        .with_mode(SystemMode::TStorm)
+        .with_gamma(2.0)
+        .with_seed(42);
+    config.capacity_fraction = 0.8;
+    config.sim.pair_backend = backend;
+    let cluster = ClusterSpec::homogeneous(10, 4, Mhz::new(8000.0)).expect("valid");
+    let mut system = TStormSystem::new(cluster, config).expect("valid config");
+
+    let path = tmp_path(tag);
+    let file = std::fs::File::create(&path).expect("create trace");
+    let observer = Observer::builder()
+        .sink(Box::new(JsonlWriter::new(std::io::BufWriter::new(file))))
+        .build();
+    system.set_observer(observer.clone());
+
+    let mut factory = wordcount::factory(&state);
+    system.submit(&topo, &mut factory).expect("submits");
+    system.start().expect("starts");
+    system.run_until(SimTime::from_secs(120)).expect("runs");
+    observer.flush().expect("flush");
+    let bytes = std::fs::read(&path).expect("trace file");
+    let _ = std::fs::remove_file(&path);
+    (system, bytes)
+}
+
+#[test]
+fn overload_recovery_is_identical_across_backends() {
+    let (sparse, sparse_trace) = overload_run(PairBackend::Sparse, "ovl-sparse");
+    let (dense, dense_trace) = overload_run(PairBackend::Dense, "ovl-dense");
+    assert!(
+        sparse.overload_events() > 0,
+        "the overload fast path must actually fire"
+    );
+    assert_eq!(sparse.overload_events(), dense.overload_events());
+    assert_eq!(sparse.generations(), dense.generations());
+    assert_eq!(
+        sparse.simulation().completed(),
+        dense.simulation().completed()
+    );
+    assert_eq!(sparse.simulation().failed(), dense.simulation().failed());
+    assert_eq!(
+        sparse_trace, dense_trace,
+        "overload-recovery traces must be byte-identical across pair backends"
+    );
+}
+
+/// Runs the chain workload on a raw simulation (no monitor draining the
+/// window) and returns the full pair set of the first 20 virtual
+/// seconds.
+fn chain_pairs(
+    backend: PairBackend,
+) -> Vec<(tstorm_types::ExecutorId, tstorm_types::ExecutorId, u64)> {
+    use tstorm_cluster::Assignment;
+    use tstorm_sim::{SimConfig, Simulation};
+    use tstorm_types::SlotId;
+    use tstorm_workloads::chain::{self, ChainParams};
+
+    let cluster = ClusterSpec::homogeneous(4, 2, Mhz::new(8000.0)).expect("valid");
+    let mut sim = Simulation::new(cluster, SimConfig::default().with_pair_backend(backend));
+    let p = ChainParams {
+        spouts: 2,
+        bolt_parallelism: 3,
+        ..ChainParams::fig2()
+    };
+    let topo = chain::topology(&p).expect("valid");
+    let mut f = chain::factory(&p, 7);
+    sim.submit_topology(&topo, &mut f);
+    let a: Assignment = sim
+        .executor_descriptors()
+        .into_iter()
+        .enumerate()
+        .map(|(i, d)| (d.id, SlotId::new((i % 8) as u32)))
+        .collect();
+    sim.apply_assignment(&a);
+    sim.run_until(SimTime::from_secs(20));
+    sim.drain_counters().pair_tuples().collect()
+}
+
+#[test]
+fn pair_tuples_match_across_backends() {
+    // `pair_tuples()` is defined to iterate row-major for both
+    // representations, so the windows must agree element-for-element.
+    let s = chain_pairs(PairBackend::Sparse);
+    let d = chain_pairs(PairBackend::Dense);
+    assert!(!s.is_empty(), "the window should hold pair traffic");
+    assert_eq!(s, d, "pair_tuples() must agree element-for-element");
+}
+
+#[test]
+fn scale_100_conserves_tuples_and_stays_sparse() {
+    let opts = RunOptions {
+        scale: Some(ScaleClass::Scale100),
+        duration_secs: 60,
+        seed: 42,
+        quiet: true,
+        ..RunOptions::default()
+    };
+    let outcome = run_scenario(&opts).expect("scale-100 runs");
+    // Conservation: every emitted tuple is completed, failed, lost to a
+    // crash, permanently failed, or still in flight at cutoff — the
+    // resolved counters can never exceed emissions.
+    assert!(
+        outcome.completed + outcome.failed + outcome.tuples_lost + outcome.perm_failed
+            <= outcome.emitted,
+        "resolved {} + {} + {} + {} tuples exceed {} emitted",
+        outcome.completed,
+        outcome.failed,
+        outcome.tuples_lost,
+        outcome.perm_failed,
+        outcome.emitted
+    );
+    assert!(
+        outcome.completed > 10_000,
+        "the preset should move real volume, completed {}",
+        outcome.completed
+    );
+    assert_eq!(
+        outcome.report.final_nodes_used(),
+        Some(100),
+        "all 100 heterogeneous nodes should host executors"
+    );
+    // 10,200 executors: the dense matrix would hold 10,200² cells
+    // (~832 MB). The default sparse store must stay far below that.
+    let dense_bytes = 10_200u64 * 10_200 * 8;
+    assert!(
+        outcome.engine.pair_state_bytes * 5 < dense_bytes,
+        "sparse footprint {} must be at least 5x below dense {}",
+        outcome.engine.pair_state_bytes,
+        dense_bytes
+    );
+    assert!(
+        outcome.engine.pairs_observed > 10_000,
+        "a 10k-executor shuffle mesh observes many pairs, got {}",
+        outcome.engine.pairs_observed
+    );
+}

@@ -15,6 +15,32 @@ pub struct NodeSpec {
     /// Number of slots configured on this node ("usually ... the number of
     /// cores on that worker node").
     pub num_slots: u32,
+    /// NIC speed class in bits per second, when it differs from the
+    /// simulation-wide default. `None` means "use the default NIC" so
+    /// that existing serialized clusters (and golden traces) are
+    /// unchanged byte for byte.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub nic_bits_per_sec: Option<u64>,
+}
+
+impl NodeSpec {
+    /// A node with the default NIC class.
+    #[must_use]
+    pub fn new(id: NodeId, capacity: Mhz, num_slots: u32) -> Self {
+        Self {
+            id,
+            capacity,
+            num_slots,
+            nic_bits_per_sec: None,
+        }
+    }
+
+    /// Sets an explicit NIC speed class (bits per second).
+    #[must_use]
+    pub fn with_nic(mut self, bits_per_sec: u64) -> Self {
+        self.nic_bits_per_sec = Some(bits_per_sec);
+        self
+    }
 }
 
 /// A slot together with its owning node — the resolved `(j, ω(j))` pair.
@@ -53,12 +79,16 @@ impl ClusterSpec {
     /// # Errors
     ///
     /// Returns [`TStormError::InvalidCluster`] if there are no nodes, a
-    /// node has zero slots or zero capacity, or node ids are not the dense
-    /// sequence `0..K` (dense ids keep every per-node table an array).
+    /// node has zero slots or zero capacity, node ids are not the dense
+    /// sequence `0..K` (dense ids keep every per-node table an array), or
+    /// the total slot count would overflow the dense `u32` slot-id space
+    /// (checked *before* the slot table is allocated, so a hostile spec
+    /// cannot trigger a huge allocation or silently wrap slot ids).
     pub fn new(nodes: Vec<NodeSpec>) -> Result<Self> {
         if nodes.is_empty() {
             return Err(TStormError::invalid_cluster("no worker nodes"));
         }
+        let mut total_slots: u64 = 0;
         for (i, n) in nodes.iter().enumerate() {
             if n.id.as_usize() != i {
                 return Err(TStormError::invalid_cluster(format!(
@@ -78,6 +108,12 @@ impl ClusterSpec {
                     n.id
                 )));
             }
+            total_slots += u64::from(n.num_slots);
+        }
+        if total_slots > u64::from(u32::MAX) {
+            return Err(TStormError::invalid_cluster(format!(
+                "total slot count {total_slots} overflows the u32 slot-id space"
+            )));
         }
         let mut slots = Vec::new();
         for n in &nodes {
@@ -102,10 +138,43 @@ impl ClusterSpec {
     /// Same conditions as [`ClusterSpec::new`].
     pub fn homogeneous(num_nodes: u32, slots_per_node: u32, capacity: Mhz) -> Result<Self> {
         let nodes = (0..num_nodes)
-            .map(|k| NodeSpec {
-                id: NodeId::new(k),
-                capacity,
-                num_slots: slots_per_node,
+            .map(|k| NodeSpec::new(NodeId::new(k), capacity, slots_per_node))
+            .collect();
+        Self::new(nodes)
+    }
+
+    /// Builds a heterogeneous cluster by cycling CPU and NIC classes
+    /// over the nodes: node `k` gets `cpu_classes[k % len]` capacity and
+    /// `nic_classes[k % len]` bits per second. Pass an empty
+    /// `nic_classes` to leave every node on the default NIC.
+    ///
+    /// This is the construction behind the `--scale` scenario family,
+    /// where CPU and NIC speed are first-class per-node dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ClusterSpec::new`], plus an error when
+    /// `cpu_classes` is empty.
+    pub fn heterogeneous(
+        num_nodes: u32,
+        slots_per_node: u32,
+        cpu_classes: &[Mhz],
+        nic_classes: &[u64],
+    ) -> Result<Self> {
+        if cpu_classes.is_empty() {
+            return Err(TStormError::invalid_cluster("no CPU classes"));
+        }
+        let nodes = (0..num_nodes)
+            .map(|k| {
+                let mut n = NodeSpec::new(
+                    NodeId::new(k),
+                    cpu_classes[k as usize % cpu_classes.len()],
+                    slots_per_node,
+                );
+                if !nic_classes.is_empty() {
+                    n = n.with_nic(nic_classes[k as usize % nic_classes.len()]);
+                }
+                n
             })
             .collect();
         Self::new(nodes)
@@ -248,35 +317,79 @@ mod tests {
 
     #[test]
     fn rejects_zero_slots() {
-        let err = ClusterSpec::new(vec![NodeSpec {
-            id: NodeId::new(0),
-            capacity: Mhz::new(1000.0),
-            num_slots: 0,
-        }])
-        .unwrap_err();
+        let err =
+            ClusterSpec::new(vec![NodeSpec::new(NodeId::new(0), Mhz::new(1000.0), 0)]).unwrap_err();
         assert!(err.to_string().contains("zero slots"));
     }
 
     #[test]
     fn rejects_zero_capacity() {
-        let err = ClusterSpec::new(vec![NodeSpec {
-            id: NodeId::new(0),
-            capacity: Mhz::ZERO,
-            num_slots: 1,
-        }])
-        .unwrap_err();
+        let err = ClusterSpec::new(vec![NodeSpec::new(NodeId::new(0), Mhz::ZERO, 1)]).unwrap_err();
         assert!(err.to_string().contains("zero capacity"));
     }
 
     #[test]
     fn rejects_non_dense_node_ids() {
-        let err = ClusterSpec::new(vec![NodeSpec {
-            id: NodeId::new(5),
-            capacity: Mhz::new(1000.0),
-            num_slots: 1,
-        }])
-        .unwrap_err();
+        let err =
+            ClusterSpec::new(vec![NodeSpec::new(NodeId::new(5), Mhz::new(1000.0), 1)]).unwrap_err();
         assert!(err.to_string().contains("dense"));
+    }
+
+    #[test]
+    fn rejects_slot_count_overflowing_u32() {
+        // Two nodes with u32::MAX slots each: the sum wraps the u32
+        // slot-id space. The check must fire before the slot table is
+        // built — a wrapped table would alias slot ids (or the build
+        // would attempt a multi-gigabyte allocation).
+        let nodes = vec![
+            NodeSpec::new(NodeId::new(0), Mhz::new(1000.0), u32::MAX),
+            NodeSpec::new(NodeId::new(1), Mhz::new(1000.0), u32::MAX),
+        ];
+        let err = ClusterSpec::new(nodes).unwrap_err();
+        assert!(err.to_string().contains("overflows"));
+    }
+
+    #[test]
+    fn five_hundred_node_boundary_is_fine() {
+        // The scale-500 preset's shape sits comfortably inside the
+        // index arithmetic: 500 nodes x 4 slots.
+        let c = ClusterSpec::homogeneous(500, 4, Mhz::new(8000.0)).expect("valid");
+        assert_eq!(c.num_nodes(), 500);
+        assert_eq!(c.num_slots(), 2000);
+        assert_eq!(c.node_of(SlotId::new(1999)), NodeId::new(499));
+    }
+
+    #[test]
+    fn heterogeneous_cycles_cpu_and_nic_classes() {
+        let c = ClusterSpec::heterogeneous(
+            5,
+            4,
+            &[Mhz::new(4000.0), Mhz::new(8000.0), Mhz::new(16000.0)],
+            &[1_000_000_000, 10_000_000_000],
+        )
+        .expect("valid");
+        assert_eq!(c.node(NodeId::new(0)).capacity.get(), 4000.0);
+        assert_eq!(c.node(NodeId::new(1)).capacity.get(), 8000.0);
+        assert_eq!(c.node(NodeId::new(2)).capacity.get(), 16000.0);
+        assert_eq!(c.node(NodeId::new(3)).capacity.get(), 4000.0);
+        assert_eq!(c.node(NodeId::new(0)).nic_bits_per_sec, Some(1_000_000_000));
+        assert_eq!(
+            c.node(NodeId::new(1)).nic_bits_per_sec,
+            Some(10_000_000_000)
+        );
+        assert_eq!(c.node(NodeId::new(2)).nic_bits_per_sec, Some(1_000_000_000));
+        assert!(ClusterSpec::heterogeneous(2, 1, &[], &[]).is_err());
+        // Empty NIC classes leave every node on the default NIC.
+        let plain = ClusterSpec::heterogeneous(2, 1, &[Mhz::new(1000.0)], &[]).expect("valid");
+        assert_eq!(plain.node(NodeId::new(0)).nic_bits_per_sec, None);
+    }
+
+    #[test]
+    fn nic_class_defaults_to_none_and_is_settable() {
+        let spec = NodeSpec::new(NodeId::new(0), Mhz::new(1000.0), 2);
+        assert_eq!(spec.nic_bits_per_sec, None);
+        let fast = spec.with_nic(10_000_000_000);
+        assert_eq!(fast.nic_bits_per_sec, Some(10_000_000_000));
     }
 
     #[test]
@@ -305,16 +418,8 @@ mod tests {
     #[test]
     fn heterogeneous_clusters_supported() {
         let c = ClusterSpec::new(vec![
-            NodeSpec {
-                id: NodeId::new(0),
-                capacity: Mhz::new(8000.0),
-                num_slots: 8,
-            },
-            NodeSpec {
-                id: NodeId::new(1),
-                capacity: Mhz::new(2000.0),
-                num_slots: 2,
-            },
+            NodeSpec::new(NodeId::new(0), Mhz::new(8000.0), 8),
+            NodeSpec::new(NodeId::new(1), Mhz::new(2000.0), 2),
         ])
         .expect("valid");
         assert_eq!(c.num_slots(), 10);

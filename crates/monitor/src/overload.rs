@@ -10,7 +10,6 @@
 
 use crate::statsdb::StatsDb;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use tstorm_cluster::{Assignment, ClusterSpec};
 use tstorm_types::{Mhz, NodeId};
 
@@ -79,18 +78,23 @@ impl OverloadDetector {
         failures_in_window: u64,
     ) -> OverloadReport {
         let loads = db.executor_loads();
-        let mut node_load: HashMap<NodeId, Mhz> = HashMap::new();
+        // Node ids are dense, so the per-node aggregate is a plain
+        // index-addressed vector — ordered iteration by construction
+        // (no hash-map iteration on a result-affecting path).
+        let mut node_load: Vec<Mhz> = vec![Mhz::ZERO; cluster.num_nodes()];
         for (exec, slot) in assignment.iter() {
             if let Some(load) = loads.get(&exec) {
-                *node_load.entry(cluster.node_of(slot)).or_insert(Mhz::ZERO) += *load;
+                node_load[cluster.node_of(slot).as_usize()] += *load;
             }
         }
-        let mut cpu_overloaded: Vec<NodeId> = node_load
+        let cpu_overloaded: Vec<NodeId> = node_load
             .into_iter()
-            .filter(|(node, load)| load.ratio(cluster.node(*node).capacity) >= self.cpu_threshold)
-            .map(|(node, _)| node)
+            .enumerate()
+            .filter(|(node, load)| {
+                load.ratio(cluster.node(NodeId::new(*node as u32)).capacity) >= self.cpu_threshold
+            })
+            .map(|(node, _)| NodeId::new(node as u32))
             .collect();
-        cpu_overloaded.sort_unstable();
 
         OverloadReport {
             cpu_overloaded,

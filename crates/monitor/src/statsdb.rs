@@ -4,12 +4,87 @@
 //! "the schedule generator periodically reads load information from the
 //! database" — the decoupling that enables hot-swapping and flexible
 //! deployment. [`StatsDb`] is that database.
+//!
+//! Storage is index-addressed and sparse: workloads live in a dense
+//! vector indexed by executor id (ids are minted sequentially), and
+//! pair traffic lives in a deterministic Fx map keyed by the packed
+//! pair id. The default EWMA path stores its state inline as one `f64`
+//! per cell — no per-pair `Box<dyn Estimator>` allocations — while the
+//! custom-estimator extension point of Section IV-B boxes only when a
+//! non-default factory is installed.
 
-use crate::estimator::{Estimator, EstimatorFactory, EwmaEstimator};
+use crate::estimator::{Estimator, EstimatorFactory};
 use crate::snapshot::WindowSnapshot;
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use tstorm_sched::TrafficMatrix;
-use tstorm_types::{ExecutorId, Mhz};
+use tstorm_types::{ExecutorId, FxHashMap, FxHashSet, Mhz};
+
+/// How estimates are smoothed: the paper's EWMA inline (the default,
+/// allocation-free per cell) or a custom estimator factory.
+enum Smoothing {
+    /// `Y ← αY + (1 − α)·Sample`, state held inline in each cell.
+    Ewma { alpha: f64 },
+    /// One boxed estimator per cell from the given factory.
+    Custom(EstimatorFactory),
+}
+
+/// One smoothed parameter's state.
+enum Cell {
+    /// Inline EWMA estimate (already initialised by its first sample).
+    Ewma(f64),
+    /// Custom estimator instance.
+    Custom(Box<dyn Estimator>),
+}
+
+impl Cell {
+    fn fresh(smoothing: &Smoothing, sample: f64) -> Self {
+        match smoothing {
+            // The first sample initialises Y directly (see [`crate::Ewma`]).
+            Smoothing::Ewma { .. } => Cell::Ewma(sample),
+            Smoothing::Custom(factory) => {
+                let mut est = factory();
+                est.update(sample);
+                Cell::Custom(est)
+            }
+        }
+    }
+
+    fn update(&mut self, smoothing: &Smoothing, sample: f64) {
+        match (self, smoothing) {
+            (Cell::Ewma(y), Smoothing::Ewma { alpha }) => {
+                *y = alpha * *y + (1.0 - alpha) * sample;
+            }
+            (Cell::Custom(est), _) => {
+                est.update(sample);
+            }
+            // A database never mixes cell kinds: cells are only minted by
+            // its own smoothing mode.
+            (Cell::Ewma(_), Smoothing::Custom(_)) => unreachable!("ewma cell in custom db"),
+        }
+    }
+
+    fn get(&self) -> Option<f64> {
+        match self {
+            Cell::Ewma(y) => Some(*y),
+            Cell::Custom(est) => est.get(),
+        }
+    }
+}
+
+/// Packs a directed executor pair into one map key whose numeric order
+/// equals (`from`, then `to`) order.
+#[inline]
+fn pair_key(from: ExecutorId, to: ExecutorId) -> u64 {
+    (u64::from(from.index()) << 32) | u64::from(to.index())
+}
+
+#[inline]
+fn unpack_pair(key: u64) -> (ExecutorId, ExecutorId) {
+    (
+        ExecutorId::new((key >> 32) as u32),
+        ExecutorId::new(key as u32),
+    )
+}
 
 /// Smoothed workload and traffic estimates for every executor and
 /// executor pair observed so far.
@@ -19,16 +94,18 @@ use tstorm_types::{ExecutorId, Mhz};
 /// estimation/prediction methods can be easily integrated" extension
 /// point of Section IV-B.
 pub struct StatsDb {
-    factory: EstimatorFactory,
-    workloads: BTreeMap<ExecutorId, Box<dyn Estimator>>,
-    traffic: BTreeMap<(ExecutorId, ExecutorId), Box<dyn Estimator>>,
+    smoothing: Smoothing,
+    /// Workload cells indexed by dense executor id; `None` = unknown.
+    workloads: Vec<Option<Cell>>,
+    /// Traffic cells keyed by the packed pair id.
+    traffic: FxHashMap<u64, Cell>,
     windows_ingested: u64,
 }
 
 impl std::fmt::Debug for StatsDb {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("StatsDb")
-            .field("workloads", &self.workloads.len())
+            .field("workloads", &self.workloads.iter().flatten().count())
             .field("traffic", &self.traffic.len())
             .field("windows_ingested", &self.windows_ingested)
             .finish()
@@ -48,16 +125,21 @@ impl StatsDb {
             (0.0..=1.0).contains(&alpha),
             "alpha must be within [0, 1], got {alpha}"
         );
-        Self::with_estimator(Box::new(move || Box::new(EwmaEstimator::new(alpha))))
+        Self {
+            smoothing: Smoothing::Ewma { alpha },
+            workloads: Vec::new(),
+            traffic: FxHashMap::default(),
+            windows_ingested: 0,
+        }
     }
 
     /// Creates an empty database using a custom estimator per parameter.
     #[must_use]
     pub fn with_estimator(factory: EstimatorFactory) -> Self {
         Self {
-            factory,
-            workloads: BTreeMap::new(),
-            traffic: BTreeMap::new(),
+            smoothing: Smoothing::Custom(factory),
+            workloads: Vec::new(),
+            traffic: FxHashMap::default(),
             windows_ingested: 0,
         }
     }
@@ -70,44 +152,58 @@ impl StatsDb {
     /// shifts after a re-assignment.
     pub fn ingest(&mut self, snapshot: &WindowSnapshot) {
         let period_micros = snapshot.period().as_micros();
-        let mut cpu_seen: HashMap<ExecutorId, bool> = HashMap::new();
+        let mut cpu_seen: FxHashSet<u32> = FxHashSet::default();
         for (exec, cycles) in snapshot.cpu_readings() {
             let mhz = Mhz::from_cycles_over(cycles, period_micros);
-            self.workloads
-                .entry(exec)
-                .or_insert_with(|| (self.factory)())
-                .update(mhz.get());
-            cpu_seen.insert(exec, true);
+            let idx = exec.as_usize();
+            if idx >= self.workloads.len() {
+                self.workloads.resize_with(idx + 1, || None);
+            }
+            match &mut self.workloads[idx] {
+                Some(cell) => cell.update(&self.smoothing, mhz.get()),
+                slot @ None => *slot = Some(Cell::fresh(&self.smoothing, mhz.get())),
+            }
+            cpu_seen.insert(exec.index());
         }
-        for (exec, ewma) in &mut self.workloads {
-            if !cpu_seen.contains_key(exec) {
-                ewma.update(0.0);
+        for (idx, cell) in self.workloads.iter_mut().enumerate() {
+            if let Some(cell) = cell {
+                if !cpu_seen.contains(&(idx as u32)) {
+                    cell.update(&self.smoothing, 0.0);
+                }
             }
         }
 
-        let mut pair_seen: HashMap<(ExecutorId, ExecutorId), bool> = HashMap::new();
+        let mut pair_seen: FxHashSet<u64> = FxHashSet::default();
         for (from, to, tuples) in snapshot.traffic_readings() {
             let rate = tuples as f64 / snapshot.period().as_secs_f64();
-            self.traffic
-                .entry((from, to))
-                .or_insert_with(|| (self.factory)())
-                .update(rate);
-            pair_seen.insert((from, to), true);
+            let key = pair_key(from, to);
+            match self.traffic.get_mut(&key) {
+                Some(cell) => cell.update(&self.smoothing, rate),
+                None => {
+                    self.traffic.insert(key, Cell::fresh(&self.smoothing, rate));
+                }
+            }
+            pair_seen.insert(key);
         }
-        for (pair, ewma) in &mut self.traffic {
-            if !pair_seen.contains_key(pair) {
-                ewma.update(0.0);
+        for (key, cell) in &mut self.traffic {
+            if !pair_seen.contains(key) {
+                cell.update(&self.smoothing, 0.0);
             }
         }
         self.windows_ingested += 1;
     }
 
-    /// Estimated workload of every known executor (`l_i`).
+    /// Estimated workload of every known executor (`l_i`), in executor
+    /// order.
     #[must_use]
-    pub fn executor_loads(&self) -> HashMap<ExecutorId, Mhz> {
+    pub fn executor_loads(&self) -> BTreeMap<ExecutorId, Mhz> {
         self.workloads
             .iter()
-            .filter_map(|(e, est)| est.get().map(|v| (*e, Mhz::new(v.max(0.0)))))
+            .enumerate()
+            .filter_map(|(i, cell)| {
+                let v = cell.as_ref()?.get()?;
+                Some((ExecutorId::new(i as u32), Mhz::new(v.max(0.0))))
+            })
             .collect()
     }
 
@@ -115,20 +211,23 @@ impl StatsDb {
     #[must_use]
     pub fn load_of(&self, executor: ExecutorId) -> Mhz {
         self.workloads
-            .get(&executor)
-            .and_then(|est| est.get())
+            .get(executor.as_usize())
+            .and_then(|cell| cell.as_ref())
+            .and_then(Cell::get)
             .map_or(Mhz::ZERO, |v| Mhz::new(v.max(0.0)))
     }
 
     /// Estimated traffic matrix (`<r_ii'>`, tuples/second). Pairs whose
-    /// estimate has decayed to (near) zero are omitted.
+    /// estimate has decayed to (near) zero are omitted. The matrix is
+    /// key-ordered regardless of the sparse store's iteration order.
     #[must_use]
     pub fn traffic_matrix(&self) -> TrafficMatrix {
         let mut m = TrafficMatrix::new();
-        for ((from, to), est) in &self.traffic {
-            if let Some(rate) = est.get() {
+        for (key, cell) in &self.traffic {
+            if let Some(rate) = cell.get() {
                 if rate > 1e-9 {
-                    m.set(*from, *to, rate);
+                    let (from, to) = unpack_pair(*key);
+                    m.set(from, to, rate);
                 }
             }
         }
@@ -138,9 +237,12 @@ impl StatsDb {
     /// Removes every estimate touching the given executor (topology
     /// killed / executor retired).
     pub fn forget_executor(&mut self, executor: ExecutorId) {
-        self.workloads.remove(&executor);
+        if let Some(cell) = self.workloads.get_mut(executor.as_usize()) {
+            *cell = None;
+        }
+        let id = executor.index();
         self.traffic
-            .retain(|(f, t), _| *f != executor && *t != executor);
+            .retain(|key, _| (*key >> 32) as u32 != id && *key as u32 != id);
     }
 
     /// Keeps only estimates touching the given executors — the bulk
@@ -149,9 +251,15 @@ impl StatsDb {
     /// traffic pairs would otherwise keep steering the traffic-aware
     /// scheduler toward executors that no longer exist.
     pub fn retain_executors(&mut self, keep: &BTreeSet<ExecutorId>) {
-        self.workloads.retain(|e, _| keep.contains(e));
-        self.traffic
-            .retain(|(f, t), _| keep.contains(f) && keep.contains(t));
+        for (idx, cell) in self.workloads.iter_mut().enumerate() {
+            if cell.is_some() && !keep.contains(&ExecutorId::new(idx as u32)) {
+                *cell = None;
+            }
+        }
+        self.traffic.retain(|key, _| {
+            let (from, to) = unpack_pair(*key);
+            keep.contains(&from) && keep.contains(&to)
+        });
     }
 
     /// Number of windows ingested so far — the schedule generator uses
@@ -164,13 +272,14 @@ impl StatsDb {
     /// True if no estimates exist.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.workloads.is_empty() && self.traffic.is_empty()
+        self.workloads.iter().all(Option::is_none) && self.traffic.is_empty()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::estimator::HoltLinearEstimator;
     use tstorm_types::SimTime;
 
     fn e(i: u32) -> ExecutorId {
@@ -263,6 +372,26 @@ mod tests {
         assert_eq!(db.load_of(e(2)), Mhz::ZERO);
         assert!(db.executor_loads().contains_key(&e(0)));
         assert!(db.executor_loads().contains_key(&e(1)));
+    }
+
+    #[test]
+    fn custom_estimator_path_still_boxes_per_cell() {
+        let mut db =
+            StatsDb::with_estimator(Box::new(|| Box::new(HoltLinearEstimator::new(0.5, 0.5))));
+        db.ingest(&snap(&[(0, 8_000_000_000)], &[(0, 1, 4000)]));
+        assert!((db.load_of(e(0)).get() - 400.0).abs() < 1e-9);
+        assert!((db.traffic_matrix().get(e(0), e(1)) - 200.0).abs() < 1e-9);
+        // Second window exercises the custom update path (Holt ramps).
+        db.ingest(&snap(&[(0, 16_000_000_000)], &[(0, 1, 8000)]));
+        assert!(db.load_of(e(0)).get() > 600.0, "holt anticipates the ramp");
+    }
+
+    #[test]
+    fn executor_loads_iterate_in_id_order() {
+        let mut db = StatsDb::new(0.5);
+        db.ingest(&snap(&[(7, 1000), (2, 1000), (5, 1000)], &[]));
+        let ids: Vec<u32> = db.executor_loads().keys().map(|e| e.index()).collect();
+        assert_eq!(ids, vec![2, 5, 7]);
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //! be disabled with [`AnielloOnlineScheduler::without_fallback`].
 
 use crate::explain::{decisions_from_assignment, ScheduleExplanation};
+use crate::incremental::CachedInput;
 use crate::problem::SchedulingInput;
 use crate::roundrobin::RoundRobinScheduler;
 use crate::Scheduler;
@@ -149,11 +150,25 @@ impl Scheduler for AnielloOfflineScheduler {
 }
 
 /// The DEBS'13 *online* scheduler: two-phase traffic-greedy packing.
+///
+/// # Incremental re-scheduling
+///
+/// Both phases are *load-oblivious*: they read only the traffic matrix,
+/// the executor/topology structure and the cluster's slots. The
+/// scheduler therefore keeps its last input and assignment, and when a
+/// new input is a load-only delta of the cached one (see
+/// `CachedInput::load_delta`) it returns the cached assignment directly
+/// — which is exactly what a full re-solve would compute, since no part
+/// of the algorithm reads the loads. Any other change falls back to the
+/// full two-phase solve.
 #[derive(Debug, Clone)]
 pub struct AnielloOnlineScheduler {
     fallback_to_default: bool,
     explain: bool,
     explanation: Option<ScheduleExplanation>,
+    incremental: bool,
+    last_was_incremental: bool,
+    cache: Option<(CachedInput, Assignment)>,
 }
 
 impl AnielloOnlineScheduler {
@@ -165,6 +180,9 @@ impl AnielloOnlineScheduler {
             fallback_to_default: true,
             explain: false,
             explanation: None,
+            incremental: true,
+            last_was_incremental: false,
+            cache: None,
         }
     }
 
@@ -174,6 +192,22 @@ impl AnielloOnlineScheduler {
     pub fn without_fallback(mut self) -> Self {
         self.fallback_to_default = false;
         self
+    }
+
+    /// Enables or disables the incremental reuse path (on by default).
+    /// Disabling also drops the cached solve.
+    pub fn set_incremental(&mut self, on: bool) {
+        self.incremental = on;
+        if !on {
+            self.cache = None;
+        }
+    }
+
+    /// Whether the most recent [`Scheduler::schedule`] call reused the
+    /// cached solution instead of running the two-phase algorithm.
+    #[must_use]
+    pub fn last_solve_was_incremental(&self) -> bool {
+        self.last_was_incremental
     }
 }
 
@@ -198,6 +232,19 @@ impl Scheduler for AnielloOnlineScheduler {
 
     fn schedule(&mut self, input: &SchedulingInput) -> Result<Assignment> {
         self.explanation = None;
+        self.last_was_incremental = false;
+        // Incremental reuse: the algorithm never reads executor loads,
+        // so a load-only delta cannot change its output. (Explanations
+        // are rebuilt from the input, so they take the full path.)
+        if self.incremental && !self.explain {
+            if let Some((cached, assignment)) = &self.cache {
+                if cached.load_delta(input).is_some() {
+                    self.last_was_incremental = true;
+                    return Ok(assignment.clone());
+                }
+            }
+        }
+        self.cache = None;
         // Reproduced quirk: with no traffic data at all, the original
         // implementation used Storm's default scheduler.
         if self.fallback_to_default && input.traffic.is_empty() {
@@ -272,6 +319,12 @@ impl Scheduler for AnielloOnlineScheduler {
             explanation.decisions =
                 decisions_from_assignment(input, &assignment, "measured-traffic greedy pairing");
             self.explanation = Some(explanation);
+        }
+        // Cache the two-phase result for load-only-delta reuse. The
+        // round-robin fallback branch above is deliberately not cached:
+        // it belongs to a different algorithm.
+        if self.incremental {
+            self.cache = Some((CachedInput::capture(input), assignment.clone()));
         }
         Ok(assignment)
     }
@@ -666,6 +719,48 @@ mod tests {
         let mut s = AnielloOnlineScheduler::new();
         let a = s.schedule(&input).expect("feasible");
         assert_eq!(a.len(), 4);
+    }
+
+    #[test]
+    fn online_incremental_reuses_on_load_only_delta() {
+        let base = chain_input(2);
+        let mut s = AnielloOnlineScheduler::new();
+        let a = s.schedule(&base).expect("feasible");
+        assert!(!s.last_solve_was_incremental());
+        // Change every load: the algorithm is load-oblivious, so the
+        // cached assignment is exactly the full re-solve's answer.
+        let mut perturbed = base.clone();
+        for info in &mut perturbed.executors {
+            info.load = Mhz::new(info.load.get() * 3.5);
+        }
+        let b = s.schedule(&perturbed).expect("feasible");
+        assert!(s.last_solve_was_incremental());
+        assert_eq!(a, b);
+        let mut fresh = AnielloOnlineScheduler::new();
+        assert_eq!(b, fresh.schedule(&perturbed).expect("feasible"));
+    }
+
+    #[test]
+    fn online_incremental_falls_back_on_traffic_change() {
+        let base = chain_input(2);
+        let mut s = AnielloOnlineScheduler::new();
+        s.schedule(&base).expect("feasible");
+        let mut changed = base.clone();
+        changed.traffic.set(e(0), e(2), 5.0);
+        let a = s.schedule(&changed).expect("feasible");
+        assert!(!s.last_solve_was_incremental());
+        let mut fresh = AnielloOnlineScheduler::new();
+        assert_eq!(a, fresh.schedule(&changed).expect("feasible"));
+    }
+
+    #[test]
+    fn online_incremental_can_be_disabled() {
+        let base = chain_input(2);
+        let mut s = AnielloOnlineScheduler::new();
+        s.set_incremental(false);
+        s.schedule(&base).expect("feasible");
+        s.schedule(&base).expect("feasible");
+        assert!(!s.last_solve_was_incremental());
     }
 
     #[test]

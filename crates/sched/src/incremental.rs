@@ -1,0 +1,72 @@
+//! Input fingerprinting for the incremental re-scheduling paths.
+//!
+//! The online schedulers keep the last solved [`SchedulingInput`] and
+//! compare new inputs against it. When everything except executor loads
+//! is identical — same cluster shape, capacities and liveness, same
+//! traffic keys and rates, same parameters, same executors in the same
+//! order — the solvers can reuse or replay the previous solution instead
+//! of re-solving from scratch. Any other difference makes
+//! [`CachedInput::load_delta`] return `None`, which sends the caller
+//! back to the full algorithm.
+//!
+//! The comparison is exact (bitwise on loads). The incremental paths
+//! promise *exact* equivalence with a full re-solve on the same input,
+//! so the gate must never approximate.
+
+use crate::problem::{ExecutorInfo, SchedParams, SchedulingInput, TrafficMatrix};
+use tstorm_cluster::ClusterSpec;
+use tstorm_types::{ComponentId, TopologyId};
+
+/// A deep copy of the scheduling-relevant parts of one input, kept by a
+/// scheduler between calls.
+#[derive(Debug, Clone)]
+pub(crate) struct CachedInput {
+    cluster: ClusterSpec,
+    traffic: TrafficMatrix,
+    params: SchedParams,
+    component_edges: Vec<(TopologyId, ComponentId, ComponentId)>,
+    pub(crate) executors: Vec<ExecutorInfo>,
+}
+
+impl CachedInput {
+    pub(crate) fn capture(input: &SchedulingInput) -> Self {
+        Self {
+            cluster: input.cluster.clone(),
+            traffic: input.traffic.clone(),
+            params: input.params.clone(),
+            component_edges: input.component_edges.clone(),
+            executors: input.executors.clone(),
+        }
+    }
+
+    /// Indices of executors whose load changed, when the new input is a
+    /// *load-only* delta of the cached one. Any other difference — in
+    /// the cluster (shape, capacity or liveness), the traffic matrix,
+    /// the parameters or the executor list itself — returns `None`.
+    pub(crate) fn load_delta(&self, input: &SchedulingInput) -> Option<Vec<usize>> {
+        if input.executors.len() != self.executors.len()
+            || input.cluster != self.cluster
+            || input.params != self.params
+            || input.component_edges != self.component_edges
+            || input.traffic != self.traffic
+        {
+            return None;
+        }
+        let mut delta = Vec::new();
+        for (i, (new, old)) in input.executors.iter().zip(&self.executors).enumerate() {
+            if new.id != old.id || new.topology != old.topology || new.component != old.component {
+                return None;
+            }
+            if new.load.get().to_bits() != old.load.get().to_bits() {
+                delta.push(i);
+            }
+        }
+        Some(delta)
+    }
+
+    /// Refreshes the cached loads after a successful incremental replay
+    /// (placements unchanged, so the rest of the cache stays valid).
+    pub(crate) fn refresh_loads(&mut self, input: &SchedulingInput) {
+        self.executors.clone_from(&input.executors);
+    }
+}

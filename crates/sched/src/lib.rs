@@ -54,6 +54,7 @@
 
 pub mod aniello;
 pub mod explain;
+mod incremental;
 pub mod local_search;
 pub mod optimal;
 pub mod problem;

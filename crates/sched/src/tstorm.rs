@@ -29,20 +29,59 @@
 //! Complexity: sorting is `O(Ne log Ne)`; the assignment loop is
 //! `O(Ne·Ns)` plus `O(|traffic|)` total for incremental cost maintenance —
 //! matching the paper's `O(Ne log Ne + Ne·Ns)`.
+//!
+//! # Incremental re-scheduling
+//!
+//! The scheduler keeps the last solved input and its placement sequence.
+//! When a new input is a *load-only delta* of the cached one (same
+//! executors, traffic, cluster and parameters; only some `l_i` changed),
+//! [`Scheduler::schedule`] replays the cached sequence instead of
+//! re-solving: the argmin scan over nodes runs only for the changed
+//! executors, while every unchanged executor's cached decision is
+//! fast-accepted after a proof that the load changes could not have
+//! flipped any capacity-feasibility outcome the greedy compared. If the
+//! proof fails anywhere — or the delta spans more than a quarter of the
+//! executors, or a relaxation would be needed — the replay aborts and the
+//! full algorithm runs. The replayed result is therefore *exactly* the
+//! assignment a full re-solve would produce (bit-for-bit: on-demand cost
+//! sums repeat the full solve's float additions in the same order), just
+//! cheaper: `O(Ne + |Δ|·Ns + |traffic|)` instead of `O(Ne·Ns)`.
 
 use crate::explain::{PlacementDecision, ScheduleExplanation};
+use crate::incremental::CachedInput;
 use crate::problem::SchedulingInput;
 use crate::Scheduler;
 use std::collections::HashMap;
-use tstorm_cluster::Assignment;
-use tstorm_types::{ExecutorId, Mhz, NodeId, Result, SlotId, TStormError, TopologyId};
+use tstorm_cluster::{Assignment, ClusterSpec};
+use tstorm_types::{ExecutorId, FxHashMap, Mhz, NodeId, Result, SlotId, TStormError, TopologyId};
+
+/// Incremental replays bail out when more than this fraction of the
+/// executors changed load — at that point the per-delta argmin scans
+/// approach the cost of a full solve anyway.
+const MAX_INCREMENTAL_DELTA: f64 = 0.25;
 
 /// The traffic-aware greedy scheduler (Algorithm 1).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct TStormScheduler {
     relaxations: Vec<String>,
     explain: bool,
     explanation: Option<ScheduleExplanation>,
+    incremental: bool,
+    last_was_incremental: bool,
+    cache: Option<SolveCache>,
+}
+
+impl Default for TStormScheduler {
+    fn default() -> Self {
+        Self {
+            relaxations: Vec::new(),
+            explain: false,
+            explanation: None,
+            incremental: true,
+            last_was_incremental: false,
+            cache: None,
+        }
+    }
 }
 
 impl TStormScheduler {
@@ -58,6 +97,48 @@ impl TStormScheduler {
     pub fn relaxations(&self) -> &[String] {
         &self.relaxations
     }
+
+    /// Enables or disables the incremental fast path (on by default).
+    /// Disabling also drops the cached solve.
+    pub fn set_incremental(&mut self, on: bool) {
+        self.incremental = on;
+        if !on {
+            self.cache = None;
+        }
+    }
+
+    /// Whether the most recent [`Scheduler::schedule`] call was served by
+    /// the incremental replay instead of a full solve.
+    #[must_use]
+    pub fn last_solve_was_incremental(&self) -> bool {
+        self.last_was_incremental
+    }
+
+    fn try_incremental(&mut self, input: &SchedulingInput) -> Option<Assignment> {
+        let cache = self.cache.as_ref()?;
+        let delta = cache.input.load_delta(input)?;
+        let n = input.executors.len();
+        #[allow(clippy::cast_precision_loss)]
+        if n == 0 || delta.len() as f64 > MAX_INCREMENTAL_DELTA * n as f64 {
+            return None;
+        }
+        let assignment = replay_with_delta(input, cache, &delta)?;
+        if let Some(cache) = self.cache.as_mut() {
+            cache.input.refresh_loads(input);
+        }
+        Some(assignment)
+    }
+}
+
+/// The previous solve, kept for the incremental fast path: the captured
+/// input plus the greedy's placement sequence.
+#[derive(Debug, Clone)]
+struct SolveCache {
+    input: CachedInput,
+    /// Executor indices in placement (descending-traffic) order.
+    order: Vec<usize>,
+    /// Chosen slot per `order` position.
+    slots: Vec<SlotId>,
 }
 
 /// Internal per-schedule working state.
@@ -208,6 +289,17 @@ impl Scheduler for TStormScheduler {
     fn schedule(&mut self, input: &SchedulingInput) -> Result<Assignment> {
         self.relaxations.clear();
         self.explanation = None;
+        self.last_was_incremental = false;
+        // Incremental fast path: replay the cached solve when the input
+        // is a small load-only delta of it. Explanations need the full
+        // per-decision records, so they always take the full path.
+        if self.incremental && !self.explain {
+            if let Some(assignment) = self.try_incremental(input) {
+                self.last_was_incremental = true;
+                return Ok(assignment);
+            }
+        }
+        self.cache = None;
         let mut explanation = self.explain.then(|| ScheduleExplanation::new(self.name()));
         let cap_count = input.node_executor_cap();
         let mut state = State::new(input);
@@ -234,7 +326,8 @@ impl Scheduler for TStormScheduler {
         });
 
         let mut assignment = Assignment::new();
-        for idx in order {
+        let mut placed_slots: Vec<SlotId> = Vec::with_capacity(order.len());
+        for &idx in &order {
             let info = &input.executors[idx];
             let mut chosen: Option<Candidate> = None;
             let mut relaxation: Option<String> = None;
@@ -297,10 +390,21 @@ impl Scheduler for TStormScheduler {
             }
             state.place(info.id, info.load, info.topology, candidate.slot);
             assignment.assign(info.id, candidate.slot);
+            placed_slots.push(candidate.slot);
         }
         if let Some(mut explanation) = explanation.take() {
             explanation.notes.extend(self.relaxations.iter().cloned());
             self.explanation = Some(explanation);
+        }
+        // Cache unrelaxed solves for the incremental replay. A relaxed
+        // solve is not replayable (the replay only proves Full-strictness
+        // decisions), so it leaves the cache empty.
+        if self.incremental && self.relaxations.is_empty() {
+            self.cache = Some(SolveCache {
+                input: CachedInput::capture(input),
+                order,
+                slots: placed_slots,
+            });
         }
         Ok(assignment)
     }
@@ -356,6 +460,258 @@ fn best_slot(
         cost,
         fresh_node,
     })
+}
+
+/// Replays the cached greedy placement sequence against new loads,
+/// re-running the argmin scan only for executors in `delta`.
+///
+/// Correctness argument (the "exact equivalence" contract): the full
+/// algorithm's decision for each executor is a pure function of the
+/// working state left by the previous placements, the traffic (unchanged
+/// by gate) and node capacities. As long as every replayed decision
+/// matches what the full solve on the *new* input would pick, the state
+/// stays identical by induction. For an executor with unchanged load,
+/// the only quantity the load delta can disturb is per-node capacity
+/// headroom; nodes whose accumulated load is bitwise identical to the
+/// cached run's behave identically, so only nodes hosting a changed
+/// executor ("diverged" nodes) are re-checked: the cached winner must
+/// still fit, and any diverged node that *gained* feasibility must not
+/// undercut the winner's `(cost, fresh, id)` key. Costs are computed on
+/// demand by walking the adjacency in neighbour-placement order — the
+/// exact float-addition order of the full solve's running sums — so
+/// comparisons are bit-identical. Any failed proof, any changed-executor
+/// scan that disagrees with the cache, or any executor that would need a
+/// constraint relaxation returns `None`, and the caller falls back to
+/// the full algorithm.
+fn replay_with_delta(
+    input: &SchedulingInput,
+    cache: &SolveCache,
+    delta: &[usize],
+) -> Option<Assignment> {
+    let cluster = &input.cluster;
+    let k = cluster.num_nodes();
+    let ns = cluster.num_slots();
+    let cap_count = input.node_executor_cap();
+    let frac = input.params.capacity_fraction;
+    let n = input.executors.len();
+    if cache.order.len() != n || cache.slots.len() != n {
+        return None;
+    }
+
+    let mut in_delta = vec![false; n];
+    for &i in delta {
+        in_delta[i] = true;
+    }
+
+    // Same adjacency construction as `State::new`, so on-demand cost
+    // sums replay the full solve's float operations in the same order.
+    let mut adjacency: HashMap<ExecutorId, Vec<(ExecutorId, f64)>> =
+        input.executors.iter().map(|e| (e.id, Vec::new())).collect();
+    for (from, to, rate) in input.traffic.iter() {
+        if let Some(v) = adjacency.get_mut(&from) {
+            v.push((to, rate));
+        }
+        if let Some(v) = adjacency.get_mut(&to) {
+            v.push((from, rate));
+        }
+    }
+
+    let mut slot_topology: Vec<Option<TopologyId>> = vec![None; ns];
+    let mut node_topo_slot: HashMap<(NodeId, TopologyId), SlotId> = HashMap::new();
+    let mut node_count = vec![0usize; k];
+    // Node loads under the new and under the cached estimates. Both runs
+    // share every placement, so headroom can only differ on nodes where
+    // the two sums diverge bitwise.
+    let mut node_load_new = vec![Mhz::ZERO; k];
+    let mut node_load_old = vec![Mhz::ZERO; k];
+    let mut diverged = vec![false; k];
+    let mut diverged_nodes: Vec<usize> = Vec::new();
+
+    // Executor -> (placement position, node): position-sorted walks of
+    // the adjacency reproduce the full solve's accumulation order.
+    let mut placed: FxHashMap<ExecutorId, (u32, NodeId)> = FxHashMap::default();
+    let mut scratch = vec![0.0f64; k];
+    let mut touched: Vec<usize> = Vec::new();
+
+    let mut assignment = Assignment::new();
+    for pos in 0..n {
+        let idx = cache.order[pos];
+        let info = &input.executors[idx];
+        let old_load = cache.input.executors[idx].load;
+        let cached_slot = cache.slots[pos];
+        let cached_node = cluster.node_of(cached_slot);
+
+        let slot = if in_delta[idx] {
+            // Changed executor: run line 5's argmin for real, at Full
+            // strictness only — needing a relaxation means the cached
+            // unrelaxed solve is not replayable.
+            let total =
+                gather_assigned_traffic(info.id, &adjacency, &placed, &mut scratch, &mut touched);
+            let mut best: Option<((f64, bool, NodeId), SlotId)> = None;
+            for node in cluster.nodes() {
+                if !cluster.is_node_live(node.id) {
+                    continue;
+                }
+                let Some(slot) = replay_candidate_slot(
+                    cluster,
+                    &node_topo_slot,
+                    &slot_topology,
+                    node.id,
+                    info.topology,
+                ) else {
+                    continue;
+                };
+                let ki = node.id.as_usize();
+                if node_count[ki] >= cap_count
+                    || node_load_new[ki] + info.load > node.capacity * frac
+                {
+                    continue;
+                }
+                let key = (total - scratch[ki], node_count[ki] == 0, node.id);
+                let better = match &best {
+                    Some((bk, _)) => key < *bk,
+                    None => true,
+                };
+                if better {
+                    best = Some((key, slot));
+                }
+            }
+            clear_scratch(&mut scratch, &mut touched);
+            let (_, slot) = best?;
+            if slot != cached_slot {
+                return None;
+            }
+            slot
+        } else {
+            let wk = cached_node.as_usize();
+            // The cached winner must still have capacity under the new
+            // loads; where the node's load has not diverged this is the
+            // cached run's own (already passed) check.
+            if diverged[wk] && node_load_new[wk] + info.load > cluster.nodes()[wk].capacity * frac {
+                return None;
+            }
+            // A diverged node that *gained* feasibility could undercut
+            // the cached winner; collect exactly those.
+            let mut contenders: Vec<usize> = Vec::new();
+            for &m in &diverged_nodes {
+                if m == wk {
+                    continue;
+                }
+                let node = &cluster.nodes()[m];
+                if !cluster.is_node_live(node.id) || node_count[m] >= cap_count {
+                    continue;
+                }
+                let cap = node.capacity * frac;
+                let was_ok = node_load_old[m] + info.load <= cap;
+                let now_ok = node_load_new[m] + info.load <= cap;
+                if now_ok
+                    && !was_ok
+                    && replay_candidate_slot(
+                        cluster,
+                        &node_topo_slot,
+                        &slot_topology,
+                        node.id,
+                        info.topology,
+                    )
+                    .is_some()
+                {
+                    contenders.push(m);
+                }
+            }
+            if !contenders.is_empty() {
+                let total = gather_assigned_traffic(
+                    info.id,
+                    &adjacency,
+                    &placed,
+                    &mut scratch,
+                    &mut touched,
+                );
+                let key_w = (total - scratch[wk], node_count[wk] == 0, cached_node);
+                let beaten = contenders.iter().any(|&m| {
+                    (
+                        total - scratch[m],
+                        node_count[m] == 0,
+                        NodeId::new(m as u32),
+                    ) < key_w
+                });
+                clear_scratch(&mut scratch, &mut touched);
+                if beaten {
+                    return None;
+                }
+            }
+            cached_slot
+        };
+
+        let node = cluster.node_of(slot);
+        let kk = node.as_usize();
+        slot_topology[slot.as_usize()] = Some(info.topology);
+        node_topo_slot.insert((node, info.topology), slot);
+        node_count[kk] += 1;
+        node_load_new[kk] += info.load;
+        node_load_old[kk] += old_load;
+        if !diverged[kk] && node_load_new[kk].get().to_bits() != node_load_old[kk].get().to_bits() {
+            diverged[kk] = true;
+            diverged_nodes.push(kk);
+        }
+        placed.insert(info.id, (pos as u32, node));
+        assignment.assign(info.id, slot);
+    }
+    Some(assignment)
+}
+
+/// `State::candidate_slot` against the replay's structural state.
+fn replay_candidate_slot(
+    cluster: &ClusterSpec,
+    node_topo_slot: &HashMap<(NodeId, TopologyId), SlotId>,
+    slot_topology: &[Option<TopologyId>],
+    node: NodeId,
+    topology: TopologyId,
+) -> Option<SlotId> {
+    if let Some(slot) = node_topo_slot.get(&(node, topology)) {
+        return Some(*slot);
+    }
+    cluster
+        .slots_of(node)
+        .find(|s| slot_topology[s.slot.as_usize()].is_none())
+        .map(|s| s.slot)
+}
+
+/// Traffic from `executor` to already-placed executors: returns the
+/// total and leaves the per-node split in `scratch` (reset it with
+/// [`clear_scratch`]). Additions happen in neighbour-placement order
+/// (ties keep adjacency order), which is exactly the order
+/// `State::place` feeds the full solve's running sums — so the resulting
+/// floats match the full solve bit for bit.
+fn gather_assigned_traffic(
+    executor: ExecutorId,
+    adjacency: &HashMap<ExecutorId, Vec<(ExecutorId, f64)>>,
+    placed: &FxHashMap<ExecutorId, (u32, NodeId)>,
+    scratch: &mut [f64],
+    touched: &mut Vec<usize>,
+) -> f64 {
+    let mut entries: Vec<(u32, usize, f64)> = adjacency.get(&executor).map_or_else(Vec::new, |v| {
+        v.iter()
+            .filter_map(|(other, rate)| {
+                placed
+                    .get(other)
+                    .map(|(pos, node)| (*pos, node.as_usize(), *rate))
+            })
+            .collect()
+    });
+    entries.sort_by_key(|(pos, _, _)| *pos);
+    let mut total = 0.0;
+    for (_, node, rate) in entries {
+        total += rate;
+        scratch[node] += rate;
+        touched.push(node);
+    }
+    total
+}
+
+fn clear_scratch(scratch: &mut [f64], touched: &mut Vec<usize>) {
+    for node in touched.drain(..) {
+        scratch[node] = 0.0;
+    }
 }
 
 #[cfg(test)]
@@ -611,6 +967,152 @@ mod tests {
         let ex = s.take_explanation().expect("explanation recorded");
         assert!(ex.decisions.iter().any(|d| d.relaxation.is_some()));
         assert!(ex.notes.iter().any(|n| n.contains("cap")));
+    }
+
+    /// Deterministically perturbs roughly `fraction` of the executor
+    /// loads by up to ±`spread`/2 (relative), via a seeded LCG — no
+    /// external RNG needed for reproducible incremental-path tests.
+    fn perturb_loads(
+        input: &SchedulingInput,
+        seed: u64,
+        fraction: f64,
+        spread: f64,
+    ) -> SchedulingInput {
+        let mut out = input.clone();
+        let mut state = seed
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        for info in &mut out.executors {
+            if next() < fraction {
+                let factor = 1.0 + spread * (next() - 0.5);
+                info.load = Mhz::new(info.load.get() * factor);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn identical_input_replays_incrementally() {
+        let input = chain_input(10, 4, 4, 2.0, 100.0);
+        let mut s = TStormScheduler::new();
+        let a = s.schedule(&input).expect("feasible");
+        assert!(!s.last_solve_was_incremental());
+        let b = s.schedule(&input).expect("feasible");
+        assert!(s.last_solve_was_incremental());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn incremental_matches_full_resolve_exactly() {
+        let base = chain_input(48, 6, 4, 2.0, 120.0);
+        let mut warm = TStormScheduler::new();
+        warm.schedule(&base).expect("feasible");
+        let mut hits = 0;
+        for seed in 0..20u64 {
+            let perturbed = perturb_loads(&base, seed, 0.15, 0.8);
+            let a_inc = warm.schedule(&perturbed).expect("feasible");
+            if warm.last_solve_was_incremental() {
+                hits += 1;
+            }
+            let mut fresh = TStormScheduler::new();
+            let a_full = fresh.schedule(&perturbed).expect("feasible");
+            assert_eq!(a_inc, a_full, "divergence at seed {seed}");
+        }
+        assert!(hits > 0, "incremental path never engaged");
+    }
+
+    #[test]
+    fn incremental_equivalence_under_capacity_pressure() {
+        // Loads near node capacity so perturbations genuinely flip
+        // feasibility: the replay must either prove equivalence or fall
+        // back, and either way match a from-scratch solve exactly.
+        let base = chain_input(24, 4, 4, 100.0, 600.0);
+        let mut warm = TStormScheduler::new();
+        warm.schedule(&base).expect("feasible");
+        for seed in 100..140u64 {
+            let perturbed = perturb_loads(&base, seed, 0.2, 0.6);
+            let a_inc = warm.schedule(&perturbed).expect("feasible");
+            let mut fresh = TStormScheduler::new();
+            let a_full = fresh.schedule(&perturbed).expect("feasible");
+            assert_eq!(a_inc, a_full, "divergence at seed {seed}");
+        }
+    }
+
+    #[test]
+    fn traffic_change_falls_back_to_full() {
+        let base = chain_input(10, 4, 4, 2.0, 100.0);
+        let mut s = TStormScheduler::new();
+        s.schedule(&base).expect("feasible");
+        let mut changed = base.clone();
+        changed.traffic.set(e(0), e(1), 123.0);
+        let a = s.schedule(&changed).expect("feasible");
+        assert!(!s.last_solve_was_incremental());
+        let mut fresh = TStormScheduler::new();
+        assert_eq!(a, fresh.schedule(&changed).expect("feasible"));
+    }
+
+    #[test]
+    fn liveness_change_falls_back_to_full() {
+        let base = chain_input(10, 4, 4, 2.0, 100.0);
+        let mut s = TStormScheduler::new();
+        s.schedule(&base).expect("feasible");
+        let mut changed = base.clone();
+        changed.cluster.set_node_live(NodeId::new(3), false);
+        let a = s.schedule(&changed).expect("feasible");
+        assert!(!s.last_solve_was_incremental());
+        let mut fresh = TStormScheduler::new();
+        assert_eq!(a, fresh.schedule(&changed).expect("feasible"));
+    }
+
+    #[test]
+    fn large_delta_falls_back_to_full() {
+        let base = chain_input(20, 4, 4, 2.0, 100.0);
+        let mut s = TStormScheduler::new();
+        s.schedule(&base).expect("feasible");
+        // Every load changes: way past the 25% replay threshold.
+        let perturbed = perturb_loads(&base, 7, 1.1, 0.5);
+        s.schedule(&perturbed).expect("feasible");
+        assert!(!s.last_solve_was_incremental());
+    }
+
+    #[test]
+    fn disabled_incremental_never_replays() {
+        let input = chain_input(10, 4, 4, 2.0, 100.0);
+        let mut s = TStormScheduler::new();
+        s.set_incremental(false);
+        s.schedule(&input).expect("feasible");
+        s.schedule(&input).expect("feasible");
+        assert!(!s.last_solve_was_incremental());
+    }
+
+    #[test]
+    fn relaxed_solves_are_not_cached_for_replay() {
+        // Needs the executor-cap relaxation, so the cache must stay
+        // empty and the identical re-solve runs the full path.
+        let input = chain_input(6, 2, 4, 0.1, 10.0);
+        let mut s = TStormScheduler::new();
+        s.schedule(&input).expect("feasible via relaxation");
+        assert!(!s.relaxations().is_empty());
+        s.schedule(&input).expect("feasible via relaxation");
+        assert!(!s.last_solve_was_incremental());
+        assert!(!s.relaxations().is_empty());
+    }
+
+    #[test]
+    fn explain_bypasses_incremental_path() {
+        let input = chain_input(8, 4, 4, 2.0, 50.0);
+        let mut s = TStormScheduler::new();
+        s.schedule(&input).expect("feasible");
+        s.set_explain(true);
+        s.schedule(&input).expect("feasible");
+        assert!(!s.last_solve_was_incremental());
+        assert!(s.take_explanation().is_some());
     }
 
     #[test]

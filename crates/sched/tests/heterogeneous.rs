@@ -16,21 +16,9 @@ fn e(i: u32) -> ExecutorId {
 /// One big node (8000 MHz, 4 slots), two small nodes (2000 MHz, 1 slot).
 fn lopsided_cluster() -> ClusterSpec {
     ClusterSpec::new(vec![
-        NodeSpec {
-            id: NodeId::new(0),
-            capacity: Mhz::new(8000.0),
-            num_slots: 4,
-        },
-        NodeSpec {
-            id: NodeId::new(1),
-            capacity: Mhz::new(2000.0),
-            num_slots: 1,
-        },
-        NodeSpec {
-            id: NodeId::new(2),
-            capacity: Mhz::new(2000.0),
-            num_slots: 1,
-        },
+        NodeSpec::new(NodeId::new(0), Mhz::new(8000.0), 4),
+        NodeSpec::new(NodeId::new(1), Mhz::new(2000.0), 1),
+        NodeSpec::new(NodeId::new(2), Mhz::new(2000.0), 1),
     ])
     .expect("valid")
 }

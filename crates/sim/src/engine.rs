@@ -1,7 +1,7 @@
 //! The simulation engine: executors, workers, acking, timeouts,
 //! supervisors and metrics, driven by a deterministic event queue.
 
-use crate::config::{ReassignMode, SimConfig};
+use crate::config::{PairBackend, ReassignMode, SimConfig};
 use crate::event::{BatchEnvelope, Envelope, EnvelopeKind, Event, EventQueue};
 use crate::fault::{FaultKind, FaultPlan};
 use crate::logic::ExecutorLogic;
@@ -14,8 +14,8 @@ use tstorm_metrics::RunReport;
 use tstorm_topology::{ComponentSpec, CostProfile, ExecutionPlan, Topology, Value};
 use tstorm_trace::{extend_span, CriticalPathCollector, Observer, SpanChain, SpanSeg, TraceEvent};
 use tstorm_types::{
-    Bytes, ComponentId, DetRng, ExecutorId, FxHashSet, NodeId, Result, SimTime, Slab, SlabHandle,
-    SlotId, TStormError, TopologyId, TupleId,
+    Bytes, ComponentId, DetRng, ExecutorId, FxHashMap, FxHashSet, NodeId, Result, SimTime, Slab,
+    SlabHandle, SlotId, TStormError, TopologyId, TupleId,
 };
 
 /// Upper bound on recycled boxes retained by each free-list pool (the
@@ -58,23 +58,44 @@ pub struct TopologyHandle {
     pub executors: Vec<ExecutorId>,
 }
 
+/// Per-pair tuple counts behind either backend; see [`PairBackend`].
+#[derive(Debug, Clone)]
+enum PairStore {
+    /// Row-major `n × n` cells with the executor count they are sized
+    /// for.
+    Dense { cells: Vec<u64>, n: usize },
+    /// Packed-pair-id → tuples, deterministic Fx hashing.
+    Sparse(FxHashMap<u64, u64>),
+}
+
+impl Default for PairStore {
+    fn default() -> Self {
+        Self::Sparse(FxHashMap::default())
+    }
+}
+
+/// Packs a directed executor pair into one sortable map key whose
+/// numeric order equals row-major (`from`, then `to`) order.
+#[inline]
+fn pair_key(from: usize, to: usize) -> u64 {
+    ((from as u64) << 32) | (to as u64)
+}
+
 /// Raw counters accumulated since the last drain — the per-window readings
 /// the load monitor consumes.
 ///
-/// Executor ids are dense (minted sequentially at submit time), so the
-/// counters are index-addressed: a `Vec<u64>` of cycles per executor and
-/// a flat `n × n` matrix of tuples per directed executor pair. The hot
-/// path increments are a bounds check and an add — no hashing — and
-/// iteration order is deterministic by construction.
+/// Executor ids are dense (minted sequentially at submit time), so CPU
+/// cycles are index-addressed (`Vec<u64>`), while pair traffic lives in
+/// a `PairStore`: sparse by default (memory scales with observed
+/// pairs), dense `n × n` on request for A/B comparison. Iteration order
+/// is deterministic for both — dense by construction, sparse via a
+/// read-time sort.
 #[derive(Debug, Clone, Default)]
 pub struct SimCounters {
     /// CPU cycles consumed per executor, indexed by executor id.
     cycles: Vec<u64>,
-    /// Row-major `n × n` matrix: tuples sent per directed executor pair
-    /// (data and ack messages), `pairs[from * n + to]`.
-    pairs: Vec<u64>,
-    /// Executor count the matrix is sized for.
-    n: usize,
+    /// Tuples sent per directed executor pair (data and ack messages).
+    pairs: PairStore,
     /// Bytes sent over inter-node hops per source node — the NIC egress
     /// reading the flight recorder turns into per-window utilization.
     /// Grown lazily to the highest sending node index.
@@ -84,34 +105,59 @@ pub struct SimCounters {
 }
 
 impl SimCounters {
-    /// Creates zeroed counters sized for `n` executors.
+    /// Creates zeroed counters sized for `n` executors with the default
+    /// (sparse) pair backend.
     #[must_use]
     pub fn with_executors(n: usize) -> Self {
+        Self::with_backend(n, PairBackend::Sparse)
+    }
+
+    /// Creates zeroed counters sized for `n` executors with an explicit
+    /// pair backend.
+    #[must_use]
+    pub fn with_backend(n: usize, backend: PairBackend) -> Self {
+        let pairs = match backend {
+            PairBackend::Dense => PairStore::Dense {
+                cells: vec![0; n * n],
+                n,
+            },
+            PairBackend::Sparse => PairStore::Sparse(FxHashMap::default()),
+        };
         Self {
             cycles: vec![0; n],
-            pairs: vec![0; n * n],
-            n,
+            pairs,
             node_tx: Vec::new(),
             failures: 0,
+        }
+    }
+
+    /// The backend these counters use for pair traffic.
+    #[must_use]
+    pub fn backend(&self) -> PairBackend {
+        match self.pairs {
+            PairStore::Dense { .. } => PairBackend::Dense,
+            PairStore::Sparse(_) => PairBackend::Sparse,
         }
     }
 
     /// Grows the tables to cover `n` executors, preserving recorded
     /// values (called when a topology submission adds executors).
     fn ensure_executors(&mut self, n: usize) {
-        if n <= self.n {
-            return;
+        if n > self.cycles.len() {
+            self.cycles.resize(n, 0);
         }
-        let mut pairs = vec![0u64; n * n];
-        for from in 0..self.n {
-            let old_row = from * self.n;
-            let new_row = from * n;
-            pairs[new_row..new_row + self.n]
-                .copy_from_slice(&self.pairs[old_row..old_row + self.n]);
+        if let PairStore::Dense { cells, n: old } = &mut self.pairs {
+            if n > *old {
+                let mut grown = vec![0u64; n * n];
+                for from in 0..*old {
+                    let old_row = from * *old;
+                    let new_row = from * n;
+                    grown[new_row..new_row + *old].copy_from_slice(&cells[old_row..old_row + *old]);
+                }
+                *cells = grown;
+                *old = n;
+            }
         }
-        self.pairs = pairs;
-        self.cycles.resize(n, 0);
-        self.n = n;
     }
 
     #[inline]
@@ -121,7 +167,10 @@ impl SimCounters {
 
     #[inline]
     fn add_pair(&mut self, from: usize, to: usize) {
-        self.pairs[from * self.n + to] += 1;
+        match &mut self.pairs {
+            PairStore::Dense { cells, n } => cells[from * *n + to] += 1,
+            PairStore::Sparse(map) => *map.entry(pair_key(from, to)).or_insert(0) += 1,
+        }
     }
 
     #[inline]
@@ -148,10 +197,40 @@ impl SimCounters {
     #[must_use]
     pub fn pair(&self, from: ExecutorId, to: ExecutorId) -> u64 {
         let (f, t) = (from.as_usize(), to.as_usize());
-        if f < self.n && t < self.n {
-            self.pairs[f * self.n + t]
-        } else {
-            0
+        match &self.pairs {
+            PairStore::Dense { cells, n } => {
+                if f < *n && t < *n {
+                    cells[f * *n + t]
+                } else {
+                    0
+                }
+            }
+            PairStore::Sparse(map) => map.get(&pair_key(f, t)).copied().unwrap_or(0),
+        }
+    }
+
+    /// Resident bytes held by the pair-traffic store right now — the
+    /// footprint the `--engine-stats` report tracks. Dense counts its
+    /// `n × n` cells; sparse estimates the map's table (key + value + a
+    /// control byte per slot, SwissTable layout).
+    #[must_use]
+    pub fn pair_state_bytes(&self) -> u64 {
+        match &self.pairs {
+            PairStore::Dense { cells, .. } => {
+                (cells.capacity() * std::mem::size_of::<u64>()) as u64
+            }
+            PairStore::Sparse(map) => {
+                (map.capacity() * (2 * std::mem::size_of::<u64>() + 1)) as u64
+            }
+        }
+    }
+
+    /// Number of directed pairs with recorded traffic this window.
+    #[must_use]
+    pub fn pairs_observed(&self) -> usize {
+        match &self.pairs {
+            PairStore::Dense { cells, .. } => cells.iter().filter(|t| **t > 0).count(),
+            PairStore::Sparse(map) => map.values().filter(|t| **t > 0).count(),
         }
     }
 
@@ -165,28 +244,40 @@ impl SimCounters {
     }
 
     /// Directed executor pairs with non-zero traffic this window, in
-    /// row-major (`from`, then `to`) order.
-    pub fn pair_tuples(&self) -> impl Iterator<Item = (ExecutorId, ExecutorId, u64)> + '_ {
-        let n = self.n;
-        self.pairs
-            .iter()
-            .enumerate()
-            .filter(|(_, t)| **t > 0)
-            .map(move |(i, t)| {
-                (
-                    ExecutorId::new((i / n) as u32),
-                    ExecutorId::new((i % n) as u32),
-                    *t,
-                )
-            })
+    /// row-major (`from`, then `to`) order — identical for both
+    /// backends (packed pair keys sort exactly row-major).
+    pub fn pair_tuples(&self) -> impl Iterator<Item = (ExecutorId, ExecutorId, u64)> {
+        let mut flat: Vec<(u64, u64)> = match &self.pairs {
+            PairStore::Dense { cells, n } => cells
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| **t > 0)
+                .map(|(i, t)| (pair_key(i / n, i % n), *t))
+                .collect(),
+            PairStore::Sparse(map) => map
+                .iter()
+                .filter(|(_, t)| **t > 0)
+                .map(|(k, t)| (*k, *t))
+                .collect(),
+        };
+        flat.sort_unstable_by_key(|(k, _)| *k);
+        flat.into_iter().map(|(k, t)| {
+            (
+                ExecutorId::new((k >> 32) as u32),
+                ExecutorId::new(k as u32),
+                t,
+            )
+        })
     }
 
     /// True if the window recorded no CPU, no traffic, and no failures.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.failures == 0
-            && self.cycles.iter().all(|c| *c == 0)
-            && self.pairs.iter().all(|t| *t == 0)
+        let pairs_empty = match &self.pairs {
+            PairStore::Dense { cells, .. } => cells.iter().all(|t| *t == 0),
+            PairStore::Sparse(map) => map.values().all(|t| *t == 0),
+        };
+        self.failures == 0 && pairs_empty && self.cycles.iter().all(|c| *c == 0)
     }
 }
 
@@ -211,6 +302,14 @@ pub struct EngineStats {
     /// path produced an out-of-order timestamp pair that the old
     /// `saturating_sub` arithmetic would have silently clamped to 0µs.
     pub clock_inversions: u64,
+    /// High-water resident footprint of the pair-traffic store, in
+    /// bytes, sampled at every counter drain and at stats read time.
+    /// Dense backend: the full `n × n` matrix; sparse: the hash table
+    /// actually allocated for observed pairs.
+    pub pair_state_bytes: u64,
+    /// High-water count of directed executor pairs with observed
+    /// traffic in any single monitoring window.
+    pub pairs_observed: u64,
 }
 
 impl EngineStats {
@@ -414,6 +513,11 @@ pub struct Simulation {
     /// Worker processes per node (context-switch tax, recv delay).
     workers_on_node: Vec<u32>,
     counters: SimCounters,
+    /// High-water pair-store footprint across all windows (see
+    /// [`EngineStats::pair_state_bytes`]).
+    pair_state_high_water: u64,
+    /// High-water observed-pair count across all windows.
+    pairs_observed_high_water: u64,
     report: RunReport,
     completed: u64,
     failed: u64,
@@ -476,8 +580,16 @@ impl Simulation {
     #[must_use]
     pub fn new(cluster: ClusterSpec, config: SimConfig) -> Self {
         let k = cluster.num_nodes();
+        let mut network = Network::new(config.network, k);
+        // Heterogeneous NIC classes are part of the cluster spec; nodes
+        // without an explicit class stay on the config default.
+        for n in cluster.nodes() {
+            if let Some(bits) = n.nic_bits_per_sec {
+                network.set_node_nic(n.id, bits);
+            }
+        }
         let mut sim = Self {
-            network: Network::new(config.network, k),
+            network,
             rng: DetRng::seed_from(config.seed),
             cluster,
             config,
@@ -506,7 +618,9 @@ impl Simulation {
             located_count: vec![0; k],
             node_busy: vec![0; k],
             workers_on_node: vec![0; k],
-            counters: SimCounters::default(),
+            counters: SimCounters::with_backend(0, config.pair_backend),
+            pair_state_high_water: 0,
+            pairs_observed_high_water: 0,
             report: RunReport::new("run"),
             completed: 0,
             failed: 0,
@@ -974,10 +1088,22 @@ impl Simulation {
     /// Drains the monitoring counters accumulated since the last call,
     /// leaving zeroed tables sized for the current executor count.
     pub fn drain_counters(&mut self) -> SimCounters {
+        self.note_pair_state();
         std::mem::replace(
             &mut self.counters,
-            SimCounters::with_executors(self.executors.len()),
+            SimCounters::with_backend(self.executors.len(), self.config.pair_backend),
         )
+    }
+
+    /// Samples the pair-store footprint high-water marks from the live
+    /// window's counters.
+    fn note_pair_state(&mut self) {
+        self.pair_state_high_water = self
+            .pair_state_high_water
+            .max(self.counters.pair_state_bytes());
+        self.pairs_observed_high_water = self
+            .pairs_observed_high_water
+            .max(self.counters.pairs_observed() as u64);
     }
 
     /// Hot-path allocation/recycling statistics for this run so far.
@@ -989,6 +1115,12 @@ impl Simulation {
             payload_clones_avoided: self.payload_clones_avoided,
             queue_high_water: self.queue.high_water() as u64,
             clock_inversions: self.clock_inversions,
+            pair_state_bytes: self
+                .pair_state_high_water
+                .max(self.counters.pair_state_bytes()),
+            pairs_observed: self
+                .pairs_observed_high_water
+                .max(self.counters.pairs_observed() as u64),
         }
     }
 

@@ -35,17 +35,25 @@ pub struct Network {
     /// when healthy. Transmissions touching a slowed node's NIC take
     /// `factor`× as long on the wire.
     slow_factor: Vec<f64>,
+    /// Per-node NIC speed class (bits/s). Initialised to the config
+    /// default for every node; heterogeneous clusters override
+    /// individual nodes via [`Network::set_node_nic`]. A transfer runs
+    /// at the slower endpoint's speed.
+    nic_bits: Vec<u64>,
 }
 
 impl Network {
-    /// Creates the model for `num_nodes` nodes.
+    /// Creates the model for `num_nodes` nodes, all on the config's
+    /// default NIC class.
     #[must_use]
     pub fn new(config: NetworkConfig, num_nodes: usize) -> Self {
+        let nic = config.nic_bits_per_sec;
         Self {
             config,
             tx_free: vec![SimTime::ZERO; num_nodes],
             rx_free: vec![SimTime::ZERO; num_nodes],
             slow_factor: vec![1.0; num_nodes],
+            nic_bits: vec![nic; num_nodes],
         }
     }
 
@@ -53,6 +61,20 @@ impl Network {
     #[must_use]
     pub fn config(&self) -> &NetworkConfig {
         &self.config
+    }
+
+    /// Overrides one node's NIC speed class (bits per second). Part of
+    /// the cluster *shape*, not transient state: [`Network::reset`]
+    /// keeps it (unlike [`Network::set_slow_factor`], which models a
+    /// fault).
+    pub fn set_node_nic(&mut self, node: NodeId, bits_per_sec: u64) {
+        self.nic_bits[node.as_usize()] = bits_per_sec.max(1);
+    }
+
+    /// The node's NIC speed class in bits per second.
+    #[must_use]
+    pub fn node_nic(&self, node: NodeId) -> u64 {
+        self.nic_bits[node.as_usize()]
     }
 
     /// Sets a node's transient NIC slowdown multiplier (≥ 1; `1.0`
@@ -100,7 +122,12 @@ impl Network {
                     .slow_factor(src_node)
                     .max(self.slow_factor(dst_node))
                     .max(1.0);
-                let wire = bytes.transmit_micros(self.config.nic_bits_per_sec) as f64 * factor;
+                // The transfer runs at the slower endpoint's NIC class
+                // (homogeneous clusters: both equal the config default,
+                // so timings are unchanged).
+                let bits_per_sec =
+                    self.nic_bits[src_node.as_usize()].min(self.nic_bits[dst_node.as_usize()]);
+                let wire = bytes.transmit_micros(bits_per_sec) as f64 * factor;
                 let tx = SimTime::from_micros(wire.round() as u64);
                 // Sender side: wait for our tx slot.
                 let tx_nic = &mut self.tx_free[src_node.as_usize()];
@@ -289,6 +316,38 @@ mod tests {
         assert_eq!(slowed.slow_factor(node(1)), 1.0);
         let after = slowed.delivery_time(now, HopClass::InterNode, big, node(0), node(1), 0);
         assert_eq!(after, base);
+    }
+
+    #[test]
+    fn heterogeneous_nic_runs_at_the_slower_endpoint() {
+        let now = SimTime::from_secs(1);
+        let big = Bytes::from_kib(100);
+        let mut base = Network::new(NetworkConfig::default(), 4);
+        let default_time = base.delivery_time(now, HopClass::InterNode, big, node(0), node(1), 0);
+
+        // Upgrading BOTH endpoints to 10 Gbps speeds the transfer up.
+        let mut fast = Network::new(NetworkConfig::default(), 4);
+        fast.set_node_nic(node(0), 10_000_000_000);
+        fast.set_node_nic(node(1), 10_000_000_000);
+        assert_eq!(fast.node_nic(node(0)), 10_000_000_000);
+        let fast_time = fast.delivery_time(now, HopClass::InterNode, big, node(0), node(1), 0);
+        assert!(
+            fast_time < default_time,
+            "{fast_time:?} vs {default_time:?}"
+        );
+
+        // A fast sender talking to a default (1 Gbps) receiver runs at
+        // the receiver's speed — identical to the all-default timing.
+        let mut mixed = Network::new(NetworkConfig::default(), 4);
+        mixed.set_node_nic(node(0), 10_000_000_000);
+        let mixed_time = mixed.delivery_time(now, HopClass::InterNode, big, node(0), node(1), 0);
+        assert_eq!(mixed_time, default_time);
+
+        // NIC classes are cluster shape: reset() keeps them.
+        fast.reset();
+        assert_eq!(fast.node_nic(node(1)), 10_000_000_000);
+        let after = fast.delivery_time(now, HopClass::InterNode, big, node(0), node(1), 0);
+        assert_eq!(after, fast_time);
     }
 
     #[test]
