@@ -9,7 +9,7 @@
 //!
 //! ```text
 //! simbench [--out PATH] [--label TEXT] [--quick] [--scenario NAME]...
-//!          [--batch-size N[,N]...] [--repeat K]
+//!          [--batch-size N[,N]...] [--workers N[,N]...] [--repeat K]
 //!          [--guard BASELINE [--tolerance F]]
 //! simbench --check PATH
 //! ```
@@ -32,13 +32,21 @@
 //! same (scenario, batch size) in the baseline trajectory.
 //!
 //! `--batch-size 1,8` measures a transfer-batching A/B: every requested
-//! batch size runs per scenario. `--repeat K` interleaves K passes over
-//! the full (batch size × scenario) grid — A/B/A/B rather than
-//! A…A/B…B, so slow machine drift biases neither arm — and keeps the
-//! best (highest events/s) run per (scenario, batch size) cell.
+//! batch size runs per scenario. `--workers 1,4` measures the
+//! frame-synchronized parallel-stepping A/B the same way; because the
+//! lane threads only have work when observability is on, any grid that
+//! includes a workers value above 1 runs *every* arm with spans
+//! enabled, so workers-1 and workers-N cells differ only in the lane
+//! machinery. Such records carry `workers` and `spans` keys and are
+//! guarded separately from the spans-off baseline. `--repeat K`
+//! interleaves K passes over the full (batch size × workers ×
+//! scenario) grid — A/B/A/B rather than A…A/B…B, so slow machine drift
+//! biases neither arm — and keeps the best (highest events/s) run per
+//! (scenario, batch size, workers) cell.
 
 use std::process::ExitCode;
 use std::time::Instant;
+use tstorm_bench::args::parse_workers;
 use tstorm_cli::args::ScaleClass;
 use tstorm_cli::scenario::{scale_chain_params, scale_cluster};
 use tstorm_cluster::ClusterSpec;
@@ -88,10 +96,14 @@ struct Record {
     nodes: u32,
     slots_per_node: u32,
     batch_size: u32,
+    /// Observability lane threads (1 = serial) and whether spans were
+    /// collected. Extra keys beyond `SCHEMA_KEYS` — `--check` requires
+    /// every schema key but tolerates additions, so records predating
+    /// them (implicitly workers 1, spans off) stay valid.
+    workers: u32,
+    spans: bool,
     /// Pair-traffic store A/B annotations, stamped only by the scale
-    /// scenarios. Extra keys beyond `SCHEMA_KEYS` — `--check` requires
-    /// every schema key but tolerates additions, so older records stay
-    /// valid.
+    /// scenarios.
     pair_backend: Option<&'static str>,
     pair_state_bytes: Option<u64>,
 }
@@ -114,6 +126,8 @@ impl Record {
             .u64("slots_per_node", u64::from(self.slots_per_node))
             .u64("batch_size", u64::from(self.batch_size))
             .str("workspace_version", env!("CARGO_PKG_VERSION"));
+        w.u64("workers", u64::from(self.workers));
+        w.raw("spans", if self.spans { "true" } else { "false" });
         if let Some(backend) = self.pair_backend {
             w.str("pair_backend", backend);
         }
@@ -130,6 +144,7 @@ struct Options {
     quick: bool,
     scenarios: Vec<String>,
     batch_sizes: Vec<u32>,
+    workers: Vec<u32>,
     repeat: u32,
     check: Option<String>,
     guard: Option<String>,
@@ -143,6 +158,7 @@ fn parse_args() -> Result<Options, String> {
         quick: false,
         scenarios: Vec::new(),
         batch_sizes: vec![1],
+        workers: vec![1],
         repeat: 1,
         check: None,
         guard: None,
@@ -173,6 +189,15 @@ fn parse_args() -> Result<Options, String> {
                     return Err("--batch-size requires at least one value".to_owned());
                 }
             }
+            "--workers" => {
+                opts.workers = value("--workers")?
+                    .split(',')
+                    .map(|s| parse_workers(s.trim()).map_err(|e| format!("--workers: {e}")))
+                    .collect::<Result<Vec<u32>, String>>()?;
+                if opts.workers.is_empty() {
+                    return Err("--workers requires at least one value".to_owned());
+                }
+            }
             "--repeat" => {
                 opts.repeat = value("--repeat")?
                     .parse::<u32>()
@@ -194,7 +219,7 @@ fn parse_args() -> Result<Options, String> {
                 return Err("usage: simbench [--out PATH] [--label TEXT] [--quick] \
                      [--scenario wordcount|fault-replay|overload\
                      |scale-{100,500}-{sparse,dense}]... \
-                     [--batch-size N[,N]...] [--repeat K] \
+                     [--batch-size N[,N]...] [--workers N[,N]...] [--repeat K] \
                      [--guard BASELINE [--tolerance F]] | simbench --check PATH"
                     .to_owned())
             }
@@ -204,17 +229,41 @@ fn parse_args() -> Result<Options, String> {
     Ok(opts)
 }
 
+/// One grid cell's engine configuration, shared by every scenario.
+#[derive(Clone, Copy)]
+struct Cell {
+    quick: bool,
+    batch_size: u32,
+    /// Observability lane threads for frame-synchronized stepping.
+    workers: u32,
+    /// Span collection: forced on across the whole grid whenever a
+    /// workers A/B is requested, so the lane threads have real work
+    /// and the arms differ only in the lane machinery.
+    spans: bool,
+}
+
+impl Cell {
+    /// Applies the cell's engine knobs to a freshly built system.
+    fn apply(self, system: &mut TStormSystem) {
+        system.set_workers(self.workers);
+        if self.spans {
+            system.enable_spans();
+        }
+    }
+}
+
 /// Word Count at the paper's settings: the canonical throughput
 /// scenario — a fields-grouped fan-out with ackers enabled.
-fn run_wordcount(label: &str, quick: bool, batch_size: u32) -> Record {
-    let duration = if quick { 30 } else { 120 };
+fn run_wordcount(label: &str, cell: Cell) -> Record {
+    let duration = if cell.quick { 30 } else { 120 };
     let (nodes, slots, seed) = (10, 4, 42);
     let cluster = ClusterSpec::homogeneous(nodes, slots, Mhz::new(8000.0)).expect("valid cluster");
     let mut config = TStormConfig::default()
         .with_mode(SystemMode::TStorm)
         .with_seed(seed);
-    config.sim.batch_size = batch_size;
+    config.sim.batch_size = cell.batch_size;
     let mut system = TStormSystem::new(cluster, config).expect("valid config");
+    cell.apply(&mut system);
     let p = WordCountParams::paper();
     let topo = wordcount::topology(&p).expect("valid topology");
     let state = WordCountState::new();
@@ -230,7 +279,7 @@ fn run_wordcount(label: &str, quick: bool, batch_size: u32) -> Record {
     finish(
         "wordcount",
         label,
-        quick,
+        cell,
         start,
         &system,
         Provenance {
@@ -238,7 +287,6 @@ fn run_wordcount(label: &str, quick: bool, batch_size: u32) -> Record {
             duration_secs: duration,
             nodes,
             slots_per_node: slots,
-            batch_size,
         },
     )
 }
@@ -256,16 +304,17 @@ fn run_wordcount(label: &str, quick: bool, batch_size: u32) -> Record {
 /// same simulated window, and each delivered tuple costs the engine
 /// fewer event-queue entries. Storm's static default scheduler keeps
 /// the placement pinned (no rebalance mid-measurement).
-fn run_overload(label: &str, quick: bool, batch_size: u32) -> Record {
-    let duration = if quick { 20 } else { 60 };
+fn run_overload(label: &str, cell: Cell) -> Record {
+    let duration = if cell.quick { 20 } else { 60 };
     let (nodes, slots, seed) = (2, 1, 42);
     let cluster = ClusterSpec::homogeneous(nodes, slots, Mhz::new(8000.0)).expect("valid cluster");
     let mut config = TStormConfig::default()
         .with_mode(SystemMode::StormDefault)
         .with_seed(seed);
-    config.sim.batch_size = batch_size;
+    config.sim.batch_size = cell.batch_size;
     config.sim.network.nic_bits_per_sec = 10_000_000;
     let mut system = TStormSystem::new(cluster, config).expect("valid config");
+    cell.apply(&mut system);
     let p = TransferParams::overload();
     let topo = transfer::topology(&p).expect("valid topology");
     let mut f = transfer::factory(&p, seed);
@@ -279,7 +328,7 @@ fn run_overload(label: &str, quick: bool, batch_size: u32) -> Record {
     finish(
         "overload",
         label,
-        quick,
+        cell,
         start,
         &system,
         Provenance {
@@ -287,7 +336,6 @@ fn run_overload(label: &str, quick: bool, batch_size: u32) -> Record {
             duration_secs: duration,
             nodes,
             slots_per_node: slots,
-            batch_size,
         },
     )
 }
@@ -295,15 +343,16 @@ fn run_overload(label: &str, quick: bool, batch_size: u32) -> Record {
 /// Fault-plan replay: the Throughput Test with a node crash (plus
 /// restart) and a transient NIC slowdown, exercising the crash /
 /// timeout / replay / recovery paths of the engine.
-fn run_fault_replay(label: &str, quick: bool, batch_size: u32) -> Record {
-    let duration = if quick { 60 } else { 180 };
+fn run_fault_replay(label: &str, cell: Cell) -> Record {
+    let duration = if cell.quick { 60 } else { 180 };
     let (nodes, slots, seed) = (6, 4, 42);
     let cluster = ClusterSpec::homogeneous(nodes, slots, Mhz::new(8000.0)).expect("valid cluster");
     let mut config = TStormConfig::default()
         .with_mode(SystemMode::TStorm)
         .with_seed(seed);
-    config.sim.batch_size = batch_size;
+    config.sim.batch_size = cell.batch_size;
     let mut system = TStormSystem::new(cluster, config).expect("valid config");
+    cell.apply(&mut system);
     let p = ThroughputParams::paper();
     let topo = throughput::topology(&p).expect("valid topology");
     let mut f = throughput::factory(&p, 42);
@@ -326,7 +375,7 @@ fn run_fault_replay(label: &str, quick: bool, batch_size: u32) -> Record {
     finish(
         "fault-replay",
         label,
-        quick,
+        cell,
         start,
         &system,
         Provenance {
@@ -334,24 +383,23 @@ fn run_fault_replay(label: &str, quick: bool, batch_size: u32) -> Record {
             duration_secs: duration,
             nodes,
             slots_per_node: slots,
-            batch_size,
         },
     )
 }
 
-/// The run configuration stamped into each trajectory record.
+/// The run configuration stamped into each trajectory record (the
+/// engine knobs come from the grid [`Cell`]).
 struct Provenance {
     seed: u64,
     duration_secs: u64,
     nodes: u32,
     slots_per_node: u32,
-    batch_size: u32,
 }
 
 fn finish(
     scenario: &'static str,
     label: &str,
-    quick: bool,
+    cell: Cell,
     start: Instant,
     system: &TStormSystem,
     provenance: Provenance,
@@ -363,7 +411,7 @@ fn finish(
     Record {
         scenario,
         label: label.to_owned(),
-        quick,
+        quick: cell.quick,
         events,
         wall_ms,
         events_per_sec: events as f64 / wall.as_secs_f64().max(1e-9),
@@ -374,7 +422,9 @@ fn finish(
         duration_secs: provenance.duration_secs,
         nodes: provenance.nodes,
         slots_per_node: provenance.slots_per_node,
-        batch_size: provenance.batch_size,
+        batch_size: cell.batch_size,
+        workers: cell.workers,
+        spans: cell.spans,
         pair_backend: None,
         pair_state_bytes: None,
     }
@@ -393,18 +443,18 @@ fn run_scale(
     class: ScaleClass,
     backend: PairBackend,
     label: &str,
-    quick: bool,
-    batch_size: u32,
+    cell: Cell,
 ) -> Record {
-    let duration = if quick { 15 } else { 60 };
+    let duration = if cell.quick { 15 } else { 60 };
     let seed = 42;
     let cluster = scale_cluster(class).expect("valid cluster");
     let mut config = TStormConfig::default()
         .with_mode(SystemMode::TStorm)
         .with_seed(seed);
-    config.sim.batch_size = batch_size;
+    config.sim.batch_size = cell.batch_size;
     config.sim.pair_backend = backend;
     let mut system = TStormSystem::new(cluster, config).expect("valid config");
+    cell.apply(&mut system);
     let p = scale_chain_params(class);
     let topo = chain::topology(&p).expect("valid topology");
     let mut f = chain::factory(&p, seed);
@@ -418,7 +468,7 @@ fn run_scale(
     let mut rec = finish(
         scenario,
         label,
-        quick,
+        cell,
         start,
         &system,
         Provenance {
@@ -426,7 +476,6 @@ fn run_scale(
             duration_secs: duration,
             nodes: class.nodes(),
             slots_per_node: class.slots(),
-            batch_size,
         },
     );
     let stats = system.simulation().engine_stats();
@@ -497,15 +546,17 @@ fn check(path: &str) -> Result<(), String> {
     Ok(())
 }
 
-/// The observability overhead guard: with spans and the recorder off
-/// (their default), fresh measurements must stay within `tolerance` of
-/// the best committed events/s for the same (scenario, batch size) in
-/// `baseline_path`. Only baseline records with the *same* `quick` flag
-/// are comparable — quick runs carry proportionally more warmup, so
-/// their throughput sits well below a full run's. Baseline records
-/// predating the `batch_size` key count as batch size 1 (the engine's
-/// historical behaviour). A measurement whose (scenario, batch size)
-/// has no committed baseline passes with a note — it IS the baseline.
+/// The observability overhead guard: fresh measurements must stay
+/// within `tolerance` of the best committed events/s for the same
+/// (scenario, batch size, workers, spans) in `baseline_path`. Only
+/// baseline records with the *same* `quick` flag are comparable —
+/// quick runs carry proportionally more warmup, so their throughput
+/// sits well below a full run's. Baseline records predating the
+/// `batch_size` / `workers` / `spans` keys count as batch size 1,
+/// workers 1 and spans off (the engine's historical behaviour), so
+/// spans-on workers A/B cells never cross-match the spans-off serial
+/// baseline. A measurement whose cell has no committed baseline passes
+/// with a note — it IS the baseline.
 fn guard(records: &[Record], baseline_path: &str, tolerance: f64) -> Result<(), String> {
     let text = std::fs::read_to_string(baseline_path)
         .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
@@ -524,17 +575,27 @@ fn guard(records: &[Record], baseline_path: &str, tolerance: f64) -> Result<(), 
                 .unwrap_or(1.0);
             batch == f64::from(rec.batch_size)
         };
+        let workers_matches = |b: &&JsonValue| {
+            let workers = b.get("workers").and_then(JsonValue::as_f64).unwrap_or(1.0);
+            workers == f64::from(rec.workers)
+        };
+        let spans_matches = |b: &&JsonValue| {
+            let spans = matches!(b.get("spans"), Some(JsonValue::Bool(true)));
+            spans == rec.spans
+        };
         let best = baseline
             .iter()
             .filter(|b| b.get("scenario").and_then(|s| s.as_str()) == Some(rec.scenario))
             .filter(quick_matches)
             .filter(batch_matches)
+            .filter(workers_matches)
+            .filter(spans_matches)
             .filter_map(|b| b.get("events_per_sec").and_then(|v| v.as_f64()))
             .fold(f64::NAN, f64::max);
         if best.is_nan() {
             println!(
-                "guard: {:<14} batch={} has no committed baseline yet, skipping",
-                rec.scenario, rec.batch_size,
+                "guard: {:<14} batch={} workers={} has no committed baseline yet, skipping",
+                rec.scenario, rec.batch_size, rec.workers,
             );
             continue;
         }
@@ -542,10 +603,11 @@ fn guard(records: &[Record], baseline_path: &str, tolerance: f64) -> Result<(), 
         let floor = best * (1.0 - tolerance);
         if rec.events_per_sec < floor {
             return Err(format!(
-                "overhead guard: {} (batch={}) ran at {:.0} events/s, more than {:.0}% \
-                 below the committed baseline {:.0} events/s (floor {:.0})",
+                "overhead guard: {} (batch={}, workers={}) ran at {:.0} events/s, more than \
+                 {:.0}% below the committed baseline {:.0} events/s (floor {:.0})",
                 rec.scenario,
                 rec.batch_size,
+                rec.workers,
                 rec.events_per_sec,
                 tolerance * 100.0,
                 best,
@@ -553,8 +615,9 @@ fn guard(records: &[Record], baseline_path: &str, tolerance: f64) -> Result<(), 
             ));
         }
         println!(
-            "guard: {:<14} batch={} {:>10.0} events/s vs baseline {:>10.0} (floor {:>10.0}) ok",
-            rec.scenario, rec.batch_size, rec.events_per_sec, best, floor,
+            "guard: {:<14} batch={} workers={} {:>10.0} events/s vs baseline {:>10.0} \
+             (floor {:>10.0}) ok",
+            rec.scenario, rec.batch_size, rec.workers, rec.events_per_sec, best, floor,
         );
     }
     if !any_compared {
@@ -570,8 +633,16 @@ fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(o) => o,
         Err(e) => {
+            // `--help` surfaces as the usage string: print it and exit
+            // zero. Anything else is a malformed invocation: exit 2,
+            // the strict-args convention shared with the figure
+            // binaries.
+            if e.starts_with("usage:") {
+                println!("{e}");
+                return ExitCode::SUCCESS;
+            }
             eprintln!("{e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(2);
         }
     };
     if let Some(path) = &opts.check {
@@ -590,65 +661,105 @@ fn main() -> ExitCode {
     } else {
         opts.scenarios.iter().map(String::as_str).collect()
     };
-    // Interleave the full (batch size × scenario) grid per repetition —
-    // A/B/A/B rather than A…A/B…B — and keep the best (highest
-    // events/s) run per cell, so machine drift biases neither arm.
+    // The lane count is bounded by the scenario's cluster size, exactly
+    // like the CLI's workers ≤ nodes rule.
+    let scenario_nodes = |name: &str| -> Option<u32> {
+        Some(match name {
+            "wordcount" => 10,
+            "fault-replay" => 6,
+            "overload" => 2,
+            "scale-100-sparse" | "scale-100-dense" => 100,
+            "scale-500-sparse" | "scale-500-dense" => 500,
+            _ => return None,
+        })
+    };
+    for name in &wanted {
+        let Some(nodes) = scenario_nodes(name) else {
+            eprintln!(
+                "error: unknown scenario `{name}` (expected one of {all:?} \
+                 or scale-{{100,500}}-{{sparse,dense}})"
+            );
+            return ExitCode::from(2);
+        };
+        for &workers in &opts.workers {
+            if workers > nodes {
+                eprintln!(
+                    "error: --workers {workers} exceeds the {nodes} worker nodes \
+                     of scenario `{name}`"
+                );
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // The lane threads only have work when observability is on: any
+    // grid with a workers value above 1 runs spans across every arm so
+    // the A/B isolates the lane machinery (see the module docs).
+    let spans = opts.workers.iter().any(|w| *w > 1);
+    // Interleave the full (batch size × workers × scenario) grid per
+    // repetition — A/B/A/B rather than A…A/B…B — and keep the best
+    // (highest events/s) run per cell, so machine drift biases neither
+    // arm.
     let mut best: Vec<Record> = Vec::new();
     for rep in 0..opts.repeat {
         for &batch_size in &opts.batch_sizes {
-            for name in &wanted {
-                let scale = |s, c, b| run_scale(s, c, b, &opts.label, opts.quick, batch_size);
-                let rec = match *name {
-                    "wordcount" => run_wordcount(&opts.label, opts.quick, batch_size),
-                    "fault-replay" => run_fault_replay(&opts.label, opts.quick, batch_size),
-                    "overload" => run_overload(&opts.label, opts.quick, batch_size),
-                    // The scale family is opt-in (not part of the
-                    // default set): a scale-100 run moves ~10k executors
-                    // and the dense arm materialises the full Ne² matrix.
-                    "scale-100-sparse" => scale(
-                        "scale-100-sparse",
-                        ScaleClass::Scale100,
-                        PairBackend::Sparse,
-                    ),
-                    "scale-100-dense" => {
-                        scale("scale-100-dense", ScaleClass::Scale100, PairBackend::Dense)
-                    }
-                    "scale-500-sparse" => scale(
-                        "scale-500-sparse",
-                        ScaleClass::Scale500,
-                        PairBackend::Sparse,
-                    ),
-                    "scale-500-dense" => {
-                        scale("scale-500-dense", ScaleClass::Scale500, PairBackend::Dense)
-                    }
-                    other => {
-                        eprintln!(
-                            "error: unknown scenario `{other}` (expected one of {all:?} \
-                             or scale-{{100,500}}-{{sparse,dense}})"
-                        );
-                        return ExitCode::FAILURE;
-                    }
+            for &workers in &opts.workers {
+                let cell = Cell {
+                    quick: opts.quick,
+                    batch_size,
+                    workers,
+                    spans,
                 };
-                println!(
-                    "[{}/{}] {:<14} batch={:<3} {:>10} events in {:>9.1} ms  ->  \
-                     {:>10.0} events/s  (peak queue {}, completed {})",
-                    rep + 1,
-                    opts.repeat,
-                    rec.scenario,
-                    rec.batch_size,
-                    rec.events,
-                    rec.wall_ms,
-                    rec.events_per_sec,
-                    rec.peak_queue_depth,
-                    rec.completed,
-                );
-                match best
-                    .iter_mut()
-                    .find(|b| b.scenario == rec.scenario && b.batch_size == rec.batch_size)
-                {
-                    Some(b) if b.events_per_sec >= rec.events_per_sec => {}
-                    Some(b) => *b = rec,
-                    None => best.push(rec),
+                for name in &wanted {
+                    let scale = |s, c, b| run_scale(s, c, b, &opts.label, cell);
+                    let rec = match *name {
+                        "wordcount" => run_wordcount(&opts.label, cell),
+                        "fault-replay" => run_fault_replay(&opts.label, cell),
+                        "overload" => run_overload(&opts.label, cell),
+                        // The scale family is opt-in (not part of the
+                        // default set): a scale-100 run moves ~10k
+                        // executors and the dense arm materialises the
+                        // full Ne² matrix.
+                        "scale-100-sparse" => scale(
+                            "scale-100-sparse",
+                            ScaleClass::Scale100,
+                            PairBackend::Sparse,
+                        ),
+                        "scale-100-dense" => {
+                            scale("scale-100-dense", ScaleClass::Scale100, PairBackend::Dense)
+                        }
+                        "scale-500-sparse" => scale(
+                            "scale-500-sparse",
+                            ScaleClass::Scale500,
+                            PairBackend::Sparse,
+                        ),
+                        "scale-500-dense" => {
+                            scale("scale-500-dense", ScaleClass::Scale500, PairBackend::Dense)
+                        }
+                        other => unreachable!("scenario `{other}` was validated above"),
+                    };
+                    println!(
+                        "[{}/{}] {:<14} batch={:<3} workers={:<2} {:>10} events in {:>9.1} ms  \
+                         ->  {:>10.0} events/s  (peak queue {}, completed {})",
+                        rep + 1,
+                        opts.repeat,
+                        rec.scenario,
+                        rec.batch_size,
+                        rec.workers,
+                        rec.events,
+                        rec.wall_ms,
+                        rec.events_per_sec,
+                        rec.peak_queue_depth,
+                        rec.completed,
+                    );
+                    match best.iter_mut().find(|b| {
+                        b.scenario == rec.scenario
+                            && b.batch_size == rec.batch_size
+                            && b.workers == rec.workers
+                    }) {
+                        Some(b) if b.events_per_sec >= rec.events_per_sec => {}
+                        Some(b) => *b = rec,
+                        None => best.push(rec),
+                    }
                 }
             }
         }

@@ -205,10 +205,10 @@ impl AppWorkload {
 /// scenario runner behind [`fig5`], [`fig6`], [`fig8`] and the sweep
 /// harness.
 ///
-/// The system (and the `Rc`-based simulator inside it) is constructed,
-/// driven and dropped entirely within the calling thread; only the
-/// returned [`ExperimentOutcome`] (plain owned data) crosses thread
-/// boundaries in multi-threaded callers.
+/// The system (and the simulator inside it) is constructed, driven and
+/// dropped entirely within the calling thread; only the returned
+/// [`ExperimentOutcome`] (plain owned data) crosses thread boundaries
+/// in multi-threaded callers.
 #[must_use]
 pub fn run_app(
     workload: AppWorkload,

@@ -10,14 +10,15 @@
 //!
 //! # Thread-confinement boundary
 //!
-//! The simulator is single-threaded by construction: `Simulation` and
-//! `TStormSystem` hold `Rc<RefCell<…>>` state and are therefore
-//! `!Send`. A trial's system MUST be constructed, driven and dropped
-//! entirely **inside its worker thread** — [`run_trial`] does exactly
-//! that, and only the plain-data [`TrialResult`] crosses the thread
-//! boundary. The compiler enforces the boundary (moving a
-//! `TStormSystem` into another thread is a compile error); the
-//! `trial_results_are_send` test below documents it.
+//! `Simulation` and `TStormSystem` are `Send` (refcount-shared state
+//! uses `Arc`/`Mutex`), so moving a system across threads compiles —
+//! but this harness still confines each trial's system to its worker
+//! thread by convention: [`run_trial`] constructs, drives and drops
+//! the system inside one call, and only the plain-data [`TrialResult`]
+//! crosses the thread boundary. Confinement keeps every trial's state
+//! advance strictly serial (the determinism contract) and avoids any
+//! cross-trial sharing; the `trial_results_are_send` test below
+//! documents the result type's portability.
 //!
 //! # Seed derivation
 //!
@@ -252,9 +253,9 @@ impl SweepGrid {
     }
 }
 
-/// Runs one trial in the calling thread. The `TStormSystem` (and its
-/// `Rc`-based simulator) lives and dies inside this call; the result is
-/// plain owned data.
+/// Runs one trial in the calling thread. The `TStormSystem` lives and
+/// dies inside this call (see the module docs on thread confinement);
+/// the result is plain owned data.
 #[must_use]
 pub fn run_trial(spec: &TrialSpec) -> TrialResult {
     let faults = FaultPlan::from_specs(&spec.faults).expect("specs validated at expansion");
@@ -630,9 +631,10 @@ mod tests {
 
     #[test]
     fn trial_results_are_send() {
-        // The thread-confinement contract: results cross threads,
-        // systems do not (TStormSystem is !Send and will not compile
-        // into this assertion).
+        // The thread-confinement contract: results cross threads;
+        // systems stay inside their worker thread by convention (they
+        // are Send since the frame-parallel refactor, so the compiler
+        // no longer enforces it).
         fn assert_send<T: Send>() {}
         assert_send::<TrialResult>();
         assert_send::<TrialSpec>();

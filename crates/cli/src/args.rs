@@ -129,6 +129,10 @@ pub struct RunOptions {
     /// Pair-traffic counter backend override (`None` = engine default,
     /// which is sparse).
     pub pair_backend: Option<PairBackend>,
+    /// Observability lane threads for frame-synchronized parallel
+    /// stepping (`1` = the exact serial path). Parallel mode produces
+    /// byte-identical traces and reports to serial for every seed.
+    pub workers: u32,
 }
 
 impl Default for RunOptions {
@@ -161,8 +165,33 @@ impl Default for RunOptions {
             explain: false,
             scale: None,
             pair_backend: None,
+            workers: 1,
         }
     }
+}
+
+/// Strictly parses a `--workers` value: a positive integer, never
+/// silently replaced by a default. Shared with the bench binaries via
+/// `tstorm_bench::args` so every tool rejects the same inputs the same
+/// way.
+///
+/// The value is a *count of lane threads*, so the caller must still
+/// check it against the cluster size (workers ≤ nodes) once the
+/// effective node count is known — presets like `--scale` override
+/// `--nodes` after flag parsing.
+///
+/// # Errors
+///
+/// Returns a human-readable message (without the flag name) for zero or
+/// non-numeric input.
+pub fn parse_workers(raw: &str) -> Result<u32, String> {
+    let n: u32 = raw
+        .parse()
+        .map_err(|_| format!("`{raw}` is not an unsigned integer"))?;
+    if n == 0 {
+        return Err("must be at least 1 (1 = serial)".to_owned());
+    }
+    Ok(n)
 }
 
 /// A parsed invocation.
@@ -244,6 +273,10 @@ OPTIONS (run/compare):
                        nodes with a wide chain topology of 10k+
                        executors; overrides --topology/--nodes/--slots
     --pair-backend dense|sparse  pair-traffic counter backend [sparse]
+    --workers N        observability lane threads for frame-synchronized
+                       parallel stepping; must not exceed the cluster's
+                       node count. Output is byte-identical to serial
+                       [1 = serial]
 ";
 
 /// Parses a full argument list (excluding `argv[0]`).
@@ -369,6 +402,11 @@ where
                     ))
                 })?);
             }
+            "--workers" => {
+                let v = value(flag)?;
+                opts.workers =
+                    parse_workers(&v).map_err(|e| ParseError(format!("--workers: {e}")))?;
+            }
             "--pair-backend" => {
                 opts.pair_backend = Some(match value(flag)?.as_str() {
                     "dense" => PairBackend::Dense,
@@ -388,6 +426,13 @@ where
     }
     if opts.duration_secs == 0 {
         return Err(ParseError("--duration must be positive".to_owned()));
+    }
+    let effective_nodes = opts.scale.map_or(opts.nodes, ScaleClass::nodes);
+    if opts.workers > effective_nodes {
+        return Err(ParseError(format!(
+            "--workers: {} exceeds the {} worker nodes in the cluster",
+            opts.workers, effective_nodes
+        )));
     }
     Ok(opts)
 }
@@ -596,6 +641,51 @@ mod tests {
         assert_eq!(ScaleClass::Scale500.slots(), 4);
         assert_eq!(ScaleClass::parse("scale-100"), Ok(ScaleClass::Scale100));
         assert!(ScaleClass::parse("mega").is_err());
+    }
+
+    #[test]
+    fn parses_workers_flag() {
+        let Command::Run(o) = parse(args("run")).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(o.workers, 1, "parallel stepping is opt-in");
+
+        let Command::Run(o) = parse(args("run --workers 4")).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(o.workers, 4);
+
+        // Presets override --nodes, so their node count bounds workers.
+        let Command::Run(o) = parse(args("run --scale scale-100 --workers 64")).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(o.workers, 64);
+    }
+
+    #[test]
+    fn rejects_degenerate_workers() {
+        for bad in [
+            "run --workers 0",
+            "run --workers 1O", // letter O typo must not fall back to 10
+            "run --workers -2",
+            "run --workers",
+            "run --workers 11",                    // default cluster has 10 nodes
+            "run --nodes 4 --workers 5",           // explicit cluster, too small
+            "run --workers 101 --scale scale-100", // preset bound, any flag order
+        ] {
+            assert!(parse(args(bad)).is_err(), "{bad}");
+        }
+        // workers == nodes is the boundary and is allowed.
+        assert!(parse(args("run --nodes 4 --workers 4")).is_ok());
+    }
+
+    #[test]
+    fn parse_workers_reports_the_bad_value() {
+        assert_eq!(parse_workers("4"), Ok(4));
+        let msg = parse_workers("1O").unwrap_err();
+        assert!(msg.contains("1O"), "message names the bad value: {msg}");
+        let msg = parse_workers("0").unwrap_err();
+        assert!(msg.contains("at least 1"), "{msg}");
     }
 
     #[test]

@@ -13,9 +13,11 @@ fn main() -> ExitCode {
     let command = match args::parse(argv.iter()) {
         Ok(c) => c,
         Err(e) => {
+            // Exit 2 for malformed invocations, matching the bench
+            // binaries' strict-args convention (1 is a runtime failure).
             eprintln!("error: {e}");
             eprintln!("{USAGE}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(2);
         }
     };
     match command {

@@ -1,0 +1,82 @@
+//! End-to-end strict-argument tests for the `tstorm` binary: malformed
+//! invocations must exit 2 with a diagnostic naming the bad value,
+//! matching the bench binaries' convention — never silently fall back
+//! to a default.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_tstorm"))
+        .args(args)
+        .output()
+        .expect("binary launches")
+}
+
+#[test]
+fn malformed_workers_exits_two_and_names_the_value() {
+    // The classic letter-O typo must not silently run with 10 lanes.
+    let out = run(&["run", "--workers", "1O"]);
+    assert_eq!(out.status.code(), Some(2), "exit code for `--workers 1O`");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("1O"),
+        "stderr names the bad value: {stderr}"
+    );
+    assert!(stderr.contains("USAGE"), "stderr shows usage: {stderr}");
+}
+
+#[test]
+fn zero_and_missing_workers_exit_two() {
+    let out = run(&["run", "--workers", "0"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("at least 1"));
+
+    let out = run(&["run", "--workers"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("requires a value"));
+}
+
+#[test]
+fn workers_beyond_cluster_size_exit_two() {
+    // Default cluster is 10 nodes.
+    let out = run(&["run", "--workers", "11"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("exceeds the 10 worker nodes"),
+        "stderr explains the bound: {stderr}"
+    );
+
+    let out = run(&["run", "--nodes", "4", "--workers", "5"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn unknown_flags_still_exit_two() {
+    let out = run(&["run", "--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = run(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn valid_workers_run_exits_zero() {
+    let out = run(&[
+        "run",
+        "--topology",
+        "wordcount",
+        "--duration",
+        "30",
+        "--workers",
+        "2",
+        "--quiet",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("completed"), "summary printed: {stdout}");
+}

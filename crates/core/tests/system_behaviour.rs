@@ -11,6 +11,29 @@ fn cluster10() -> ClusterSpec {
     ClusterSpec::homogeneous(10, 4, Mhz::new(8000.0)).expect("valid")
 }
 
+/// The tentpole contract of the frame-parallel refactor: a fully
+/// assembled system (engine, workload logic, control plane) is `Send`
+/// and can be moved to another thread mid-run.
+#[test]
+fn assembled_system_is_send() {
+    fn assert_send<T: Send>() {}
+    assert_send::<TStormSystem>();
+
+    let p = ThroughputParams::small();
+    let topo = throughput::topology(&p).expect("valid");
+    let mut system =
+        TStormSystem::new(cluster10(), fast_config(SystemMode::TStorm, 1.0, 5)).expect("valid");
+    let mut f = throughput::factory(&p, 7);
+    system.submit(&topo, &mut f).expect("submits");
+    system.start().expect("starts");
+    system.run_until(SimTime::from_secs(5)).expect("runs");
+    let handle = std::thread::spawn(move || {
+        system.run_until(SimTime::from_secs(10)).expect("runs");
+        system.simulation().completed()
+    });
+    assert!(handle.join().expect("joins") > 0);
+}
+
 /// Shortened control periods so tests finish quickly while preserving
 /// monitor < fetch < generation ordering.
 fn fast_config(mode: SystemMode, gamma: f64, seed: u64) -> TStormConfig {

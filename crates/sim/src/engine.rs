@@ -4,14 +4,14 @@
 use crate::config::{PairBackend, ReassignMode, SimConfig};
 use crate::event::{BatchEnvelope, Envelope, EnvelopeKind, Event, EventQueue};
 use crate::fault::{FaultKind, FaultPlan};
+use crate::frame::{FrameBuf, LanePool, LaneStats, FRAME_CAPACITY};
 use crate::logic::ExecutorLogic;
 use crate::network::{classify, HopClass, Network};
 use crate::routing::{group_tasks_by_destination, select_tasks_into, RouteRule};
 use std::collections::{BTreeSet, VecDeque};
-use std::rc::Rc;
 use tstorm_cluster::{Assignment, AssignmentDiff, ClusterSpec};
 use tstorm_metrics::RunReport;
-use tstorm_topology::{ComponentSpec, CostProfile, ExecutionPlan, Topology, Value};
+use tstorm_topology::{ComponentSpec, CostProfile, ExecutionPlan, SharedValues, Topology, Value};
 use tstorm_trace::{extend_span, CriticalPathCollector, Observer, SpanChain, SpanSeg, TraceEvent};
 use tstorm_types::{
     Bytes, ComponentId, DetRng, ExecutorId, FxHashMap, FxHashSet, NodeId, Result, SimTime, Slab,
@@ -292,7 +292,7 @@ pub struct EngineStats {
     pub pool_hits: u64,
     /// Transfer boxes that had to be freshly allocated.
     pub pool_misses: u64,
-    /// Deep payload clones avoided by `Rc` sharing — one per routed
+    /// Deep payload clones avoided by [`SharedValues`] sharing — one per routed
     /// data envelope (each previously cloned the full value vector).
     pub payload_clones_avoided: u64,
     /// Largest number of events ever pending in the event queue.
@@ -367,7 +367,7 @@ struct BusyWork {
     /// The input message (`None` for spout emissions).
     env: Option<Box<Envelope>>,
     /// Tuples produced by the logic, to be routed at completion.
-    outputs: Vec<Rc<[Value]>>,
+    outputs: Vec<SharedValues>,
     started_at: SimTime,
     done_at: SimTime,
     /// For spout emissions: how many times this payload was replayed.
@@ -406,9 +406,9 @@ struct ExecRt {
     /// Time of the most recent emission attempt (rate control).
     last_tick: SimTime,
     /// Tuples waiting to be replayed, with their replay count and the
-    /// time the timeout queued them. Payloads stay `Rc`-shared with the
+    /// time the timeout queued them. Payloads stay refcount-shared with the
     /// root that timed out — replays never deep-clone values.
-    replay_queue: VecDeque<(Rc<[Value]>, u32, SimTime)>,
+    replay_queue: VecDeque<(SharedValues, u32, SimTime)>,
     /// Per-out-edge round-robin counters for direct grouping, indexed
     /// by the component's out-edge position.
     direct_counters: Box<[u32]>,
@@ -432,7 +432,7 @@ struct RootState {
     xor: u64,
     init_seen: bool,
     /// Payload retained for replay (empty when replay is disabled).
-    values: Rc<[Value]>,
+    values: SharedValues,
     replays: u32,
     /// Acker executor tracking this root, if the topology has ackers.
     acker: Option<ExecutorId>,
@@ -478,9 +478,9 @@ pub struct Simulation {
     /// `Vec` to collect the handler's emissions, and routing drains it —
     /// recycling the allocation removes a malloc/free pair from every
     /// serviced tuple.
-    outputs_pool: Vec<Vec<Rc<[Value]>>>,
+    outputs_pool: Vec<Vec<SharedValues>>,
     /// The shared empty payload (control messages, recycled envelopes).
-    empty_values: Rc<[Value]>,
+    empty_values: SharedValues,
     /// Scratch buffer reused by every routing task selection.
     task_scratch: Vec<u32>,
     pool_hits: u64,
@@ -550,6 +550,15 @@ pub struct Simulation {
     recovery_reassigned: bool,
     /// Fault-to-first-completion latencies (ms) of healed faults.
     recovery_latencies: Vec<f64>,
+    /// Observability lanes for frame-parallel stepping (1 = serial).
+    workers: u32,
+    /// Buffer of the frame currently being stepped. `Some` only while
+    /// [`Simulation::run_until`] runs in framed mode; emit sites buffer
+    /// into it instead of rendering inline.
+    frame: Option<FrameBuf>,
+    /// Persistent lane threads, spawned by the first framed `run_until`
+    /// and kept for the rest of the simulation.
+    lanes: Option<LanePool>,
 }
 
 /// Maps the simulator's hop classification onto the trace vocabulary
@@ -603,7 +612,7 @@ impl Simulation {
             env_pool: Vec::new(),
             batch_pool: Vec::new(),
             outputs_pool: Vec::new(),
-            empty_values: Rc::from(Vec::new()),
+            empty_values: SharedValues::from(Vec::new()),
             task_scratch: Vec::new(),
             pool_hits: 0,
             pool_misses: 0,
@@ -639,6 +648,9 @@ impl Simulation {
             recovery_fault_at: None,
             recovery_reassigned: false,
             recovery_latencies: Vec::new(),
+            workers: 1,
+            frame: None,
+            lanes: None,
         };
         sim.queue
             .push(sim.config.reassign.supervisor_poll, Event::SupervisorPoll);
@@ -822,26 +834,22 @@ impl Simulation {
     fn note_assignment_change(&mut self, old_slots: &BTreeSet<SlotId>, diff: &AssignmentDiff) {
         self.assignment_version += 1;
         let version = self.assignment_version;
-        let at = self.clock;
-        self.observer
-            .emit_with(at, || TraceEvent::AssignmentApplied {
-                version,
-                moved: diff.moved.len() as u64,
-                added: diff.added.len() as u64,
-                removed: diff.removed.len() as u64,
-            });
+        self.emit_trace(|| TraceEvent::AssignmentApplied {
+            version,
+            moved: diff.moved.len() as u64,
+            added: diff.added.len() as u64,
+            removed: diff.removed.len() as u64,
+        });
         let new_slots = self.current.slots_used();
         for slot in new_slots.difference(old_slots) {
             let node = self.cluster.node_of(*slot).index();
             let worker = slot.index();
-            self.observer
-                .emit_with(at, || TraceEvent::WorkerStart { node, worker });
+            self.emit_trace(|| TraceEvent::WorkerStart { node, worker });
         }
         for slot in old_slots.difference(&new_slots) {
             let node = self.cluster.node_of(*slot).index();
             let worker = slot.index();
-            self.observer
-                .emit_with(at, || TraceEvent::WorkerStop { node, worker });
+            self.emit_trace(|| TraceEvent::WorkerStop { node, worker });
         }
         self.observer.metrics(|m| {
             m.inc_counter(
@@ -856,11 +864,10 @@ impl Simulation {
         let placed = (diff.added.len() + diff.moved.len()) as u64;
         if self.recovery_fault_at.is_some() && !self.recovery_reassigned && placed > 0 {
             self.recovery_reassigned = true;
-            self.observer
-                .emit_with(at, || TraceEvent::ExecutorsReassigned {
-                    version,
-                    count: placed,
-                });
+            self.emit_trace(|| TraceEvent::ExecutorsReassigned {
+                version,
+                count: placed,
+            });
             self.observer.metrics(|m| {
                 m.inc_counter(
                     "tstorm_recovery_reassignments_total",
@@ -1040,18 +1047,132 @@ impl Simulation {
     }
 
     /// Runs the simulation until the given virtual time.
+    ///
+    /// With `workers > 1` and an enabled observability plane the chunk
+    /// runs in frame-parallel mode (`run_until_framed`);
+    /// otherwise — including `workers > 1` with nothing to observe,
+    /// where lanes would only add barrier overhead — it runs the exact
+    /// serial loop. Both paths produce byte-identical traces, reports
+    /// and counters for the same seed.
     pub fn run_until(&mut self, until: SimTime) {
+        if self.workers > 1 && (self.observer.is_enabled() || self.spans.is_some()) {
+            self.run_until_framed(until);
+        } else {
+            self.run_until_serial(until);
+        }
+    }
+
+    fn run_until_serial(&mut self, until: SimTime) {
         while let Some(t) = self.queue.peek_time() {
             if t > until {
                 break;
             }
-            let (t, event) = self.queue.pop().expect("peeked");
-            self.clock = t;
-            self.events_processed += 1;
-            self.handle(event);
+            self.step_one(t);
         }
         if until > self.clock {
             self.clock = until;
+        }
+    }
+
+    /// Pops and handles the event `peek_time` returned `t` for —
+    /// exactly one iteration of the serial loop, shared verbatim by the
+    /// framed loop so the state advance is identical in both modes.
+    #[inline]
+    fn step_one(&mut self, t: SimTime) {
+        let (_, event) = self.queue.pop().expect("peeked");
+        self.clock = t;
+        self.events_processed += 1;
+        self.handle(event);
+    }
+
+    /// Frame-parallel chunk: the coordinator advances simulation state
+    /// in the exact serial pop order, but buffers admitted trace events
+    /// and completed roots into a frame instead of rendering inline. At
+    /// each barrier the previous frame's results are merged back in
+    /// emission order and the new frame is dealt to the lanes, which
+    /// render while the coordinator steps the next frame (depth-1
+    /// pipelining). The pipeline is fully drained before returning, so
+    /// control-plane emissions between chunks stay globally ordered.
+    fn run_until_framed(&mut self, until: SimTime) {
+        if self.lanes.is_none() {
+            self.lanes = Some(LanePool::new(self.workers as usize));
+        }
+        self.frame = Some(FrameBuf::default());
+        loop {
+            while let Some(t) = self.queue.peek_time() {
+                if t > until {
+                    break;
+                }
+                self.step_one(t);
+                if self
+                    .frame
+                    .as_ref()
+                    .is_some_and(|f| f.len() >= FRAME_CAPACITY)
+                {
+                    break;
+                }
+            }
+            let items = self.frame.as_mut().expect("framed mode active").take();
+            let lanes = self.lanes.as_mut().expect("lane pool spawned above");
+            lanes.collect(&self.observer, &mut self.spans);
+            if items.is_empty() {
+                // The horizon was reached and nothing new was emitted:
+                // the stepping loop above only stops short of a full
+                // frame when no events at or before `until` remain.
+                break;
+            }
+            lanes.dispatch(items);
+        }
+        self.frame = None;
+        if until > self.clock {
+            self.clock = until;
+        }
+    }
+
+    /// Sets the number of observability lanes for frame-parallel
+    /// stepping. The default, 1, is the plain serial engine; values
+    /// above 1 parallelize trace rendering and critical-path
+    /// decomposition across that many persistent worker threads while
+    /// the state advance stays serial — output is byte-identical either
+    /// way. Values are clamped to at least 1; callers validate upper
+    /// bounds (the CLI rejects `workers > nodes`).
+    pub fn set_workers(&mut self, workers: u32) {
+        self.workers = workers.max(1);
+    }
+
+    /// The configured observability-lane count (1 = serial).
+    #[must_use]
+    pub fn workers(&self) -> u32 {
+        self.workers
+    }
+
+    /// Per-lane utilization counters, indexed by lane. Empty unless a
+    /// framed chunk has run (`workers > 1` with tracing or spans on).
+    #[must_use]
+    pub fn lane_stats(&self) -> Vec<LaneStats> {
+        self.lanes
+            .as_ref()
+            .map(|l| l.stats().to_vec())
+            .unwrap_or_default()
+    }
+
+    /// Emits a trace event: rendered inline in serial mode; in framed
+    /// mode the admission check (category filter + sampling counter)
+    /// runs now, in global emission order, and admitted events are
+    /// buffered for lane rendering. The closure only runs when the
+    /// observer is enabled, mirroring [`Observer::emit_with`].
+    #[inline]
+    fn emit_trace(&mut self, build: impl FnOnce() -> TraceEvent) {
+        if !self.observer.is_enabled() {
+            return;
+        }
+        let event = build();
+        if let Some(frame) = self.frame.as_mut() {
+            if self.observer.admits(&event) {
+                frame.trace(self.clock, event);
+            }
+        } else {
+            self.observer.emit(self.clock, &event);
         }
     }
 
@@ -1462,7 +1583,9 @@ impl Simulation {
         } else {
             let now = self.clock;
             match &mut self.executors[idx].logic {
-                ExecutorLogic::Spout(s) => s.next_tuple(now).map(|v| (Rc::from(v), 0, None)),
+                ExecutorLogic::Spout(s) => {
+                    s.next_tuple(now).map(|v| (SharedValues::from(v), 0, None))
+                }
                 _ => None,
             }
         };
@@ -1522,12 +1645,11 @@ impl Simulation {
         env.delivered_at = self.clock;
         self.executors[idx].queue.push_back(env);
         let depth = self.executors[idx].queue.len() as u64;
-        self.observer
-            .emit_with(self.clock, || TraceEvent::QueueEnter {
-                tuple,
-                executor: idx as u32,
-                depth,
-            });
+        self.emit_trace(|| TraceEvent::QueueEnter {
+            tuple,
+            executor: idx as u32,
+            depth,
+        });
         let id = ExecutorId::new(idx as u32);
         if self.is_available(idx) && self.executors[idx].busy.is_none() {
             self.try_start(id);
@@ -1546,22 +1668,20 @@ impl Simulation {
         {
             let tuple = env.root.map_or(u64::MAX, TupleId::get);
             let depth = self.executors[idx].queue.len() as u64;
-            self.observer
-                .emit_with(self.clock, || TraceEvent::QueueLeave {
-                    tuple,
-                    executor: idx as u32,
-                    depth,
-                });
-            self.observer
-                .emit_with(self.clock, || TraceEvent::ProcessStart {
-                    tuple,
-                    executor: idx as u32,
-                });
+            self.emit_trace(|| TraceEvent::QueueLeave {
+                tuple,
+                executor: idx as u32,
+                depth,
+            });
+            self.emit_trace(|| TraceEvent::ProcessStart {
+                tuple,
+                executor: idx as u32,
+            });
         }
-        let mut outputs: Vec<Rc<[Value]>> = self.outputs_pool.pop().unwrap_or_default();
+        let mut outputs: Vec<SharedValues> = self.outputs_pool.pop().unwrap_or_default();
         if env.kind == EnvelopeKind::Data {
             if let ExecutorLogic::Bolt(b) = &mut self.executors[idx].logic {
-                b.execute(&env.values, &mut |v| outputs.push(Rc::from(v)));
+                b.execute(&env.values, &mut |v| outputs.push(SharedValues::from(v)));
             }
         }
         let in_bytes: u64 = env.values.iter().map(Value::payload_bytes).sum();
@@ -1604,12 +1724,11 @@ impl Simulation {
                 .as_deref()
                 .map_or(u64::MAX, |e| e.root.map_or(u64::MAX, TupleId::get));
             let service_us = (work.done_at - work.started_at).as_micros();
-            self.observer
-                .emit_with(self.clock, || TraceEvent::ProcessDone {
-                    tuple,
-                    executor: idx as u32,
-                    service_us,
-                });
+            self.emit_trace(|| TraceEvent::ProcessDone {
+                tuple,
+                executor: idx as u32,
+                service_us,
+            });
         }
 
         match work.env {
@@ -1655,7 +1774,7 @@ impl Simulation {
     fn finish_spout_emission(
         &mut self,
         id: ExecutorId,
-        mut outputs: Vec<Rc<[Value]>>,
+        mut outputs: Vec<SharedValues>,
         replays: u32,
         replay_queued_at: Option<SimTime>,
     ) {
@@ -1665,11 +1784,10 @@ impl Simulation {
         let root_id = TupleId::new(self.next_tuple);
         self.next_tuple += 1;
         self.emitted += 1;
-        self.observer
-            .emit_with(self.clock, || TraceEvent::TupleEmit {
-                tuple: root_id.get(),
-                executor: idx as u32,
-            });
+        self.emit_trace(|| TraceEvent::TupleEmit {
+            tuple: root_id.get(),
+            executor: idx as u32,
+        });
         self.observer.metrics(|m| {
             m.inc_counter(
                 "tstorm_tuples_emitted_total",
@@ -1767,7 +1885,7 @@ impl Simulation {
         &mut self,
         id: ExecutorId,
         env: &Envelope,
-        mut outputs: Vec<Rc<[Value]>>,
+        mut outputs: Vec<SharedValues>,
         chain: SpanChain,
     ) {
         let idx = id.as_usize();
@@ -1816,7 +1934,7 @@ impl Simulation {
                 let root_id = env.root.expect("acker messages carry a root");
                 let handle = env.root_handle.expect("acker messages carry a root handle");
                 if matches!(env.kind, EnvelopeKind::AckerAck { .. }) {
-                    self.observer.emit_with(self.clock, || TraceEvent::Ack {
+                    self.emit_trace(|| TraceEvent::Ack {
                         tuple: root_id.get(),
                     });
                     self.observer.metrics(|m| {
@@ -1852,16 +1970,22 @@ impl Simulation {
         if let Some(root) = self.roots.remove(handle) {
             let root_id = root.id;
             let latency_ms = (self.clock - root.emit_at).as_millis_f64();
-            if let Some(spans) = self.spans.as_mut() {
-                spans.observe_root(root_id, root.emit_at, self.clock, chain);
+            if self.spans.is_some() {
+                // In framed mode the chain walk (a pure fold) is lane
+                // work; the collector absorbs the partial at the next
+                // barrier, in completion order. Serial mode folds inline.
+                if let Some(frame) = self.frame.as_mut() {
+                    frame.root(root_id, root.emit_at, self.clock, chain.clone());
+                } else if let Some(spans) = self.spans.as_mut() {
+                    spans.observe_root(root_id, root.emit_at, self.clock, chain);
+                }
             }
             self.report.record_latency(self.clock, latency_ms);
             self.completed += 1;
-            self.observer
-                .emit_with(self.clock, || TraceEvent::Complete {
-                    tuple: root_id.get(),
-                    latency_ms,
-                });
+            self.emit_trace(|| TraceEvent::Complete {
+                tuple: root_id.get(),
+                latency_ms,
+            });
             self.observer.metrics(|m| {
                 m.inc_counter(
                     "tstorm_tuples_completed_total",
@@ -1883,10 +2007,9 @@ impl Simulation {
                     self.recovery_reassigned = false;
                     let recovery_ms = (self.clock - fault_at).as_millis_f64();
                     self.recovery_latencies.push(recovery_ms);
-                    self.observer
-                        .emit_with(self.clock, || TraceEvent::RecoveryComplete {
-                            latency_ms: recovery_ms,
-                        });
+                    self.emit_trace(|| TraceEvent::RecoveryComplete {
+                        latency_ms: recovery_ms,
+                    });
                     self.observer.metrics(|m| {
                         m.observe(
                             "tstorm_recovery_latency_ms",
@@ -1906,7 +2029,7 @@ impl Simulation {
     ///
     /// The per-tuple cost here is the simulator's hottest code: task
     /// selection fills one reused scratch buffer, and every envelope
-    /// shares the payload `Rc` instead of deep-cloning values. Every
+    /// shares the payload refcount instead of deep-cloning values. Every
     /// created envelope inherits the producer's [`Lineage`].
     fn route_outputs(
         &mut self,
@@ -1914,7 +2037,7 @@ impl Simulation {
         topo_idx: usize,
         component: ComponentId,
         lineage: Lineage<'_>,
-        outputs: &mut Vec<Rc<[Value]>>,
+        outputs: &mut Vec<SharedValues>,
     ) -> (u64, u64) {
         let Lineage {
             root,
@@ -2044,14 +2167,13 @@ impl Simulation {
         let src_node = self.cluster.node_of(src_slot);
         let dst_node = self.cluster.node_of(dst_slot);
         let hop = classify(src_slot.index(), dst_slot.index(), src_node, dst_node);
-        self.observer
-            .emit_with(self.clock, || TraceEvent::TupleTransfer {
-                tuple: env.root.map_or(u64::MAX, TupleId::get),
-                from_executor: env.src.index(),
-                to_executor: env.dst.index(),
-                hop: trace_hop(hop),
-                bytes: payload.get(),
-            });
+        self.emit_trace(|| TraceEvent::TupleTransfer {
+            tuple: env.root.map_or(u64::MAX, TupleId::get),
+            from_executor: env.src.index(),
+            to_executor: env.dst.index(),
+            hop: trace_hop(hop),
+            bytes: payload.get(),
+        });
         self.observer.metrics(|m| {
             let labels = [("hop", trace_hop(hop).label())];
             m.inc_counter(
@@ -2124,14 +2246,13 @@ impl Simulation {
         let src_node = self.cluster.node_of(src_slot);
         let dst_node = self.cluster.node_of(dst_slot);
         let hop = classify(src_slot.index(), dst_slot.index(), src_node, dst_node);
-        self.observer
-            .emit_with(self.clock, || TraceEvent::TupleTransfer {
-                tuple: env.root.map_or(u64::MAX, TupleId::get),
-                from_executor: env.src.index(),
-                to_executor: env.dst.index(),
-                hop: trace_hop(hop),
-                bytes: payload.get(),
-            });
+        self.emit_trace(|| TraceEvent::TupleTransfer {
+            tuple: env.root.map_or(u64::MAX, TupleId::get),
+            from_executor: env.src.index(),
+            to_executor: env.dst.index(),
+            hop: trace_hop(hop),
+            bytes: payload.get(),
+        });
         self.observer.metrics(|m| {
             let labels = [("hop", trace_hop(hop).label())];
             m.inc_counter(
@@ -2317,12 +2438,11 @@ impl Simulation {
             };
             self.executors[idx].queue.push_back(boxed);
             let depth = self.executors[idx].queue.len() as u64;
-            self.observer
-                .emit_with(self.clock, || TraceEvent::QueueEnter {
-                    tuple,
-                    executor: idx as u32,
-                    depth,
-                });
+            self.emit_trace(|| TraceEvent::QueueEnter {
+                tuple,
+                executor: idx as u32,
+                depth,
+            });
         }
         self.recycle_batch(batch);
         let id = ExecutorId::new(idx as u32);
@@ -2382,7 +2502,7 @@ impl Simulation {
     /// Returns a drained output buffer to the pool, dropping any
     /// leftover payload references so values are not pinned while
     /// pooled. The vector keeps its capacity.
-    fn recycle_outputs(&mut self, mut outputs: Vec<Rc<[Value]>>) {
+    fn recycle_outputs(&mut self, mut outputs: Vec<SharedValues>) {
         if self.outputs_pool.len() >= ENVELOPE_POOL_CAP {
             return;
         }
@@ -2420,7 +2540,7 @@ impl Simulation {
         self.failed += 1;
         self.counters.failures += 1;
         self.report.failed.increment(self.clock);
-        self.observer.emit_with(self.clock, || TraceEvent::Timeout {
+        self.emit_trace(|| TraceEvent::Timeout {
             tuple: root_id.get(),
         });
         self.observer.metrics(|m| {
@@ -2442,7 +2562,7 @@ impl Simulation {
                 root.replays + 1,
                 self.clock,
             ));
-            self.observer.emit_with(self.clock, || TraceEvent::Replay {
+            self.emit_trace(|| TraceEvent::Replay {
                 tuple: root_id.get(),
             });
             self.observer.metrics(|m| {
@@ -2461,11 +2581,10 @@ impl Simulation {
             // the tuple is permanently failed, not just late.
             self.perm_failed += 1;
             let replays = u64::from(root.replays);
-            self.observer
-                .emit_with(self.clock, || TraceEvent::TupleFailed {
-                    tuple: root_id.get(),
-                    replays,
-                });
+            self.emit_trace(|| TraceEvent::TupleFailed {
+                tuple: root_id.get(),
+                replays,
+            });
             self.observer.metrics(|m| {
                 m.inc_counter(
                     "tstorm_tuples_failed_total",
@@ -2610,8 +2729,7 @@ impl Simulation {
         {
             let node = self.cluster.node_of(slot).index();
             let worker = slot.index();
-            self.observer
-                .emit_with(self.clock, || TraceEvent::WorkerStop { node, worker });
+            self.emit_trace(|| TraceEvent::WorkerStop { node, worker });
             self.observer.metrics(|m| {
                 m.inc_counter(
                     "tstorm_worker_failures_total",
@@ -2639,8 +2757,7 @@ impl Simulation {
         if let Some(s) = new_slot {
             let node = self.cluster.node_of(s).index();
             let worker = s.index();
-            self.observer
-                .emit_with(self.clock, || TraceEvent::WorkerStart { node, worker });
+            self.emit_trace(|| TraceEvent::WorkerStart { node, worker });
         }
         let ready_at = self.clock + self.config.reassign.worker_startup;
         for i in victims {
@@ -2694,12 +2811,11 @@ impl Simulation {
         };
         let worker = crashed_slot.map(|s| s.index());
         let name = kind.name();
-        self.observer
-            .emit_with(self.clock, || TraceEvent::FaultInjected {
-                kind: name.to_owned(),
-                node: node.map(|n| n.index()),
-                worker,
-            });
+        self.emit_trace(|| TraceEvent::FaultInjected {
+            kind: name.to_owned(),
+            node: node.map(|n| n.index()),
+            worker,
+        });
         self.observer.metrics(|m| {
             m.inc_counter(
                 "tstorm_faults_injected_total",
@@ -2758,8 +2874,7 @@ impl Simulation {
         {
             let node = self.cluster.node_of(slot).index();
             let worker = slot.index();
-            self.observer
-                .emit_with(self.clock, || TraceEvent::WorkerStop { node, worker });
+            self.emit_trace(|| TraceEvent::WorkerStop { node, worker });
         }
         let mut lost = 0u64;
         for i in victims {
@@ -2799,47 +2914,43 @@ impl Simulation {
     /// executors move here — the next schedule generation may use it.
     fn on_node_restart(&mut self, node: NodeId) {
         self.cluster.set_node_live(node, true);
-        self.observer
-            .emit_with(self.clock, || TraceEvent::FaultInjected {
-                kind: "node_restart".to_owned(),
-                node: Some(node.index()),
-                worker: None,
-            });
+        self.emit_trace(|| TraceEvent::FaultInjected {
+            kind: "node_restart".to_owned(),
+            node: Some(node.index()),
+            worker: None,
+        });
     }
 
     /// A Nimbus-crash window ends: the control plane may generate and
     /// recover again from its next decision point onwards.
     fn on_nimbus_restore(&mut self) {
         self.nimbus_down = false;
-        self.observer
-            .emit_with(self.clock, || TraceEvent::FaultInjected {
-                kind: "nimbus_restored".to_owned(),
-                node: None,
-                worker: None,
-            });
+        self.emit_trace(|| TraceEvent::FaultInjected {
+            kind: "nimbus_restored".to_owned(),
+            node: None,
+            worker: None,
+        });
     }
 
     /// A heartbeat-loss window ends: the node's next heartbeat reaches
     /// Nimbus again and reconciliation can begin.
     fn on_heartbeat_restore(&mut self, node: NodeId) {
         self.heartbeat_muted[node.as_usize()] = false;
-        self.observer
-            .emit_with(self.clock, || TraceEvent::FaultInjected {
-                kind: "heartbeat_restored".to_owned(),
-                node: Some(node.index()),
-                worker: None,
-            });
+        self.emit_trace(|| TraceEvent::FaultInjected {
+            kind: "heartbeat_restored".to_owned(),
+            node: Some(node.index()),
+            worker: None,
+        });
     }
 
     /// A transient NIC slowdown ends.
     fn on_nic_restore(&mut self, node: NodeId) {
         self.network.set_slow_factor(node, 1.0);
-        self.observer
-            .emit_with(self.clock, || TraceEvent::FaultInjected {
-                kind: "nic_restored".to_owned(),
-                node: Some(node.index()),
-                worker: None,
-            });
+        self.emit_trace(|| TraceEvent::FaultInjected {
+            kind: "nic_restored".to_owned(),
+            node: Some(node.index()),
+            worker: None,
+        });
     }
 
     fn on_resume(&mut self, id: ExecutorId) {
@@ -2931,4 +3042,32 @@ fn splitmix(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The tentpole contract: a whole simulation — payloads, span
+    /// chains, logic boxes, lanes — can move across threads.
+    #[test]
+    fn simulation_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Simulation>();
+        assert_send::<SharedValues>();
+        assert_send::<ExecutorLogic>();
+    }
+
+    #[test]
+    fn workers_clamp_to_at_least_one() {
+        let cluster =
+            ClusterSpec::homogeneous(1, 1, tstorm_types::Mhz::new(1000.0)).expect("valid cluster");
+        let mut sim = Simulation::new(cluster, SimConfig::default());
+        assert_eq!(sim.workers(), 1);
+        sim.set_workers(0);
+        assert_eq!(sim.workers(), 1);
+        sim.set_workers(4);
+        assert_eq!(sim.workers(), 4);
+        assert!(sim.lane_stats().is_empty(), "no framed chunk ran yet");
+    }
 }

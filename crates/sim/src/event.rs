@@ -13,22 +13,22 @@
 use crate::fault::FaultKind;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use std::rc::Rc;
-use tstorm_topology::Value;
+use tstorm_topology::SharedValues;
 use tstorm_trace::SpanChain;
 use tstorm_types::{ExecutorId, NodeId, SimTime, SlabHandle, SlotId, TupleId};
 
 /// Routing/acking metadata carried by every in-flight message.
 ///
 /// Envelopes are heap-boxed once and recycled through the engine's
-/// free-list pool; the payload is a shared `Rc<[Value]>` so fan-out
-/// (one emit delivered to many consumer tasks) bumps a refcount instead
-/// of deep-cloning the values per destination.
+/// free-list pool; the payload is a [`SharedValues`] (`Arc<[Value]>`) so
+/// fan-out (one emit delivered to many consumer tasks) bumps a refcount
+/// instead of deep-cloning the values per destination, and envelopes may
+/// cross thread boundaries.
 #[derive(Debug, Clone)]
 pub struct Envelope {
     /// Tuple payload (empty for acker control messages), shared across
     /// every destination of the same emit.
-    pub values: Rc<[Value]>,
+    pub values: SharedValues,
     /// Producing executor.
     pub src: ExecutorId,
     /// Consuming executor.

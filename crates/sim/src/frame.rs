@@ -1,0 +1,360 @@
+//! Frame-synchronized parallel stepping: the observability plane of a
+//! run, fanned out to persistent worker lanes.
+//!
+//! The engine's determinism contract (byte-identical traces and reports
+//! for equal seeds) pins the *state advance* to one strict global order:
+//! the RNG, the tuple/edge counters, the root slab and the workload
+//! stores are all consumed in event-pop order, so genuinely partitioned
+//! state stepping cannot reproduce the serial byte stream. What *is*
+//! embarrassingly parallel — and dominates traced runs — is the
+//! observability plane: rendering admitted [`TraceEvent`]s to JSONL
+//! (a pure function of `(time, event)`) and decomposing completed roots'
+//! span chains into critical-path partials (a pure chain walk with
+//! integer folds).
+//!
+//! In `--workers N` mode the coordinator therefore advances simulation
+//! state exactly as the serial engine would, but instead of rendering
+//! and folding inline it buffers *frame items* — admitted trace events
+//! and completed-root jobs, stamped by buffer position with their global
+//! emission sequence. At each frame barrier the buffered items are
+//! dealt to `N` persistent lane threads keyed by the item's node /
+//! executor affinity ([`TraceEvent::lane_key`]); lanes work while the
+//! coordinator steps the *next* frame (depth-1 pipelining), and results
+//! are merged back strictly in emission-sequence order before the next
+//! dispatch. Admission (category filter + 1-in-N sampling) happens at
+//! emit time on the coordinator, so the sampling counter advances in
+//! the exact serial order; merge order restores the exact serial sink
+//! order. Byte identity with `--workers 1` is therefore structural, not
+//! incidental — the equivalence suite and a CI `cmp` step enforce it.
+//!
+//! Every mailbox is plain data: owned [`TraceEvent`]s, `Arc`-shared
+//! span chains, rendered `String` lines and [`PathPartial`]s — no locks
+//! are shared with the stepping loop.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+use tstorm_trace::{
+    decompose_root, CriticalPathCollector, Observer, PathPartial, SpanChain, TraceEvent,
+};
+use tstorm_types::{SimTime, TupleId};
+
+/// Soft cap on buffered items per frame: a barrier is taken whenever the
+/// buffer reaches this size (or the stepping horizon is reached), which
+/// bounds frame memory and keeps lanes fed at a steady cadence.
+pub(crate) const FRAME_CAPACITY: usize = 512;
+
+/// One unit of observability work deferred to a lane.
+#[derive(Debug)]
+pub(crate) enum FrameItem {
+    /// An admitted trace event awaiting JSONL rendering.
+    Trace {
+        /// Virtual emission time.
+        at: SimTime,
+        /// The event itself (returned to the coordinator for
+        /// event-storing sinks).
+        event: TraceEvent,
+    },
+    /// A completed root awaiting critical-path decomposition.
+    Root {
+        /// Root tuple id.
+        tuple: TupleId,
+        /// Root emission time.
+        emit_at: SimTime,
+        /// Root completion time.
+        completed_at: SimTime,
+        /// Critical-path span chain (shared; `Arc` bump to enqueue).
+        chain: SpanChain,
+    },
+}
+
+impl FrameItem {
+    /// Deterministic lane-partition key: node/executor affinity for
+    /// trace events, tuple id for root decompositions.
+    fn lane_key(&self) -> u64 {
+        match self {
+            FrameItem::Trace { event, .. } => event.lane_key(),
+            FrameItem::Root { tuple, .. } => tuple.get(),
+        }
+    }
+}
+
+/// The coordinator-side buffer of the frame currently being stepped.
+/// Item order is global emission order — the merge key.
+#[derive(Debug, Default)]
+pub(crate) struct FrameBuf {
+    items: Vec<FrameItem>,
+}
+
+impl FrameBuf {
+    pub(crate) fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub(crate) fn trace(&mut self, at: SimTime, event: TraceEvent) {
+        self.items.push(FrameItem::Trace { at, event });
+    }
+
+    pub(crate) fn root(
+        &mut self,
+        tuple: TupleId,
+        emit_at: SimTime,
+        completed_at: SimTime,
+        chain: SpanChain,
+    ) {
+        self.items.push(FrameItem::Root {
+            tuple,
+            emit_at,
+            completed_at,
+            chain,
+        });
+    }
+
+    pub(crate) fn take(&mut self) -> Vec<FrameItem> {
+        std::mem::take(&mut self.items)
+    }
+}
+
+/// What a lane sends back for one job, in its per-lane FIFO order.
+enum LaneOut {
+    /// A rendered trace line (the event rides along for event-storing
+    /// sinks such as the ring buffer).
+    Line {
+        at: SimTime,
+        event: TraceEvent,
+        line: String,
+    },
+    /// A decomposed critical-path partial.
+    Partial(PathPartial),
+}
+
+enum LaneJob {
+    Item(FrameItem),
+    Shutdown,
+}
+
+/// Deterministic per-lane utilization counters, exposed through the
+/// flight recorder's `lanes` line and the `inspect lanes` section. All
+/// values are pure functions of the seed (dispatch content, never wall
+/// clock), so they are safe to record without breaking replay identity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LaneStats {
+    /// Frame barriers this lane participated in.
+    pub frames: u64,
+    /// Trace events rendered by this lane.
+    pub events: u64,
+    /// Root chains decomposed by this lane.
+    pub roots: u64,
+    /// Barriers at which this lane received no work (stalled idle while
+    /// siblings rendered).
+    pub idle_frames: u64,
+}
+
+/// `N` persistent lane threads plus their mailboxes. The pool lives for
+/// the rest of the simulation once the first framed `run_until` spawns
+/// it; dropping the pool shuts the lanes down and joins them.
+pub(crate) struct LanePool {
+    jobs: Vec<Sender<LaneJob>>,
+    results: Vec<Receiver<LaneOut>>,
+    handles: Vec<JoinHandle<()>>,
+    stats: Vec<LaneStats>,
+    /// Lane index of each in-flight item, in emission-sequence order —
+    /// the merge script for the next [`LanePool::collect`].
+    pending: Vec<usize>,
+}
+
+impl std::fmt::Debug for LanePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LanePool")
+            .field("lanes", &self.jobs.len())
+            .field("pending", &self.pending.len())
+            .finish()
+    }
+}
+
+fn lane_main(jobs: &Receiver<LaneJob>, out: &Sender<LaneOut>) {
+    while let Ok(job) = jobs.recv() {
+        let result = match job {
+            LaneJob::Item(FrameItem::Trace { at, event }) => {
+                let line = event.to_jsonl(at);
+                LaneOut::Line { at, event, line }
+            }
+            LaneJob::Item(FrameItem::Root {
+                tuple,
+                emit_at,
+                completed_at,
+                chain,
+            }) => LaneOut::Partial(decompose_root(tuple, emit_at, completed_at, &chain)),
+            LaneJob::Shutdown => break,
+        };
+        if out.send(result).is_err() {
+            break; // coordinator gone: nothing left to merge into
+        }
+    }
+}
+
+impl LanePool {
+    pub(crate) fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let mut jobs = Vec::with_capacity(workers);
+        let mut results = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (job_tx, job_rx) = channel::<LaneJob>();
+            let (out_tx, out_rx) = channel::<LaneOut>();
+            handles.push(std::thread::spawn(move || lane_main(&job_rx, &out_tx)));
+            jobs.push(job_tx);
+            results.push(out_rx);
+        }
+        Self {
+            jobs,
+            results,
+            handles,
+            stats: vec![LaneStats::default(); workers],
+            pending: Vec::new(),
+        }
+    }
+
+    /// Deals one frame's items to the lanes. Call [`Self::collect`]
+    /// first — at most one frame may be in flight (depth-1 pipelining).
+    pub(crate) fn dispatch(&mut self, items: Vec<FrameItem>) {
+        debug_assert!(self.pending.is_empty(), "previous frame not collected");
+        let n = self.jobs.len() as u64;
+        let mut touched = vec![false; self.jobs.len()];
+        for item in items {
+            let lane = (item.lane_key() % n) as usize;
+            touched[lane] = true;
+            match &item {
+                FrameItem::Trace { .. } => self.stats[lane].events += 1,
+                FrameItem::Root { .. } => self.stats[lane].roots += 1,
+            }
+            self.pending.push(lane);
+            // A send only fails if the lane panicked; the panic is
+            // re-raised at join time, so losing the item here is moot.
+            let _ = self.jobs[lane].send(LaneJob::Item(item));
+        }
+        for (lane, got_work) in touched.iter().enumerate() {
+            self.stats[lane].frames += 1;
+            if !got_work {
+                self.stats[lane].idle_frames += 1;
+            }
+        }
+    }
+
+    /// Blocks until the in-flight frame (if any) is fully merged:
+    /// rendered lines go to the observer's sinks and root partials into
+    /// the span collector, both strictly in emission-sequence order.
+    pub(crate) fn collect(
+        &mut self,
+        observer: &Observer,
+        spans: &mut Option<Box<CriticalPathCollector>>,
+    ) {
+        for &lane in &self.pending {
+            // Each lane is FIFO, so indexing the per-lane streams by the
+            // dispatch-order lane script reconstructs the global order.
+            match self.results[lane].recv() {
+                Ok(LaneOut::Line { at, event, line }) => {
+                    observer.record_rendered(at, &event, &line);
+                }
+                Ok(LaneOut::Partial(partial)) => {
+                    if let Some(collector) = spans.as_mut() {
+                        collector.absorb(&partial);
+                    }
+                }
+                Err(_) => break, // lane panicked; surfaced at join
+            }
+        }
+        self.pending.clear();
+    }
+
+    /// Per-lane utilization counters (index = lane).
+    pub(crate) fn stats(&self) -> &[LaneStats] {
+        &self.stats
+    }
+}
+
+impl Drop for LanePool {
+    fn drop(&mut self) {
+        for tx in &self.jobs {
+            let _ = tx.send(LaneJob::Shutdown);
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tstorm_trace::{extend_span, JsonlWriter, SharedSink, SpanSeg};
+    use tstorm_types::{ExecutorId, NodeId};
+
+    #[test]
+    fn pool_renders_in_emission_order_across_lanes() {
+        // Events with rotating lane keys: the merged sink order must be
+        // the dispatch (emission) order, not per-lane completion order.
+        let sink = SharedSink::new(JsonlWriter::new(Vec::new()));
+        let handle = sink.handle();
+        let observer = Observer::builder().sink(Box::new(sink)).build();
+        let mut pool = LanePool::new(3);
+        let mut expected = String::new();
+        let mut items = Vec::new();
+        for i in 0..20u64 {
+            let at = SimTime::from_micros(i);
+            let event = TraceEvent::Ack { tuple: i };
+            expected.push_str(&event.to_jsonl(at));
+            expected.push('\n');
+            items.push(FrameItem::Trace { at, event });
+        }
+        pool.dispatch(items);
+        pool.collect(&observer, &mut None);
+        drop(pool);
+        assert_eq!(handle.with(|w| w.lines_written()), 20);
+        // Byte-exact merge order: extract the buffer through the handle.
+        let rendered = handle.with(|w| String::from_utf8(w.get_ref().clone()).unwrap());
+        assert_eq!(rendered, expected);
+    }
+
+    #[test]
+    fn idle_lanes_are_counted() {
+        let observer = Observer::disabled();
+        let mut pool = LanePool::new(2);
+        // lane_key 0 for every item: lane 1 stays idle.
+        let items = vec![
+            FrameItem::Trace {
+                at: SimTime::ZERO,
+                event: TraceEvent::GammaChanged { gamma: 1.0 },
+            },
+            FrameItem::Trace {
+                at: SimTime::ZERO,
+                event: TraceEvent::GammaChanged { gamma: 2.0 },
+            },
+        ];
+        pool.dispatch(items);
+        pool.collect(&observer, &mut None);
+        assert_eq!(pool.stats()[0].events, 2);
+        assert_eq!(pool.stats()[0].idle_frames, 0);
+        assert_eq!(pool.stats()[1].idle_frames, 1);
+        assert_eq!(pool.stats()[1].frames, 1);
+    }
+
+    #[test]
+    fn root_jobs_reach_the_collector() {
+        let observer = Observer::disabled();
+        let mut spans = Some(Box::new(CriticalPathCollector::new()));
+        let chain = extend_span(
+            &None,
+            SpanSeg::service(ExecutorId::new(0), NodeId::new(0), 50),
+        );
+        let mut pool = LanePool::new(2);
+        pool.dispatch(vec![FrameItem::Root {
+            tuple: TupleId::new(9),
+            emit_at: SimTime::ZERO,
+            completed_at: SimTime::from_micros(50),
+            chain,
+        }]);
+        pool.collect(&observer, &mut spans);
+        assert_eq!(spans.as_ref().unwrap().totals().roots, 1);
+        assert_eq!(spans.as_ref().unwrap().totals().service_us, 50);
+    }
+}

@@ -2,9 +2,10 @@
 //!
 //! Workloads implement [`SpoutLogic`] and [`BoltLogic`]; the same logic
 //! runs unchanged under every scheduler — T-Storm's *user transparency*
-//! property. Logic does not need to be `Send`: the simulator is
-//! single-threaded, so logic may freely share `Rc<RefCell<…>>` handles to
-//! substrates (queues, stores).
+//! property. Logic must be `Send`: the engine itself is `Send` (so whole
+//! simulations can move across threads, as the sweep harness and the
+//! frame-parallel stepping mode require), which means logic shares
+//! substrate handles (queues, stores) via `Arc<Mutex<…>>`.
 
 use tstorm_topology::Value;
 use tstorm_types::SimTime;
@@ -28,9 +29,9 @@ pub trait BoltLogic {
 /// The executable attached to one executor.
 pub enum ExecutorLogic {
     /// A spout executor.
-    Spout(Box<dyn SpoutLogic>),
+    Spout(Box<dyn SpoutLogic + Send>),
     /// A bolt executor.
-    Bolt(Box<dyn BoltLogic>),
+    Bolt(Box<dyn BoltLogic + Send>),
     /// A system acker executor (behaviour is built into the engine).
     Acker,
 }
@@ -38,13 +39,13 @@ pub enum ExecutorLogic {
 impl ExecutorLogic {
     /// Convenience wrapper for spout logic.
     #[must_use]
-    pub fn spout(logic: impl SpoutLogic + 'static) -> Self {
+    pub fn spout(logic: impl SpoutLogic + Send + 'static) -> Self {
         ExecutorLogic::Spout(Box::new(logic))
     }
 
     /// Convenience wrapper for bolt logic.
     #[must_use]
-    pub fn bolt(logic: impl BoltLogic + 'static) -> Self {
+    pub fn bolt(logic: impl BoltLogic + Send + 'static) -> Self {
         ExecutorLogic::Bolt(Box::new(logic))
     }
 }

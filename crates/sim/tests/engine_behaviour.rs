@@ -1,9 +1,8 @@
 //! Behavioural tests of the simulation engine: tuple lifecycle, acking,
 //! groupings, Observation 1/2 dynamics, and re-assignment semantics.
 
-use std::cell::RefCell;
 use std::collections::HashSet;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 use tstorm_cluster::{Assignment, ClusterSpec};
 use tstorm_sim::{
     BoltLogic, ConstSpout, ExecutorLogic, IdentityBolt, ReassignMode, SimConfig, Simulation,
@@ -236,12 +235,12 @@ fn ackerless_topology_completes_by_refcounting() {
 
 /// Counting bolt that records every word it sees.
 struct RecordingBolt {
-    seen: Rc<RefCell<HashSet<String>>>,
+    seen: Arc<Mutex<HashSet<String>>>,
 }
 impl BoltLogic for RecordingBolt {
     fn execute(&mut self, input: &[Value], _emit: &mut dyn FnMut(Vec<Value>)) {
         if let Some(w) = input[0].as_str() {
-            self.seen.borrow_mut().insert(w.to_owned());
+            self.seen.lock().unwrap().insert(w.to_owned());
         }
     }
 }
@@ -273,8 +272,8 @@ fn fields_grouping_partitions_words_across_executors() {
         .num_workers(1)
         .build()
         .expect("valid");
-    let sets: Vec<Rc<RefCell<HashSet<String>>>> = (0..4)
-        .map(|_| Rc::new(RefCell::new(HashSet::new())))
+    let sets: Vec<Arc<Mutex<HashSet<String>>>> = (0..4)
+        .map(|_| Arc::new(Mutex::new(HashSet::new())))
         .collect();
     let sets_for_factory = sets.clone();
     let mut next_count = 0usize;
@@ -305,7 +304,7 @@ fn fields_grouping_partitions_words_across_executors() {
     let mut union = HashSet::new();
     let mut total = 0usize;
     for s in &sets {
-        let s = s.borrow();
+        let s = s.lock().unwrap();
         total += s.len();
         union.extend(s.iter().cloned());
     }
@@ -455,8 +454,8 @@ fn global_grouping_routes_everything_to_task_zero() {
         .num_workers(1)
         .build()
         .expect("valid");
-    let sets: Vec<Rc<RefCell<HashSet<String>>>> = (0..3)
-        .map(|_| Rc::new(RefCell::new(HashSet::new())))
+    let sets: Vec<Arc<Mutex<HashSet<String>>>> = (0..3)
+        .map(|_| Arc::new(Mutex::new(HashSet::new())))
         .collect();
     let sets2 = sets.clone();
     let mut i = 0usize;
@@ -475,9 +474,9 @@ fn global_grouping_routes_everything_to_task_zero() {
     sim.submit_topology(&topo, &mut f);
     sim.apply_assignment(&all_on_slot(&sim, 0));
     sim.run_until(SimTime::from_secs(5));
-    assert!(!sets[0].borrow().is_empty());
-    assert!(sets[1].borrow().is_empty());
-    assert!(sets[2].borrow().is_empty());
+    assert!(!sets[0].lock().unwrap().is_empty());
+    assert!(sets[1].lock().unwrap().is_empty());
+    assert!(sets[2].lock().unwrap().is_empty());
 }
 
 #[test]
@@ -489,8 +488,8 @@ fn all_grouping_broadcasts_to_every_executor() {
         .num_workers(1)
         .build()
         .expect("valid");
-    let sets: Vec<Rc<RefCell<HashSet<String>>>> = (0..3)
-        .map(|_| Rc::new(RefCell::new(HashSet::new())))
+    let sets: Vec<Arc<Mutex<HashSet<String>>>> = (0..3)
+        .map(|_| Arc::new(Mutex::new(HashSet::new())))
         .collect();
     let sets2 = sets.clone();
     let mut i = 0usize;
@@ -511,7 +510,7 @@ fn all_grouping_broadcasts_to_every_executor() {
     sim.run_until(SimTime::from_secs(5));
     for s in &sets {
         assert!(
-            !s.borrow().is_empty(),
+            !s.lock().unwrap().is_empty(),
             "broadcast must reach every executor"
         );
     }

@@ -5,7 +5,7 @@
 //! how much virtual time the tuple spent queued, being serviced, in
 //! flight on the network, or waiting for a replay. On fan-out each
 //! output envelope extends its parent's chain with one network segment —
-//! an `Rc` bump plus one allocation — so sibling branches share their
+//! an `Arc` bump plus one allocation — so sibling branches share their
 //! common prefix.
 //!
 //! When an ack root completes, the chain reaching the completing message
@@ -40,7 +40,7 @@ use crate::event::HopClass;
 use crate::json::ObjectWriter;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
-use std::rc::Rc;
+use std::sync::Arc;
 use tstorm_types::{ExecutorId, NodeId, SimTime, TupleId};
 
 /// What a span segment's time was spent on.
@@ -154,7 +154,10 @@ impl SpanSeg {
 }
 
 /// One link of a persistent span chain. Chains grow at the head; the
-/// shared tail is reference-counted so fan-out costs one `Rc` clone.
+/// shared tail is reference-counted so fan-out costs one `Arc` clone.
+/// Atomic counting (rather than `Rc`) lets chains cross thread
+/// boundaries: the engine's parallel stepping mode hands completed
+/// roots' chains to worker lanes for decomposition.
 #[derive(Debug)]
 pub struct SpanLink {
     /// The newest segment.
@@ -165,12 +168,12 @@ pub struct SpanLink {
 
 /// A possibly-empty span chain. `None` both for "no segments yet" and
 /// for "spans disabled", which keeps the disabled path allocation-free.
-pub type SpanChain = Option<Rc<SpanLink>>;
+pub type SpanChain = Option<Arc<SpanLink>>;
 
 /// Returns `parent` extended by `seg` (O(1), shares the prefix).
 #[must_use]
 pub fn extend(parent: &SpanChain, seg: SpanSeg) -> SpanChain {
-    Some(Rc::new(SpanLink {
+    Some(Arc::new(SpanLink {
         seg,
         parent: parent.clone(),
     }))
@@ -266,6 +269,73 @@ pub struct PathTotals {
     pub replay_us: u64,
 }
 
+/// One completed root's chain walk, decomposed off the critical path of
+/// the engine coordinator: the pointer chase and integer folds happen on
+/// a worker lane, and the (label-free) result is merged into the
+/// [`CriticalPathCollector`] via [`CriticalPathCollector::absorb`].
+/// Entries are keyed by [`ExecutorId`]/[`NodeId`] rather than display
+/// labels so lanes never need the collector's label table.
+#[derive(Debug, Clone)]
+pub struct PathPartial {
+    /// Per-root sums and segment count (the retained breakdown).
+    pub breakdown: RootBreakdown,
+    /// Queue/service segments in chain order: (owner, kind, µs).
+    comp_segs: Vec<(ExecutorId, SpanKind, u64)>,
+    /// Network segments in chain order.
+    net_segs: Vec<SpanSeg>,
+}
+
+/// Walks one completed root's span chain into a [`PathPartial`] — the
+/// pure half of [`CriticalPathCollector::observe_root`]. Safe to run on
+/// any thread: it touches nothing but the chain.
+#[must_use]
+pub fn decompose_root(
+    tuple: TupleId,
+    emit_at: SimTime,
+    completed_at: SimTime,
+    chain: &SpanChain,
+) -> PathPartial {
+    let latency_us = completed_at.saturating_sub(emit_at).as_micros();
+    let mut sums = [0u64; 4];
+    let mut segments: u32 = 0;
+    let mut comp_segs = Vec::new();
+    let mut net_segs = Vec::new();
+    let mut cur = chain;
+    while let Some(link) = cur {
+        let seg = &link.seg;
+        segments += 1;
+        match seg.kind {
+            SpanKind::Queue => {
+                sums[0] += seg.micros;
+                comp_segs.push((seg.executor, SpanKind::Queue, seg.micros));
+            }
+            SpanKind::Service => {
+                sums[1] += seg.micros;
+                comp_segs.push((seg.executor, SpanKind::Service, seg.micros));
+            }
+            SpanKind::Network => {
+                sums[2] += seg.micros;
+                net_segs.push(*seg);
+            }
+            SpanKind::Replay => sums[3] += seg.micros,
+        }
+        cur = &link.parent;
+    }
+    PathPartial {
+        breakdown: RootBreakdown {
+            tuple,
+            latency_us,
+            queue_us: sums[0],
+            service_us: sums[1],
+            network_us: sums[2],
+            replay_us: sums[3],
+            segments,
+        },
+        comp_segs,
+        net_segs,
+    }
+}
+
 /// Streaming aggregator of completed roots' critical paths.
 ///
 /// The engine feeds it one `(root, chain)` pair per completion; the
@@ -273,10 +343,10 @@ pub struct PathTotals {
 /// per-root breakdown list, so memory stays flat on long runs.
 #[derive(Debug, Default)]
 pub struct CriticalPathCollector {
-    labels: BTreeMap<ExecutorId, Rc<str>>,
+    labels: BTreeMap<ExecutorId, Arc<str>>,
     totals: PathTotals,
-    components: BTreeMap<Rc<str>, ComponentAgg>,
-    edges: BTreeMap<(Rc<str>, Rc<str>), EdgeAgg>,
+    components: BTreeMap<Arc<str>, ComponentAgg>,
+    edges: BTreeMap<(Arc<str>, Arc<str>), EdgeAgg>,
     node_pairs: BTreeMap<(NodeId, NodeId), NodePairAgg>,
     hop_classes: BTreeMap<&'static str, NodePairAgg>,
     breakdowns: Vec<RootBreakdown>,
@@ -308,21 +378,23 @@ impl CriticalPathCollector {
     /// Registers a display label (component name) for an executor.
     /// Unlabelled executors render as `exec-N`.
     pub fn set_label(&mut self, executor: ExecutorId, label: &str) {
-        self.labels.insert(executor, Rc::from(label));
+        self.labels.insert(executor, Arc::from(label));
     }
 
-    fn label_of(&self, executor: ExecutorId) -> Rc<str> {
+    fn label_of(&self, executor: ExecutorId) -> Arc<str> {
         self.labels
             .get(&executor)
             .cloned()
-            .unwrap_or_else(|| Rc::from(executor.to_string().as_str()))
+            .unwrap_or_else(|| Arc::from(executor.to_string().as_str()))
     }
 
     /// Folds one completed root into the aggregates.
     ///
     /// `chain` is the span chain of the message whose arrival completed
     /// the root (the critical path); `emit_at`/`completed_at` bound the
-    /// measured latency.
+    /// measured latency. Equivalent to `absorb(&decompose_root(..))` —
+    /// the serial and frame-parallel engine modes literally share this
+    /// code path, which is what makes their summaries byte-identical.
     pub fn observe_root(
         &mut self,
         tuple: TupleId,
@@ -330,81 +402,60 @@ impl CriticalPathCollector {
         completed_at: SimTime,
         chain: &SpanChain,
     ) {
-        let latency_us = completed_at.saturating_sub(emit_at).as_micros();
-        let mut sums = [0u64; 4];
-        let mut segments: u32 = 0;
-        let mut cur = chain;
-        while let Some(link) = cur {
-            let seg = &link.seg;
-            segments += 1;
-            match seg.kind {
-                SpanKind::Queue => {
-                    sums[0] += seg.micros;
-                    let c = self
-                        .components
-                        .entry(self.label_of(seg.executor))
-                        .or_default();
-                    c.segments += 1;
-                    c.queue_us += seg.micros;
-                }
-                SpanKind::Service => {
-                    sums[1] += seg.micros;
-                    let c = self
-                        .components
-                        .entry(self.label_of(seg.executor))
-                        .or_default();
-                    c.segments += 1;
-                    c.service_us += seg.micros;
-                }
-                SpanKind::Network => {
-                    sums[2] += seg.micros;
-                    let key = (
-                        self.label_of(seg.from_executor),
-                        self.label_of(seg.executor),
-                    );
-                    let e = self.edges.entry(key).or_default();
-                    e.hops += 1;
-                    e.network_us += seg.micros;
-                    if seg.from_node != seg.node {
-                        e.inter_node_hops += 1;
-                    }
-                    let np = self
-                        .node_pairs
-                        .entry((seg.from_node, seg.node))
-                        .or_default();
-                    np.hops += 1;
-                    np.network_us += seg.micros;
-                    let label = seg.hop.map_or("unknown", HopClass::label);
-                    let hc = self.hop_classes.entry(label).or_default();
-                    hc.hops += 1;
-                    hc.network_us += seg.micros;
-                }
-                SpanKind::Replay => sums[3] += seg.micros,
+        let partial = decompose_root(tuple, emit_at, completed_at, chain);
+        self.absorb(&partial);
+    }
+
+    /// Merges one lane-decomposed root into the aggregates. All updates
+    /// are integer sums / maxima over ordered maps, so absorbing partials
+    /// in root-completion order reproduces [`Self::observe_root`]'s state
+    /// exactly, regardless of which worker lane decomposed each chain.
+    pub fn absorb(&mut self, partial: &PathPartial) {
+        for (executor, kind, micros) in &partial.comp_segs {
+            let c = self.components.entry(self.label_of(*executor)).or_default();
+            c.segments += 1;
+            match kind {
+                SpanKind::Queue => c.queue_us += micros,
+                _ => c.service_us += micros,
             }
-            cur = &link.parent;
+        }
+        for net in &partial.net_segs {
+            let key = (
+                self.label_of(net.from_executor),
+                self.label_of(net.executor),
+            );
+            let e = self.edges.entry(key).or_default();
+            e.hops += 1;
+            e.network_us += net.micros;
+            if net.from_node != net.node {
+                e.inter_node_hops += 1;
+            }
+            let np = self
+                .node_pairs
+                .entry((net.from_node, net.node))
+                .or_default();
+            np.hops += 1;
+            np.network_us += net.micros;
+            let label = net.hop.map_or("unknown", HopClass::label);
+            let hc = self.hop_classes.entry(label).or_default();
+            hc.hops += 1;
+            hc.network_us += net.micros;
         }
 
+        let b = &partial.breakdown;
         self.totals.roots += 1;
-        if sums[3] > 0 {
+        if b.replay_us > 0 {
             self.totals.replayed_roots += 1;
         }
-        self.totals.latency_us += latency_us;
-        self.totals.max_latency_us = self.totals.max_latency_us.max(latency_us);
-        self.totals.queue_us += sums[0];
-        self.totals.service_us += sums[1];
-        self.totals.network_us += sums[2];
-        self.totals.replay_us += sums[3];
+        self.totals.latency_us += b.latency_us;
+        self.totals.max_latency_us = self.totals.max_latency_us.max(b.latency_us);
+        self.totals.queue_us += b.queue_us;
+        self.totals.service_us += b.service_us;
+        self.totals.network_us += b.network_us;
+        self.totals.replay_us += b.replay_us;
 
         if self.breakdowns.len() < self.max_breakdowns {
-            self.breakdowns.push(RootBreakdown {
-                tuple,
-                latency_us,
-                queue_us: sums[0],
-                service_us: sums[1],
-                network_us: sums[2],
-                replay_us: sums[3],
-                segments,
-            });
+            self.breakdowns.push(*b);
         } else {
             self.dropped_breakdowns += 1;
         }
@@ -640,7 +691,7 @@ mod tests {
             SpanSeg::network(e(0), n(0), e(2), n(0), HopClass::InterProcess, 120),
         );
         // Both branches point at the same parent link.
-        assert!(Rc::ptr_eq(
+        assert!(Arc::ptr_eq(
             left.as_ref().unwrap().parent.as_ref().unwrap(),
             right.as_ref().unwrap().parent.as_ref().unwrap(),
         ));
@@ -746,6 +797,46 @@ mod tests {
         assert_eq!(t.replayed_roots, 1);
         assert_eq!(t.replay_us, 30_000);
         assert_eq!(t.latency_us, 200);
+    }
+
+    #[test]
+    fn decompose_then_absorb_matches_observe_root() {
+        // The frame-parallel engine decomposes chains on worker lanes and
+        // absorbs the partials in completion order; the result must be
+        // indistinguishable from the serial observe_root path.
+        let chain = extend(
+            &extend(
+                &extend(
+                    &extend(&None, SpanSeg::replay(e(0), n(0), 7_000)),
+                    SpanSeg::network(e(0), n(0), e(1), n(1), HopClass::InterNode, 500),
+                ),
+                SpanSeg::queue(e(1), n(1), 40),
+            ),
+            SpanSeg::service(e(1), n(1), 60),
+        );
+        let mut serial = CriticalPathCollector::new();
+        let mut framed = CriticalPathCollector::new();
+        for c in [&mut serial, &mut framed] {
+            c.set_label(e(0), "spout");
+            c.set_label(e(1), "bolt");
+        }
+        serial.observe_root(
+            TupleId::new(3),
+            SimTime::from_micros(1_000),
+            SimTime::from_micros(1_600),
+            &chain,
+        );
+        let partial = decompose_root(
+            TupleId::new(3),
+            SimTime::from_micros(1_000),
+            SimTime::from_micros(1_600),
+            &chain,
+        );
+        framed.absorb(&partial);
+        assert_eq!(serial.to_json(), framed.to_json());
+        assert_eq!(serial.render_summary(), framed.render_summary());
+        assert_eq!(serial.breakdowns(), framed.breakdowns());
+        assert_eq!(serial.totals(), framed.totals());
     }
 
     #[test]

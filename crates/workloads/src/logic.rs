@@ -1,16 +1,17 @@
 //! Spout and bolt implementations shared by the workloads.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 use tstorm_sim::{BoltLogic, SpoutLogic};
 use tstorm_substrates::{LogEntry, MongoStore, RedisQueue};
 use tstorm_topology::Value;
 use tstorm_types::{DetRng, FxHashMap, SimTime};
 
-/// Shared handle to a Redis-like queue (single-threaded simulation).
-pub type SharedQueue = Rc<RefCell<RedisQueue>>;
-/// Shared handle to a Mongo-like store.
-pub type SharedStore = Rc<RefCell<MongoStore>>;
+/// Shared handle to a Redis-like queue. `Arc<Mutex<…>>` keeps the logic
+/// `Send` (the engine's contract); the mutex is uncontended — the
+/// coordinator advances all executors on one thread.
+pub type SharedQueue = Arc<Mutex<RedisQueue>>;
+/// Shared handle to a Mongo-like store; see [`SharedQueue`].
+pub type SharedStore = Arc<Mutex<MongoStore>>;
 
 /// The Throughput Test spout: "repeatedly generates random strings of a
 /// fixed size of 10K bytes as input tuples".
@@ -97,7 +98,8 @@ impl QueueSpout {
 impl SpoutLogic for QueueSpout {
     fn next_tuple(&mut self, now: SimTime) -> Option<Vec<Value>> {
         self.queue
-            .borrow_mut()
+            .lock()
+            .unwrap()
             .pop(now)
             .map(|line| vec![Value::str(line)])
     }
@@ -262,7 +264,7 @@ impl BoltLogic for MongoUpsertBolt {
         let (Some(key), Some(value)) = (input.first(), input.get(1)) else {
             return;
         };
-        self.store.borrow_mut().upsert_kv(
+        self.store.lock().unwrap().upsert_kv(
             &self.collection,
             &self.key_field,
             render(key, &mut self.key_buf),
@@ -414,9 +416,9 @@ mod tests {
 
     #[test]
     fn queue_spout_pops_in_order_and_empties() {
-        let queue: SharedQueue = Rc::new(RefCell::new(RedisQueue::new("q")));
-        queue.borrow_mut().push("one".into());
-        queue.borrow_mut().push("two".into());
+        let queue: SharedQueue = Arc::new(Mutex::new(RedisQueue::new("q")));
+        queue.lock().unwrap().push("one".into());
+        queue.lock().unwrap().push("two".into());
         let mut s = QueueSpout::new(queue);
         assert_eq!(
             s.next_tuple(SimTime::ZERO).unwrap()[0].as_str(),
@@ -452,12 +454,12 @@ mod tests {
 
     #[test]
     fn mongo_upsert_bolt_keeps_one_row_per_key() {
-        let store: SharedStore = Rc::new(RefCell::new(MongoStore::new()));
+        let store: SharedStore = Arc::new(Mutex::new(MongoStore::new()));
         let mut b = MongoUpsertBolt::new(store.clone(), "words", "word", "count");
         b.execute(&[Value::str("cat"), Value::Int(1)], &mut |_| {});
         b.execute(&[Value::str("cat"), Value::Int(2)], &mut |_| {});
         b.execute(&[Value::str("dog"), Value::Int(1)], &mut |_| {});
-        let s = store.borrow();
+        let s = store.lock().unwrap();
         assert_eq!(s.count("words"), 2);
         assert_eq!(
             s.find_by("words", "word", "cat").unwrap().get("count"),

@@ -17,8 +17,7 @@ use crate::logic::{
     IndexerBolt, LogRulesBolt, MongoUpsertBolt, QueueSpout, SharedQueue, SharedStore,
     StatusCounterBolt,
 };
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 use tstorm_sim::ExecutorLogic;
 use tstorm_substrates::{IisLogGenerator, MongoStore, RedisQueue};
 use tstorm_topology::{
@@ -96,8 +95,8 @@ impl LogStreamState {
     #[must_use]
     pub fn new() -> Self {
         Self {
-            queue: Rc::new(RefCell::new(RedisQueue::new("logstash"))),
-            store: Rc::new(RefCell::new(MongoStore::new())),
+            queue: Arc::new(Mutex::new(RedisQueue::new("logstash"))),
+            store: Arc::new(Mutex::new(MongoStore::new())),
         }
     }
 
@@ -111,7 +110,7 @@ impl LogStreamState {
         seed: u64,
     ) -> tstorm_substrates::ProducerHandle {
         let mut generator = IisLogGenerator::new(seed);
-        self.queue.borrow_mut().add_producer(
+        self.queue.lock().unwrap().add_producer(
             start,
             lines_per_sec,
             Box::new(move |_| generator.next_json()),
@@ -251,7 +250,7 @@ mod tests {
         sim.run_until(SimTime::from_secs(30));
 
         assert!(sim.completed() > 500, "completed {}", sim.completed());
-        let store = state.store.borrow();
+        let store = state.store.lock().unwrap();
         assert!(
             store.count("index") > 10,
             "index rows {}",

@@ -14,8 +14,7 @@
 use crate::logic::{
     MongoUpsertBolt, QueueSpout, SharedQueue, SharedStore, SplitSentenceBolt, WordCountBolt,
 };
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 use tstorm_sim::ExecutorLogic;
 use tstorm_substrates::{CorpusReader, MongoStore, RedisQueue, ZipfCorpus};
 use tstorm_topology::{
@@ -91,8 +90,8 @@ impl WordCountState {
     #[must_use]
     pub fn new() -> Self {
         Self {
-            queue: Rc::new(RefCell::new(RedisQueue::new("wordcount-lines"))),
-            store: Rc::new(RefCell::new(MongoStore::new())),
+            queue: Arc::new(Mutex::new(RedisQueue::new("wordcount-lines"))),
+            store: Arc::new(Mutex::new(MongoStore::new())),
         }
     }
 
@@ -105,7 +104,7 @@ impl WordCountState {
         lines_per_sec: f64,
     ) -> tstorm_substrates::ProducerHandle {
         let mut corpus = CorpusReader::alice();
-        self.queue.borrow_mut().add_producer(
+        self.queue.lock().unwrap().add_producer(
             start,
             lines_per_sec,
             Box::new(move |_| corpus.next_line().to_owned()),
@@ -122,7 +121,7 @@ impl WordCountState {
         seed: u64,
     ) -> tstorm_substrates::ProducerHandle {
         let mut corpus = ZipfCorpus::new(vocabulary, 10, seed);
-        self.queue.borrow_mut().add_producer(
+        self.queue.lock().unwrap().add_producer(
             start,
             lines_per_sec,
             Box::new(move |_| corpus.next_line()),
@@ -242,7 +241,7 @@ mod tests {
         sim.run_until(SimTime::from_secs(30));
 
         assert!(sim.completed() > 500, "completed {}", sim.completed());
-        let store = state.store.borrow();
+        let store = state.store.lock().unwrap();
         assert!(
             store.count("words") > 50,
             "words rows {}",
@@ -250,7 +249,7 @@ mod tests {
         );
         // Spot-check a frequent word: the stored count can only lag the
         // ground truth (tuples still in flight), never exceed it.
-        let popped = state.queue.borrow().popped();
+        let popped = state.queue.lock().unwrap().popped();
         let truth = CorpusReader::alice().expected_word_counts(popped);
         let stored: u64 = store
             .find_by("words", "word", "the")
@@ -297,7 +296,7 @@ mod tests {
         sim.run_until(SimTime::from_secs(20));
         assert!(sim.completed() > 300, "completed {}", sim.completed());
         // The Zipf head word dominates the store.
-        let store = state.store.borrow();
+        let store = state.store.lock().unwrap();
         assert!(store.count("words") > 100);
         assert!(store.find_by("words", "word", "w00000").is_some());
     }

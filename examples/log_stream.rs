@@ -63,7 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         system.overload_events(),
         nodes
     );
-    let store = state.store.borrow();
+    let store = state.store.lock().unwrap();
     println!(
         "Mongo verification: {} indexed URIs, {} status classes.",
         store.count("index"),

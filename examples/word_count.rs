@@ -59,8 +59,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         // Verify results against ground truth: stored counts never exceed
         // the exact count of the lines consumed so far.
-        let store = state.store.borrow();
-        let popped = state.queue.borrow().popped();
+        let store = state.store.lock().unwrap();
+        let popped = state.queue.lock().unwrap().popped();
         let truth = CorpusReader::alice().expected_word_counts(popped);
         let stored: u64 = store
             .find_by("words", "word", "the")

@@ -48,7 +48,7 @@ fn two_topologies_share_the_cluster() {
     assert!(system.simulation().completed() > 5_000);
     assert_eq!(system.simulation().failed(), 0);
     // Both topologies made progress: word rows exist in Mongo.
-    assert!(state.store.borrow().count("words") > 20);
+    assert!(state.store.lock().unwrap().count("words") > 20);
 
     // The live assignment satisfies the structural constraints for the
     // combined executor population.

@@ -1,0 +1,258 @@
+//! Frame-parallel equivalence suite: the determinism contract of
+//! `--workers N`.
+//!
+//! Parallel stepping moves JSONL rendering and span decomposition onto
+//! lane threads but advances all simulation state on the coordinator in
+//! the exact serial order, so for every scenario, seed, fault plan,
+//! batch size and pair backend the workers-N run must be
+//! **byte-identical** to the serial run: same JSONL trace, same report,
+//! same `pair_tuples()` contents, same critical-path summary. These
+//! tests pin that on the four simbench scenarios — wordcount,
+//! fault-replay (non-empty plan including a nimbus crash), the
+//! batch-8 transfer overload, and scale-100-sparse — at workers 1, 2
+//! and 4 (capped by each scenario's node count), plus a regression
+//! asserting the `--engine-stats-json` object is identical workers 1
+//! vs N (per-lane stats are deliberately excluded from it: they live
+//! only in the flight recording's `lanes` line, because the line's
+//! mere presence depends on the worker count).
+
+use tstorm::cluster::ClusterSpec;
+use tstorm::core::{SystemMode, TStormConfig, TStormSystem};
+use tstorm::metrics::RunReport;
+use tstorm::sim::{FaultPlan, PairBackend};
+use tstorm::trace::{JsonlWriter, Observer, SharedSink};
+use tstorm::types::{Mhz, SimTime};
+use tstorm::workloads::chain;
+use tstorm::workloads::throughput::{self, ThroughputParams};
+use tstorm::workloads::transfer::{self, TransferParams};
+use tstorm::workloads::wordcount::{self, WordCountParams, WordCountState};
+use tstorm_cli::args::{RunOptions, ScaleClass};
+use tstorm_cli::scenario::{run_scenario, scale_chain_params, scale_cluster, Topology};
+
+/// Everything a run produces that the determinism contract pins.
+#[derive(Debug, Clone, PartialEq)]
+struct Artifacts {
+    trace: String,
+    report: RunReport,
+    /// `pair_tuples()` contents, sorted by (src, dst) so the assertion
+    /// is element-for-element regardless of store iteration order.
+    pairs: Vec<(u32, u32, u64)>,
+    spans_summary: Option<String>,
+    completed: u64,
+    emitted: u64,
+    failed: u64,
+}
+
+/// Attaches a byte-capturing trace sink and spans, applies the fault
+/// plan, runs to `until`, and extracts every pinned artifact.
+fn drive(
+    mut system: TStormSystem,
+    workers: u32,
+    plan: Option<&FaultPlan>,
+    until: u64,
+) -> Artifacts {
+    let sink = SharedSink::new(JsonlWriter::new(Vec::new()));
+    let obs = Observer::builder().sink(Box::new(sink.handle())).build();
+    system.set_observer(obs);
+    system.enable_spans();
+    system.set_workers(workers);
+    system.start().expect("starts");
+    if let Some(plan) = plan {
+        system
+            .simulation_mut()
+            .apply_fault_plan(plan)
+            .expect("applies");
+    }
+    system.run_until(SimTime::from_secs(until)).expect("runs");
+    let report = system.report("parallel-equivalence");
+    let sim = system.simulation();
+    let spans_summary = sim
+        .spans()
+        .map(tstorm::trace::CriticalPathCollector::render_summary);
+    let (completed, emitted, failed) = (sim.completed(), sim.emitted(), sim.failed());
+    // `pair_tuples()` iterates row-major for both backends; the sort
+    // just makes the element-for-element assertion order-independent.
+    let mut pairs: Vec<(u32, u32, u64)> = system
+        .simulation_mut()
+        .drain_counters()
+        .pair_tuples()
+        .map(|(a, b, n)| (a.index(), b.index(), n))
+        .collect();
+    pairs.sort_unstable();
+    Artifacts {
+        trace: sink.with(|w| String::from_utf8(w.get_ref().clone()).expect("utf8 trace")),
+        report,
+        pairs,
+        spans_summary,
+        completed,
+        emitted,
+        failed,
+    }
+}
+
+/// Asserts every artifact equal between the serial base and a
+/// workers-N run, with trace divergence located line-by-line.
+fn assert_identical(base: &Artifacts, other: &Artifacts, what: &str) {
+    if base.trace != other.trace {
+        for (i, (a, b)) in base.trace.lines().zip(other.trace.lines()).enumerate() {
+            assert_eq!(a, b, "{what}: traces diverge at line {i}");
+        }
+        assert_eq!(
+            base.trace.lines().count(),
+            other.trace.lines().count(),
+            "{what}: trace line counts differ"
+        );
+    }
+    assert_eq!(base.report, other.report, "{what}: reports differ");
+    assert_eq!(base.pairs, other.pairs, "{what}: pair_tuples differ");
+    assert_eq!(
+        base.spans_summary, other.spans_summary,
+        "{what}: span summaries differ"
+    );
+    assert_eq!(
+        (base.completed, base.emitted, base.failed),
+        (other.completed, other.emitted, other.failed),
+        "{what}: scalars differ"
+    );
+}
+
+fn wordcount_system(batch_size: u32) -> TStormSystem {
+    let cluster = ClusterSpec::homogeneous(10, 4, Mhz::new(8000.0)).expect("valid");
+    let mut config = TStormConfig::default()
+        .with_mode(SystemMode::TStorm)
+        .with_seed(42);
+    config.sim.batch_size = batch_size;
+    let mut system = TStormSystem::new(cluster, config).expect("valid");
+    let p = WordCountParams::paper();
+    let topo = wordcount::topology(&p).expect("valid");
+    let state = WordCountState::new();
+    state.attach_corpus_producer(SimTime::ZERO, 300.0);
+    let mut f = wordcount::factory(&state);
+    system.submit(&topo, &mut f).expect("submits");
+    system
+}
+
+#[test]
+fn wordcount_is_identical_at_every_worker_count() {
+    let base = drive(wordcount_system(1), 1, None, 30);
+    assert!(base.completed > 1_000, "the run makes progress");
+    assert!(!base.trace.is_empty(), "the trace is non-trivial");
+    for workers in [2, 4] {
+        let parallel = drive(wordcount_system(1), workers, None, 30);
+        assert_identical(&base, &parallel, &format!("wordcount workers={workers}"));
+    }
+}
+
+fn fault_replay_system() -> (TStormSystem, FaultPlan) {
+    let cluster = ClusterSpec::homogeneous(6, 4, Mhz::new(8000.0)).expect("valid");
+    let config = TStormConfig::default()
+        .with_mode(SystemMode::TStorm)
+        .with_seed(42);
+    let mut system = TStormSystem::new(cluster, config).expect("valid");
+    let p = ThroughputParams::paper();
+    let topo = throughput::topology(&p).expect("valid");
+    let mut f = throughput::factory(&p, 42);
+    system.submit(&topo, &mut f).expect("submits");
+    // Non-empty plan: a node crash with restart, a NIC slowdown, and a
+    // nimbus outage overlapping the crash so recovery is suppressed.
+    let plan = FaultPlan::from_specs([
+        "node-crash@t=30,node=2,restart=40",
+        "nic-slow@t=15,node=1,factor=4,dur=20",
+        "nimbus-crash@t=25,dur=30",
+    ])
+    .expect("valid plan");
+    (system, plan)
+}
+
+#[test]
+fn fault_replay_with_nimbus_crash_is_identical_at_every_worker_count() {
+    let (system, plan) = fault_replay_system();
+    let base = drive(system, 1, Some(&plan), 90);
+    assert!(base.failed > 0, "the crash must cost tuples: {base:?}");
+    for workers in [2, 4] {
+        let (system, plan) = fault_replay_system();
+        let parallel = drive(system, workers, Some(&plan), 90);
+        assert_identical(&base, &parallel, &format!("fault-replay workers={workers}"));
+    }
+}
+
+fn overload_system() -> TStormSystem {
+    let cluster = ClusterSpec::homogeneous(2, 1, Mhz::new(8000.0)).expect("valid");
+    let mut config = TStormConfig::default()
+        .with_mode(SystemMode::StormDefault)
+        .with_seed(42);
+    config.sim.batch_size = 8;
+    config.sim.network.nic_bits_per_sec = 10_000_000;
+    let mut system = TStormSystem::new(cluster, config).expect("valid");
+    let p = TransferParams::overload();
+    let topo = transfer::topology(&p).expect("valid");
+    let mut f = transfer::factory(&p, 42);
+    system.submit(&topo, &mut f).expect("submits");
+    system
+}
+
+#[test]
+fn overload_batch8_is_identical_in_parallel() {
+    // The overload cluster has 2 nodes, which caps workers at 2 under
+    // the CLI's workers <= nodes rule.
+    let base = drive(overload_system(), 1, None, 10);
+    let parallel = drive(overload_system(), 2, None, 10);
+    assert_identical(&base, &parallel, "overload batch=8 workers=2");
+}
+
+fn scale_system() -> TStormSystem {
+    let cluster = scale_cluster(ScaleClass::Scale100).expect("valid");
+    let mut config = TStormConfig::default()
+        .with_mode(SystemMode::TStorm)
+        .with_seed(42);
+    config.sim.pair_backend = PairBackend::Sparse;
+    let mut system = TStormSystem::new(cluster, config).expect("valid");
+    let p = scale_chain_params(ScaleClass::Scale100);
+    let topo = chain::topology(&p).expect("valid");
+    let mut f = chain::factory(&p, 42);
+    system.submit(&topo, &mut f).expect("submits");
+    system
+}
+
+#[test]
+fn scale_100_sparse_is_identical_at_every_worker_count() {
+    let base = drive(scale_system(), 1, None, 10);
+    assert!(base.completed > 0, "the preset makes progress");
+    for workers in [2, 4] {
+        let parallel = drive(scale_system(), workers, None, 10);
+        assert_identical(
+            &base,
+            &parallel,
+            &format!("scale-100-sparse workers={workers}"),
+        );
+    }
+}
+
+#[test]
+fn engine_stats_json_is_identical_workers_1_vs_n() {
+    // Per-lane stats are excluded from the engine-stats JSON by design
+    // (they are recorder-only: the `lanes` line exists exactly when
+    // lanes ran, so including them here would break this identity).
+    let run = |workers: u32| {
+        let outcome = run_scenario(&RunOptions {
+            topology: Topology::WordCount,
+            duration_secs: 30,
+            rate: 100.0,
+            spans: true,
+            workers,
+            ..RunOptions::default()
+        })
+        .expect("runs");
+        outcome.engine_stats_json()
+    };
+    let serial = run(1);
+    let parallel = run(4);
+    assert_eq!(
+        serial, parallel,
+        "engine-stats JSON must not depend on workers"
+    );
+    assert!(
+        !serial.contains("lanes") && !serial.contains("workers"),
+        "lane stats stay out of the engine-stats JSON: {serial}"
+    );
+}
